@@ -1,0 +1,248 @@
+// Benchmarks that regenerate the paper's evaluation: one benchmark per
+// table/figure plus the ablation and sensitivity studies from DESIGN.md.
+//
+// These are macro-benchmarks: each iteration executes a complete experiment
+// (a base run and a shared run of the same workload in virtual time) on the
+// default harness parameters. Beyond the usual ns/op, every benchmark
+// reports the experiment's headline numbers as custom metrics — gains are
+// fractions, so 0.33 means 33%:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable1Throughput -benchtime=1x
+//
+// The corresponding paper numbers are recorded in EXPERIMENTS.md.
+package scanshare_test
+
+import (
+	"testing"
+
+	"scanshare/internal/experiments"
+)
+
+// benchParams are the bench harness defaults (scale 4, 5 streams, 5% pool).
+func benchParams() experiments.Params { return experiments.DefaultParams() }
+
+// BenchmarkTable1Throughput regenerates Table 1: end-to-end, disk-read and
+// disk-seek gains of the 5-stream throughput run. Paper: 21% / 33% / 34%.
+func BenchmarkTable1Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tp, err := experiments.RunThroughput(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := tp.Table1()
+		b.ReportMetric(r.EndToEndGain, "endToEndGain")
+		b.ReportMetric(r.ReadGain, "readGain")
+		b.ReportMetric(r.SeekGain, "seekGain")
+	}
+}
+
+// BenchmarkFigure15StaggeredIO regenerates Figure 15: three staggered
+// I/O-intensive (Q6-like) queries. Paper: each run gains > 50%, I/O wait
+// share roughly halves.
+func BenchmarkFigure15StaggeredIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure15(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MinGain(), "minRunGain")
+		b.ReportMetric(r.BaseBreakdown.WaitShare(), "baseWaitShare")
+		b.ReportMetric(r.SharedBreakdown.WaitShare(), "sharedWaitShare")
+	}
+}
+
+// BenchmarkFigure16StaggeredCPU regenerates Figure 16: three staggered
+// CPU-intensive (Q1-like) queries. Paper: wait share tiny, but every run
+// still gains noticeably.
+func BenchmarkFigure16StaggeredCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure16(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MinGain(), "minRunGain")
+		b.ReportMetric(r.BaseBreakdown.WaitShare(), "baseWaitShare")
+		b.ReportMetric(r.SharedBreakdown.WaitShare(), "sharedWaitShare")
+	}
+}
+
+// BenchmarkFigure17ReadsOverTime regenerates Figure 17: disk bytes read per
+// interval. Paper: shared activity below base in most intervals, run ends
+// sooner.
+func BenchmarkFigure17ReadsOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tp, err := experiments.RunThroughput(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := tp.Figure17()
+		base, shared := r.Totals()
+		b.ReportMetric(base, "baseKB")
+		b.ReportMetric(shared, "sharedKB")
+		b.ReportMetric(boolMetric(r.EndsSooner()), "endsSooner")
+	}
+}
+
+// BenchmarkFigure18SeeksOverTime regenerates Figure 18: disk seeks per
+// interval.
+func BenchmarkFigure18SeeksOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tp, err := experiments.RunThroughput(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := tp.Figure18()
+		base, shared := r.Totals()
+		b.ReportMetric(base, "baseSeeks")
+		b.ReportMetric(shared, "sharedSeeks")
+		b.ReportMetric(boolMetric(r.EndsSooner()), "endsSooner")
+	}
+}
+
+// BenchmarkFigure19PerStream regenerates Figure 19: per-stream end-to-end
+// gains. Paper: every stream gains similarly.
+func BenchmarkFigure19PerStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tp, err := experiments.RunThroughput(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := tp.Figure19()
+		min, max := 1.0, -1.0
+		for _, s := range r.Streams {
+			if s.Gain < min {
+				min = s.Gain
+			}
+			if s.Gain > max {
+				max = s.Gain
+			}
+		}
+		b.ReportMetric(min, "minStreamGain")
+		b.ReportMetric(max-min, "gainSpread")
+	}
+}
+
+// BenchmarkFigure20PerQuery regenerates Figure 20: per-query mean execution
+// times. Paper: no query shows a negative effect.
+func BenchmarkFigure20PerQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tp, err := experiments.RunThroughput(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := tp.Figure20()
+		sum := 0.0
+		for _, q := range r.Queries {
+			sum += q.Gain
+		}
+		b.ReportMetric(sum/float64(len(r.Queries)), "meanQueryGain")
+		b.ReportMetric(r.WorstGain(), "worstQueryGain")
+	}
+}
+
+// BenchmarkOverheadSingleStream regenerates the overhead check. Paper:
+// overhead well below 1%.
+func BenchmarkOverheadSingleStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Overhead(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Overhead, "overhead")
+	}
+}
+
+// BenchmarkAblationNoThrottle measures throttling's contribution (A1).
+func BenchmarkAblationNoThrottle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationNoThrottle(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ReadPenalty, "readPenaltyWithoutIt")
+	}
+}
+
+// BenchmarkAblationNoPriority measures the page-priority hints'
+// contribution (A2).
+func BenchmarkAblationNoPriority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationNoPriority(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ReadPenalty, "readPenaltyWithoutIt")
+	}
+}
+
+// BenchmarkAblationNoPlacement measures placement's contribution (A3).
+func BenchmarkAblationNoPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationNoPlacement(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ReadPenalty, "readPenaltyWithoutIt")
+		b.ReportMetric(r.TimePenalty, "timePenaltyWithoutIt")
+	}
+}
+
+// BenchmarkBufferSweep runs the buffer-size sensitivity sweep (A4) and
+// reports the gain at the smallest pool and at the full-database pool (the
+// crossover).
+func BenchmarkBufferSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.BufferSweep(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[0].ReadGain, "smallPoolReadGain")
+		b.ReportMetric(r.Points[len(r.Points)-1].ReadGain, "fullDBReadGain")
+	}
+}
+
+// BenchmarkThrottleSweep runs the throttle-threshold sensitivity sweep (A5).
+func BenchmarkThrottleSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ThrottleSweep(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[0].ReadGain, "tightThresholdGain")
+		b.ReportMetric(r.Points[len(r.Points)-1].ReadGain, "looseThresholdGain")
+	}
+}
+
+// BenchmarkPlacementPolicies compares the heuristic placement policy with
+// the sharing-potential estimator on the throughput workload (A6).
+func BenchmarkPlacementPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.PlacementPolicies(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.HeuristicGain, "heuristicGain")
+		b.ReportMetric(r.EstimateGain, "estimatorGain")
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkStreamSweep measures how the sharing benefit scales with stream
+// count (A7): the paper's "scale to more streams with the same hardware".
+func BenchmarkStreamSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.StreamSweep(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GainAt(2), "gainAt2Streams")
+		b.ReportMetric(r.GainAt(8), "gainAt8Streams")
+	}
+}

@@ -1,0 +1,107 @@
+// Command scanshare-bench regenerates the paper's tables and figures.
+//
+// Each experiment runs the same workload on a baseline engine and on a
+// sharing engine and prints a paper-style comparison. With no arguments it
+// runs the complete suite; pass experiment IDs to run a subset:
+//
+//	scanshare-bench                 # everything
+//	scanshare-bench -list           # what exists
+//	scanshare-bench T1 F15 F20      # a selection
+//	scanshare-bench -scale 8 -streams 5 T1
+//
+// All runs are deterministic for a given seed: the workload is generated
+// from the seed and executed in virtual time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"scanshare/internal/experiments"
+)
+
+func main() {
+	p := experiments.DefaultParams()
+	list := flag.Bool("list", false, "list experiments and exit")
+	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
+	flag.Float64Var(&p.Scale, "scale", p.Scale, "workload scale factor")
+	flag.Int64Var(&p.Seed, "seed", p.Seed, "data generation seed")
+	flag.IntVar(&p.Streams, "streams", p.Streams, "throughput run stream count")
+	flag.Float64Var(&p.BufferFrac, "buffer", p.BufferFrac, "buffer pool as a fraction of the database")
+	flag.DurationVar(&p.BucketWidth, "bucket", p.BucketWidth, "activity series bucket width")
+	flag.Float64Var(&p.StaggerFrac, "stagger", p.StaggerFrac, "staggered-start interval as a fraction of one cold query")
+	flag.IntVar(&p.ExtentPages, "extent", p.ExtentPages, "prefetch extent in pages")
+	flag.IntVar(&p.Cores, "cores", p.Cores, "CPU cores (0 = unlimited)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags] [experiment-id ...]\n\nflags:\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, spec := range experiments.All() {
+			fmt.Printf("%-4s %s\n", spec.ID, spec.Title)
+		}
+		return
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	specs := experiments.All()
+	if args := flag.Args(); len(args) > 0 {
+		specs = specs[:0]
+		for _, id := range args {
+			spec, err := experiments.Lookup(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			specs = append(specs, spec)
+		}
+	}
+
+	for i, spec := range specs {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s: %s\n", spec.ID, spec.Title)
+		start := time.Now()
+		res, err := spec.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", spec.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("(ran in %v)\n", time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeCSV dumps a result's CSV files, when it offers any.
+func writeCSV(dir string, res experiments.Result) error {
+	exp, ok := res.(experiments.CSVExporter)
+	if !ok {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, content := range exp.CSV() {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+// Command scanshare-sql is a small SQL shell over the generated TPC-H-like
+// database: type single-table SELECT statements and see results plus the
+// scan-level cost (elapsed virtual time, physical reads, buffer hits).
+//
+//	scanshare-sql                                  # interactive shell
+//	scanshare-sql 'SELECT count(*) FROM lineitem'  # one-shot
+//	scanshare-sql -mode base ...                   # without scan sharing
+//
+// Statements submitted on one line separated by ';' run concurrently as one
+// batch — overlap two scans of the same table and watch the sharing engine
+// save reads:
+//
+//	> SELECT sum(l_extendedprice) FROM lineitem; SELECT count(*) FROM lineitem
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"flag"
+
+	"scanshare"
+	"scanshare/internal/metrics"
+	"scanshare/internal/sql"
+	"scanshare/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "workload scale factor")
+	seed := flag.Int64("seed", 42, "generation seed")
+	buffer := flag.Float64("buffer", 0.05, "buffer pool as fraction of the database")
+	modeName := flag.String("mode", "shared", `"shared" or "base"`)
+	flag.Parse()
+
+	mode := scanshare.Shared
+	if *modeName == "base" {
+		mode = scanshare.Baseline
+	} else if *modeName != "shared" {
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+
+	gen := workload.GenConfig{ScaleFactor: *scale, Seed: *seed}
+	eng := scanshare.MustNew(scanshare.Config{
+		BufferPoolPages: workload.BufferPoolFor(gen, 0, *buffer),
+		Sharing:         scanshare.SharingConfig{PrefetchExtentPages: 8},
+	})
+	db, err := workload.Load(eng, gen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if args := flag.Args(); len(args) > 0 {
+		if err := runBatch(eng, mode, strings.Join(args, " ")); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("scanshare SQL shell — %d pages across %d tables, %s mode\n",
+		db.TotalPages(), len(db.Tables()), mode)
+	fmt.Println(`tables: lineitem, orders, part, customer — \q quits, ';' joins concurrent statements`)
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("> ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch line {
+		case "":
+			continue
+		case `\q`, "exit", "quit":
+			return
+		}
+		if err := runBatch(eng, mode, line); err != nil {
+			fmt.Println(err)
+		}
+	}
+}
+
+// runBatch compiles the ';'-separated statements and runs them concurrently.
+func runBatch(eng *scanshare.Engine, mode scanshare.Mode, line string) error {
+	var jobs []scanshare.Job
+	var stmts []string
+	for _, stmt := range strings.Split(line, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		q, err := eng.SQL(stmt)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, scanshare.Job{Query: q, Stream: len(jobs)})
+		stmts = append(stmts, stmt)
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	rep, err := eng.Run(mode, jobs)
+	if err != nil {
+		return err
+	}
+	for i, res := range rep.Results {
+		if len(rep.Results) > 1 {
+			fmt.Printf("-- [%d] %s\n", i+1, stmts[i])
+		}
+		printRows(res.Rows)
+		fmt.Printf("(%d row(s), %s, %d physical reads, %d buffered)\n",
+			len(res.Rows), metrics.FormatDuration(res.Elapsed()),
+			res.PhysicalReads, res.LogicalReads-res.PhysicalReads)
+	}
+	if len(jobs) > 1 {
+		fmt.Printf("batch: %s end to end, %d disk reads, %.0f%% pool hits\n",
+			metrics.FormatDuration(rep.Makespan), rep.Disk.Reads, rep.Pool.HitRatio()*100)
+	}
+	return nil
+}
+
+const maxRows = 20
+
+func printRows(rows []scanshare.Tuple) {
+	for i, row := range rows {
+		if i == maxRows {
+			fmt.Printf("... (%d more)\n", len(rows)-maxRows)
+			return
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = renderValue(v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+}
+
+func renderValue(v scanshare.Value) string {
+	switch v.Kind {
+	case scanshare.KindInt64:
+		return fmt.Sprint(v.I)
+	case scanshare.KindFloat64:
+		return fmt.Sprintf("%.4f", v.F)
+	case scanshare.KindString:
+		return v.S
+	case scanshare.KindDate:
+		return sql.FormatDate(v.I)
+	default:
+		return v.GoString()
+	}
+}

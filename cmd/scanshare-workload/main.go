@@ -1,0 +1,62 @@
+// Command scanshare-workload inspects the generated TPC-H-like database and
+// the 22-query battery: table sizes, query templates, and the per-stream
+// permutations used by throughput runs.
+//
+//	scanshare-workload               # tables + query battery
+//	scanshare-workload -streams 5    # also print stream orders
+//	scanshare-workload -scale 10     # at another scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scanshare"
+	"scanshare/internal/metrics"
+	"scanshare/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "workload scale factor")
+	seed := flag.Int64("seed", 42, "generation seed")
+	streams := flag.Int("streams", 0, "print this many stream permutations")
+	flag.Parse()
+
+	gen := workload.GenConfig{ScaleFactor: *scale, Seed: *seed}
+	eng := scanshare.MustNew(scanshare.Config{BufferPoolPages: 64})
+	db, err := workload.Load(eng, gen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scale %g, seed %d\n\n", *scale, *seed)
+	tbl := metrics.NewTable("table", "rows", "pages", "schema")
+	for _, t := range db.Tables() {
+		tbl.AddRow(t.Name(), fmt.Sprint(t.NumTuples()), fmt.Sprint(t.NumPages()), t.Schema().String())
+	}
+	fmt.Print(tbl.Render())
+	fmt.Printf("total: %d pages; paper-style 5%% buffer pool: %d pages\n\n",
+		db.TotalPages(), workload.BufferPoolFor(gen, 0, 0.05))
+
+	qt := metrics.NewTable("query", "table", "range", "cpu weight", "description")
+	for _, t := range workload.Templates() {
+		qt.AddRow(t.Name, t.Table.String(),
+			fmt.Sprintf("[%.0f%%,%.0f%%)", t.StartFrac*100, t.EndFrac*100),
+			fmt.Sprintf("%g", t.Weight), t.Description)
+	}
+	fmt.Print(qt.Render())
+
+	if *streams > 0 {
+		fmt.Println()
+		templates := workload.Templates()
+		for s := 0; s < *streams; s++ {
+			fmt.Printf("stream %d:", s)
+			for _, idx := range workload.StreamOrder(s) {
+				fmt.Printf(" %s", templates[idx].Name)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Throughput: a miniature multi-stream decision-support run, the shape of
+// the paper's TPC-H throughput experiment. Several query streams execute a
+// battery of reporting queries back to back; streams run concurrently and
+// their scans overlap at unpredictable points. The example prints the
+// paper-style comparison: end-to-end time, disk reads, and disk seeks.
+//
+//	go run ./examples/throughput
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"scanshare"
+)
+
+const (
+	factRows = 150_000
+	dimRows  = 12_000
+	streams  = 4
+)
+
+// buildDB loads a star-ish pair of tables: a large fact table clustered by
+// day and a smaller dimension table.
+func buildDB(eng *scanshare.Engine) (fact, dim *scanshare.Table, err error) {
+	factSchema := scanshare.MustSchema(
+		scanshare.Field{Name: "day", Kind: scanshare.KindDate},
+		scanshare.Field{Name: "sku", Kind: scanshare.KindInt64},
+		scanshare.Field{Name: "qty", Kind: scanshare.KindFloat64},
+		scanshare.Field{Name: "price", Kind: scanshare.KindFloat64},
+	)
+	rng := rand.New(rand.NewSource(11))
+	fact, err = eng.LoadTable("fact_sales", factSchema, func(add func(scanshare.Tuple) error) error {
+		for i := 0; i < factRows; i++ {
+			err := add(scanshare.Tuple{
+				scanshare.Date(int64(i) * 730 / factRows), // two years, clustered
+				scanshare.Int64(int64(rng.Intn(dimRows))),
+				scanshare.Float64(float64(1 + rng.Intn(20))),
+				scanshare.Float64(5 + 95*rng.Float64()),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	dimSchema := scanshare.MustSchema(
+		scanshare.Field{Name: "sku", Kind: scanshare.KindInt64},
+		scanshare.Field{Name: "brand", Kind: scanshare.KindString},
+		scanshare.Field{Name: "cost", Kind: scanshare.KindFloat64},
+	)
+	brands := []string{"acme", "globex", "initech", "umbrella", "hooli"}
+	dim, err = eng.LoadTable("dim_product", dimSchema, func(add func(scanshare.Tuple) error) error {
+		for i := 0; i < dimRows; i++ {
+			err := add(scanshare.Tuple{
+				scanshare.Int64(int64(i)),
+				scanshare.String(brands[rng.Intn(len(brands))]),
+				scanshare.Float64(1 + 50*rng.Float64()),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return fact, dim, err
+}
+
+// battery builds the stream query set: a mix of full and recent-range fact
+// scans at different CPU weights plus dimension rollups.
+func battery(fact, dim *scanshare.Table) []*scanshare.Query {
+	return []*scanshare.Query{
+		scanshare.NewQuery(fact).Named("daily-volume").Weight(4).
+			GroupBy("day").Sum("qty"),
+		scanshare.NewQuery(fact).Named("recent-revenue").Range(0.5, 1).Weight(1).
+			Where(func(t scanshare.Tuple) bool { return t[2].F > 5 }).Sum("price"),
+		scanshare.NewQuery(fact).Named("big-baskets").Weight(1).
+			Where(func(t scanshare.Tuple) bool { return t[2].F >= 15 }).CountAll(),
+		scanshare.NewQuery(dim).Named("brand-costs").Weight(2).
+			GroupBy("brand").Avg("cost").CountAll(),
+		scanshare.NewQuery(fact).Named("last-quarter").Range(0.875, 1).Weight(2).
+			Sum("price").CountAll(),
+		scanshare.NewQuery(fact).Named("sku-activity").Weight(6).
+			Where(func(t scanshare.Tuple) bool { return t[1].I%7 == 0 }).CountAll(),
+	}
+}
+
+func run(mode scanshare.Mode) (*scanshare.Report, error) {
+	eng, err := scanshare.New(scanshare.Config{BufferPoolPages: 100})
+	if err != nil {
+		return nil, err
+	}
+	fact, dim, err := buildDB(eng)
+	if err != nil {
+		return nil, err
+	}
+	qs := battery(fact, dim)
+	// Each stream runs the whole battery in its own rotation, back to back.
+	sts := make([][]scanshare.StreamItem, streams)
+	for s := range sts {
+		for i := range qs {
+			sts[s] = append(sts[s], scanshare.StreamItem{Query: qs[(i+s*2)%len(qs)]})
+		}
+	}
+	return eng.RunStreams(mode, sts)
+}
+
+func main() {
+	base, err := run(scanshare.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared, err := run(scanshare.Shared)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gain := func(b, s float64) string { return fmt.Sprintf("%+.1f%%", 100*(1-s/b)) }
+	fmt.Printf("%d streams x %d queries\n\n", streams, len(base.Results)/streams)
+	fmt.Printf("%-16s %12s %12s %8s\n", "metric", "baseline", "sharing", "gain")
+	fmt.Printf("%-16s %12v %12v %8s\n", "end-to-end",
+		base.Makespan.Round(time.Millisecond), shared.Makespan.Round(time.Millisecond),
+		gain(float64(base.Makespan), float64(shared.Makespan)))
+	fmt.Printf("%-16s %12d %12d %8s\n", "disk reads",
+		base.Disk.Reads, shared.Disk.Reads, gain(float64(base.Disk.Reads), float64(shared.Disk.Reads)))
+	fmt.Printf("%-16s %12d %12d %8s\n", "disk seeks",
+		base.Disk.Seeks, shared.Disk.Seeks, gain(float64(base.Disk.Seeks), float64(shared.Disk.Seeks)))
+
+	fmt.Println("\nper-stream end-to-end:")
+	bs, ss := base.PerStream(), shared.PerStream()
+	for s := 0; s < streams; s++ {
+		fmt.Printf("  stream %d: %10v -> %10v\n", s,
+			bs[s].Round(time.Millisecond), ss[s].Round(time.Millisecond))
+	}
+}

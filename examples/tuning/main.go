@@ -1,0 +1,85 @@
+// Tuning: what each knob of the scan sharing manager contributes. The
+// example runs one drift-prone scenario — a fast I/O-bound scan overlapping
+// a slow CPU-bound scan of the same table — under several sharing
+// configurations and prints how physical reads and latency respond.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"scanshare"
+)
+
+const rows = 200_000
+
+func build(sharing scanshare.SharingConfig) (*scanshare.Engine, *scanshare.Table, error) {
+	eng, err := scanshare.New(scanshare.Config{
+		BufferPoolPages: 80,
+		Sharing:         sharing,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := scanshare.MustSchema(
+		scanshare.Field{Name: "k", Kind: scanshare.KindInt64},
+		scanshare.Field{Name: "v", Kind: scanshare.KindFloat64},
+	)
+	tbl, err := eng.LoadTable("events", schema, func(add func(scanshare.Tuple) error) error {
+		for i := 0; i < rows; i++ {
+			if err := add(scanshare.Tuple{scanshare.Int64(int64(i)), scanshare.Float64(float64(i % 1000))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return eng, tbl, err
+}
+
+func scenario(tbl *scanshare.Table) []scanshare.Job {
+	fast := scanshare.NewQuery(tbl).Named("fast-filter").Weight(1).
+		Where(func(t scanshare.Tuple) bool { return t[1].F > 990 }).CountAll()
+	slow := scanshare.NewQuery(tbl).Named("heavy-report").Weight(30).
+		GroupBy("v").CountAll()
+	return []scanshare.Job{
+		{Query: fast, Stream: 0},
+		{Query: slow, Stream: 1},
+	}
+}
+
+func main() {
+	configs := []struct {
+		name    string
+		mode    scanshare.Mode
+		sharing scanshare.SharingConfig
+	}{
+		{"baseline (no sharing)", scanshare.Baseline, scanshare.SharingConfig{}},
+		{"full mechanism", scanshare.Shared, scanshare.SharingConfig{}},
+		{"no throttling", scanshare.Shared, scanshare.SharingConfig{DisableThrottling: true}},
+		{"no priority hints", scanshare.Shared, scanshare.SharingConfig{DisablePriorityHints: true}},
+		{"no placement", scanshare.Shared, scanshare.SharingConfig{DisablePlacement: true}},
+		{"tight threshold (1 extent)", scanshare.Shared, scanshare.SharingConfig{ThrottleThresholdExtents: 1}},
+		{"loose threshold (16 extents)", scanshare.Shared, scanshare.SharingConfig{ThrottleThresholdExtents: 16}},
+	}
+
+	fmt.Printf("%-30s %10s %10s %12s %12s\n", "configuration", "reads", "hit%", "makespan", "throttled")
+	for _, cfg := range configs {
+		eng, tbl, err := build(cfg.sharing)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := eng.Run(cfg.mode, scenario(tbl))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-30s %10d %9.1f%% %12v %12v\n",
+			cfg.name, rep.Disk.Reads, rep.Pool.HitRatio()*100,
+			rep.Makespan.Round(time.Millisecond),
+			rep.Sharing.ThrottleTime.Round(time.Millisecond))
+	}
+	fmt.Println("\nreads drop when scans stay grouped; throttling trades a bounded delay")
+	fmt.Println("for buffer locality, and the fairness cap keeps the delay bounded.")
+}

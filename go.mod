@@ -1,0 +1,3 @@
+module scanshare
+
+go 1.23

@@ -1,0 +1,4 @@
+package buffer
+
+// CheckInvariants exposes the internal consistency check to tests.
+func (p *Pool) CheckInvariants() { p.checkInvariants() }

@@ -1,0 +1,163 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scanshare/internal/disk"
+)
+
+// refPool is an obviously-correct reference implementation of the pool's
+// replacement contract: unpinned pages live in per-priority FIFO lists
+// (least recently released first); the victim is the front of the lowest
+// occupied priority level. The real pool must evict exactly the same pages
+// in the same order.
+type refPool struct {
+	capacity int
+	pinned   map[disk.PageID]int
+	levels   [numPriorities][]disk.PageID
+}
+
+func newRefPool(capacity int) *refPool {
+	return &refPool{capacity: capacity, pinned: map[disk.PageID]int{}}
+}
+
+func (r *refPool) resident(pid disk.PageID) bool {
+	if _, ok := r.pinned[pid]; ok {
+		return true
+	}
+	for lvl := range r.levels {
+		for _, p := range r.levels[lvl] {
+			if p == pid {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *refPool) size() int {
+	n := len(r.pinned)
+	for lvl := range r.levels {
+		n += len(r.levels[lvl])
+	}
+	return n
+}
+
+// acquire mirrors Pool.Acquire for the single-pin workload the model test
+// drives (each page pinned at most once at a time). It returns hit status
+// and the PageID it evicted (InvalidPage if none).
+func (r *refPool) acquire(pid disk.PageID) (hit bool, victim disk.PageID, ok bool) {
+	victim = disk.InvalidPage
+	// Hit on an unpinned resident page promotes it to pinned.
+	for lvl := range r.levels {
+		for i, p := range r.levels[lvl] {
+			if p == pid {
+				r.levels[lvl] = append(r.levels[lvl][:i], r.levels[lvl][i+1:]...)
+				r.pinned[pid] = 1
+				return true, victim, true
+			}
+		}
+	}
+	if _, pinnedAlready := r.pinned[pid]; pinnedAlready {
+		// The model test never double-pins; treat as error.
+		return false, victim, false
+	}
+	if r.size() >= r.capacity {
+		evicted := false
+		for lvl := range r.levels {
+			if len(r.levels[lvl]) > 0 {
+				victim = r.levels[lvl][0]
+				r.levels[lvl] = r.levels[lvl][1:]
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return false, victim, false // all pinned: busy
+		}
+	}
+	r.pinned[pid] = 1
+	return false, victim, true
+}
+
+func (r *refPool) release(pid disk.PageID, prio Priority) {
+	delete(r.pinned, pid)
+	r.levels[prio] = append(r.levels[prio], pid)
+}
+
+// TestPoolMatchesReferenceModel drives the real pool and the reference model
+// with the same random operation stream and insists on identical residency
+// after every step.
+func TestPoolMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 2 + rng.Intn(12)
+		pool := MustNewPool(capacity)
+		ref := newRefPool(capacity)
+		held := map[disk.PageID]bool{}
+
+		for step := 0; step < 400; step++ {
+			if rng.Intn(2) == 0 && len(held) > 0 {
+				// Release a random held page at a random priority.
+				var pid disk.PageID = -1
+				n := rng.Intn(len(held))
+				for p := range held {
+					if n == 0 {
+						pid = p
+						break
+					}
+					n--
+				}
+				prio := Priority(rng.Intn(int(numPriorities)))
+				if err := pool.Release(pid, prio); err != nil {
+					t.Logf("seed %d step %d: release: %v", seed, step, err)
+					return false
+				}
+				ref.release(pid, prio)
+				delete(held, pid)
+			} else {
+				pid := disk.PageID(rng.Intn(40))
+				if held[pid] {
+					continue // keep the single-pin discipline
+				}
+				st, _ := pool.Acquire(pid)
+				refHit, _, refOK := ref.acquire(pid)
+				switch st {
+				case Busy:
+					if refOK {
+						t.Logf("seed %d step %d: pool busy, model not", seed, step)
+						return false
+					}
+					continue
+				case Hit:
+					if !refOK || !refHit {
+						t.Logf("seed %d step %d: pool hit, model %v/%v", seed, step, refHit, refOK)
+						return false
+					}
+				case Miss:
+					if !refOK || refHit {
+						t.Logf("seed %d step %d: pool miss, model %v/%v", seed, step, refHit, refOK)
+						return false
+					}
+					pool.Fill(pid, []byte{byte(pid)})
+				}
+				held[pid] = true
+			}
+			// Residency must agree exactly.
+			for pid := disk.PageID(0); pid < 40; pid++ {
+				real := pool.Contains(pid) || held[pid]
+				if real != ref.resident(pid) {
+					t.Logf("seed %d step %d: page %d residency pool=%v model=%v",
+						seed, step, pid, real, ref.resident(pid))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

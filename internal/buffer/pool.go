@@ -1,0 +1,349 @@
+// Package buffer implements the page buffer pool that concurrent scans
+// share.
+//
+// The pool mirrors the interface the paper assumes of DB2's bufferpool: pages
+// are fetched and pinned, processed, and then *released with a priority*. The
+// priority is a hint to the replacement policy about how soon the page will
+// be needed again; the scan sharing manager exploits it by releasing a group
+// leader's pages at high priority (the rest of its group is right behind and
+// will re-read them) and a trailer's pages at low priority (nobody follows
+// closely, so they are the cheapest pages to victimize).
+//
+// Replacement is therefore "priority, then LRU": the victim is the least
+// recently released unpinned page of the lowest occupied priority level.
+// With every page released at the same priority this degenerates to plain
+// LRU, which is the paper's baseline.
+//
+// The pool deliberately knows nothing about scans, groups, or the sharing
+// manager — the paper's design point is that the caching system can remain a
+// black box, with the mechanism confined to the scan operators.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"scanshare/internal/disk"
+)
+
+// Priority is a page release priority hint. Higher values survive longer in
+// the pool.
+type Priority int
+
+// Priority levels, lowest (first victimized) to highest (last victimized).
+const (
+	// PriorityEvict marks a page as immediately reusable; trailer scans
+	// release pages at this level.
+	PriorityEvict Priority = iota
+	// PriorityLow is for pages unlikely to be needed again soon.
+	PriorityLow
+	// PriorityNormal is the default for scans outside any sharing group;
+	// the baseline engine releases every page at this level.
+	PriorityNormal
+	// PriorityHigh is for pages needed again soon; group leaders release
+	// at this level because their group mates are right behind them.
+	PriorityHigh
+
+	numPriorities
+)
+
+// String returns a short human-readable name for the priority.
+func (p Priority) String() string {
+	switch p {
+	case PriorityEvict:
+		return "evict"
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is one of the defined levels.
+func (p Priority) Valid() bool { return p >= PriorityEvict && p < numPriorities }
+
+// Status is the outcome of an Acquire call.
+type Status int
+
+const (
+	// Hit: the page was in the pool; it is now pinned and Data is valid.
+	Hit Status = iota
+	// Miss: the page was not in the pool; a frame has been reserved and
+	// pinned for the caller, who must perform the physical read and call
+	// Fill (or Abort on failure).
+	Miss
+	// Busy: another caller is currently reading this page from disk, or
+	// the pool is full of pinned frames. The caller should wait a little
+	// and retry; this models waiting on an in-flight I/O.
+	Busy
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Busy:
+		return "busy"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Stats is a snapshot of the pool counters.
+type Stats struct {
+	LogicalReads  int64 // Acquire calls that returned Hit or Miss
+	Hits          int64
+	Misses        int64
+	BusyRetries   int64 // Acquire calls that returned Busy
+	Evictions     int64
+	EvictionsByPr [numPriorities]int64
+}
+
+// HitRatio returns Hits / LogicalReads, or 0 when nothing was read.
+func (s Stats) HitRatio() float64 {
+	if s.LogicalReads == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.LogicalReads)
+}
+
+// ErrAllPinned is wrapped by Acquire's Busy-causing internal state when every
+// frame is pinned; exposed for tests of pathological configurations.
+var ErrAllPinned = errors.New("buffer: all frames pinned")
+
+type frameState int
+
+const (
+	framePending frameState = iota // reserved; disk read in flight
+	frameValid
+)
+
+type frame struct {
+	pid   disk.PageID
+	data  []byte
+	pins  int
+	state frameState
+	prio  Priority
+	// elem is the frame's node in its priority level's LRU list while the
+	// frame is unpinned; nil while pinned or pending.
+	elem *list.Element
+}
+
+// Pool is a fixed-capacity page cache with priority-aware replacement. It is
+// safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[disk.PageID]*frame
+	// levels[p] holds unpinned frames released at priority p, least
+	// recently released at the front (the eviction end).
+	levels [numPriorities]*list.List
+	stats  Stats
+}
+
+// NewPool creates a pool with room for capacity pages.
+func NewPool(capacity int) (*Pool, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("buffer: non-positive capacity %d", capacity)
+	}
+	p := &Pool{capacity: capacity, frames: make(map[disk.PageID]*frame, capacity)}
+	for i := range p.levels {
+		p.levels[i] = list.New()
+	}
+	return p, nil
+}
+
+// MustNewPool is NewPool for known-good parameters; it panics on error.
+func MustNewPool(capacity int) *Pool {
+	p, err := NewPool(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Capacity returns the pool's frame count.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Len returns the number of resident (valid or pending) pages.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// Contains reports whether pid is resident and valid (useful in tests; a
+// pending frame does not count).
+func (p *Pool) Contains(pid disk.PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pid]
+	return ok && f.state == frameValid
+}
+
+// Acquire pins page pid if resident, or reserves a frame for it.
+//
+// On Hit, the returned data is valid and must be treated as read-only; the
+// caller must eventually call Release. On Miss, the caller owns the pending
+// frame: it must read the page from storage and call Fill, then eventually
+// Release. On Busy, nothing is pinned; retry after a short wait.
+func (p *Pool) Acquire(pid disk.PageID) (Status, []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if f, ok := p.frames[pid]; ok {
+		if f.state == framePending {
+			p.stats.BusyRetries++
+			return Busy, nil
+		}
+		if f.pins == 0 {
+			p.levels[f.prio].Remove(f.elem)
+			f.elem = nil
+		}
+		f.pins++
+		p.stats.LogicalReads++
+		p.stats.Hits++
+		return Hit, f.data
+	}
+
+	if len(p.frames) >= p.capacity && !p.evictLocked() {
+		p.stats.BusyRetries++
+		return Busy, nil
+	}
+
+	f := &frame{pid: pid, pins: 1, state: framePending}
+	p.frames[pid] = f
+	p.stats.LogicalReads++
+	p.stats.Misses++
+	return Miss, nil
+}
+
+// evictLocked removes the least recently released unpinned frame of the
+// lowest occupied priority level. It reports whether a frame was freed.
+func (p *Pool) evictLocked() bool {
+	for prio := PriorityEvict; prio < numPriorities; prio++ {
+		lvl := p.levels[prio]
+		if lvl.Len() == 0 {
+			continue
+		}
+		victim := lvl.Remove(lvl.Front()).(*frame)
+		delete(p.frames, victim.pid)
+		p.stats.Evictions++
+		p.stats.EvictionsByPr[prio]++
+		return true
+	}
+	return false
+}
+
+// Fill completes a Miss: it installs data as the content of the pending
+// frame reserved by the calling Acquire. The frame stays pinned.
+func (p *Pool) Fill(pid disk.PageID, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pid]
+	if !ok {
+		return fmt.Errorf("buffer: Fill of non-resident page %d", pid)
+	}
+	if f.state != framePending {
+		return fmt.Errorf("buffer: Fill of already-valid page %d", pid)
+	}
+	f.data = data
+	f.state = frameValid
+	return nil
+}
+
+// Abort releases a pending frame without filling it, e.g. after a failed
+// disk read.
+func (p *Pool) Abort(pid disk.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pid]
+	if !ok || f.state != framePending {
+		return fmt.Errorf("buffer: Abort of page %d that is not pending", pid)
+	}
+	delete(p.frames, pid)
+	return nil
+}
+
+// Release unpins page pid, recording prio as its replacement priority. When
+// the pin count reaches zero the page becomes evictable at that priority.
+func (p *Pool) Release(pid disk.PageID, prio Priority) error {
+	if !prio.Valid() {
+		return fmt.Errorf("buffer: invalid release priority %d", prio)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pid]
+	if !ok {
+		return fmt.Errorf("buffer: Release of non-resident page %d", pid)
+	}
+	if f.state != frameValid {
+		return fmt.Errorf("buffer: Release of pending page %d", pid)
+	}
+	if f.pins <= 0 {
+		return fmt.Errorf("buffer: Release of unpinned page %d", pid)
+	}
+	f.pins--
+	f.prio = prio
+	if f.pins == 0 {
+		f.elem = p.levels[prio].PushBack(f)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats clears the counters but leaves the cache contents intact.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// checkInvariants panics if internal bookkeeping is inconsistent. It is
+// exported to the package's tests via export_test.go.
+func (p *Pool) checkInvariants() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.frames) > p.capacity {
+		panic(fmt.Sprintf("buffer: %d frames resident, capacity %d", len(p.frames), p.capacity))
+	}
+	unpinned := 0
+	for i := range p.levels {
+		for e := p.levels[i].Front(); e != nil; e = e.Next() {
+			f := e.Value.(*frame)
+			if f.pins != 0 {
+				panic(fmt.Sprintf("buffer: pinned page %d on level list", f.pid))
+			}
+			if f.prio != Priority(i) {
+				panic(fmt.Sprintf("buffer: page %d on level %d but prio %d", f.pid, i, f.prio))
+			}
+			if p.frames[f.pid] != f {
+				panic(fmt.Sprintf("buffer: page %d level-list entry not in frame table", f.pid))
+			}
+			unpinned++
+		}
+	}
+	for pid, f := range p.frames {
+		if f.pid != pid {
+			panic("buffer: frame table key mismatch")
+		}
+		if f.pins == 0 && f.state == frameValid && f.elem == nil {
+			panic(fmt.Sprintf("buffer: unpinned valid page %d not on any level list", pid))
+		}
+	}
+}

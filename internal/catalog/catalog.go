@@ -1,0 +1,105 @@
+// Package catalog is the engine's table registry. It assigns each table a
+// stable numeric ID (the scan sharing manager identifies tables by ID, not by
+// pointer, to stay decoupled from the storage layer) and serves the basic
+// statistics — page and tuple counts — that stand in for the optimizer
+// estimates the paper's SISCAN operators receive from the query compiler.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"scanshare/internal/heap"
+)
+
+// TableID identifies a registered table.
+type TableID int
+
+// Entry is a registered table with its ID.
+type Entry struct {
+	ID    TableID
+	Table *heap.Table
+}
+
+// Catalog maps table names and IDs to tables. It is safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	byName map[string]*Entry
+	byID   []*Entry
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{byName: make(map[string]*Entry)}
+}
+
+// Register adds a table and returns its assigned ID. Table names must be
+// unique.
+func (c *Catalog) Register(t *heap.Table) (TableID, error) {
+	if t == nil {
+		return 0, fmt.Errorf("catalog: nil table")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byName[t.Name()]; dup {
+		return 0, fmt.Errorf("catalog: table %q already registered", t.Name())
+	}
+	e := &Entry{ID: TableID(len(c.byID)), Table: t}
+	c.byName[t.Name()] = e
+	c.byID = append(c.byID, e)
+	return e.ID, nil
+}
+
+// MustRegister is Register for known-good tables; it panics on error.
+func (c *Catalog) MustRegister(t *heap.Table) TableID {
+	id, err := c.Register(t)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Lookup returns the entry for the named table.
+func (c *Catalog) Lookup(name string) (*Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return e, nil
+}
+
+// ByID returns the entry with the given ID.
+func (c *Catalog) ByID(id TableID) (*Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if id < 0 || int(id) >= len(c.byID) {
+		return nil, fmt.Errorf("catalog: no table with id %d", id)
+	}
+	return c.byID[id], nil
+}
+
+// Tables returns all entries sorted by name.
+func (c *Catalog) Tables() []*Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Entry, len(c.byID))
+	copy(out, c.byID)
+	sort.Slice(out, func(i, j int) bool { return out[i].Table.Name() < out[j].Table.Name() })
+	return out
+}
+
+// TotalPages returns the page count summed over all registered tables; the
+// experiment harness sizes buffer pools as a fraction of it (the paper uses
+// a bufferpool of about 5% of the database size).
+func (c *Catalog) TotalPages() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0
+	for _, e := range c.byID {
+		total += e.Table.NumPages()
+	}
+	return total
+}

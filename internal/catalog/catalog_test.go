@@ -1,0 +1,111 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scanshare/internal/disk"
+	"scanshare/internal/heap"
+	"scanshare/internal/record"
+)
+
+func makeTable(t *testing.T, dev *disk.Device, name string, rows int) *heap.Table {
+	t.Helper()
+	schema := record.MustSchema(record.Field{Name: "k", Kind: record.KindInt64})
+	b, err := heap.NewBuilder(dev, name, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := b.Append(record.Tuple{record.Int64(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func testDevice() *disk.Device {
+	return disk.MustNew(disk.Model{SeekTime: time.Millisecond, TransferPerPage: time.Microsecond, PageSize: 256}, 0)
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	dev := testDevice()
+	c := New()
+	ta := makeTable(t, dev, "a", 10)
+	tb := makeTable(t, dev, "b", 10)
+	ida := c.MustRegister(ta)
+	idb := c.MustRegister(tb)
+	if ida == idb {
+		t.Error("duplicate IDs assigned")
+	}
+	e, err := c.Lookup("a")
+	if err != nil || e.Table != ta || e.ID != ida {
+		t.Errorf("Lookup(a) = %+v, %v", e, err)
+	}
+	e, err = c.ByID(idb)
+	if err != nil || e.Table != tb {
+		t.Errorf("ByID = %+v, %v", e, err)
+	}
+}
+
+func TestRegisterRejectsNilAndDuplicates(t *testing.T) {
+	dev := testDevice()
+	c := New()
+	if _, err := c.Register(nil); err == nil {
+		t.Error("nil table accepted")
+	}
+	c.MustRegister(makeTable(t, dev, "x", 5))
+	if _, err := c.Register(makeTable(t, dev, "x", 5)); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	c := New()
+	if _, err := c.Lookup("ghost"); err == nil {
+		t.Error("missing lookup succeeded")
+	}
+	if _, err := c.ByID(0); err == nil {
+		t.Error("missing ByID succeeded")
+	}
+	if _, err := c.ByID(-1); err == nil {
+		t.Error("negative ByID succeeded")
+	}
+}
+
+func TestTablesSortedByName(t *testing.T) {
+	dev := testDevice()
+	c := New()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		c.MustRegister(makeTable(t, dev, name, 3))
+	}
+	got := c.Tables()
+	if len(got) != 3 {
+		t.Fatalf("Tables() returned %d entries", len(got))
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i, e := range got {
+		if e.Table.Name() != want[i] {
+			t.Errorf("Tables()[%d] = %q, want %q", i, e.Table.Name(), want[i])
+		}
+	}
+}
+
+func TestTotalPages(t *testing.T) {
+	dev := testDevice()
+	c := New()
+	total := 0
+	for i, rows := range []int{50, 120, 7} {
+		tbl := makeTable(t, dev, fmt.Sprintf("t%d", i), rows)
+		c.MustRegister(tbl)
+		total += tbl.NumPages()
+	}
+	if c.TotalPages() != total {
+		t.Errorf("TotalPages = %d, want %d", c.TotalPages(), total)
+	}
+}

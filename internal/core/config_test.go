@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultConfigIsValid(t *testing.T) {
+	if err := DefaultConfig(1000).Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig(1000)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero buffer", func(c *Config) { c.BufferPoolPages = 0 }},
+		{"zero extent", func(c *Config) { c.PrefetchExtentPages = 0 }},
+		{"zero threshold", func(c *Config) { c.ThrottleThresholdExtents = 0 }},
+		{"negative fraction", func(c *Config) { c.MaxThrottleFraction = -0.1 }},
+		{"fraction > 1", func(c *Config) { c.MaxThrottleFraction = 1.5 }},
+		{"zero max wait", func(c *Config) { c.MaxWaitPerUpdate = 0 }},
+		{"negative min share", func(c *Config) { c.MinSharePages = -1 }},
+		{"negative backoff", func(c *Config) { c.ResidualBackoffPages = -1 }},
+		{"zero default speed", func(c *Config) { c.DefaultSpeedPagesPerSec = 0 }},
+	}
+	for _, c := range cases {
+		cfg := base
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", c.name)
+		}
+	}
+}
+
+func TestThrottleThresholdPages(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.PrefetchExtentPages = 16
+	cfg.ThrottleThresholdExtents = 2
+	if got := cfg.throttleThresholdPages(); got != 32 {
+		t.Errorf("threshold = %d pages, want 32", got)
+	}
+}
+
+func TestNewManagerRejectsInvalidConfig(t *testing.T) {
+	if _, err := NewManager(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestPagePriorityString(t *testing.T) {
+	for pr, want := range map[PagePriority]string{
+		PageLow: "low", PageNormal: "normal", PageHigh: "high", PagePriority(9): "PagePriority(9)",
+	} {
+		if pr.String() != want {
+			t.Errorf("String() = %q, want %q", pr.String(), want)
+		}
+	}
+}
+
+func TestMustNewManagerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewManager with invalid config did not panic")
+		}
+	}()
+	MustNewManager(Config{MaxWaitPerUpdate: -time.Second})
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind classifies SSM decision events.
+type EventKind int
+
+// Decision events emitted through Config.OnEvent.
+const (
+	// EventScanStarted fires after placement; Placement is set.
+	EventScanStarted EventKind = iota
+	// EventScanEnded fires when a scan deregisters.
+	EventScanEnded
+	// EventThrottled fires when a wait is inserted into a leader; Wait
+	// and GapPages are set.
+	EventThrottled
+	// EventFairnessExempted fires when a throttle was warranted but the
+	// scan's fairness allowance is exhausted.
+	EventFairnessExempted
+)
+
+// String returns the kind's name.
+func (k EventKind) String() string {
+	switch k {
+	case EventScanStarted:
+		return "scan-started"
+	case EventScanEnded:
+		return "scan-ended"
+	case EventThrottled:
+		return "throttled"
+	case EventFairnessExempted:
+		return "fairness-exempted"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one SSM decision, for tracing and debugging. Only the fields
+// relevant to the Kind are set.
+type Event struct {
+	Kind  EventKind
+	Time  time.Duration
+	Scan  ScanID
+	Table TableID
+
+	// Placement is set for EventScanStarted.
+	Placement Placement
+	// Wait and GapPages are set for EventThrottled.
+	Wait     time.Duration
+	GapPages int
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventScanStarted:
+		how := "cold"
+		switch {
+		case e.Placement.JoinedScan != NoScan:
+			how = fmt.Sprintf("joined scan %d at page %d", e.Placement.JoinedScan, e.Placement.Origin)
+		case e.Placement.TrailingScan != NoScan:
+			how = fmt.Sprintf("trailing scan %d", e.Placement.TrailingScan)
+		case e.Placement.FromResidual:
+			how = fmt.Sprintf("residual at page %d", e.Placement.Origin)
+		}
+		return fmt.Sprintf("[%v] scan %d on table %d started (%s)", e.Time, e.Scan, e.Table, how)
+	case EventScanEnded:
+		return fmt.Sprintf("[%v] scan %d on table %d ended", e.Time, e.Scan, e.Table)
+	case EventThrottled:
+		return fmt.Sprintf("[%v] scan %d throttled %v (gap %d pages)", e.Time, e.Scan, e.Wait, e.GapPages)
+	case EventFairnessExempted:
+		return fmt.Sprintf("[%v] scan %d exempt from throttling (fairness cap)", e.Time, e.Scan)
+	default:
+		return fmt.Sprintf("[%v] scan %d: %s", e.Time, e.Scan, e.Kind)
+	}
+}
+
+// emit delivers an event to the configured observer. Called with the
+// manager lock held, so observers must be fast and must not call back into
+// the manager.
+func (m *Manager) emit(ev Event) {
+	if m.cfg.OnEvent != nil {
+		m.cfg.OnEvent(ev)
+	}
+}

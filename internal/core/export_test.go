@@ -1,0 +1,12 @@
+package core
+
+// mustScanPos returns the current position of an active scan; test helper.
+func (m *Manager) mustScanPos(id ScanID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.scans[id]
+	if !ok {
+		panic("mustScanPos: unknown scan")
+	}
+	return s.pos()
+}

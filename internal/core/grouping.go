@@ -1,0 +1,165 @@
+package core
+
+import "sort"
+
+// group is a maximal run of scans on the same table that are close enough to
+// share buffer pages. Members are consecutive in circular page order;
+// trailer is the back of the run, leader the front, and extent the forward
+// distance from trailer to leader in pages.
+type group struct {
+	table   TableID
+	members []ScanID // in circular order, trailer first
+	trailer ScanID
+	leader  ScanID
+	extent  int
+}
+
+// scanPair is a candidate merge between two scans adjacent in circular page
+// order on the same table.
+type scanPair struct {
+	behind, ahead ScanID
+	dist          int // forward pages from behind to ahead
+}
+
+// regroupLocked recomputes scan groups using the paper's greedy algorithm:
+// consider adjacent same-table scan pairs sorted by distance, and merge them
+// in increasing order into runs until the sum of all group extents would
+// exceed the buffer-pool page budget.
+func (m *Manager) regroupLocked() {
+	if !m.dirty {
+		return
+	}
+	m.dirty = false
+	m.groups = m.groups[:0]
+
+	// Collect candidate pairs per table.
+	byTable := make(map[TableID][]*scanState)
+	for _, s := range m.scans {
+		byTable[s.table] = append(byTable[s.table], s)
+	}
+
+	var pairs []scanPair
+	for _, scans := range byTable {
+		if len(scans) < 2 {
+			continue
+		}
+		// Order scans by circular position; ties by ID for determinism.
+		sort.Slice(scans, func(i, j int) bool {
+			if scans[i].pos() != scans[j].pos() {
+				return scans[i].pos() < scans[j].pos()
+			}
+			return scans[i].id < scans[j].id
+		})
+		n := len(scans)
+		for i := 0; i < n; i++ {
+			behind, ahead := scans[i], scans[(i+1)%n]
+			if i == n-1 && n == 2 {
+				// With two scans both orientations exist; keep
+				// only the shorter pair added in the first
+				// iteration.
+				continue
+			}
+			d := ahead.pos() - behind.pos()
+			if d < 0 || (i == n-1) {
+				d = behind.tablePages - behind.pos() + ahead.pos()
+			}
+			pairs = append(pairs, scanPair{behind: behind.id, ahead: ahead.id, dist: d})
+		}
+		if n == 2 {
+			// Choose the orientation with the smaller forward gap.
+			a, b := scans[0], scans[1]
+			forward := b.pos() - a.pos()
+			backward := a.tablePages - forward
+			if backward < forward {
+				pairs[len(pairs)-1] = scanPair{behind: b.id, ahead: a.id, dist: backward}
+			}
+		}
+	}
+
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].dist != pairs[j].dist {
+			return pairs[i].dist < pairs[j].dist
+		}
+		if pairs[i].behind != pairs[j].behind {
+			return pairs[i].behind < pairs[j].behind
+		}
+		return pairs[i].ahead < pairs[j].ahead
+	})
+
+	// Greedy merge with a global extent budget (the buffer-pool size).
+	parent := make(map[ScanID]ScanID, len(m.scans))
+	next := make(map[ScanID]ScanID) // behind -> ahead links inside runs
+	var find func(ScanID) ScanID
+	find = func(x ScanID) ScanID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for id := range m.scans {
+		parent[id] = id
+	}
+	budget := m.cfg.BufferPoolPages
+	total := 0
+	for _, p := range pairs {
+		if total+p.dist > budget {
+			// Distances are sorted ascending: once one pair does
+			// not fit, none of the rest will either.
+			break
+		}
+		rb, ra := find(p.behind), find(p.ahead)
+		if rb == ra {
+			continue // would close a full circle
+		}
+		if _, taken := next[p.behind]; taken {
+			continue // p.behind already has a scan directly ahead
+		}
+		already := false
+		for _, ahead := range next {
+			if ahead == p.ahead {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue // p.ahead already has a scan directly behind
+		}
+		parent[rb] = ra
+		next[p.behind] = p.ahead
+		total += p.dist
+	}
+
+	// Materialize runs: a trailer is a scan that is nobody's "ahead".
+	hasBehind := make(map[ScanID]bool, len(next))
+	for _, ahead := range next {
+		hasBehind[ahead] = true
+	}
+	var trailers []ScanID
+	for id := range m.scans {
+		if _, isBehind := next[id]; (isBehind || hasBehind[id]) && !hasBehind[id] {
+			trailers = append(trailers, id)
+		}
+	}
+	sort.Slice(trailers, func(i, j int) bool { return trailers[i] < trailers[j] })
+
+	for _, trailer := range trailers {
+		g := &group{table: m.scans[trailer].table, trailer: trailer}
+		for id := trailer; ; {
+			g.members = append(g.members, id)
+			ahead, ok := next[id]
+			if !ok {
+				g.leader = id
+				break
+			}
+			prev, cur := m.scans[id], m.scans[ahead]
+			d := cur.pos() - prev.pos()
+			if d < 0 {
+				d += prev.tablePages
+			}
+			g.extent += d
+			id = ahead
+		}
+		m.groups = append(m.groups, g)
+	}
+}

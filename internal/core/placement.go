@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// placeLocked decides where a new scan should start (the paper's "intelligent
+// placement"): at the position of the ongoing scan with the highest expected
+// sharing, at the remembered position of the last finished scan when the
+// table is idle, or — failing both — at the beginning of its range.
+func (m *Manager) placeLocked(s *scanState, now time.Duration) Placement {
+	cold := Placement{Origin: s.startPage, JoinedScan: NoScan, TrailingScan: NoScan}
+	if !m.cfg.Placement {
+		return cold
+	}
+
+	// Candidates: ongoing scans on the same table whose current position
+	// lies inside the new scan's range (a scan cannot start outside its
+	// own range).
+	var candidates []*scanState
+	for _, c := range m.scans {
+		if c.table != s.table {
+			continue
+		}
+		if p := c.pos(); p >= s.startPage && p < s.endPage {
+			candidates = append(candidates, c)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].id < candidates[j].id })
+
+	if m.cfg.EstimatePlacement {
+		if pl, ok := m.placeByEstimateLocked(s, candidates); ok {
+			return pl
+		}
+		// No candidates: fall through to the residual/cold logic.
+	}
+
+	// Trailing beats joining when an ongoing scan is only a little ahead
+	// of the new scan's natural start: starting cold just behind it
+	// shares every page through the pool with no wrap-around re-read,
+	// whereas joining at its position would re-read [start, joinLoc)
+	// alone later. Half the pool budget is a conservative "still within
+	// reach" window.
+	for _, c := range candidates {
+		gap := c.pos() - s.startPage
+		if gap > 0 && gap <= m.cfg.BufferPoolPages/2 &&
+			c.remainingPages() >= m.cfg.MinSharePages {
+			return Placement{Origin: s.startPage, JoinedScan: NoScan, TrailingScan: c.id, FromResidual: false}
+		}
+	}
+
+	best := cold
+	bestScore := 0
+	for _, c := range candidates {
+		if score := m.shareScore(s, c); score > bestScore {
+			bestScore = score
+			best = Placement{Origin: c.pos(), JoinedScan: c.id, TrailingScan: NoScan}
+		}
+	}
+	if best.JoinedScan != NoScan && bestScore >= m.cfg.MinSharePages {
+		return best
+	}
+
+	// No scan worth joining. If the table is idle, reuse whatever pages
+	// the most recently finished scan left in the pool by starting a
+	// little behind where it stopped.
+	if len(candidates) == 0 {
+		r, ok := m.lastFinished[s.table]
+		// The memory expires once a poolful of pages has streamed
+		// through the buffer since the scan finished: its leftover
+		// pages are victimized by then, and starting mid-table would
+		// cost an extra seek for nothing.
+		if ok && m.pagesSeen-r.pagesSeen < int64(m.cfg.BufferPoolPages) &&
+			r.pos >= s.startPage && r.pos < s.endPage {
+			// Back off circularly within the new scan's range: a
+			// finished scan's position equals its origin (it went
+			// full circle), and the pages still buffered are the
+			// ones just behind it.
+			backoff := m.cfg.ResidualBackoffPages % s.length
+			off := r.pos - s.startPage - backoff
+			if off < 0 {
+				off += s.length
+			}
+			if origin := s.startPage + off; origin != s.startPage {
+				return Placement{Origin: origin, JoinedScan: NoScan, TrailingScan: NoScan, FromResidual: true}
+			}
+		}
+	}
+	return cold
+}
+
+// shareScore estimates how many pages a new scan s would share with ongoing
+// scan c if it started at c's current position. Sharing lasts until c
+// finishes, until the new scan finishes, or until the two drift further
+// apart than the throttle threshold — whichever comes first.
+//
+// The drift estimate compares the two scans' *cost-model* speeds, not c's
+// momentary observed speed: the paper's placement works off the estimates
+// supplied by the query compiler, and an observed speed taken while c runs
+// alone (or congested) says little about relative speeds once the scans
+// share. Observed speeds drive throttling instead.
+func (m *Manager) shareScore(s *scanState, c *scanState) int {
+	limit := c.remainingPages()
+	if s.length < limit {
+		limit = s.length
+	}
+
+	vNew := s.initialSpeed
+	vC := c.initialSpeed
+	if vNew <= 0 || vC <= 0 {
+		return limit
+	}
+	dv := math.Abs(vNew - vC)
+	slower := math.Min(vNew, vC)
+	if dv < 1e-9 {
+		return limit
+	}
+
+	// Pages the slower scan covers before the gap grows to the throttle
+	// threshold. With throttling enabled, the leader gets held back, so
+	// sharing survives roughly 1/(1-cap) times longer before the fairness
+	// bound releases it.
+	drift := float64(m.cfg.throttleThresholdPages()) / dv * slower
+	if m.cfg.Throttling && m.cfg.MaxThrottleFraction < 1 {
+		drift /= 1 - m.cfg.MaxThrottleFraction
+	}
+	if drift < float64(limit) {
+		return int(drift)
+	}
+	return limit
+}

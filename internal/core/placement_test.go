@@ -1,0 +1,346 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPlacementDisabledAlwaysStartsCold(t *testing.T) {
+	cfg := testConfig()
+	cfg.Placement = false
+	m := MustNewManager(cfg)
+	a, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, a, 500, time.Second)
+	_, pl := startScan(t, m, 1, 1000, time.Second)
+	if pl.JoinedScan != NoScan || pl.Origin != 0 || pl.FromResidual {
+		t.Errorf("placement = %+v, want cold start", pl)
+	}
+}
+
+func TestTrailingPreferredWhenScanJustAhead(t *testing.T) {
+	cfg := testConfig() // budget 1000, trail window 500
+	m := MustNewManager(cfg)
+	a, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, a, 150, time.Second)
+	// a is 150 pages ahead of the new scan's natural start: trailing it
+	// shares every page with no wrap-around re-read.
+	_, pl := startScan(t, m, 1, 1000, time.Second)
+	if pl.TrailingScan != a || pl.JoinedScan != NoScan || pl.Origin != 0 {
+		t.Errorf("placement = %+v, want trail scan %d from origin 0", pl, a)
+	}
+	if s := m.Stats(); s.TrailPlacements != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTrailingRequiresRemainingWork(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinSharePages = 100
+	m := MustNewManager(cfg)
+	a, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, a, 950, time.Second) // 50 pages remaining < MinSharePages
+	_, pl := startScan(t, m, 1, 1000, time.Second)
+	if pl.TrailingScan != NoScan {
+		t.Errorf("trailed a nearly-finished scan: %+v", pl)
+	}
+}
+
+func TestJoinPicksScanWithMostSharing(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinSharePages = 1
+	cfg.BufferPoolPages = 100 // trail window 50: both candidates out of reach
+	m := MustNewManager(cfg)
+	// Scan a is nearly done (little remaining sharing); scan b has most
+	// of its range left. The new scan must join b. All scans carry the
+	// same cost estimate, so remaining pages decide.
+	est := 5 * time.Second
+	a, _, err := m.StartScan(ScanOpts{Table: 1, TablePages: 1000, EstimatedDuration: est}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, m, a, 950, time.Second)
+	b, _, err := m.StartScan(ScanOpts{Table: 1, TablePages: 1000, EstimatedDuration: est}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, m, b, 200, 2*time.Second)
+	_, pl, err := m.StartScan(ScanOpts{Table: 1, TablePages: 1000, EstimatedDuration: est}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a
+	if pl.JoinedScan != b {
+		t.Errorf("joined scan %d, want %d (more remaining pages)", pl.JoinedScan, b)
+	}
+	if pl.Origin != m.mustScanPos(b) {
+		t.Errorf("origin %d, want %d", pl.Origin, m.mustScanPos(b))
+	}
+}
+
+func TestJoinRequiresMinSharePages(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinSharePages = 100
+	m := MustNewManager(cfg)
+	// The only candidate has just 10 pages left: below the join bar.
+	a, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, a, 990, time.Second)
+	_, pl := startScan(t, m, 1, 1000, time.Second)
+	if pl.JoinedScan != NoScan {
+		t.Errorf("joined a nearly-finished scan: %+v", pl)
+	}
+}
+
+func TestJoinRespectsRangeBounds(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinSharePages = 1
+	m := MustNewManager(cfg)
+	// Ongoing scan is at page 800; the new scan only covers [0, 500), so
+	// it cannot start there.
+	a, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, a, 800, time.Second)
+	_, pl, err := m.StartScan(ScanOpts{Table: 1, TablePages: 1000, StartPage: 0, EndPage: 500}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.JoinedScan != NoScan || pl.Origin != 0 {
+		t.Errorf("placement = %+v, want cold start within range", pl)
+	}
+}
+
+func TestJoinInsideOverlappingRange(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinSharePages = 1
+	cfg.BufferPoolPages = 100 // gap 100 exceeds the 50-page trail window
+	m := MustNewManager(cfg)
+	a, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, a, 300, time.Second)
+	_, pl, err := m.StartScan(ScanOpts{Table: 1, TablePages: 1000, StartPage: 200, EndPage: 900}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.JoinedScan != a || pl.Origin != 300 {
+		t.Errorf("placement = %+v, want join at page 300", pl)
+	}
+}
+
+func TestResidualReuseWhenTableIdle(t *testing.T) {
+	cfg := testConfig()
+	cfg.ResidualBackoffPages = 50
+	m := MustNewManager(cfg)
+	a, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, a, 400, time.Second)
+	if err := m.EndScan(a, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_, pl := startScan(t, m, 1, 1000, 2*time.Second)
+	if !pl.FromResidual {
+		t.Fatalf("placement = %+v, want residual reuse", pl)
+	}
+	if pl.Origin != 350 {
+		t.Errorf("origin = %d, want 350 (finished at 400, backoff 50)", pl.Origin)
+	}
+	if s := m.Stats(); s.ResidualPlacements != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestResidualBackoffWrapsWithinRange(t *testing.T) {
+	cfg := testConfig()
+	cfg.ResidualBackoffPages = 500
+	m := MustNewManager(cfg)
+	a, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, a, 100, time.Second)
+	m.EndScan(a, time.Second)
+	_, pl := startScan(t, m, 1, 1000, 2*time.Second)
+	// Backing off 500 from page 100 wraps circularly: the scan order
+	// covers the whole range from any origin, so wrapping is safe and
+	// keeps the origin "behind" the residual position.
+	if !pl.FromResidual || pl.Origin != 600 {
+		t.Errorf("placement = %+v, want residual origin 600", pl)
+	}
+}
+
+func TestResidualBehindFinishedFullScan(t *testing.T) {
+	// A completed full scan's recorded position is its origin (it went
+	// full circle); the next scan must start just behind it, where the
+	// freshest pages are.
+	cfg := testConfig()
+	cfg.ResidualBackoffPages = 50
+	m := MustNewManager(cfg)
+	a, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, a, 1000, time.Second) // ran to completion
+	m.EndScan(a, time.Second)
+	_, pl := startScan(t, m, 1, 1000, 2*time.Second)
+	if !pl.FromResidual || pl.Origin != 950 {
+		t.Errorf("placement = %+v, want residual origin 950", pl)
+	}
+}
+
+func TestResidualIgnoredWhenOutsideRange(t *testing.T) {
+	cfg := testConfig()
+	cfg.ResidualBackoffPages = 10
+	m := MustNewManager(cfg)
+	a, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, a, 800, time.Second)
+	m.EndScan(a, time.Second)
+	_, pl, err := m.StartScan(ScanOpts{Table: 1, TablePages: 1000, StartPage: 0, EndPage: 500}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.FromResidual {
+		t.Errorf("reused residual outside the new scan's range: %+v", pl)
+	}
+}
+
+func TestResidualNotUsedWhileScansActive(t *testing.T) {
+	cfg := testConfig()
+	cfg.MinSharePages = 1_000_000 // make joining impossible
+	m := MustNewManager(cfg)
+	a, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, a, 400, time.Second)
+	m.EndScan(a, time.Second)
+	b, _ := startScan(t, m, 1, 1000, time.Second) // residual placement
+	report(t, m, b, 10, 2*time.Second)
+	_, pl := startScan(t, m, 1, 1000, 2*time.Second)
+	// An active candidate exists (even though unjoinable), so the stale
+	// residual must not be used.
+	if pl.FromResidual {
+		t.Errorf("used residual with active scans present: %+v", pl)
+	}
+}
+
+func TestResidualExpiresAfterPoolChurn(t *testing.T) {
+	// After the remembered scan finishes, another scan streams more than
+	// a poolful of pages through the buffer; the residual pages are gone
+	// and the memory must not be used.
+	cfg := testConfig() // 1000-page buffer budget
+	cfg.ResidualBackoffPages = 50
+	m := MustNewManager(cfg)
+	a, _ := startScan(t, m, 1, 5000, 0)
+	report(t, m, a, 400, time.Second)
+	m.EndScan(a, time.Second)
+	churn, _ := startScan(t, m, 2, 5000, time.Second)
+	report(t, m, churn, 1500, 2*time.Second) // > BufferPoolPages pages
+	m.EndScan(churn, 2*time.Second)
+	// Table 2's own residual is fresh, so query table 1 where the stale
+	// memory lives.
+	_, pl := startScan(t, m, 1, 5000, 3*time.Second)
+	if pl.FromResidual {
+		t.Errorf("stale residual used after churn: %+v", pl)
+	}
+}
+
+func TestResidualSurvivesLightChurn(t *testing.T) {
+	cfg := testConfig()
+	cfg.ResidualBackoffPages = 50
+	m := MustNewManager(cfg)
+	a, _ := startScan(t, m, 1, 5000, 0)
+	report(t, m, a, 400, time.Second)
+	m.EndScan(a, time.Second)
+	churn, _ := startScan(t, m, 2, 5000, time.Second)
+	report(t, m, churn, 100, 2*time.Second) // well under a poolful
+	m.EndScan(churn, 2*time.Second)
+	_, pl := startScan(t, m, 1, 5000, 3*time.Second)
+	if !pl.FromResidual || pl.Origin != 350 {
+		t.Errorf("fresh residual not used: %+v", pl)
+	}
+}
+
+func TestNoThrottleWhenLeaderNearlyDone(t *testing.T) {
+	m := MustNewManager(testConfig())
+	a, _ := startScan(t, m, 1, 1000, 0)
+	b, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, b, 100, time.Second)
+	report(t, m, a, 900, time.Second) // gap baseline: 800 pages
+	// Leader at 980 of 1000: 20 pages remaining < 32-page threshold.
+	// The grown distance would normally trigger a throttle, but slowing a
+	// scan that ends immediately cannot pay off.
+	adv := report(t, m, a, 980, time.Second)
+	if adv.Wait != 0 {
+		t.Errorf("nearly-done leader throttled: %+v", adv)
+	}
+}
+
+func TestShareScoreSymmetricSpeeds(t *testing.T) {
+	m := MustNewManager(testConfig())
+	s := &scanState{length: 1000, initialSpeed: 100}
+	c := &scanState{startPage: 0, endPage: 1000, length: 1000, tablePages: 1000, processed: 200, initialSpeed: 100}
+	score := m.shareScore(s, c)
+	// Equal speeds: share until one of them finishes.
+	if score != 800 {
+		t.Errorf("score = %d, want 800 (candidate's remaining pages)", score)
+	}
+}
+
+func TestShareScoreDriftLimited(t *testing.T) {
+	cfg := testConfig()
+	cfg.Throttling = false // score without the throttle boost
+	m := MustNewManager(cfg)
+	s := &scanState{length: 10000, initialSpeed: 200}
+	c := &scanState{startPage: 0, endPage: 10000, length: 10000, tablePages: 10000, processed: 0, initialSpeed: 100}
+	// Gap grows at 100 pages/s; threshold 32 pages is hit after 0.32s, in
+	// which the slower scan covers 32 pages.
+	if score := m.shareScore(s, c); score != 32 {
+		t.Errorf("score = %d, want 32", score)
+	}
+	// With throttling the leader is held back, so the estimate grows by
+	// the fairness boost 1/(1-0.8) = 5x.
+	cfg.Throttling = true
+	m = MustNewManager(cfg)
+	if score := m.shareScore(s, c); score != 160 {
+		t.Errorf("score with throttling = %d, want 160", score)
+	}
+}
+
+// TestPlacementOriginAlwaysInRangeProperty: whatever the system state, a new
+// scan's origin must lie inside its own range.
+func TestPlacementOriginAlwaysInRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig(100 + rng.Intn(1000))
+		cfg.MinSharePages = rng.Intn(100)
+		cfg.ResidualBackoffPages = rng.Intn(200)
+		m := MustNewManager(cfg)
+		tablePages := 200 + rng.Intn(2000)
+		var active []ScanID
+		for i := 0; i < 20; i++ {
+			start := rng.Intn(tablePages - 1)
+			end := start + 1 + rng.Intn(tablePages-start-1)
+			id, pl, err := m.StartScan(ScanOpts{
+				Table:             TableID(rng.Intn(2)),
+				TablePages:        tablePages,
+				StartPage:         start,
+				EndPage:           end,
+				EstimatedDuration: time.Duration(rng.Intn(10)) * time.Second,
+			}, time.Duration(i)*time.Second)
+			if err != nil {
+				return false
+			}
+			if pl.Origin < start || pl.Origin >= end {
+				return false
+			}
+			now := time.Duration(i)*time.Second + 500*time.Millisecond
+			if _, err := m.ReportProgress(id, rng.Intn(end-start+1), now); err != nil {
+				return false
+			}
+			active = append(active, id)
+			if len(active) > 3 {
+				victim := active[rng.Intn(len(active))]
+				if err := m.EndScan(victim, now); err == nil {
+					for j, v := range active {
+						if v == victim {
+							active = append(active[:j], active[j+1:]...)
+							break
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the estimate-based placement policy: instead of the
+// default heuristic (trail/join/residual in preference order), the SSM can
+// *estimate the expected number of physical page reads* for each interesting
+// start location and pick the cheapest. The algorithm is the table-scan
+// adaptation of the sharing-potential estimation the authors published in
+// the follow-up paper (VLDB 2007, §6.1–6.2: calculateReads over time
+// intervals, evaluated only at "interesting locations"):
+//
+//   - every ongoing scan is modelled as a linear trajectory through page
+//     space at its cost-model speed until it completes;
+//   - around each trajectory lies a sharing "envelope": a new scan within
+//     the envelope rides the same buffer pages. The envelope narrows as more
+//     scans compete for the pool (budget / number of active scans);
+//   - the candidate start locations are the current positions of the ongoing
+//     scans plus the scan's natural range start (the follow-up's
+//     "interesting locations" — local optima can only occur there);
+//   - for each candidate, the expected reads are the scan's total pages
+//     minus the pages covered while inside some envelope, computed
+//     analytically piecewise between scan-completion events.
+//
+// The policy is selected with Config.EstimatePlacement; the default remains
+// the heuristic, which is what the ICDE paper's prototype shipped.
+
+// trajectory models one scan as a linear movement through circular page
+// space: at time t (relative to "now", in seconds) its position is
+// start + speed*t, for t in [0, lifetime].
+type trajectory struct {
+	start    float64 // current position, table-relative pages
+	speed    float64 // pages per second
+	lifetime float64 // seconds until the scan completes
+	pages    int     // table size (circle length)
+}
+
+// pos returns the trajectory position at time t (unwrapped; callers compare
+// positions modulo the circle).
+func (tr trajectory) pos(t float64) float64 { return tr.start + tr.speed*t }
+
+// estimateReads returns the expected number of physical page reads for a
+// new scan of `length` pages starting at `origin` with speed vNew, given the
+// ongoing trajectories. envelopeAt returns the sharing envelope width (in
+// pages) given the number of scans concurrently active.
+func estimateReads(origin int, length int, tablePages int, vNew float64, others []trajectory, envelopeAt func(active int) float64) float64 {
+	if vNew <= 0 || length <= 0 {
+		return float64(length)
+	}
+	me := trajectory{
+		start:    float64(origin),
+		speed:    vNew,
+		lifetime: float64(length) / vNew,
+		pages:    tablePages,
+	}
+
+	// Event horizon: my completion plus every other scan's completion.
+	events := []float64{me.lifetime}
+	for _, o := range others {
+		if o.lifetime > 0 && o.lifetime < me.lifetime {
+			events = append(events, o.lifetime)
+		}
+	}
+	sort.Float64s(events)
+
+	shared := 0.0 // pages covered while inside some envelope
+	prev := 0.0
+	for _, ev := range events {
+		if ev <= prev {
+			continue
+		}
+		// Number of scans active during (prev, ev]: me plus the
+		// others still alive at the interval start.
+		active := 1
+		for _, o := range others {
+			if o.lifetime > prev {
+				active++
+			}
+		}
+		env := envelopeAt(active)
+		shared += sharedTimeInInterval(me, others, prev, ev, env) * vNew
+		prev = ev
+	}
+	if shared > float64(length) {
+		shared = float64(length)
+	}
+	return float64(length) - shared
+}
+
+// sharedTimeInInterval returns the total time within [t0, t1] during which
+// the new scan is inside at least one ongoing scan's envelope. Overlapping
+// envelope periods are merged so no time is double-counted.
+func sharedTimeInInterval(me trajectory, others []trajectory, t0, t1, env float64) float64 {
+	type span struct{ a, b float64 }
+	var spans []span
+	for _, o := range others {
+		end := t1
+		if o.lifetime < end {
+			end = o.lifetime
+		}
+		if end <= t0 {
+			continue
+		}
+		a, b := envelopeWindow(me, o, t0, end, env)
+		if b > a {
+			spans = append(spans, span{a, b})
+		}
+	}
+	if len(spans) == 0 {
+		return 0
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].a < spans[j].a })
+	total := 0.0
+	cur := spans[0]
+	for _, s := range spans[1:] {
+		if s.a <= cur.b {
+			if s.b > cur.b {
+				cur.b = s.b
+			}
+			continue
+		}
+		total += cur.b - cur.a
+		cur = s
+	}
+	total += cur.b - cur.a
+	return total
+}
+
+// envelopeWindow returns the sub-interval of [t0, t1] during which
+// |pos_me(t) - pos_o(t)| (modulo the circle) stays within env. Since both
+// trajectories are linear, the circular distance is piecewise linear in t;
+// for practical envelope widths (far below the circle size) it suffices to
+// solve the linear case on the nearest image of the other trajectory.
+func envelopeWindow(me, o trajectory, t0, t1, env float64) (float64, float64) {
+	// Work with the relative position d(t) = me.pos(t) - o.pos(t),
+	// shifted by whole circles so that d(t0) is the nearest image.
+	d0 := me.pos(t0) - o.pos(t0)
+	circle := float64(me.pages)
+	d0 = math.Mod(d0, circle)
+	if d0 > circle/2 {
+		d0 -= circle
+	}
+	if d0 < -circle/2 {
+		d0 += circle
+	}
+	dv := me.speed - o.speed
+
+	// |d0 + dv*(t-t0)| <= env
+	if dv == 0 {
+		if math.Abs(d0) <= env {
+			return t0, t1
+		}
+		return t0, t0
+	}
+	// Entry and exit times of the band [-env, +env].
+	tIn := t0 + (-env-d0)/dv
+	tOut := t0 + (env-d0)/dv
+	if tIn > tOut {
+		tIn, tOut = tOut, tIn
+	}
+	if tIn < t0 {
+		tIn = t0
+	}
+	if tOut > t1 {
+		tOut = t1
+	}
+	if tOut < tIn {
+		return t0, t0
+	}
+	return tIn, tOut
+}
+
+// placeByEstimateLocked evaluates the interesting start locations for scan s
+// and returns the placement with the fewest expected physical reads. It
+// falls back to the residual/cold logic when no ongoing scan overlaps the
+// range.
+func (m *Manager) placeByEstimateLocked(s *scanState, candidates []*scanState) (Placement, bool) {
+	if len(candidates) == 0 {
+		return Placement{}, false
+	}
+
+	vNew := s.initialSpeed
+	others := make([]trajectory, 0, len(candidates))
+	for _, c := range candidates {
+		v := c.initialSpeed
+		if v <= 0 {
+			v = m.cfg.DefaultSpeedPagesPerSec
+		}
+		others = append(others, trajectory{
+			start:    float64(c.pos()),
+			speed:    v,
+			lifetime: float64(c.remainingPages()) / v,
+			pages:    c.tablePages,
+		})
+	}
+	envelopeAt := func(active int) float64 {
+		if active < 1 {
+			active = 1
+		}
+		return float64(m.cfg.BufferPoolPages) / float64(active)
+	}
+
+	// Interesting locations: the scan's natural start plus each
+	// candidate's current position.
+	type option struct {
+		placement Placement
+		reads     float64
+	}
+	best := option{
+		placement: Placement{Origin: s.startPage, JoinedScan: NoScan, TrailingScan: NoScan},
+		reads:     estimateReads(s.startPage, s.length, s.tablePages, vNew, others, envelopeAt),
+	}
+	for i, c := range candidates {
+		reads := estimateReads(c.pos(), s.length, s.tablePages, vNew, others, envelopeAt)
+		// Joining re-reads the wrapped prefix [start, joinLoc) alone
+		// unless someone shares it later; estimateReads already models
+		// the trajectory including the wrap (positions are circular),
+		// so no extra correction is needed.
+		if reads < best.reads {
+			best = option{
+				placement: Placement{Origin: c.pos(), JoinedScan: c.id, TrailingScan: NoScan},
+				reads:     reads,
+			}
+			_ = i
+		}
+	}
+	if best.placement.JoinedScan == NoScan {
+		// The natural start won: report it as a trailing decision when
+		// some candidate is reachable ahead, for stats symmetry with
+		// the heuristic policy.
+		for _, c := range candidates {
+			gap := c.pos() - s.startPage
+			if gap > 0 && float64(gap) <= envelopeAt(len(candidates)+1) {
+				best.placement.TrailingScan = c.id
+				break
+			}
+		}
+	}
+	return best.placement, true
+}

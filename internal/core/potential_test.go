@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// flatEnvelope returns a constant-width envelope function.
+func flatEnvelope(pages float64) func(int) float64 {
+	return func(int) float64 { return pages }
+}
+
+func TestEstimateReadsNoOthersReadsEverything(t *testing.T) {
+	got := estimateReads(0, 500, 1000, 100, nil, flatEnvelope(50))
+	if got != 500 {
+		t.Errorf("reads = %g, want 500 (nothing to share with)", got)
+	}
+}
+
+func TestEstimateReadsPerfectCompanion(t *testing.T) {
+	// An ongoing scan at the same position and speed with more work left
+	// than the new scan: everything is shared.
+	others := []trajectory{{start: 0, speed: 100, lifetime: 10, pages: 1000}}
+	got := estimateReads(0, 500, 1000, 100, others, flatEnvelope(50))
+	if got != 0 {
+		t.Errorf("reads = %g, want 0 (full sharing)", got)
+	}
+}
+
+func TestEstimateReadsCompanionEndsEarly(t *testing.T) {
+	// The companion completes after 2s (200 pages at 100 pages/s); the
+	// rest of the new scan's 500 pages must be read.
+	others := []trajectory{{start: 0, speed: 100, lifetime: 2, pages: 1000}}
+	got := estimateReads(0, 500, 1000, 100, others, flatEnvelope(50))
+	if got != 300 {
+		t.Errorf("reads = %g, want 300", got)
+	}
+}
+
+func TestEstimateReadsOutOfEnvelope(t *testing.T) {
+	// Same speed but 200 pages apart with a 50-page envelope: never shares.
+	others := []trajectory{{start: 200, speed: 100, lifetime: 8, pages: 1000}}
+	got := estimateReads(0, 500, 1000, 100, others, flatEnvelope(50))
+	if got != 500 {
+		t.Errorf("reads = %g, want 500 (too far apart)", got)
+	}
+}
+
+func TestEstimateReadsDriftingApart(t *testing.T) {
+	// Start together, new scan twice as fast, envelope 50 pages: the gap
+	// grows at 100 pages/s, so sharing lasts 0.5s = 100 of my pages.
+	others := []trajectory{{start: 0, speed: 100, lifetime: 10, pages: 1000}}
+	got := estimateReads(0, 500, 1000, 200, others, flatEnvelope(50))
+	if got != 400 {
+		t.Errorf("reads = %g, want 400 (drift-limited sharing of 100 pages)", got)
+	}
+}
+
+func TestEstimateReadsCatchingUp(t *testing.T) {
+	// The other scan is 100 pages ahead at the same speed — out of a
+	// 50-page envelope forever. A faster new scan (+100 pages/s) enters
+	// the envelope after 0.5s and leaves 1s later.
+	others := []trajectory{{start: 100, speed: 100, lifetime: 10, pages: 1000}}
+	got := estimateReads(0, 600, 1000, 200, others, flatEnvelope(50))
+	// Sharing from t=0.25s (gap 100-25=50... solved: |{-100+100t}|<=50 for
+	// t in [0.5, 1.5]) at 200 pages/s = 200 pages shared.
+	if got != 400 {
+		t.Errorf("reads = %g, want 400", got)
+	}
+}
+
+func TestEstimateReadsOverlappingEnvelopesNotDoubleCounted(t *testing.T) {
+	// Two companions at the same spot: sharing with both at once still
+	// only saves each page once.
+	others := []trajectory{
+		{start: 0, speed: 100, lifetime: 10, pages: 1000},
+		{start: 0, speed: 100, lifetime: 10, pages: 1000},
+	}
+	got := estimateReads(0, 500, 1000, 100, others, flatEnvelope(50))
+	if got != 0 {
+		t.Errorf("reads = %g, want 0", got)
+	}
+}
+
+func TestEstimateReadsCircularDistance(t *testing.T) {
+	// Positions 990 and 10 on a 1000-page circle are 20 pages apart, well
+	// inside a 50-page envelope: near-full sharing.
+	others := []trajectory{{start: 990, speed: 100, lifetime: 10, pages: 1000}}
+	got := estimateReads(10, 500, 1000, 100, others, flatEnvelope(50))
+	if got != 0 {
+		t.Errorf("reads = %g, want 0 (wrap-adjacent positions share)", got)
+	}
+}
+
+func TestEnvelopeWindowStaticCases(t *testing.T) {
+	me := trajectory{start: 0, speed: 100, pages: 1000}
+	inside := trajectory{start: 20, speed: 100, pages: 1000}
+	a, b := envelopeWindow(me, inside, 0, 5, 50)
+	if a != 0 || b != 5 {
+		t.Errorf("static inside: window [%g,%g], want [0,5]", a, b)
+	}
+	outside := trajectory{start: 300, speed: 100, pages: 1000}
+	a, b = envelopeWindow(me, outside, 0, 5, 50)
+	if b != a {
+		t.Errorf("static outside: window [%g,%g], want empty", a, b)
+	}
+}
+
+func TestEstimateReadsBoundsProperty(t *testing.T) {
+	// Reads always lie in [0, length], whatever the configuration.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tablePages := 100 + rng.Intn(5000)
+		length := 1 + rng.Intn(tablePages)
+		origin := rng.Intn(tablePages)
+		vNew := 1 + rng.Float64()*1000
+		n := rng.Intn(6)
+		others := make([]trajectory, n)
+		for i := range others {
+			others[i] = trajectory{
+				start:    float64(rng.Intn(tablePages)),
+				speed:    1 + rng.Float64()*1000,
+				lifetime: rng.Float64() * 100,
+				pages:    tablePages,
+			}
+		}
+		env := flatEnvelope(rng.Float64() * float64(tablePages) / 2)
+		got := estimateReads(origin, length, tablePages, vNew, others, env)
+		return got >= -1e-9 && got <= float64(length)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func estimateConfig() Config {
+	cfg := DefaultConfig(1000)
+	cfg.MinSharePages = 1
+	cfg.EstimatePlacement = true
+	return cfg
+}
+
+func TestEstimatePlacementJoinsDistantScan(t *testing.T) {
+	// The only ongoing scan is far ahead (outside any trailing window):
+	// the estimator must prefer joining it over a cold start.
+	cfg := estimateConfig()
+	cfg.BufferPoolPages = 100
+	m := MustNewManager(cfg)
+	a, _, err := m.StartScan(ScanOpts{Table: 1, TablePages: 2000, EstimatedDuration: 10 * time.Second}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, m, a, 800, 4*time.Second)
+	_, pl, err := m.StartScan(ScanOpts{Table: 1, TablePages: 2000, EstimatedDuration: 10 * time.Second}, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.JoinedScan != a || pl.Origin != 800 {
+		t.Errorf("placement = %+v, want join at 800", pl)
+	}
+}
+
+func TestEstimatePlacementPrefersNaturalStartWhenScanJustAhead(t *testing.T) {
+	// A scan slightly ahead of page 0: starting cold shares everything
+	// through the pool and reads the prefix exactly once, whereas joining
+	// would re-read the wrapped prefix alone. The estimator must pick the
+	// natural start.
+	cfg := estimateConfig()
+	m := MustNewManager(cfg) // budget 1000: generous envelopes
+	a, _, err := m.StartScan(ScanOpts{Table: 1, TablePages: 2000, EstimatedDuration: 10 * time.Second}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, m, a, 100, 500*time.Millisecond)
+	_, pl, err := m.StartScan(ScanOpts{Table: 1, TablePages: 2000, EstimatedDuration: 10 * time.Second}, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.JoinedScan != NoScan || pl.Origin != 0 {
+		t.Errorf("placement = %+v, want natural start at 0", pl)
+	}
+	if pl.TrailingScan != a {
+		t.Errorf("trailing scan = %d, want %d", pl.TrailingScan, a)
+	}
+}
+
+func TestEstimatePlacementFallsBackToResidual(t *testing.T) {
+	cfg := estimateConfig()
+	cfg.ResidualBackoffPages = 50
+	m := MustNewManager(cfg)
+	a, _ := startScan(t, m, 1, 1000, 0)
+	report(t, m, a, 400, time.Second)
+	m.EndScan(a, time.Second)
+	_, pl := startScan(t, m, 1, 1000, 2*time.Second)
+	if !pl.FromResidual || pl.Origin != 350 {
+		t.Errorf("placement = %+v, want residual at 350", pl)
+	}
+}
+
+func TestEstimatePlacementOriginInRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := estimateConfig()
+		cfg.BufferPoolPages = 50 + rng.Intn(1000)
+		m := MustNewManager(cfg)
+		tablePages := 200 + rng.Intn(2000)
+		for i := 0; i < 12; i++ {
+			start := rng.Intn(tablePages - 1)
+			end := start + 1 + rng.Intn(tablePages-start-1)
+			id, pl, err := m.StartScan(ScanOpts{
+				Table:             TableID(rng.Intn(2)),
+				TablePages:        tablePages,
+				StartPage:         start,
+				EndPage:           end,
+				EstimatedDuration: time.Duration(1+rng.Intn(9)) * time.Second,
+			}, time.Duration(i)*time.Second)
+			if err != nil {
+				return false
+			}
+			if pl.Origin < start || pl.Origin >= end {
+				return false
+			}
+			if _, err := m.ReportProgress(id, rng.Intn(end-start+1), time.Duration(i)*time.Second+500*time.Millisecond); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"scanshare/internal/vclock"
+)
+
+// TestManagerUnderRealConcurrency drives the SSM from real goroutines with
+// wall-clock timestamps — the way a real storage engine would call it, with
+// no simulation kernel serializing access. Run with -race. The test checks
+// that every call sequence is accepted, that advice stays sane, and that the
+// bookkeeping balances out.
+func TestManagerUnderRealConcurrency(t *testing.T) {
+	cfg := DefaultConfig(500)
+	cfg.MinSharePages = 1
+	m := MustNewManager(cfg)
+	var clock vclock.Wall
+
+	const (
+		workers       = 8
+		scansPerWorkr = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < scansPerWorkr; i++ {
+				tablePages := 200 + rng.Intn(800)
+				id, pl, err := m.StartScan(ScanOpts{
+					Table:             TableID(rng.Intn(3)),
+					TablePages:        tablePages,
+					EstimatedDuration: time.Duration(1+rng.Intn(50)) * time.Millisecond,
+					Importance:        Importance(rng.Intn(3)),
+				}, clock.Now())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if pl.Origin < 0 || pl.Origin >= tablePages {
+					errs <- errOutOfRange{pl.Origin, tablePages}
+					return
+				}
+				steps := 1 + rng.Intn(8)
+				for s := 1; s <= steps; s++ {
+					processed := s * tablePages / (steps + 1)
+					adv, err := m.ReportProgress(id, processed, clock.Now())
+					if err != nil {
+						errs <- err
+						return
+					}
+					if adv.Wait < 0 {
+						errs <- errOutOfRange{int(adv.Wait), 0}
+						return
+					}
+					// Real engines would sleep adv.Wait here; the
+					// test just yields.
+					if adv.Wait > 0 {
+						time.Sleep(time.Microsecond)
+					}
+				}
+				if err := m.EndScan(id, clock.Now()); err != nil {
+					errs <- err
+					return
+				}
+				// Interleave snapshots with mutations.
+				if i%5 == 0 {
+					_ = m.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if m.ActiveScans() != 0 {
+		t.Errorf("%d scans still registered", m.ActiveScans())
+	}
+	st := m.Stats()
+	if st.ScansStarted != workers*scansPerWorkr || st.ScansFinished != st.ScansStarted {
+		t.Errorf("stats unbalanced: %+v", st)
+	}
+	total := st.JoinPlacements + st.TrailPlacements + st.ResidualPlacements + st.ColdPlacements
+	if total != st.ScansStarted {
+		t.Errorf("placement counters (%d) do not add up to scans started (%d)", total, st.ScansStarted)
+	}
+}
+
+type errOutOfRange [2]int
+
+func (e errOutOfRange) Error() string { return "value out of range" }

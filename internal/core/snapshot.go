@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ScanInfo describes one ongoing scan for observability.
+type ScanInfo struct {
+	ID            ScanID
+	Table         TableID
+	Position      int // current table-relative page
+	Processed     int
+	Length        int
+	SpeedPagesSec float64
+	Throttled     time.Duration
+}
+
+// GroupInfo describes one scan group.
+type GroupInfo struct {
+	Table       TableID
+	Members     []ScanID // trailer first, leader last
+	Trailer     ScanID
+	Leader      ScanID
+	ExtentPages int
+}
+
+// Snapshot is a consistent view of the SSM state.
+type Snapshot struct {
+	Scans  []ScanInfo
+	Groups []GroupInfo
+}
+
+// Snapshot returns the current scans and groups, for demos, tests, and the
+// inspection tool. Groups are recomputed if stale.
+func (m *Manager) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.regroupLocked()
+
+	var snap Snapshot
+	for _, s := range m.scans {
+		snap.Scans = append(snap.Scans, ScanInfo{
+			ID:            s.id,
+			Table:         s.table,
+			Position:      s.pos(),
+			Processed:     s.processed,
+			Length:        s.length,
+			SpeedPagesSec: s.speed,
+			Throttled:     s.throttled,
+		})
+	}
+	sort.Slice(snap.Scans, func(i, j int) bool { return snap.Scans[i].ID < snap.Scans[j].ID })
+
+	for _, g := range m.groups {
+		snap.Groups = append(snap.Groups, GroupInfo{
+			Table:       g.table,
+			Members:     append([]ScanID(nil), g.members...),
+			Trailer:     g.trailer,
+			Leader:      g.leader,
+			ExtentPages: g.extent,
+		})
+	}
+	sort.Slice(snap.Groups, func(i, j int) bool { return snap.Groups[i].Trailer < snap.Groups[j].Trailer })
+	return snap
+}
+
+// String renders the snapshot as a short multi-line report.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d scan(s), %d group(s)\n", len(s.Scans), len(s.Groups))
+	for _, sc := range s.Scans {
+		fmt.Fprintf(&b, "  scan %d table %d pos %d (%d/%d pages, %.0f pages/s, throttled %v)\n",
+			sc.ID, sc.Table, sc.Position, sc.Processed, sc.Length, sc.SpeedPagesSec, sc.Throttled)
+	}
+	for _, g := range s.Groups {
+		fmt.Fprintf(&b, "  group table %d: members %v trailer %d leader %d extent %d pages\n",
+			g.Table, g.Members, g.Trailer, g.Leader, g.ExtentPages)
+	}
+	return b.String()
+}

@@ -1,0 +1,370 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scanshare/internal/record"
+)
+
+// Filter passes through the tuples of Input for which Pred returns true.
+// Predicate CPU cost is modelled by the scan's CPUWeight, not charged here,
+// so predicates themselves should be cheap Go code.
+type Filter struct {
+	Input Operator
+	Pred  func(record.Tuple) bool
+
+	env *Env
+}
+
+// Open opens the input.
+func (f *Filter) Open(env *Env) error {
+	if f.Input == nil || f.Pred == nil {
+		return fmt.Errorf("exec: Filter needs Input and Pred")
+	}
+	f.env = env
+	return f.Input.Open(env)
+}
+
+// Next returns the next tuple satisfying the predicate.
+func (f *Filter) Next() (record.Tuple, bool, error) {
+	for {
+		t, ok, err := f.Input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.Pred(t) {
+			return t, true, nil
+		}
+	}
+}
+
+// Close closes the input.
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// Project emits, for every input tuple, the values at the given ordinals.
+type Project struct {
+	Input    Operator
+	Ordinals []int
+
+	out record.Tuple
+}
+
+// Open opens the input.
+func (p *Project) Open(env *Env) error {
+	if p.Input == nil {
+		return fmt.Errorf("exec: Project needs Input")
+	}
+	if len(p.Ordinals) == 0 {
+		return fmt.Errorf("exec: Project with no ordinals")
+	}
+	return p.Input.Open(env)
+}
+
+// Next projects the next input tuple. The returned tuple is reused.
+func (p *Project) Next() (record.Tuple, bool, error) {
+	t, ok, err := p.Input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	p.out = p.out[:0]
+	for _, ord := range p.Ordinals {
+		if ord < 0 || ord >= len(t) {
+			return nil, false, fmt.Errorf("exec: projection ordinal %d out of range", ord)
+		}
+		p.out = append(p.out, t[ord])
+	}
+	return p.out, true, nil
+}
+
+// Close closes the input.
+func (p *Project) Close() error { return p.Input.Close() }
+
+// Limit emits at most N tuples of its input.
+type Limit struct {
+	Input Operator
+	N     int64
+
+	seen int64
+}
+
+// Open opens the input.
+func (l *Limit) Open(env *Env) error {
+	if l.Input == nil {
+		return fmt.Errorf("exec: Limit needs Input")
+	}
+	if l.N < 0 {
+		return fmt.Errorf("exec: negative limit %d", l.N)
+	}
+	l.seen = 0
+	return l.Input.Open(env)
+}
+
+// Next forwards tuples until the limit is reached.
+func (l *Limit) Next() (record.Tuple, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	t, ok, err := l.Input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return t, true, nil
+}
+
+// Close closes the input.
+func (l *Limit) Close() error { return l.Input.Close() }
+
+// AggKind enumerates aggregate functions.
+type AggKind int
+
+// Aggregate functions supported by the Aggregate operator.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL name of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// AggSpec is one aggregate column: a function over an input ordinal.
+// For AggCount the ordinal is ignored.
+type AggSpec struct {
+	Kind    AggKind
+	Ordinal int
+}
+
+// Aggregate is a hash aggregation over its input: one output tuple per
+// distinct combination of the GroupBy ordinals (or exactly one tuple with no
+// GroupBy), laid out as group-by values followed by aggregate values in spec
+// order. Output groups are sorted by their key encoding for determinism.
+type Aggregate struct {
+	Input   Operator
+	GroupBy []int
+	Aggs    []AggSpec
+
+	results []record.Tuple
+	pos     int
+}
+
+type aggState struct {
+	key    record.Tuple
+	counts []int64
+	sums   []float64
+	mins   []record.Value
+	maxs   []record.Value
+	seen   []bool
+}
+
+// Open opens the input and validates the specification. The aggregation
+// itself runs on the first Next call.
+func (a *Aggregate) Open(env *Env) error {
+	if a.Input == nil {
+		return fmt.Errorf("exec: Aggregate needs Input")
+	}
+	if len(a.Aggs) == 0 && len(a.GroupBy) == 0 {
+		return fmt.Errorf("exec: Aggregate with nothing to compute")
+	}
+	a.results = nil
+	a.pos = 0
+	return a.Input.Open(env)
+}
+
+// Next drains the input on first call and then emits result rows.
+func (a *Aggregate) Next() (record.Tuple, bool, error) {
+	if a.results == nil {
+		if err := a.run(); err != nil {
+			return nil, false, err
+		}
+	}
+	if a.pos >= len(a.results) {
+		return nil, false, nil
+	}
+	t := a.results[a.pos]
+	a.pos++
+	return t, true, nil
+}
+
+func (a *Aggregate) run() error {
+	groups := make(map[string]*aggState)
+	var keyBuf []byte
+	for {
+		t, ok, err := a.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		keyBuf = keyBuf[:0]
+		var key record.Tuple
+		for _, ord := range a.GroupBy {
+			if ord < 0 || ord >= len(t) {
+				return fmt.Errorf("exec: group-by ordinal %d out of range", ord)
+			}
+			key = append(key, t[ord])
+			keyBuf = appendKey(keyBuf, t[ord])
+		}
+		st := groups[string(keyBuf)]
+		if st == nil {
+			st = &aggState{
+				key:    key,
+				counts: make([]int64, len(a.Aggs)),
+				sums:   make([]float64, len(a.Aggs)),
+				mins:   make([]record.Value, len(a.Aggs)),
+				maxs:   make([]record.Value, len(a.Aggs)),
+				seen:   make([]bool, len(a.Aggs)),
+			}
+			groups[string(keyBuf)] = st
+		}
+		for i, spec := range a.Aggs {
+			if spec.Kind == AggCount {
+				st.counts[i]++
+				continue
+			}
+			if spec.Ordinal < 0 || spec.Ordinal >= len(t) {
+				return fmt.Errorf("exec: aggregate ordinal %d out of range", spec.Ordinal)
+			}
+			v := t[spec.Ordinal]
+			st.counts[i]++
+			switch spec.Kind {
+			case AggSum, AggAvg:
+				st.sums[i] += numeric(v)
+			case AggMin:
+				if !st.seen[i] || record.Compare(v, st.mins[i]) < 0 {
+					st.mins[i] = v
+				}
+			case AggMax:
+				if !st.seen[i] || record.Compare(v, st.maxs[i]) > 0 {
+					st.maxs[i] = v
+				}
+			default:
+				return fmt.Errorf("exec: unknown aggregate %v", spec.Kind)
+			}
+			st.seen[i] = true
+		}
+	}
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	a.results = make([]record.Tuple, 0, len(keys))
+	for _, k := range keys {
+		st := groups[k]
+		row := append(record.Tuple(nil), st.key...)
+		for i, spec := range a.Aggs {
+			switch spec.Kind {
+			case AggCount:
+				row = append(row, record.Int64(st.counts[i]))
+			case AggSum:
+				row = append(row, record.Float64(st.sums[i]))
+			case AggAvg:
+				if st.counts[i] == 0 {
+					row = append(row, record.Float64(0))
+				} else {
+					row = append(row, record.Float64(st.sums[i]/float64(st.counts[i])))
+				}
+			case AggMin:
+				row = append(row, st.mins[i])
+			case AggMax:
+				row = append(row, st.maxs[i])
+			}
+		}
+		a.results = append(a.results, row)
+	}
+	if len(a.results) == 0 && len(a.GroupBy) == 0 {
+		// SQL semantics: an ungrouped aggregate over an empty input
+		// still yields one row.
+		row := record.Tuple{}
+		for _, spec := range a.Aggs {
+			if spec.Kind == AggCount {
+				row = append(row, record.Int64(0))
+			} else {
+				row = append(row, record.Float64(0))
+			}
+		}
+		a.results = append(a.results, row)
+	}
+	return nil
+}
+
+// numeric widens a value for summation.
+func numeric(v record.Value) float64 {
+	switch v.Kind {
+	case record.KindInt64, record.KindDate:
+		return float64(v.I)
+	case record.KindFloat64:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// appendKey appends a self-delimiting encoding of v for group hashing.
+func appendKey(dst []byte, v record.Value) []byte {
+	dst = append(dst, byte(v.Kind))
+	switch v.Kind {
+	case record.KindString:
+		dst = append(dst, v.S...)
+		dst = append(dst, 0)
+	default:
+		bits := uint64(v.I)
+		if v.Kind == record.KindFloat64 {
+			bits = math.Float64bits(v.F)
+		}
+		for shift := 0; shift < 64; shift += 8 {
+			dst = append(dst, byte(bits>>shift))
+		}
+	}
+	return dst
+}
+
+// Close closes the input.
+func (a *Aggregate) Close() error { return a.Input.Close() }
+
+// Collect opens root, drains it, closes it, and returns copies of all output
+// tuples. It is the standard way to run a plan to completion.
+func Collect(env *Env, root Operator) ([]record.Tuple, error) {
+	if err := root.Open(env); err != nil {
+		return nil, err
+	}
+	var out []record.Tuple
+	for {
+		t, ok, err := root.Next()
+		if err != nil {
+			root.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, append(record.Tuple(nil), t...))
+		env.Acct.TuplesOut++
+	}
+	if err := root.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

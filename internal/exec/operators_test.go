@@ -1,0 +1,443 @@
+package exec
+
+import (
+	"testing"
+
+	"scanshare/internal/record"
+	"scanshare/internal/sim"
+)
+
+// runPlan executes a plan over the fixture table on a fresh process and
+// returns its rows.
+func runPlan(t *testing.T, f *fixture, mkPlan func() Operator) []record.Tuple {
+	t.Helper()
+	res := f.spawn("plan", 0, false, mkPlan)
+	f.k.Run()
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	return res.rows
+}
+
+func TestFilterSelectsMatchingRows(t *testing.T) {
+	f := newFixture(t, 100)
+	rows := runPlan(t, f, func() Operator {
+		return &Filter{
+			Input: f.scan(false, 1),
+			Pred:  func(tup record.Tuple) bool { return tup[0].I%10 == 0 },
+		}
+	})
+	if len(rows) != fixtureRows/10 {
+		t.Fatalf("filter returned %d rows, want %d", len(rows), fixtureRows/10)
+	}
+	for _, row := range rows {
+		if row[0].I%10 != 0 {
+			t.Fatalf("filter leaked row %v", row)
+		}
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	var flt Filter
+	if err := flt.Open(nil); err == nil {
+		t.Error("empty Filter accepted")
+	}
+}
+
+func TestProjectSelectsColumns(t *testing.T) {
+	f := newFixture(t, 100)
+	rows := runPlan(t, f, func() Operator {
+		return &Project{Input: f.scan(false, 1), Ordinals: []int{2, 0}}
+	})
+	if len(rows) != fixtureRows {
+		t.Fatalf("project returned %d rows", len(rows))
+	}
+	if rows[5][0].Kind != record.KindString || rows[5][1].I != 5 {
+		t.Errorf("projected row = %#v", rows[5])
+	}
+	if len(rows[0]) != 2 {
+		t.Errorf("projected width = %d, want 2", len(rows[0]))
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	f := newFixture(t, 100)
+	res := f.spawn("p", 0, false, func() Operator {
+		return &Project{Input: f.scan(false, 1), Ordinals: []int{99}}
+	})
+	f.k.Run()
+	if res.err == nil {
+		t.Error("out-of-range ordinal accepted")
+	}
+	var p Project
+	if err := p.Open(nil); err == nil {
+		t.Error("Project without input accepted")
+	}
+	p2 := Project{Input: &TableScan{}}
+	if err := p2.Open(nil); err == nil {
+		t.Error("Project without ordinals accepted")
+	}
+}
+
+func TestLimitStopsEarlyAndSavesIO(t *testing.T) {
+	f := newFixture(t, 100)
+	res := f.spawn("l", 0, false, func() Operator {
+		return &Limit{Input: f.scan(false, 1), N: 10}
+	})
+	f.k.Run()
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if len(res.rows) != 10 {
+		t.Fatalf("limit returned %d rows", len(res.rows))
+	}
+	if res.acct.PhysicalReads >= int64(f.tbl.NumPages()) {
+		t.Errorf("limit did not stop early: %d physical reads", res.acct.PhysicalReads)
+	}
+}
+
+func TestLimitValidation(t *testing.T) {
+	l := Limit{Input: &TableScan{}, N: -1}
+	if err := l.Open(nil); err == nil {
+		t.Error("negative limit accepted")
+	}
+	var l2 Limit
+	if err := l2.Open(nil); err == nil {
+		t.Error("Limit without input accepted")
+	}
+}
+
+func TestAggregateUngrouped(t *testing.T) {
+	f := newFixture(t, 100)
+	rows := runPlan(t, f, func() Operator {
+		return &Aggregate{
+			Input: f.scan(false, 1),
+			Aggs: []AggSpec{
+				{Kind: AggCount},
+				{Kind: AggSum, Ordinal: 0},
+				{Kind: AggAvg, Ordinal: 0},
+				{Kind: AggMin, Ordinal: 0},
+				{Kind: AggMax, Ordinal: 0},
+			},
+		}
+	})
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	row := rows[0]
+	n := int64(fixtureRows)
+	wantSum := float64(n*(n-1)) / 2
+	if row[0].I != n {
+		t.Errorf("count = %d, want %d", row[0].I, n)
+	}
+	if row[1].F != wantSum {
+		t.Errorf("sum = %g, want %g", row[1].F, wantSum)
+	}
+	if row[2].F != wantSum/float64(n) {
+		t.Errorf("avg = %g", row[2].F)
+	}
+	if row[3].I != 0 || row[4].I != n-1 {
+		t.Errorf("min/max = %v/%v", row[3], row[4])
+	}
+}
+
+func TestAggregateGrouped(t *testing.T) {
+	f := newFixture(t, 100)
+	rows := runPlan(t, f, func() Operator {
+		// Group by k % 4 via a projection trick: filter leaves all
+		// rows; grouping column is the string prefix... simpler:
+		// group on a computed bucket is not supported, so group on
+		// the float column v = k/2 truncated to 2 distinct values via
+		// predicate split. Instead group by the varchar column's
+		// existence is pointless; use k itself bucketed by Filter.
+		return &Aggregate{
+			Input:   &Filter{Input: f.scan(false, 1), Pred: func(tup record.Tuple) bool { return tup[0].I < 20 }},
+			GroupBy: []int{0},
+			Aggs:    []AggSpec{{Kind: AggCount}},
+		}
+	})
+	if len(rows) != 20 {
+		t.Fatalf("got %d groups, want 20", len(rows))
+	}
+	for _, row := range rows {
+		if row[1].I != 1 {
+			t.Errorf("group %v count = %d, want 1", row[0], row[1].I)
+		}
+	}
+}
+
+func TestAggregateGroupedByString(t *testing.T) {
+	f := newFixture(t, 100)
+	rows := runPlan(t, f, func() Operator {
+		return &Aggregate{
+			Input:   &Limit{Input: f.scan(false, 1), N: 4},
+			GroupBy: []int{2},
+			Aggs:    []AggSpec{{Kind: AggCount}, {Kind: AggSum, Ordinal: 1}},
+		}
+	})
+	if len(rows) != 4 {
+		t.Fatalf("got %d groups, want 4 distinct strings", len(rows))
+	}
+	// Sorted by key encoding: value-0000 .. value-0003.
+	if rows[0][0].S != "value-0000" || rows[3][0].S != "value-0003" {
+		t.Errorf("group order: %v ... %v", rows[0][0], rows[3][0])
+	}
+}
+
+func TestAggregateEmptyInputUngrouped(t *testing.T) {
+	f := newFixture(t, 100)
+	rows := runPlan(t, f, func() Operator {
+		return &Aggregate{
+			Input: &Filter{Input: f.scan(false, 1), Pred: func(record.Tuple) bool { return false }},
+			Aggs:  []AggSpec{{Kind: AggCount}, {Kind: AggSum, Ordinal: 1}},
+		}
+	})
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	if rows[0][0].I != 0 || rows[0][1].F != 0 {
+		t.Errorf("empty aggregate = %#v", rows[0])
+	}
+}
+
+func TestAggregateEmptyInputGrouped(t *testing.T) {
+	f := newFixture(t, 100)
+	rows := runPlan(t, f, func() Operator {
+		return &Aggregate{
+			Input:   &Filter{Input: f.scan(false, 1), Pred: func(record.Tuple) bool { return false }},
+			GroupBy: []int{0},
+			Aggs:    []AggSpec{{Kind: AggCount}},
+		}
+	})
+	if len(rows) != 0 {
+		t.Errorf("grouped aggregate over empty input returned %d rows", len(rows))
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	var a Aggregate
+	if err := a.Open(nil); err == nil {
+		t.Error("Aggregate without input accepted")
+	}
+	a2 := Aggregate{Input: &TableScan{}}
+	if err := a2.Open(nil); err == nil {
+		t.Error("Aggregate with nothing to compute accepted")
+	}
+	f := newFixture(t, 100)
+	res := f.spawn("a", 0, false, func() Operator {
+		return &Aggregate{Input: f.scan(false, 1), Aggs: []AggSpec{{Kind: AggSum, Ordinal: 42}}}
+	})
+	f.k.Run()
+	if res.err == nil {
+		t.Error("out-of-range aggregate ordinal accepted")
+	}
+	g := newFixture(t, 100)
+	res = g.spawn("a", 0, false, func() Operator {
+		return &Aggregate{Input: g.scan(false, 1), GroupBy: []int{-1}, Aggs: []AggSpec{{Kind: AggCount}}}
+	})
+	g.k.Run()
+	if res.err == nil {
+		t.Error("out-of-range group-by ordinal accepted")
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	want := map[AggKind]string{
+		AggCount: "count", AggSum: "sum", AggAvg: "avg", AggMin: "min", AggMax: "max", AggKind(9): "AggKind(9)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("AggKind.String() = %q, want %q", k.String(), s)
+		}
+	}
+}
+
+func TestAcctAddAndWallTime(t *testing.T) {
+	a := Acct{CPU: 1, IO: 2, Busy: 3, Throttle: 4, LogicalReads: 5, PhysicalReads: 6, TuplesRead: 7, TuplesOut: 8}
+	b := a.Add(a)
+	if b.CPU != 2 || b.IO != 4 || b.Busy != 6 || b.Throttle != 8 || b.LogicalReads != 10 ||
+		b.PhysicalReads != 12 || b.TuplesRead != 14 || b.TuplesOut != 16 {
+		t.Errorf("Add = %+v", b)
+	}
+	if a.WallTime() != 10 {
+		t.Errorf("WallTime = %v", a.WallTime())
+	}
+}
+
+func TestEnvValidation(t *testing.T) {
+	f := newFixture(t, 10)
+	f.k.Spawn("v", 0, func(p *sim.Proc) {
+		good := f.env(p, false)
+		if err := good.Validate(); err != nil {
+			t.Errorf("valid env rejected: %v", err)
+		}
+		cases := []func(*Env){
+			func(e *Env) { e.Proc = nil },
+			func(e *Env) { e.Device = nil },
+			func(e *Env) { e.Pool = nil },
+			func(e *Env) { e.BusyRetryDelay = 0 },
+			func(e *Env) { e.Cost.PerPageCPU = -1 },
+		}
+		for i, mutate := range cases {
+			e := *good
+			mutate(&e)
+			if err := e.Validate(); err == nil {
+				t.Errorf("case %d: invalid env accepted", i)
+			}
+		}
+	})
+	f.k.Run()
+}
+
+func TestDefaultCostModelValid(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortAscendingAndDescending(t *testing.T) {
+	f := newFixture(t, 100)
+	asc := runPlan(t, f, func() Operator {
+		return &Sort{
+			Input: &Limit{Input: f.scan(false, 1), N: 50},
+			Keys:  []SortKey{{Ordinal: 1, Desc: true}, {Ordinal: 0}},
+		}
+	})
+	if len(asc) != 50 {
+		t.Fatalf("got %d rows", len(asc))
+	}
+	for i := 1; i < len(asc); i++ {
+		if asc[i][1].F > asc[i-1][1].F {
+			t.Fatalf("descending key violated at %d", i)
+		}
+		if asc[i][1].F == asc[i-1][1].F && asc[i][0].I < asc[i-1][0].I {
+			t.Fatalf("secondary ascending key violated at %d", i)
+		}
+	}
+}
+
+func TestSortByStringColumn(t *testing.T) {
+	f := newFixture(t, 100)
+	rows := runPlan(t, f, func() Operator {
+		return &Sort{
+			Input: &Limit{Input: f.scan(false, 1), N: 20},
+			Keys:  []SortKey{{Ordinal: 2}},
+		}
+	})
+	for i := 1; i < len(rows); i++ {
+		if rows[i][2].S < rows[i-1][2].S {
+			t.Fatalf("string sort violated at %d", i)
+		}
+	}
+}
+
+func TestSortValidation(t *testing.T) {
+	var s Sort
+	if err := s.Open(nil); err == nil {
+		t.Error("Sort without input accepted")
+	}
+	s2 := Sort{Input: &TableScan{}}
+	if err := s2.Open(nil); err == nil {
+		t.Error("Sort without keys accepted")
+	}
+	f := newFixture(t, 100)
+	res := f.spawn("s", 0, false, func() Operator {
+		return &Sort{Input: f.scan(false, 1), Keys: []SortKey{{Ordinal: 99}}}
+	})
+	f.k.Run()
+	if res.err == nil {
+		t.Error("out-of-range sort ordinal accepted")
+	}
+}
+
+func TestSortMakesSharedScanOrderDeterministic(t *testing.T) {
+	// A shared scan that wrapped around emits rows out of storage order;
+	// Sort restores a deterministic order regardless of the origin.
+	f := newFixture(t, 100)
+	warm := f.spawn("warm", 0, true, func() Operator { return f.scan(true, 1) })
+	f.k.Run()
+	if warm.err != nil {
+		t.Fatal(warm.err)
+	}
+	res := f.spawn("sorted", 0, true, func() Operator {
+		return &Sort{Input: f.scan(true, 1), Keys: []SortKey{{Ordinal: 0}}}
+	})
+	f.k.Run()
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if len(res.rows) != fixtureRows {
+		t.Fatalf("got %d rows", len(res.rows))
+	}
+	for i, row := range res.rows {
+		if row[0].I != int64(i) {
+			t.Fatalf("row %d key %d; sort did not restore order", i, row[0].I)
+		}
+	}
+}
+
+func TestHashJoinMatchesReference(t *testing.T) {
+	// Self-join the fixture on k%... the fixture has unique keys, so a
+	// self-join on the key column yields exactly one match per row.
+	f := newFixture(t, 200)
+	rows := runPlan(t, f, func() Operator {
+		return &HashJoin{
+			Left:         &Limit{Input: f.scan(false, 1), N: 100},
+			Right:        &Limit{Input: f.scan(false, 1), N: 150},
+			LeftOrdinal:  0,
+			RightOrdinal: 0,
+		}
+	})
+	if len(rows) != 100 {
+		t.Fatalf("got %d joined rows, want 100 (intersection)", len(rows))
+	}
+	for _, row := range rows {
+		if len(row) != 6 {
+			t.Fatalf("joined width %d, want 6", len(row))
+		}
+		if row[0].I != row[3].I {
+			t.Fatalf("join key mismatch: %v vs %v", row[0], row[3])
+		}
+	}
+}
+
+func TestHashJoinOnStringColumn(t *testing.T) {
+	f := newFixture(t, 200)
+	rows := runPlan(t, f, func() Operator {
+		return &HashJoin{
+			Left:         &Filter{Input: f.scan(false, 1), Pred: func(tp record.Tuple) bool { return tp[0].I < 3 }},
+			Right:        &Filter{Input: f.scan(false, 1), Pred: func(tp record.Tuple) bool { return tp[0].I < 3 }},
+			LeftOrdinal:  2,
+			RightOrdinal: 2,
+		}
+	})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+}
+
+func TestHashJoinNoMatches(t *testing.T) {
+	f := newFixture(t, 200)
+	rows := runPlan(t, f, func() Operator {
+		return &HashJoin{
+			Left:         &Filter{Input: f.scan(false, 1), Pred: func(tp record.Tuple) bool { return tp[0].I < 5 }},
+			Right:        &Filter{Input: f.scan(false, 1), Pred: func(tp record.Tuple) bool { return tp[0].I >= 5 }},
+			LeftOrdinal:  0,
+			RightOrdinal: 0,
+		}
+	})
+	if len(rows) != 0 {
+		t.Fatalf("got %d rows, want none", len(rows))
+	}
+}
+
+func TestHashJoinValidation(t *testing.T) {
+	var j HashJoin
+	if err := j.Open(nil); err == nil {
+		t.Error("join without inputs accepted")
+	}
+	j2 := HashJoin{Left: &TableScan{}, Right: &TableScan{}, LeftOrdinal: -1}
+	if err := j2.Open(nil); err == nil {
+		t.Error("negative ordinal accepted")
+	}
+}

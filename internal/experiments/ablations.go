@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"scanshare"
+	"scanshare/internal/metrics"
+	"scanshare/internal/workload"
+)
+
+// AblationResult compares the full mechanism against the mechanism with one
+// feature disabled, on a scenario chosen to isolate that feature.
+type AblationResult struct {
+	ID, Title string
+	// Feature names what was disabled.
+	Feature string
+
+	FullReads, AblatedReads       int64
+	FullMakespan, AblatedMakespan time.Duration
+	FullHitRatio, AblatedHitRatio float64
+
+	// ReadPenalty is the relative extra disk reads the ablated run pays
+	// over the full mechanism (ablated/full - 1); TimePenalty likewise
+	// for the makespan. Positive means the feature helps.
+	ReadPenalty float64
+	TimePenalty float64
+}
+
+// calibrateScan measures one cold execution of the query on a fresh engine,
+// to size stagger intervals relative to actual scan durations.
+func calibrateScan(p Params, mk func(*workload.DB) *scanshare.Query) (time.Duration, error) {
+	eng, db, err := buildEngine(p, scanshare.SharingConfig{})
+	if err != nil {
+		return 0, err
+	}
+	rep, err := eng.Run(scanshare.Baseline, []scanshare.Job{{Query: mk(db)}})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Results[0].Elapsed(), nil
+}
+
+// ablationScenario runs the given streams under two sharing configs — the
+// reference configuration versus one with an additional feature disabled —
+// and compares.
+func ablationScenario(p Params, id, title, feature string,
+	reference, ablate scanshare.SharingConfig,
+	streams func(*workload.DB) [][]scanshare.StreamItem) (*AblationResult, error) {
+
+	run := func(sharing scanshare.SharingConfig) (*scanshare.Report, error) {
+		eng, db, err := buildEngine(p, sharing)
+		if err != nil {
+			return nil, err
+		}
+		return eng.RunStreams(scanshare.Shared, streams(db))
+	}
+	full, err := run(reference)
+	if err != nil {
+		return nil, err
+	}
+	ablated, err := run(ablate)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{
+		ID: id, Title: title, Feature: feature,
+		FullReads:       full.Disk.Reads,
+		AblatedReads:    ablated.Disk.Reads,
+		FullMakespan:    full.Makespan,
+		AblatedMakespan: ablated.Makespan,
+		FullHitRatio:    full.Pool.HitRatio(),
+		AblatedHitRatio: ablated.Pool.HitRatio(),
+		ReadPenalty:     ratioMinusOne(float64(ablated.Disk.Reads), float64(full.Disk.Reads)),
+		TimePenalty:     ratioMinusOne(float64(ablated.Makespan), float64(full.Makespan)),
+	}, nil
+}
+
+// ratioMinusOne returns a/b - 1, or 0 when b is non-positive.
+func ratioMinusOne(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a/b - 1
+}
+
+// fullScan returns a weight-w full scan of the biggest table.
+func fullScan(db *workload.DB, name string, w float64) *scanshare.Query {
+	return scanshare.NewQuery(db.Lineitem).Named(name).Weight(w).CountAll()
+}
+
+// AblationNoThrottle (A1) measures what throttling contributes. The scenario
+// pairs an I/O-bound scan with a much slower CPU-bound scan of the same
+// table: placement aligns them, but only throttling keeps them together —
+// without it the fast scan runs ahead until the slow scan's pages are gone
+// and most pages are read twice.
+func AblationNoThrottle(p Params) (*AblationResult, error) {
+	return ablationScenario(p, "A1", "throttling disabled on mismatched-speed scans", "throttling",
+		scanshare.SharingConfig{},
+		scanshare.SharingConfig{DisableThrottling: true},
+		func(db *workload.DB) [][]scanshare.StreamItem {
+			return [][]scanshare.StreamItem{
+				{{Query: fullScan(db, "fast", 1)}},
+				{{Query: fullScan(db, "slow", 40)}},
+			}
+		})
+}
+
+// AblationNoPriority (A2) measures what leader/trailer page priorities
+// contribute. A fast scan leads a much slower scan of the same table —
+// throttling holds their distance near the threshold — while other streams
+// churn the pool with scans of another table. With hints the leader's
+// high-priority pages outlive the churn until the trailer needs them; with
+// plain LRU the mixed release stream evicts them first and the trailer
+// falls back to disk.
+func AblationNoPriority(p Params) (*AblationResult, error) {
+	// Hold the group distance at ~8 extents: wider than the share of the
+	// LRU window the leader's pages get under churn, but still within
+	// the pool, so only the priority hints can preserve the pages.
+	reference := scanshare.SharingConfig{ThrottleThresholdExtents: 8}
+	ablated := reference
+	ablated.DisablePriorityHints = true
+	return ablationScenario(p, "A2", "priority hints disabled on grouped scans under churn", "priority hints",
+		reference, ablated,
+		func(db *workload.DB) [][]scanshare.StreamItem {
+			churn := func() []scanshare.StreamItem {
+				items := make([]scanshare.StreamItem, 4)
+				for i := range items {
+					items[i] = scanshare.StreamItem{
+						Query: scanshare.NewQuery(db.Orders).Named("churn").Weight(1).CountAll(),
+					}
+				}
+				return items
+			}
+			return [][]scanshare.StreamItem{
+				{{Query: fullScan(db, "lead", 0.5)}},
+				{{Query: fullScan(db, "trail", 24)}},
+				churn(),
+				churn(),
+			}
+		})
+}
+
+// AblationNoPlacement (A3) measures what placement contributes. The second
+// scan starts so long after the first that, from page zero, the two could
+// never group (their distance exceeds the pool budget); only placement —
+// joining the ongoing scan's position — enables sharing.
+func AblationNoPlacement(p Params) (*AblationResult, error) {
+	scanTime, err := calibrateScan(p, func(db *workload.DB) *scanshare.Query {
+		return fullScan(db, "cal", 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	stagger := scanTime / 4
+	return ablationScenario(p, "A3", "placement disabled on widely staggered scans", "placement",
+		scanshare.SharingConfig{},
+		scanshare.SharingConfig{DisablePlacement: true},
+		func(db *workload.DB) [][]scanshare.StreamItem {
+			return [][]scanshare.StreamItem{
+				{{Query: fullScan(db, "first", 1)}},
+				{{Query: fullScan(db, "second", 1), ThinkTime: stagger}},
+				{{Query: fullScan(db, "third", 1), ThinkTime: 2 * stagger}},
+			}
+		})
+}
+
+// Render prints the full-vs-ablated comparison.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	tbl := metrics.NewTable("metric", "full mechanism", "without "+r.Feature)
+	tbl.AddRow("disk reads", fmt.Sprint(r.FullReads), fmt.Sprint(r.AblatedReads))
+	tbl.AddRow("end-to-end time",
+		metrics.FormatDuration(r.FullMakespan), metrics.FormatDuration(r.AblatedMakespan))
+	tbl.AddRow("pool hit ratio", metrics.Pct(r.FullHitRatio), metrics.Pct(r.AblatedHitRatio))
+	b.WriteString(tbl.Render())
+	fmt.Fprintf(&b, "without %s: %s more disk reads, %s more time\n",
+		r.Feature, metrics.Pct(r.ReadPenalty), metrics.Pct(r.TimePenalty))
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CSVExporter is implemented by experiment results that can emit
+// machine-readable data for external plotting. CSV returns file contents
+// keyed by a suggested file name (without directory).
+type CSVExporter interface {
+	CSV() map[string]string
+}
+
+// csvBuilder accumulates one CSV file.
+type csvBuilder struct {
+	b strings.Builder
+}
+
+func (c *csvBuilder) row(cells ...string) {
+	c.b.WriteString(strings.Join(cells, ","))
+	c.b.WriteByte('\n')
+}
+
+func (c *csvBuilder) String() string { return c.b.String() }
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.6f", d.Seconds()) }
+func pct(f float64) string        { return fmt.Sprintf("%.4f", f) }
+
+// CSV exports the headline table.
+func (r *Table1Result) CSV() map[string]string {
+	var c csvBuilder
+	c.row("metric", "base", "shared", "gain")
+	c.row("end_to_end_seconds", secs(r.BaseMakespan), secs(r.SharedMakespan), pct(r.EndToEndGain))
+	c.row("disk_reads", fmt.Sprint(r.BaseReads), fmt.Sprint(r.SharedReads), pct(r.ReadGain))
+	c.row("disk_seeks", fmt.Sprint(r.BaseSeeks), fmt.Sprint(r.SharedSeeks), pct(r.SeekGain))
+	return map[string]string{"t1_throughput.csv": c.String()}
+}
+
+// CSV exports the activity-over-time series.
+func (r *SeriesResult) CSV() map[string]string {
+	var c csvBuilder
+	c.row("bucket_seconds", "base_"+r.Unit, "shared_"+r.Unit)
+	for i, off := range r.Buckets {
+		c.row(secs(off), fmt.Sprintf("%.4f", r.BaseValues[i]), fmt.Sprintf("%.4f", r.SharedValues[i]))
+	}
+	name := strings.ToLower(r.ID) + "_series.csv"
+	return map[string]string{name: c.String()}
+}
+
+// CSV exports the per-stream gains.
+func (r *Figure19Result) CSV() map[string]string {
+	var c csvBuilder
+	c.row("stream", "base_seconds", "shared_seconds", "gain")
+	for _, s := range r.Streams {
+		c.row(fmt.Sprint(s.Stream+1), secs(s.Base), secs(s.Shared), pct(s.Gain))
+	}
+	return map[string]string{"f19_per_stream.csv": c.String()}
+}
+
+// CSV exports the per-query gains.
+func (r *Figure20Result) CSV() map[string]string {
+	var c csvBuilder
+	c.row("query", "base_seconds", "shared_seconds", "gain")
+	for _, q := range r.Queries {
+		c.row(q.Name, secs(q.Base), secs(q.Shared), pct(q.Gain))
+	}
+	return map[string]string{"f20_per_query.csv": c.String()}
+}
+
+// CSV exports the staggered-run decomposition and per-run timings.
+func (r *StaggeredResult) CSV() map[string]string {
+	var c csvBuilder
+	c.row("component", "base_seconds", "shared_seconds")
+	c.row("cpu", secs(r.BaseBreakdown.CPU), secs(r.SharedBreakdown.CPU))
+	c.row("io_wait", secs(r.BaseBreakdown.IO), secs(r.SharedBreakdown.IO))
+	c.row("busy_wait", secs(r.BaseBreakdown.Busy), secs(r.SharedBreakdown.Busy))
+	c.row("throttle", secs(r.BaseBreakdown.Throttle), secs(r.SharedBreakdown.Throttle))
+
+	var runs csvBuilder
+	runs.row("run", "base_seconds", "shared_seconds", "gain")
+	for i := range r.BaseRuns {
+		runs.row(fmt.Sprint(i+1), secs(r.BaseRuns[i]), secs(r.SharedRuns[i]), pct(r.Gains[i]))
+	}
+	id := strings.ToLower(r.ID)
+	return map[string]string{
+		id + "_breakdown.csv": c.String(),
+		id + "_runs.csv":      runs.String(),
+	}
+}
+
+// CSV exports the single-stream overhead check.
+func (r *OverheadResult) CSV() map[string]string {
+	var c csvBuilder
+	c.row("base_seconds", "shared_seconds", "overhead")
+	c.row(secs(r.BaseMakespan), secs(r.SharedMakespan), pct(r.Overhead))
+	return map[string]string{"ov_overhead.csv": c.String()}
+}
+
+// CSV exports an ablation comparison.
+func (r *AblationResult) CSV() map[string]string {
+	var c csvBuilder
+	c.row("metric", "full", "ablated")
+	c.row("disk_reads", fmt.Sprint(r.FullReads), fmt.Sprint(r.AblatedReads))
+	c.row("end_to_end_seconds", secs(r.FullMakespan), secs(r.AblatedMakespan))
+	c.row("hit_ratio", pct(r.FullHitRatio), pct(r.AblatedHitRatio))
+	name := strings.ToLower(r.ID) + "_ablation.csv"
+	return map[string]string{name: c.String()}
+}
+
+// CSV exports a parameter sweep.
+func (r *SweepResult) CSV() map[string]string {
+	var c csvBuilder
+	c.row("setting", "base_reads", "shared_reads", "read_gain", "time_gain")
+	for _, pt := range r.Points {
+		c.row(pt.Label, fmt.Sprint(pt.BaseReads), fmt.Sprint(pt.SharedReads),
+			pct(pt.ReadGain), pct(pt.TimeGain))
+	}
+	name := strings.ToLower(r.ID) + "_sweep.csv"
+	return map[string]string{name: c.String()}
+}
+
+// CSV exports the placement-policy comparison.
+func (r *PolicyResult) CSV() map[string]string {
+	var c csvBuilder
+	c.row("engine", "end_to_end_seconds", "disk_reads", "gain_vs_base")
+	c.row("base", secs(r.BaseMakespan), fmt.Sprint(r.BaseReads), "")
+	c.row("heuristic", secs(r.HeuristicMakespan), fmt.Sprint(r.HeuristicReads), pct(r.HeuristicGain))
+	c.row("estimator", secs(r.EstimateMakespan), fmt.Sprint(r.EstimateReads), pct(r.EstimateGain))
+	return map[string]string{"a6_policies.csv": c.String()}
+}
+
+// CSV exports the stream-count sweep.
+func (r *StreamSweepResult) CSV() map[string]string {
+	var c csvBuilder
+	c.row("streams", "base_seconds", "shared_seconds", "time_gain", "read_gain")
+	for _, pt := range r.Points {
+		c.row(fmt.Sprint(pt.Streams), secs(pt.BaseMakespan), secs(pt.SharedMakespan),
+			pct(pt.TimeGain), pct(pt.ReadGain))
+	}
+	return map[string]string{"a7_streams.csv": c.String()}
+}

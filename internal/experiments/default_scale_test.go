@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestDefaultScaleThroughput runs the throughput pair at the bench harness's
+// default scale and logs the T1/F19/F20 views. It only runs when
+// SCANSHARE_FULL=1 to keep the ordinary test suite fast.
+func TestDefaultScaleThroughput(t *testing.T) {
+	if os.Getenv("SCANSHARE_FULL") == "" {
+		t.Skip("set SCANSHARE_FULL=1 for the default-scale run")
+	}
+	tp, err := RunThroughput(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s\n%s\n%s", tp.Table1().Render(), tp.Figure19().Render(), tp.Figure20().Render())
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"scanshare"
+	"scanshare/internal/metrics"
+	"scanshare/internal/workload"
+)
+
+// OverheadResult compares a single-stream run in both modes. With only one
+// stream there is nothing to share, so any difference is the cost (or, via
+// residual placement, the benefit) of running scans through the sharing
+// machinery. The paper reports overhead well below 1% of end-to-end time.
+type OverheadResult struct {
+	BaseMakespan, SharedMakespan time.Duration
+	// Overhead is how much slower the shared run was (negative when the
+	// machinery helped, e.g. through residual buffer reuse).
+	Overhead float64
+}
+
+// Overhead runs one full query stream alone in each mode.
+func Overhead(p Params) (*OverheadResult, error) {
+	run := func(mode scanshare.Mode) (time.Duration, error) {
+		eng, db, err := buildEngine(p, scanshare.SharingConfig{})
+		if err != nil {
+			return 0, err
+		}
+		rep, err := eng.RunStreams(mode, workload.ThroughputStreams(db, 1))
+		if err != nil {
+			return 0, err
+		}
+		return rep.Makespan, nil
+	}
+	base, err := run(scanshare.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := run(scanshare.Shared)
+	if err != nil {
+		return nil, err
+	}
+	return &OverheadResult{
+		BaseMakespan:   base,
+		SharedMakespan: shared,
+		Overhead:       -metrics.GainDur(base, shared),
+	}, nil
+}
+
+// Render prints the single-stream comparison.
+func (r *OverheadResult) Render() string {
+	var b strings.Builder
+	b.WriteString("OV — single-stream overhead of the sharing machinery\n")
+	tbl := metrics.NewTable("metric", "base", "shared")
+	tbl.AddRow("end-to-end time",
+		metrics.FormatDuration(r.BaseMakespan), metrics.FormatDuration(r.SharedMakespan))
+	b.WriteString(tbl.Render())
+	fmt.Fprintf(&b, "overhead: %s (paper: well below 1%%)\n", metrics.Pct(r.Overhead))
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+
+	"scanshare"
+)
+
+// TestProbeBigPoolParity is a diagnostic for the A4 sweep's full-database
+// row: with the whole database in the pool, base and shared runs should be
+// near-identical. It logs the detailed reports to explain any gap.
+func TestProbeBigPoolParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	p := TestParams()
+	p.BufferFrac = 1.2
+	stagger, err := sweepStagger(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []scanshare.Mode{scanshare.Baseline, scanshare.Shared} {
+		eng, db, err := buildEngine(p, scanshare.SharingConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Run(mode, sweepScenario(db, stagger))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("mode=%s\n%s\nsharing: %+v", mode, rep.Summary(), rep.Sharing)
+		for _, q := range rep.Results {
+			t.Logf("  %s s%d: cpu=%v io=%v busy=%v throttle=%v phys=%d",
+				q.Name, q.Stream, q.CPU, q.IOWait, q.BusyWait, q.ThrottleWait, q.PhysicalReads)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+// TestSmokeAll prints every experiment's report at test scale; shape
+// assertions live in the dedicated tests below this file.
+func TestSmokeAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke run is not short")
+	}
+	p := TestParams()
+	for _, spec := range All() {
+		res, err := spec.Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		t.Logf("%s\n%s", spec.ID, res.Render())
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"scanshare"
+	"scanshare/internal/metrics"
+	"scanshare/internal/workload"
+)
+
+// Breakdown is the per-run time decomposition, the analog of the paper's
+// iostat user/system/idle/wait chart.
+type Breakdown struct {
+	CPU, IO, Busy, Throttle time.Duration
+}
+
+// Total returns the summed decomposition.
+func (b Breakdown) Total() time.Duration { return b.CPU + b.IO + b.Busy + b.Throttle }
+
+// WaitShare returns the fraction of time spent waiting (I/O + busy).
+func (b Breakdown) WaitShare() float64 {
+	total := b.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(b.IO+b.Busy) / float64(total)
+}
+
+func breakdownOf(rep *scanshare.Report) Breakdown {
+	cpu, io, busy, throttle := rep.TotalAcct()
+	return Breakdown{CPU: cpu, IO: io, Busy: busy, Throttle: throttle}
+}
+
+// StaggeredResult reports a staggered-start experiment (F15 or F16): n
+// copies of one query started a fixed interval apart, in both modes.
+type StaggeredResult struct {
+	ID, Title string
+	Stagger   time.Duration
+
+	BaseBreakdown, SharedBreakdown Breakdown
+	// BaseRuns and SharedRuns are the per-copy elapsed times in start
+	// order (first, second, third...).
+	BaseRuns, SharedRuns []time.Duration
+	// Gains are the per-copy end-to-end gains.
+	Gains []float64
+}
+
+// Figure15 staggers three copies of the I/O-bound Q6 analog (a full
+// lineitem scan with a selective predicate at low CPU weight).
+func Figure15(p Params) (*StaggeredResult, error) {
+	return runStaggered(p, "F15", "3 staggered I/O-intensive queries (Q6 analog)",
+		func(db *workload.DB) *scanshare.Query {
+			return scanshare.NewQuery(db.Lineitem).Named("q6-full").Weight(0.5).
+				Where(func(t scanshare.Tuple) bool {
+					return t[8].I >= workload.HotStartDay && t[4].F >= 0.05 && t[4].F <= 0.07 && t[2].F < 24
+				}).Sum("l_extendedprice")
+		})
+}
+
+// Figure16 staggers three copies of the CPU-bound Q1 analog.
+func Figure16(p Params) (*StaggeredResult, error) {
+	return runStaggered(p, "F16", "3 staggered CPU-intensive queries (Q1 analog)",
+		func(db *workload.DB) *scanshare.Query { return workload.Q1(db) })
+}
+
+// runStaggered calibrates the stagger interval against one cold execution of
+// the query, then runs three staggered copies in each mode.
+func runStaggered(p Params, id, title string, mk func(*workload.DB) *scanshare.Query) (*StaggeredResult, error) {
+	const copies = 3
+
+	// Calibration: one cold run to size the stagger interval, mirroring
+	// the paper's fixed 10s against multi-minute queries.
+	eng, db, err := buildEngine(p, scanshare.SharingConfig{})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := eng.Run(scanshare.Baseline, []scanshare.Job{{Query: mk(db)}})
+	if err != nil {
+		return nil, err
+	}
+	stagger := time.Duration(p.StaggerFrac * float64(rep.Results[0].Elapsed()))
+
+	run := func(mode scanshare.Mode) (*scanshare.Report, error) {
+		eng, db, err := buildEngine(p, scanshare.SharingConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return eng.Run(mode, workload.StaggeredJobs(mk(db), copies, stagger))
+	}
+	base, err := run(scanshare.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := run(scanshare.Shared)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &StaggeredResult{
+		ID: id, Title: title, Stagger: stagger,
+		BaseBreakdown:   breakdownOf(base),
+		SharedBreakdown: breakdownOf(shared),
+	}
+	for i := 0; i < copies; i++ {
+		b := base.Results[i].Elapsed()
+		s := shared.Results[i].Elapsed()
+		res.BaseRuns = append(res.BaseRuns, b)
+		res.SharedRuns = append(res.SharedRuns, s)
+		res.Gains = append(res.Gains, metrics.GainDur(b, s))
+	}
+	return res, nil
+}
+
+// MinGain returns the smallest per-copy gain.
+func (r *StaggeredResult) MinGain() float64 {
+	min := 1.0
+	for _, g := range r.Gains {
+		if g < min {
+			min = g
+		}
+	}
+	return min
+}
+
+// Render prints the decomposition chart and the per-run timings.
+func (r *StaggeredResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (stagger %s)\n", r.ID, r.Title, metrics.FormatDuration(r.Stagger))
+
+	tbl := metrics.NewTable("component", "base", "shared")
+	row := func(name string, base, shared time.Duration) {
+		tbl.AddRow(name, metrics.FormatDuration(base), metrics.FormatDuration(shared))
+	}
+	row("cpu (user)", r.BaseBreakdown.CPU, r.SharedBreakdown.CPU)
+	row("i/o wait", r.BaseBreakdown.IO, r.SharedBreakdown.IO)
+	row("busy wait", r.BaseBreakdown.Busy, r.SharedBreakdown.Busy)
+	row("throttle", r.BaseBreakdown.Throttle, r.SharedBreakdown.Throttle)
+	b.WriteString(tbl.Render())
+	fmt.Fprintf(&b, "wait share: base %s, shared %s\n",
+		metrics.Pct(r.BaseBreakdown.WaitShare()), metrics.Pct(r.SharedBreakdown.WaitShare()))
+
+	runs := metrics.NewTable("run", "base", "shared", "gain")
+	for i := range r.BaseRuns {
+		runs.AddRow(fmt.Sprintf("%d%s", i+1, ordinal(i+1)),
+			metrics.FormatDuration(r.BaseRuns[i]),
+			metrics.FormatDuration(r.SharedRuns[i]),
+			metrics.Pct(r.Gains[i]))
+	}
+	b.WriteString(runs.Render())
+	return b.String()
+}
+
+func ordinal(n int) string {
+	switch n {
+	case 1:
+		return "st"
+	case 2:
+		return "nd"
+	case 3:
+		return "rd"
+	default:
+		return "th"
+	}
+}

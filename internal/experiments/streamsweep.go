@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"scanshare"
+	"scanshare/internal/metrics"
+	"scanshare/internal/workload"
+)
+
+// StreamPoint is one stream-count setting of the scaling sweep.
+type StreamPoint struct {
+	Streams                      int
+	BaseMakespan, SharedMakespan time.Duration
+	BaseReads, SharedReads       int64
+	TimeGain                     float64
+	ReadGain                     float64
+}
+
+// StreamSweepResult is the A7 experiment: how the benefit of scan sharing
+// scales with concurrency. The paper argues that "the reduced disk
+// utilization may be used to scale to a larger number of streams with the
+// same hardware" — so the sharing engine's makespan should grow much more
+// slowly with stream count than the baseline's, and the gain should widen.
+type StreamSweepResult struct {
+	Points []StreamPoint
+}
+
+// StreamSweep runs the throughput workload at increasing stream counts.
+func StreamSweep(p Params) (*StreamSweepResult, error) {
+	res := &StreamSweepResult{}
+	for _, n := range []int{1, 2, 4, 8} {
+		pp := p
+		pp.Streams = n
+		run := func(mode scanshare.Mode) (*scanshare.Report, error) {
+			eng, db, err := buildEngine(pp, scanshare.SharingConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return eng.RunStreams(mode, workload.ThroughputStreams(db, n))
+		}
+		base, err := run(scanshare.Baseline)
+		if err != nil {
+			return nil, err
+		}
+		shared, err := run(scanshare.Shared)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, StreamPoint{
+			Streams:        n,
+			BaseMakespan:   base.Makespan,
+			SharedMakespan: shared.Makespan,
+			BaseReads:      base.Disk.Reads,
+			SharedReads:    shared.Disk.Reads,
+			TimeGain:       metrics.GainDur(base.Makespan, shared.Makespan),
+			ReadGain:       metrics.GainInt(base.Disk.Reads, shared.Disk.Reads),
+		})
+	}
+	return res, nil
+}
+
+// GainAt returns the end-to-end gain at the given stream count, or -1.
+func (r *StreamSweepResult) GainAt(streams int) float64 {
+	for _, pt := range r.Points {
+		if pt.Streams == streams {
+			return pt.TimeGain
+		}
+	}
+	return -1
+}
+
+// Render prints the scaling table.
+func (r *StreamSweepResult) Render() string {
+	var b strings.Builder
+	b.WriteString("A7 — benefit vs concurrency (stream-count sweep)\n")
+	tbl := metrics.NewTable("streams", "base time", "shared time", "time gain", "read gain")
+	for _, pt := range r.Points {
+		tbl.AddRow(fmt.Sprint(pt.Streams),
+			metrics.FormatDuration(pt.BaseMakespan), metrics.FormatDuration(pt.SharedMakespan),
+			metrics.Pct(pt.TimeGain), metrics.Pct(pt.ReadGain))
+	}
+	b.WriteString(tbl.Render())
+	b.WriteString("paper: reduced disk utilization lets the same hardware carry more streams —\n")
+	b.WriteString("the gain should widen as concurrency grows\n")
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"scanshare"
+	"scanshare/internal/metrics"
+	"scanshare/internal/workload"
+)
+
+// SweepPoint is one parameter setting's base-vs-shared comparison.
+type SweepPoint struct {
+	// Label names the setting (e.g. "5%" or "2 extents").
+	Label string
+	// Value is the numeric setting, for assertions.
+	Value float64
+
+	BaseReads, SharedReads       int64
+	BaseMakespan, SharedMakespan time.Duration
+	ReadGain                     float64
+	TimeGain                     float64
+}
+
+// SweepResult is a parameter sweep (A4 or A5).
+type SweepResult struct {
+	ID, Title, Parameter string
+	Points               []SweepPoint
+}
+
+// sweepScenario returns the jobs used by both sweeps: three full scans of
+// the biggest table, each started a quarter of a cold scan after the
+// previous one.
+func sweepScenario(db *workload.DB, stagger time.Duration) []scanshare.Job {
+	q := scanshare.NewQuery(db.Lineitem).Named("scan").Weight(1).CountAll()
+	return workload.StaggeredJobs(q, 3, stagger)
+}
+
+// BufferSweep (A4) varies the buffer pool from 1% to 120% of the database
+// and measures the sharing gain at each size. The paper's mechanism matters
+// most when the pool is much smaller than the scanned data; once the table
+// fits in the pool, base and shared converge (the crossover).
+func BufferSweep(p Params) (*SweepResult, error) {
+	stagger, err := sweepStagger(p)
+	if err != nil {
+		return nil, err
+	}
+	fracs := []float64{0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.20}
+	res := &SweepResult{ID: "A4", Title: "buffer pool size sweep", Parameter: "pool (fraction of database)"}
+	for _, frac := range fracs {
+		pp := p
+		pp.BufferFrac = frac
+		point, err := sweepPoint(pp, scanshare.SharingConfig{}, stagger, fmt.Sprintf("%.0f%%", frac*100), frac)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// sweepStagger calibrates the sweep scenario's start interval to a quarter
+// of one cold scan.
+func sweepStagger(p Params) (time.Duration, error) {
+	scanTime, err := calibrateScan(p, func(db *workload.DB) *scanshare.Query {
+		return fullScan(db, "cal", 1)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return scanTime / 4, nil
+}
+
+// ThrottleSweep (A5) varies the throttle threshold from one extent to 32
+// extents on the drift-prone scenario (an I/O-bound scan paired with a much
+// slower CPU-bound scan). Throttling only fires while the group drifts, so
+// the threshold's effect shows exactly here: too loose and the pair
+// separates before throttling reacts; tight thresholds keep the pair
+// together at the cost of more inserted waits.
+func ThrottleSweep(p Params) (*SweepResult, error) {
+	res := &SweepResult{ID: "A5", Title: "throttle threshold sweep", Parameter: "threshold (prefetch extents)"}
+	for _, extents := range []int{1, 2, 4, 8, 16, 32} {
+		sharing := scanshare.SharingConfig{ThrottleThresholdExtents: extents}
+		point, err := sweepPointJobs(p, sharing, fmt.Sprintf("%d", extents), float64(extents),
+			func(db *workload.DB) []scanshare.Job {
+				return []scanshare.Job{
+					{Query: fullScan(db, "fast", 1), Stream: 0},
+					{Query: fullScan(db, "slow", 40), Stream: 1},
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// sweepPoint runs the staggered sweep scenario in both modes.
+func sweepPoint(p Params, sharing scanshare.SharingConfig, stagger time.Duration, label string, value float64) (SweepPoint, error) {
+	return sweepPointJobs(p, sharing, label, value, func(db *workload.DB) []scanshare.Job {
+		return sweepScenario(db, stagger)
+	})
+}
+
+// sweepPointJobs runs arbitrary jobs in both modes under one setting.
+func sweepPointJobs(p Params, sharing scanshare.SharingConfig, label string, value float64,
+	jobs func(*workload.DB) []scanshare.Job) (SweepPoint, error) {
+	run := func(mode scanshare.Mode) (*scanshare.Report, error) {
+		eng, db, err := buildEngine(p, sharing)
+		if err != nil {
+			return nil, err
+		}
+		return eng.Run(mode, jobs(db))
+	}
+	base, err := run(scanshare.Baseline)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	shared, err := run(scanshare.Shared)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{
+		Label:          label,
+		Value:          value,
+		BaseReads:      base.Disk.Reads,
+		SharedReads:    shared.Disk.Reads,
+		BaseMakespan:   base.Makespan,
+		SharedMakespan: shared.Makespan,
+		ReadGain:       metrics.GainInt(base.Disk.Reads, shared.Disk.Reads),
+		TimeGain:       metrics.GainDur(base.Makespan, shared.Makespan),
+	}, nil
+}
+
+// Render prints the sweep table.
+func (r *SweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	tbl := metrics.NewTable(r.Parameter, "base reads", "shared reads", "read gain", "time gain")
+	for _, pt := range r.Points {
+		tbl.AddRow(pt.Label, fmt.Sprint(pt.BaseReads), fmt.Sprint(pt.SharedReads),
+			metrics.Pct(pt.ReadGain), metrics.Pct(pt.TimeGain))
+	}
+	b.WriteString(tbl.Render())
+	return b.String()
+}

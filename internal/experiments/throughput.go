@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"scanshare"
+	"scanshare/internal/metrics"
+	"scanshare/internal/workload"
+)
+
+// Throughput holds one base/shared pair of multi-stream TPC-H-style
+// throughput runs. It backs the T1 table and the F17–F20 figures.
+type Throughput struct {
+	P      Params
+	Base   *scanshare.Report
+	Shared *scanshare.Report
+}
+
+// RunThroughput executes the throughput workload in both modes on fresh,
+// identically configured engines.
+func RunThroughput(p Params) (*Throughput, error) {
+	run := func(mode scanshare.Mode) (*scanshare.Report, error) {
+		eng, db, err := buildEngine(p, scanshare.SharingConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return eng.RunStreams(mode, workload.ThroughputStreams(db, p.Streams))
+	}
+	base, err := run(scanshare.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := run(scanshare.Shared)
+	if err != nil {
+		return nil, err
+	}
+	return &Throughput{P: p, Base: base, Shared: shared}, nil
+}
+
+// Table1Result is the analog of the paper's Table 1: overall gains of the
+// sharing prototype over the vanilla engine on the throughput run.
+type Table1Result struct {
+	BaseMakespan, SharedMakespan time.Duration
+	BaseReads, SharedReads       int64
+	BaseSeeks, SharedSeeks       int64
+
+	EndToEndGain float64
+	ReadGain     float64
+	SeekGain     float64
+}
+
+// Table1 computes the headline gains.
+func (t *Throughput) Table1() *Table1Result {
+	return &Table1Result{
+		BaseMakespan:   t.Base.Makespan,
+		SharedMakespan: t.Shared.Makespan,
+		BaseReads:      t.Base.Disk.Reads,
+		SharedReads:    t.Shared.Disk.Reads,
+		BaseSeeks:      t.Base.Disk.Seeks,
+		SharedSeeks:    t.Shared.Disk.Seeks,
+		EndToEndGain:   metrics.GainDur(t.Base.Makespan, t.Shared.Makespan),
+		ReadGain:       metrics.GainInt(t.Base.Disk.Reads, t.Shared.Disk.Reads),
+		SeekGain:       metrics.GainInt(t.Base.Disk.Seeks, t.Shared.Disk.Seeks),
+	}
+}
+
+// Render prints the Table 1 analog.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("T1 — throughput run (Table 1 analog)\n")
+	tbl := metrics.NewTable("metric", "base", "shared", "gain")
+	tbl.AddRow("end-to-end time",
+		metrics.FormatDuration(r.BaseMakespan), metrics.FormatDuration(r.SharedMakespan),
+		metrics.Pct(r.EndToEndGain))
+	tbl.AddRow("disk reads (pages)",
+		fmt.Sprint(r.BaseReads), fmt.Sprint(r.SharedReads), metrics.Pct(r.ReadGain))
+	tbl.AddRow("disk seeks",
+		fmt.Sprint(r.BaseSeeks), fmt.Sprint(r.SharedSeeks), metrics.Pct(r.SeekGain))
+	b.WriteString(tbl.Render())
+	b.WriteString("paper: end-to-end +21%, disk reads +33%, disk seeks +34%\n")
+	return b.String()
+}
+
+// SeriesResult is a base-vs-shared activity-over-time figure (F17 or F18).
+type SeriesResult struct {
+	ID, Title string
+	// Buckets is the common time axis (bucket start offsets).
+	Buckets []time.Duration
+	// BaseValues and SharedValues are the per-bucket activity (bytes for
+	// F17, seeks for F18); a run that already ended contributes zeros.
+	BaseValues, SharedValues []float64
+	// Unit names the measured quantity.
+	Unit string
+}
+
+// seriesOf aligns both runs' samples on a common bucket axis.
+func (t *Throughput) seriesOf(id, title, unit string, pick func(scanshare.DiskSample) float64) *SeriesResult {
+	width := t.P.BucketWidth
+	if width <= 0 {
+		width = 500 * time.Millisecond
+	}
+	end := t.Base.Makespan
+	if t.Shared.Makespan > end {
+		end = t.Shared.Makespan
+	}
+	n := int(end/width) + 1
+	res := &SeriesResult{
+		ID: id, Title: title, Unit: unit,
+		Buckets:      make([]time.Duration, n),
+		BaseValues:   make([]float64, n),
+		SharedValues: make([]float64, n),
+	}
+	for i := range res.Buckets {
+		res.Buckets[i] = time.Duration(i) * width
+	}
+	fill := func(series []scanshare.DiskSample, into []float64) {
+		for _, s := range series {
+			idx := int(s.Offset / width)
+			if idx >= 0 && idx < n {
+				into[idx] += pick(s)
+			}
+		}
+	}
+	fill(t.Base.DiskSeries, res.BaseValues)
+	fill(t.Shared.DiskSeries, res.SharedValues)
+	return res
+}
+
+// Figure17 is the "amount of data read from disk over time" figure.
+func (t *Throughput) Figure17() *SeriesResult {
+	return t.seriesOf("F17", "disk KB read over time", "KB",
+		func(s scanshare.DiskSample) float64 { return float64(s.Bytes) / 1024 })
+}
+
+// Figure18 is the "disk seeks over time" figure.
+func (t *Throughput) Figure18() *SeriesResult {
+	return t.seriesOf("F18", "disk seeks over time", "seeks",
+		func(s scanshare.DiskSample) float64 { return float64(s.Seeks) })
+}
+
+// Totals returns the summed base and shared series values.
+func (r *SeriesResult) Totals() (base, shared float64) {
+	for i := range r.BaseValues {
+		base += r.BaseValues[i]
+		shared += r.SharedValues[i]
+	}
+	return
+}
+
+// EndsSooner reports whether the shared run's activity stops in an earlier
+// bucket than the base run's.
+func (r *SeriesResult) EndsSooner() bool {
+	last := func(vals []float64) int {
+		end := -1
+		for i, v := range vals {
+			if v > 0 {
+				end = i
+			}
+		}
+		return end
+	}
+	return last(r.SharedValues) < last(r.BaseValues)
+}
+
+// Render prints both series as labelled bar charts.
+func (r *SeriesResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	labels := make([]string, len(r.Buckets))
+	for i, off := range r.Buckets {
+		labels[i] = metrics.FormatDuration(off)
+	}
+	base, shared := r.Totals()
+	fmt.Fprintf(&b, "base (total %.0f %s):\n%s", base, r.Unit, metrics.Bars(labels, r.BaseValues, 50))
+	fmt.Fprintf(&b, "shared (total %.0f %s):\n%s", shared, r.Unit, metrics.Bars(labels, r.SharedValues, 50))
+	fmt.Fprintf(&b, "paper: shared activity below base in most intervals, run ends sooner (here: %v)\n", r.EndsSooner())
+	return b.String()
+}
+
+// StreamGain is one stream's end-to-end comparison.
+type StreamGain struct {
+	Stream       int
+	Base, Shared time.Duration
+	Gain         float64
+}
+
+// Figure19Result is the per-stream gains figure.
+type Figure19Result struct {
+	Streams []StreamGain
+}
+
+// Figure19 computes per-stream end-to-end gains.
+func (t *Throughput) Figure19() *Figure19Result {
+	base := t.Base.PerStream()
+	shared := t.Shared.PerStream()
+	ids := make([]int, 0, len(base))
+	for s := range base {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	res := &Figure19Result{}
+	for _, s := range ids {
+		res.Streams = append(res.Streams, StreamGain{
+			Stream: s,
+			Base:   base[s],
+			Shared: shared[s],
+			Gain:   metrics.GainDur(base[s], shared[s]),
+		})
+	}
+	return res
+}
+
+// MinGain returns the smallest per-stream gain.
+func (r *Figure19Result) MinGain() float64 {
+	min := 1.0
+	for _, s := range r.Streams {
+		if s.Gain < min {
+			min = s.Gain
+		}
+	}
+	return min
+}
+
+// Render prints the per-stream table.
+func (r *Figure19Result) Render() string {
+	var b strings.Builder
+	b.WriteString("F19 — per-stream end-to-end gains\n")
+	tbl := metrics.NewTable("stream", "base", "shared", "gain")
+	for _, s := range r.Streams {
+		tbl.AddRow(fmt.Sprint(s.Stream+1),
+			metrics.FormatDuration(s.Base), metrics.FormatDuration(s.Shared), metrics.Pct(s.Gain))
+	}
+	b.WriteString(tbl.Render())
+	b.WriteString("paper: each stream gains similarly from the improved bufferpool sharing\n")
+	return b.String()
+}
+
+// QueryGain is one query template's mean execution comparison.
+type QueryGain struct {
+	Name         string
+	Base, Shared time.Duration
+	Gain         float64
+}
+
+// Figure20Result is the per-query gains figure.
+type Figure20Result struct {
+	Queries []QueryGain
+}
+
+// Figure20 computes per-query mean execution times in both modes.
+func (t *Throughput) Figure20() *Figure20Result {
+	base := t.Base.PerQuery()
+	shared := t.Shared.PerQuery()
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	// Sort q1..q22 numerically.
+	sort.Slice(names, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(names[i], "q%d", &a)
+		fmt.Sscanf(names[j], "q%d", &b)
+		if a != b {
+			return a < b
+		}
+		return names[i] < names[j]
+	})
+	res := &Figure20Result{}
+	for _, name := range names {
+		res.Queries = append(res.Queries, QueryGain{
+			Name:   name,
+			Base:   base[name],
+			Shared: shared[name],
+			Gain:   metrics.GainDur(base[name], shared[name]),
+		})
+	}
+	return res
+}
+
+// WorstGain returns the most negative per-query gain (the largest
+// regression; positive if nothing regressed).
+func (r *Figure20Result) WorstGain() float64 {
+	worst := 1.0
+	for _, q := range r.Queries {
+		if q.Gain < worst {
+			worst = q.Gain
+		}
+	}
+	return worst
+}
+
+// Render prints the per-query table.
+func (r *Figure20Result) Render() string {
+	var b strings.Builder
+	b.WriteString("F20 — per-query mean execution times (5-stream run)\n")
+	tbl := metrics.NewTable("query", "base", "shared", "gain")
+	for _, q := range r.Queries {
+		tbl.AddRow(q.Name,
+			metrics.FormatDuration(q.Base), metrics.FormatDuration(q.Shared), metrics.Pct(q.Gain))
+	}
+	b.WriteString(tbl.Render())
+	b.WriteString("paper: gains vary with the queries' scans, no query shows a (substantial) negative effect\n")
+	return b.String()
+}

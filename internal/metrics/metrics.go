@@ -1,0 +1,148 @@
+// Package metrics holds the small amount of shared arithmetic and text
+// rendering the experiment harness uses to report results the way the paper
+// does: relative gains over a baseline, aligned text tables, and ASCII bar
+// series for the "activity over time" figures.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Gain returns the relative improvement of measured over base: 1 - m/b.
+// Positive means measured is better (smaller). A non-positive base yields 0.
+func Gain(base, measured float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 1 - measured/base
+}
+
+// GainDur is Gain over durations.
+func GainDur(base, measured time.Duration) float64 {
+	return Gain(float64(base), float64(measured))
+}
+
+// GainInt is Gain over integer counters.
+func GainInt(base, measured int64) float64 {
+	return Gain(float64(base), float64(measured))
+}
+
+// Pct renders a fraction as a percentage with one decimal, e.g. "21.4%".
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Table is a simple aligned text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row. Rows shorter than the header are padded; longer rows
+// are accepted and simply widen the table.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Render produces the aligned table, one line per row, with a separator
+// under the header.
+func (t *Table) Render() string {
+	width := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	colw := make([]int, width)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > colw[i] {
+				colw[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		var line strings.Builder
+		for i := 0; i < width; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			fmt.Fprintf(&line, "%-*s", colw[i], cell)
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range colw {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(width-1)))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bars renders a labelled horizontal ASCII bar chart, the text analog of the
+// paper's per-interval bar figures. Values are scaled so the largest bar is
+// maxWidth characters wide.
+func Bars(labels []string, values []float64, maxWidth int) string {
+	if len(labels) != len(values) {
+		panic("metrics: Bars with mismatched labels and values")
+	}
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	maxV := 0.0
+	labelW := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if maxV > 0 && v > 0 {
+			n = int(v / maxV * float64(maxWidth))
+			if n == 0 {
+				n = 1 // visible marker for non-zero values
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.4g\n", labelW, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// FormatDuration renders a duration compactly with millisecond precision for
+// sub-second values and 10ms precision above.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	case d < time.Minute:
+		return d.Round(time.Millisecond).String()
+	default:
+		return d.Round(10 * time.Millisecond).String()
+	}
+}

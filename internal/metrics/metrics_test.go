@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGain(t *testing.T) {
+	cases := []struct {
+		base, measured, want float64
+	}{
+		{100, 80, 0.2},
+		{100, 100, 0},
+		{100, 120, -0.2},
+		{0, 50, 0},
+		{-5, 50, 0},
+	}
+	const eps = 1e-12
+	for _, c := range cases {
+		if got := Gain(c.base, c.measured); got < c.want-eps || got > c.want+eps {
+			t.Errorf("Gain(%g, %g) = %g, want %g", c.base, c.measured, got, c.want)
+		}
+	}
+}
+
+func TestGainDurAndInt(t *testing.T) {
+	if got := GainDur(10*time.Second, 8*time.Second); got < 0.2-1e-12 || got > 0.2+1e-12 {
+		t.Errorf("GainDur = %g", got)
+	}
+	if got := GainInt(1000, 700); got < 0.3-1e-12 || got > 0.3+1e-12 {
+		t.Errorf("GainInt = %g", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.214); got != "21.4%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(-0.05); got != "-5.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("a-much-longer-name", "23456")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator line = %q", lines[1])
+	}
+	// Columns aligned: "value" column starts at the same offset everywhere.
+	if strings.Index(lines[2], "1") == -1 || strings.Index(lines[3], "23456") == -1 {
+		t.Errorf("rows mangled:\n%s", out)
+	}
+	if strings.Index(lines[3], "23456") != strings.Index(lines[2], "1") {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+	for _, line := range lines {
+		if strings.HasSuffix(line, " ") {
+			t.Errorf("trailing whitespace in %q", line)
+		}
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tbl := NewTable("a", "b", "c")
+	tbl.AddRow("only-one")
+	out := tbl.Render()
+	if !strings.Contains(out, "only-one") {
+		t.Errorf("short row missing:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"t0", "t1", "t2"}, []float64{10, 5, 0}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if n := strings.Count(lines[0], "#"); n != 10 {
+		t.Errorf("max bar has %d chars, want 10", n)
+	}
+	if n := strings.Count(lines[1], "#"); n != 5 {
+		t.Errorf("half bar has %d chars, want 5", n)
+	}
+	if n := strings.Count(lines[2], "#"); n != 0 {
+		t.Errorf("zero bar has %d chars", n)
+	}
+}
+
+func TestBarsTinyNonZeroVisible(t *testing.T) {
+	out := Bars([]string{"a", "b"}, []float64{1000, 0.001}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "#") {
+		t.Error("tiny non-zero value rendered invisible")
+	}
+}
+
+func TestBarsMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Bars did not panic")
+		}
+	}()
+	Bars([]string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestFormatDuration(t *testing.T) {
+	if got := FormatDuration(1234567 * time.Nanosecond); got != "1.23ms" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+	if got := FormatDuration(2*time.Second + 345*time.Millisecond); got != "2.345s" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+	if got := FormatDuration(2 * time.Minute); got != "2m0s" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+}
+
+func TestGainRoundTripProperty(t *testing.T) {
+	// measured = base * (1 - Gain(base, measured)) for positive inputs.
+	f := func(base, measured uint32) bool {
+		b, m := float64(base)+1, float64(measured)+1
+		g := Gain(b, m)
+		diff := m - b*(1-g)
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

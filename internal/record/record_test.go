@@ -1,0 +1,246 @@
+package record
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema(
+		Field{"id", KindInt64},
+		Field{"price", KindFloat64},
+		Field{"comment", KindString},
+		Field{"shipdate", KindDate},
+	)
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewSchema(Field{"", KindInt64}); err == nil {
+		t.Error("empty field name accepted")
+	}
+	if _, err := NewSchema(Field{"a", Kind(42)}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := NewSchema(Field{"a", KindInt64}, Field{"a", KindString}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := testSchema(t)
+	if s.NumFields() != 4 {
+		t.Fatalf("NumFields = %d", s.NumFields())
+	}
+	if s.Field(2).Name != "comment" {
+		t.Errorf("Field(2) = %+v", s.Field(2))
+	}
+	i, err := s.Ordinal("shipdate")
+	if err != nil || i != 3 {
+		t.Errorf("Ordinal(shipdate) = %d, %v", i, err)
+	}
+	if _, err := s.Ordinal("nope"); err == nil {
+		t.Error("Ordinal of missing field succeeded")
+	}
+	if s.MustOrdinal("price") != 1 {
+		t.Error("MustOrdinal(price) != 1")
+	}
+	want := "(id bigint, price double, comment varchar, shipdate date)"
+	if s.String() != want {
+		t.Errorf("String = %q, want %q", s.String(), want)
+	}
+}
+
+func TestMustOrdinalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustOrdinal of missing field did not panic")
+		}
+	}()
+	testSchema(t).MustOrdinal("ghost")
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	in := Tuple{Int64(-42), Float64(3.25), String("hello, página"), Date(9131)}
+	buf, err := Encode(nil, s, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := EncodedSize(s, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != len(buf) {
+		t.Errorf("EncodedSize = %d, Encode produced %d bytes", size, len(buf))
+	}
+	out, n, err := Decode(nil, s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("Decode consumed %d of %d bytes", n, len(buf))
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %#v\nout: %#v", in, out)
+	}
+}
+
+func TestEncodeValidatesArityAndKinds(t *testing.T) {
+	s := testSchema(t)
+	if _, err := Encode(nil, s, Tuple{Int64(1)}); err == nil {
+		t.Error("short tuple accepted")
+	}
+	bad := Tuple{String("x"), Float64(1), String("y"), Date(0)}
+	if _, err := Encode(nil, s, bad); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if _, err := EncodedSize(s, Tuple{Int64(1)}); err == nil {
+		t.Error("EncodedSize accepted short tuple")
+	}
+	if _, err := EncodedSize(s, bad); err == nil {
+		t.Error("EncodedSize accepted kind mismatch")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	s := testSchema(t)
+	in := Tuple{Int64(7), Float64(1.5), String("abcdef"), Date(100)}
+	buf, _ := Encode(nil, s, in)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := Decode(nil, s, buf[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(buf))
+		}
+	}
+}
+
+func TestDecodeConsumesExactlyOneTuple(t *testing.T) {
+	s := testSchema(t)
+	a := Tuple{Int64(1), Float64(2), String("first"), Date(3)}
+	b := Tuple{Int64(4), Float64(5), String("second"), Date(6)}
+	buf, _ := Encode(nil, s, a)
+	buf, _ = Encode(buf, s, b)
+	gotA, n, err := Decode(nil, s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, _, err := Decode(nil, s, buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA, a) || !reflect.DeepEqual(gotB, b) {
+		t.Error("consecutive decode mismatch")
+	}
+}
+
+func TestDecodeReusesBuffer(t *testing.T) {
+	s := testSchema(t)
+	in := Tuple{Int64(1), Float64(2), String("x"), Date(3)}
+	buf, _ := Encode(nil, s, in)
+	scratch := make(Tuple, 0, 8)
+	out, _, err := Decode(scratch, s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &scratch[:1][0] {
+		t.Error("Decode did not reuse the provided backing array")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int64(1), Int64(2), -1},
+		{Int64(2), Int64(2), 0},
+		{Int64(3), Int64(2), 1},
+		{Date(10), Date(20), -1},
+		{Float64(1.5), Float64(1.5), 0},
+		{Float64(-1), Float64(1), -1},
+		{String("a"), String("b"), -1},
+		{String("b"), String("b"), 0},
+		{String("c"), String("b"), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%#v, %#v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-kind compare did not panic")
+		}
+	}()
+	Compare(Int64(1), String("1"))
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindInt64: "bigint", KindFloat64: "double", KindString: "varchar", KindDate: "date", Kind(9): "Kind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind.String() = %q, want %q", k.String(), want)
+		}
+	}
+}
+
+func TestValueGoString(t *testing.T) {
+	if got := Int64(5).GoString(); got != "5" {
+		t.Errorf("Int64 GoString = %q", got)
+	}
+	if got := String("x").GoString(); got != `"x"` {
+		t.Errorf("String GoString = %q", got)
+	}
+	if got := Date(12).GoString(); got != "date(12)" {
+		t.Errorf("Date GoString = %q", got)
+	}
+	if !strings.Contains(Float64(1.5).GoString(), "1.5") {
+		t.Errorf("Float64 GoString = %q", Float64(1.5).GoString())
+	}
+}
+
+// TestRoundTripProperty checks Encode/Decode over random tuples, including
+// large strings, NaN-adjacent floats, and extreme ints.
+func TestRoundTripProperty(t *testing.T) {
+	s := testSchema(t)
+	f := func(id int64, price float64, comment string, days int64) bool {
+		if math.IsNaN(price) {
+			price = 0 // NaN != NaN would fail DeepEqual for the wrong reason
+		}
+		in := Tuple{Int64(id), Float64(price), String(comment), Date(days)}
+		buf, err := Encode(nil, s, in)
+		if err != nil {
+			return false
+		}
+		out, n, err := Decode(nil, s, buf)
+		return err == nil && n == len(buf) && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareIsAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int64(a), Int64(b)) == -Compare(Int64(b), Int64(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return Compare(String(a), String(b)) == -Compare(String(b), String(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}

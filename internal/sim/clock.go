@@ -1,0 +1,20 @@
+package sim
+
+import (
+	"time"
+
+	"scanshare/internal/vclock"
+)
+
+// Clock adapts a Kernel to the vclock.Clock interface so components that
+// only need to *read* time (the scan sharing manager, the disk model) can be
+// wired to either virtual or wall time without knowing which.
+type Clock struct{ k *Kernel }
+
+// ClockOf returns a vclock.Clock view of the kernel's virtual time.
+func ClockOf(k *Kernel) Clock { return Clock{k: k} }
+
+// Now returns the kernel's current virtual time.
+func (c Clock) Now() time.Duration { return c.k.Now() }
+
+var _ vclock.Clock = Clock{}

@@ -1,0 +1,178 @@
+// Package sim implements a small deterministic discrete-event simulation
+// kernel. It exists because the paper's evaluation metrics — end-to-end
+// query times, disk reads, disk seeks, and the split of query time into CPU
+// work and I/O wait — depend on the *relative timing* of concurrently running
+// scans, and relative timing on a shared CI machine is noise. Running the
+// workload in virtual time makes every experiment reproducible bit-for-bit.
+//
+// The model is cooperative coroutines over a single virtual timeline:
+//
+//   - A Kernel owns virtual "now" and a min-heap of pending events.
+//   - A Proc is a goroutine spawned through the kernel. Exactly one Proc (or
+//     the kernel itself) runs at any instant; control is handed over
+//     explicitly, so simulated state needs no locking and interleavings are
+//     deterministic (ties on the timeline are broken by spawn/schedule order).
+//   - A Proc advances the timeline by calling Sleep. Work is modelled as
+//     "do the state change instantaneously, then Sleep for its cost".
+//
+// This is the classic process-interaction style of discrete-event simulation,
+// restricted to the single primitive (Sleep) that the scan workload needs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Kernel is a deterministic discrete-event scheduler. Create one with New,
+// add processes with Spawn (before or during Run), and call Run to execute
+// the simulation to completion.
+//
+// A Kernel is not safe for concurrent use from outside its own processes:
+// Spawn and Run must be called either from the goroutine that owns the kernel
+// (before Run / between Runs) or from within a running Proc.
+type Kernel struct {
+	now    time.Duration
+	events eventQueue
+	seq    uint64
+	// yield is signalled by the currently running process when it hands
+	// control back to the scheduler loop.
+	yield   chan struct{}
+	running bool
+	live    int // processes spawned and not yet finished
+}
+
+// New returns an empty kernel at virtual time zero.
+func New() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Live returns the number of spawned processes that have not finished yet.
+func (k *Kernel) Live() int { return k.live }
+
+// Proc is a simulated process. Its methods must only be called from the
+// goroutine executing the process body.
+type Proc struct {
+	k        *Kernel
+	name     string
+	resume   chan struct{}
+	finished bool
+	slept    time.Duration
+	panicked any // non-nil if the body panicked; re-raised by Run
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// Slept returns the total virtual time this process has spent in Sleep.
+func (p *Proc) Slept() time.Duration { return p.slept }
+
+// Spawn registers a new process whose body is fn. The process becomes
+// runnable at virtual time now+delay. fn runs on its own goroutine but under
+// the kernel's cooperative scheduling: it executes only between its calls to
+// Sleep.
+func (k *Kernel) Spawn(name string, delay time.Duration, fn func(p *Proc)) *Proc {
+	if delay < 0 {
+		panic("sim: Spawn with negative delay")
+	}
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.live++
+	go func() {
+		defer func() {
+			// A panicking process must still hand control back, or
+			// the kernel would deadlock; Run re-raises the panic
+			// on its own goroutine.
+			p.panicked = recover()
+			p.finished = true
+			k.live--
+			k.yield <- struct{}{}
+		}()
+		<-p.resume // wait until the kernel dispatches us for the first time
+		fn(p)
+	}()
+	k.schedule(p, k.now+delay)
+	return p
+}
+
+// Sleep advances the process's local view of time by d: the process is
+// suspended and resumes once virtual time reaches now+d. Sleeping for zero is
+// allowed and simply re-queues the process behind other events scheduled for
+// the same instant, which is how a process politely yields.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic("sim: Sleep with negative duration")
+	}
+	if p.finished {
+		panic("sim: Sleep on finished process")
+	}
+	p.slept += d
+	p.k.schedule(p, p.k.now+d)
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// Run executes events until no process remains runnable. It returns the
+// virtual time at which the simulation quiesced. Run panics if a process
+// deadlocks the simulation by blocking on anything other than Sleep.
+func (k *Kernel) Run() time.Duration {
+	if k.running {
+		panic("sim: Run called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for k.events.Len() > 0 {
+		ev := heap.Pop(&k.events).(event)
+		if ev.at < k.now {
+			panic(fmt.Sprintf("sim: event at %v is before now %v", ev.at, k.now))
+		}
+		k.now = ev.at
+		ev.p.resume <- struct{}{}
+		<-k.yield
+		if ev.p.panicked != nil {
+			panic(fmt.Sprintf("sim: process %q panicked: %v", ev.p.name, ev.p.panicked))
+		}
+	}
+	if k.live > 0 {
+		panic(fmt.Sprintf("sim: %d process(es) still live but no events pending", k.live))
+	}
+	return k.now
+}
+
+func (k *Kernel) schedule(p *Proc, at time.Duration) {
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, p: p})
+}
+
+// event is a pending resumption of a process at a point in virtual time.
+// seq breaks ties so that simultaneous events run in schedule order.
+type event struct {
+	at  time.Duration
+	seq uint64
+	p   *Proc
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}

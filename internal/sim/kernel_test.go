@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSingleProcessAdvancesTime(t *testing.T) {
+	k := New()
+	var at []time.Duration
+	k.Spawn("p", 0, func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			at = append(at, p.Now())
+			p.Sleep(10 * time.Millisecond)
+		}
+		at = append(at, p.Now())
+	})
+	end := k.Run()
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(at) != len(want) {
+		t.Fatalf("got %d observations, want %d", len(at), len(want))
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Errorf("observation %d: got %v, want %v", i, at[i], want[i])
+		}
+	}
+	if end != 30*time.Millisecond {
+		t.Errorf("Run returned %v, want 30ms", end)
+	}
+}
+
+func TestSpawnDelayDefersStart(t *testing.T) {
+	k := New()
+	var started time.Duration
+	k.Spawn("late", 42*time.Millisecond, func(p *Proc) { started = p.Now() })
+	k.Run()
+	if started != 42*time.Millisecond {
+		t.Errorf("process started at %v, want 42ms", started)
+	}
+}
+
+func TestInterleavingIsDeterministic(t *testing.T) {
+	run := func() []string {
+		k := New()
+		var trace []string
+		step := func(name string, d time.Duration, n int) func(*Proc) {
+			return func(p *Proc) {
+				for i := 0; i < n; i++ {
+					trace = append(trace, name)
+					p.Sleep(d)
+				}
+			}
+		}
+		k.Spawn("a", 0, step("a", 3*time.Millisecond, 4))
+		k.Spawn("b", 0, step("b", 2*time.Millisecond, 6))
+		k.Run()
+		return trace
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("run %d: trace length %d != %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("run %d: trace diverges at %d: %q != %q", i, j, again[j], first[j])
+			}
+		}
+	}
+}
+
+func TestTiesRunInScheduleOrder(t *testing.T) {
+	k := New()
+	var order []string
+	for _, name := range []string{"x", "y", "z"} {
+		name := name
+		k.Spawn(name, 5*time.Millisecond, func(p *Proc) { order = append(order, name) })
+	}
+	k.Run()
+	if got := order[0] + order[1] + order[2]; got != "xyz" {
+		t.Errorf("simultaneous events ran in order %q, want xyz", got)
+	}
+}
+
+func TestSleepZeroYields(t *testing.T) {
+	k := New()
+	var order []string
+	k.Spawn("a", 0, func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	k.Spawn("b", 0, func(p *Proc) {
+		order = append(order, "b1")
+	})
+	k.Run()
+	// a yields at time 0; b (scheduled at time 0) must run before a resumes.
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSpawnFromWithinProcess(t *testing.T) {
+	k := New()
+	var childStart time.Duration
+	k.Spawn("parent", 0, func(p *Proc) {
+		p.Sleep(7 * time.Millisecond)
+		k.Spawn("child", 3*time.Millisecond, func(c *Proc) { childStart = c.Now() })
+		p.Sleep(20 * time.Millisecond)
+	})
+	k.Run()
+	if childStart != 10*time.Millisecond {
+		t.Errorf("child started at %v, want 10ms", childStart)
+	}
+}
+
+func TestSleptAccounting(t *testing.T) {
+	k := New()
+	var proc *Proc
+	proc = k.Spawn("p", 0, func(p *Proc) {
+		p.Sleep(4 * time.Millisecond)
+		p.Sleep(6 * time.Millisecond)
+	})
+	k.Run()
+	if proc.Slept() != 10*time.Millisecond {
+		t.Errorf("Slept = %v, want 10ms", proc.Slept())
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	k := New()
+	panicked := make(chan bool, 1)
+	k.Spawn("p", 0, func(p *Proc) {
+		defer func() {
+			panicked <- recover() != nil
+			// Re-panic would tear down the kernel; instead finish cleanly.
+		}()
+		p.Sleep(-time.Millisecond)
+	})
+	k.Run()
+	if !<-panicked {
+		t.Error("negative Sleep did not panic")
+	}
+}
+
+func TestProcessPanicPropagatesToRun(t *testing.T) {
+	k := New()
+	k.Spawn("ok", 0, func(p *Proc) { p.Sleep(time.Millisecond) })
+	k.Spawn("boom", 0, func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		panic("kaboom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run did not re-raise the process panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "kaboom") || !strings.Contains(msg, "boom") {
+			t.Errorf("panic value = %v, want process name and message", r)
+		}
+	}()
+	k.Run()
+}
+
+func TestClockTracksKernel(t *testing.T) {
+	k := New()
+	c := ClockOf(k)
+	k.Spawn("p", 0, func(p *Proc) {
+		if c.Now() != 0 {
+			t.Errorf("clock at start: %v", c.Now())
+		}
+		p.Sleep(time.Second)
+		if c.Now() != time.Second {
+			t.Errorf("clock after sleep: %v", c.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestManyProcessesQuiesce(t *testing.T) {
+	k := New()
+	total := 0
+	for i := 0; i < 100; i++ {
+		i := i
+		k.Spawn("p", time.Duration(i)*time.Microsecond, func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				p.Sleep(time.Duration(1+i%7) * time.Microsecond)
+			}
+			total++
+		})
+	}
+	k.Run()
+	if total != 100 {
+		t.Errorf("only %d processes finished", total)
+	}
+	if k.Live() != 0 {
+		t.Errorf("Live = %d after Run", k.Live())
+	}
+}
+
+func TestResourceSingleServerSerializes(t *testing.T) {
+	r := MustNewResource(1)
+	if lat := r.Reserve(0, 10*time.Millisecond); lat != 10*time.Millisecond {
+		t.Errorf("first reservation latency %v", lat)
+	}
+	// Issued at t=5ms while busy until 10ms: waits 5ms then serves 10ms.
+	if lat := r.Reserve(5*time.Millisecond, 10*time.Millisecond); lat != 15*time.Millisecond {
+		t.Errorf("queued reservation latency %v, want 15ms", lat)
+	}
+	if q := r.QueuedTime(); q != 5*time.Millisecond {
+		t.Errorf("QueuedTime = %v, want 5ms", q)
+	}
+}
+
+func TestResourceParallelServers(t *testing.T) {
+	r := MustNewResource(2)
+	r.Reserve(0, 10*time.Millisecond)
+	if lat := r.Reserve(0, 10*time.Millisecond); lat != 10*time.Millisecond {
+		t.Errorf("second server not used: latency %v", lat)
+	}
+	// Third request queues behind the earlier of the two.
+	if lat := r.Reserve(0, 4*time.Millisecond); lat != 14*time.Millisecond {
+		t.Errorf("third reservation latency %v, want 14ms", lat)
+	}
+	if r.Servers() != 2 {
+		t.Errorf("Servers = %d", r.Servers())
+	}
+}
+
+func TestResourceZeroCostFree(t *testing.T) {
+	r := MustNewResource(1)
+	if lat := r.Reserve(0, 0); lat != 0 {
+		t.Errorf("zero-cost reservation latency %v", lat)
+	}
+}
+
+func TestResourceValidation(t *testing.T) {
+	if _, err := NewResource(0); err == nil {
+		t.Error("zero servers accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewResource(0) did not panic")
+		}
+	}()
+	MustNewResource(-1)
+}

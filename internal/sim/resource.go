@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Resource models a pool of identical servers (CPU cores, disk arms) that
+// serve one request each at a time in virtual time. A request issued at
+// `now` with a given service cost is assigned to the earliest-free server;
+// the returned latency includes any queueing delay.
+//
+// The simulated disk has its own single-server queue with seek-dependent
+// service times; Resource covers the simpler fixed-cost case, e.g. limiting
+// how much query CPU work can proceed in parallel on an n-core machine.
+type Resource struct {
+	mu     sync.Mutex
+	freeAt []time.Duration
+	// queued accumulates time requests spent waiting for a server.
+	queued time.Duration
+}
+
+// NewResource creates a resource with n servers.
+func NewResource(n int) (*Resource, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: resource with %d servers", n)
+	}
+	return &Resource{freeAt: make([]time.Duration, n)}, nil
+}
+
+// MustNewResource is NewResource for known-good n.
+func MustNewResource(n int) *Resource {
+	r, err := NewResource(n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Servers returns the server count.
+func (r *Resource) Servers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.freeAt)
+}
+
+// Reserve books `cost` of service starting no earlier than now on the
+// earliest-free server and returns the total latency the caller must wait
+// (queueing delay + cost).
+func (r *Resource) Reserve(now, cost time.Duration) time.Duration {
+	if cost <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best := 0
+	for i, f := range r.freeAt {
+		if f < r.freeAt[best] {
+			best = i
+		}
+	}
+	start := now
+	if r.freeAt[best] > start {
+		start = r.freeAt[best]
+	}
+	r.freeAt[best] = start + cost
+	r.queued += start - now
+	return start + cost - now
+}
+
+// QueuedTime returns the total time requests spent waiting for a server.
+func (r *Resource) QueuedTime() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queued
+}

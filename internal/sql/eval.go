@@ -1,0 +1,296 @@
+package sql
+
+import (
+	"fmt"
+
+	"scanshare/internal/record"
+)
+
+// The evaluator compiles a type-checked expression tree into a closure tree
+// over tuples. Types are resolved once at compile time, so per-tuple
+// evaluation does no reflection or kind switching beyond the closures
+// themselves.
+
+// valKind is the evaluator's type domain. Dates live in kInt (days since
+// epoch); record distinguishes them only for rendering.
+type valKind int
+
+const (
+	kBool valKind = iota
+	kInt
+	kFloat
+	kStr
+)
+
+func (k valKind) String() string {
+	switch k {
+	case kBool:
+		return "boolean"
+	case kInt:
+		return "integer"
+	case kFloat:
+		return "double"
+	case kStr:
+		return "varchar"
+	default:
+		return "?"
+	}
+}
+
+// value is one runtime value; only the member for its compile-time kind is
+// meaningful.
+type value struct {
+	b bool
+	i int64
+	f float64
+	s string
+}
+
+// typed is a compiled expression: its static kind plus an evaluator.
+type typed struct {
+	kind valKind
+	eval func(record.Tuple) value
+}
+
+// compileExpr type-checks e against the schema and returns its compiled
+// form.
+func compileExpr(e Expr, schema *record.Schema) (typed, error) {
+	switch x := e.(type) {
+	case ColRef:
+		ord, err := schema.Ordinal(x.Name)
+		if err != nil {
+			return typed{}, fmt.Errorf("sql: unknown column %q", x.Name)
+		}
+		switch schema.Field(ord).Kind {
+		case record.KindInt64, record.KindDate:
+			return typed{kind: kInt, eval: func(t record.Tuple) value { return value{i: t[ord].I} }}, nil
+		case record.KindFloat64:
+			return typed{kind: kFloat, eval: func(t record.Tuple) value { return value{f: t[ord].F} }}, nil
+		case record.KindString:
+			return typed{kind: kStr, eval: func(t record.Tuple) value { return value{s: t[ord].S} }}, nil
+		default:
+			return typed{}, fmt.Errorf("sql: column %q has unsupported type", x.Name)
+		}
+	case Literal:
+		v := x.Val
+		switch v.Kind {
+		case record.KindInt64, record.KindDate:
+			return typed{kind: kInt, eval: func(record.Tuple) value { return value{i: v.I} }}, nil
+		case record.KindFloat64:
+			return typed{kind: kFloat, eval: func(record.Tuple) value { return value{f: v.F} }}, nil
+		case record.KindString:
+			return typed{kind: kStr, eval: func(record.Tuple) value { return value{s: v.S} }}, nil
+		default:
+			return typed{}, fmt.Errorf("sql: unsupported literal kind")
+		}
+	case Bool:
+		v := x.Val
+		return typed{kind: kBool, eval: func(record.Tuple) value { return value{b: v} }}, nil
+	case Unary:
+		inner, err := compileExpr(x.X, schema)
+		if err != nil {
+			return typed{}, err
+		}
+		switch x.Op {
+		case "NOT":
+			if inner.kind != kBool {
+				return typed{}, fmt.Errorf("sql: NOT applied to %s", inner.kind)
+			}
+			return typed{kind: kBool, eval: func(t record.Tuple) value { return value{b: !inner.eval(t).b} }}, nil
+		case "-":
+			switch inner.kind {
+			case kInt:
+				return typed{kind: kInt, eval: func(t record.Tuple) value { return value{i: -inner.eval(t).i} }}, nil
+			case kFloat:
+				return typed{kind: kFloat, eval: func(t record.Tuple) value { return value{f: -inner.eval(t).f} }}, nil
+			}
+			return typed{}, fmt.Errorf("sql: unary minus applied to %s", inner.kind)
+		default:
+			return typed{}, fmt.Errorf("sql: unknown unary operator %q", x.Op)
+		}
+	case Binary:
+		return compileBinary(x, schema)
+	default:
+		return typed{}, fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}
+
+func compileBinary(x Binary, schema *record.Schema) (typed, error) {
+	l, err := compileExpr(x.L, schema)
+	if err != nil {
+		return typed{}, err
+	}
+	r, err := compileExpr(x.R, schema)
+	if err != nil {
+		return typed{}, err
+	}
+	switch x.Op {
+	case "AND":
+		if l.kind != kBool || r.kind != kBool {
+			return typed{}, fmt.Errorf("sql: AND over %s and %s", l.kind, r.kind)
+		}
+		return typed{kind: kBool, eval: func(t record.Tuple) value {
+			return value{b: l.eval(t).b && r.eval(t).b}
+		}}, nil
+	case "OR":
+		if l.kind != kBool || r.kind != kBool {
+			return typed{}, fmt.Errorf("sql: OR over %s and %s", l.kind, r.kind)
+		}
+		return typed{kind: kBool, eval: func(t record.Tuple) value {
+			return value{b: l.eval(t).b || r.eval(t).b}
+		}}, nil
+	case "+", "-", "*", "/":
+		return compileArith(x.Op, l, r)
+	case "=", "<>", "<", "<=", ">", ">=":
+		return compileCompare(x.Op, l, r)
+	default:
+		return typed{}, fmt.Errorf("sql: unknown operator %q", x.Op)
+	}
+}
+
+// asFloat adapts a numeric operand to float evaluation.
+func asFloat(t typed) (func(record.Tuple) float64, bool) {
+	switch t.kind {
+	case kInt:
+		return func(tp record.Tuple) float64 { return float64(t.eval(tp).i) }, true
+	case kFloat:
+		return func(tp record.Tuple) float64 { return t.eval(tp).f }, true
+	default:
+		return nil, false
+	}
+}
+
+func compileArith(op string, l, r typed) (typed, error) {
+	// Integer arithmetic stays integral except division, which always
+	// yields a double (TPC-H expressions are decimal).
+	if l.kind == kInt && r.kind == kInt && op != "/" {
+		var f func(a, b int64) int64
+		switch op {
+		case "+":
+			f = func(a, b int64) int64 { return a + b }
+		case "-":
+			f = func(a, b int64) int64 { return a - b }
+		case "*":
+			f = func(a, b int64) int64 { return a * b }
+		}
+		return typed{kind: kInt, eval: func(t record.Tuple) value {
+			return value{i: f(l.eval(t).i, r.eval(t).i)}
+		}}, nil
+	}
+	lf, okL := asFloat(l)
+	rf, okR := asFloat(r)
+	if !okL || !okR {
+		return typed{}, fmt.Errorf("sql: arithmetic %q over %s and %s", op, l.kind, r.kind)
+	}
+	var f func(a, b float64) float64
+	switch op {
+	case "+":
+		f = func(a, b float64) float64 { return a + b }
+	case "-":
+		f = func(a, b float64) float64 { return a - b }
+	case "*":
+		f = func(a, b float64) float64 { return a * b }
+	case "/":
+		f = func(a, b float64) float64 {
+			if b == 0 {
+				return 0 // SQL NULL territory; the dialect has no NULLs
+			}
+			return a / b
+		}
+	}
+	return typed{kind: kFloat, eval: func(t record.Tuple) value {
+		return value{f: f(lf(t), rf(t))}
+	}}, nil
+}
+
+func compileCompare(op string, l, r typed) (typed, error) {
+	cmp, err := comparator(l, r)
+	if err != nil {
+		return typed{}, fmt.Errorf("sql: comparison %q: %w", op, err)
+	}
+	var test func(int) bool
+	switch op {
+	case "=":
+		test = func(c int) bool { return c == 0 }
+	case "<>":
+		test = func(c int) bool { return c != 0 }
+	case "<":
+		test = func(c int) bool { return c < 0 }
+	case "<=":
+		test = func(c int) bool { return c <= 0 }
+	case ">":
+		test = func(c int) bool { return c > 0 }
+	case ">=":
+		test = func(c int) bool { return c >= 0 }
+	}
+	return typed{kind: kBool, eval: func(t record.Tuple) value {
+		return value{b: test(cmp(t))}
+	}}, nil
+}
+
+// comparator builds a three-way comparison over two compiled operands.
+func comparator(l, r typed) (func(record.Tuple) int, error) {
+	if l.kind == kStr && r.kind == kStr {
+		return func(t record.Tuple) int {
+			a, b := l.eval(t).s, r.eval(t).s
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		}, nil
+	}
+	if l.kind == kBool && r.kind == kBool {
+		return func(t record.Tuple) int {
+			a, b := l.eval(t).b, r.eval(t).b
+			switch {
+			case a == b:
+				return 0
+			case b:
+				return -1
+			}
+			return 1
+		}, nil
+	}
+	if l.kind == kInt && r.kind == kInt {
+		return func(t record.Tuple) int {
+			a, b := l.eval(t).i, r.eval(t).i
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		}, nil
+	}
+	lf, okL := asFloat(l)
+	rf, okR := asFloat(r)
+	if okL && okR {
+		return func(t record.Tuple) int {
+			a, b := lf(t), rf(t)
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		}, nil
+	}
+	return nil, fmt.Errorf("incompatible types %s and %s", l.kind, r.kind)
+}
+
+// CompilePredicate compiles a boolean expression into a tuple predicate.
+func CompilePredicate(e Expr, schema *record.Schema) (func(record.Tuple) bool, error) {
+	t, err := compileExpr(e, schema)
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != kBool {
+		return nil, fmt.Errorf("sql: WHERE expression has type %s, want boolean", t.kind)
+	}
+	return func(tp record.Tuple) bool { return t.eval(tp).b }, nil
+}

@@ -1,0 +1,113 @@
+package sql
+
+import (
+	"testing"
+
+	"scanshare/internal/record"
+)
+
+func evalSchema() *record.Schema {
+	return record.MustSchema(
+		record.Field{Name: "i", Kind: record.KindInt64},
+		record.Field{Name: "f", Kind: record.KindFloat64},
+		record.Field{Name: "s", Kind: record.KindString},
+		record.Field{Name: "d", Kind: record.KindDate},
+	)
+}
+
+func sampleTuple() record.Tuple {
+	return record.Tuple{record.Int64(10), record.Float64(2.5), record.String("abc"), record.Date(100)}
+}
+
+// predOf compiles the WHERE clause of "SELECT * FROM t WHERE <cond>".
+func predOf(t *testing.T, cond string) func(record.Tuple) bool {
+	t.Helper()
+	sel := mustParse(t, "SELECT * FROM t WHERE "+cond)
+	pred, err := CompilePredicate(sel.Where, evalSchema())
+	if err != nil {
+		t.Fatalf("compile %q: %v", cond, err)
+	}
+	return pred
+}
+
+func TestPredicateEvaluation(t *testing.T) {
+	tup := sampleTuple()
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{"i = 10", true},
+		{"i <> 10", false},
+		{"i != 10", false},
+		{"i < 11", true},
+		{"i <= 10", true},
+		{"i > 10", false},
+		{"i >= 11", false},
+		{"10 < i + 1", true},
+		{"f = 2.5", true},
+		{"f * 2 = 5.0", true},
+		{"f * 2 = 5", true}, // int/float promotion
+		{"i + f > 12", true},
+		{"i / 4 = 2.5", true}, // division is always double
+		{"i - 4 = 6", true},
+		{"-i = -10", true},
+		{"s = 'abc'", true},
+		{"s < 'abd'", true},
+		{"s <> 'xyz'", true},
+		{"d >= DATE '1992-04-01'", true}, // day 100 is 1992-04-10
+		{"d BETWEEN DATE '1992-01-01' AND DATE '1992-06-01'", true},
+		{"TRUE", true},
+		{"FALSE", false},
+		{"NOT FALSE", true},
+		{"i = 10 AND f > 2", true},
+		{"i = 10 AND f > 3", false},
+		{"i = 99 OR s = 'abc'", true},
+		{"NOT (i = 99 OR s = 'zzz')", true},
+		{"i BETWEEN 5 AND 15", true},
+		{"i BETWEEN 11 AND 15", false},
+		{"TRUE = TRUE", true},
+		{"TRUE <> FALSE", true},
+	}
+	for _, c := range cases {
+		if got := predOf(t, c.cond)(tup); got != c.want {
+			t.Errorf("%q = %v, want %v", c.cond, got, c.want)
+		}
+	}
+}
+
+func TestDivisionByZeroYieldsZero(t *testing.T) {
+	// The dialect has no NULLs; x/0 evaluates to 0 by definition.
+	if got := predOf(t, "i / 0 = 0")(sampleTuple()); !got {
+		t.Error("division by zero did not yield 0")
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	schema := evalSchema()
+	bad := []string{
+		"i + s > 2",    // arithmetic over string
+		"s > 2",        // string vs number comparison
+		"NOT i",        // NOT over number
+		"i AND TRUE",   // AND over number
+		"TRUE + 1 > 0", // arithmetic over boolean
+		"-s = 'x'",     // unary minus over string
+		"ghost = 1",    // unknown column
+		"s = 1",        // string vs int equality
+	}
+	for _, cond := range bad {
+		sel, err := Parse("SELECT * FROM t WHERE " + cond)
+		if err != nil {
+			t.Fatalf("parse %q: %v", cond, err)
+		}
+		if _, err := CompilePredicate(sel.Where, schema); err == nil {
+			t.Errorf("compile %q succeeded", cond)
+		}
+	}
+}
+
+func TestPredicateMustBeBoolean(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE i + 1")
+	if _, err := CompilePredicate(sel.Where, evalSchema()); err == nil {
+		t.Error("numeric WHERE accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Package sql implements a small SQL dialect for the engine: single-table
+// SELECT with aggregates, arithmetic and boolean expressions, GROUP BY, and
+// LIMIT. The paper's workload is SQL (TPC-H), so a SQL front end is part of
+// the substrate a downstream user expects; it compiles onto the same query
+// builder the Go API uses and feeds the scan sharing manager the same
+// optimizer-style information (range pushdown on clustered columns, CPU
+// weight derived from expression complexity).
+//
+// Grammar (case-insensitive keywords):
+//
+//	SELECT item [, item]... FROM ident [JOIN ident ON ident = ident]
+//	       [WHERE expr] [GROUP BY ident [, ident]...]
+//	       [ORDER BY ident [ASC|DESC] [, ...]] [LIMIT number]
+//	item  := * | expr [AS ident] | agg ( expr | * )
+//	agg   := COUNT | SUM | AVG | MIN | MAX
+//	expr  := disjunctions of conjunctions of comparisons over
+//	         +,-,*,/ arithmetic, column refs, numbers, 'strings',
+//	         DATE 'YYYY-MM-DD', TRUE/FALSE, BETWEEN ... AND ...,
+//	         NOT, parentheses
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+// token is one lexical element. Keywords are upper-cased; symbols hold the
+// operator text (e.g. "<=", ",", "(").
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+// keywords recognized by the lexer (upper-case canonical form).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"LIMIT": true, "AND": true, "OR": true, "NOT": true, "AS": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DATE": true, "TRUE": true, "FALSE": true, "BETWEEN": true,
+	"ORDER": true, "ASC": true, "DESC": true, "JOIN": true, "ON": true,
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(input) {
+					return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+				}
+				if input[i] == '\'' {
+					// '' escapes a quote.
+					if i+1 < len(input) && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case unicode.IsDigit(c) || (c == '.' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot := false
+			for i < len(input) {
+				d := input[i]
+				if d == '.' {
+					if seenDot {
+						break
+					}
+					seenDot = true
+					i++
+					continue
+				}
+				if d < '0' || d > '9' {
+					break
+				}
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			start := i
+			two := ""
+			if i+1 < len(input) {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, token{kind: tokSymbol, text: two, pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case ',', '(', ')', '*', '+', '-', '/', '=', '<', '>':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, text: "", pos: len(input)})
+	return toks, nil
+}

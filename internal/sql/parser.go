@@ -1,0 +1,429 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"scanshare/internal/record"
+)
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Select, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %q", p.cur().text)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+// at reports whether the current token matches kind (and text, if non-empty).
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token.
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+var aggNames = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	for {
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, p.errf("expected table name after FROM")
+	}
+	sel.From = from.text
+
+	if p.accept(tokKeyword, "JOIN") {
+		rt, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errf("expected table name after JOIN")
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		lc, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errf("expected column name in ON")
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		rc, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errf("expected column name after = in ON")
+		}
+		sel.Join = &Join{Table: rt.text, LeftCol: lc.text, RightCol: rc.text}
+	}
+
+	if p.accept(tokKeyword, "WHERE") {
+		sel.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, p.errf("expected column name in GROUP BY")
+			}
+			sel.GroupBy = append(sel.GroupBy, col.text)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, p.errf("expected column name in ORDER BY")
+			}
+			term := OrderTerm{Col: col.text}
+			if p.accept(tokKeyword, "DESC") {
+				term.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, term)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		num, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, p.errf("expected number after LIMIT")
+		}
+		n, err := strconv.ParseInt(num.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", num.text)
+		}
+		sel.Limit = n
+		sel.HasLim = true
+	}
+	return sel, nil
+}
+
+func (p *parser) parseItem() (SelectItem, error) {
+	// SELECT *
+	if p.accept(tokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// Aggregate call?
+	if p.cur().kind == tokKeyword && aggNames[p.cur().text] {
+		agg := strings.ToLower(p.next().text)
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Agg: agg}
+		if p.accept(tokSymbol, "*") {
+			if agg != "count" {
+				return SelectItem{}, p.errf("%s(*) is not valid; only COUNT(*)", agg)
+			}
+			item.Star = true
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Expr = e
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = p.parseAlias()
+		return item, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Expr: e, Alias: p.parseAlias()}, nil
+}
+
+func (p *parser) parseAlias() string {
+	if p.accept(tokKeyword, "AS") {
+		if p.cur().kind == tokIdent {
+			return p.next().text
+		}
+	}
+	return ""
+}
+
+// Expression precedence, loosest first: OR, AND, NOT, comparison/BETWEEN,
+// additive, multiplicative, unary minus, primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: "AND",
+			L: Binary{Op: ">=", L: l, R: lo},
+			R: Binary{Op: "<=", L: l, R: hi},
+		}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			canon := op
+			if canon == "!=" {
+				canon = "<>"
+			}
+			return Binary{Op: canon, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokSymbol, "+"):
+			op = "+"
+		case p.accept(tokSymbol, "-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokSymbol, "*"):
+			op = "*"
+		case p.accept(tokSymbol, "/"):
+			op = "/"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", t.text)
+			}
+			return Literal{Val: record.Float64(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.text)
+		}
+		return Literal{Val: record.Int64(n)}, nil
+	case t.kind == tokString:
+		p.next()
+		return Literal{Val: record.String(t.text)}, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.next()
+		return Bool{Val: true}, nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.next()
+		return Bool{Val: false}, nil
+	case t.kind == tokKeyword && t.text == "DATE":
+		p.next()
+		if p.cur().kind != tokString {
+			return nil, p.errf("expected 'YYYY-MM-DD' after DATE")
+		}
+		lit := p.next().text
+		days, err := parseDate(lit)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return Literal{Val: record.Date(days)}, nil
+	case t.kind == tokIdent:
+		p.next()
+		return ColRef{Name: t.text}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("unexpected %q in expression", t.text)
+	}
+}
+
+// dateEpoch anchors DATE literals: day 0 is 1992-01-01, the start of the
+// TPC-H date range, so the generated seven-year history maps onto
+// 1992..1998.
+var dateEpoch = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// parseDate converts 'YYYY-MM-DD' into days since the epoch.
+func parseDate(s string) (int64, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid date %q (want YYYY-MM-DD)", s)
+	}
+	return int64(t.Sub(dateEpoch).Hours() / 24), nil
+}
+
+// FormatDate renders days-since-epoch as 'YYYY-MM-DD' (the inverse of DATE
+// literals); exported for tools that print date values.
+func FormatDate(days int64) string {
+	return dateEpoch.Add(time.Duration(days) * 24 * time.Hour).Format("2006-01-02")
+}

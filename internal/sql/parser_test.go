@@ -1,0 +1,193 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"scanshare/internal/record"
+)
+
+func mustParse(t *testing.T, input string) *Select {
+	t.Helper()
+	sel, err := Parse(input)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", input, err)
+	}
+	return sel
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a, sum(b) FROM t WHERE x >= 1.5 AND s = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	want := []string{"SELECT", "a", ",", "SUM", "(", "b", ")", "FROM", "t", "WHERE", "x", ">=", "1.5", "AND", "s", "=", "it's", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(texts), texts, len(want))
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[len(kinds)-1] != tokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("SELECT a ; b"); err == nil {
+		t.Error("unknown character accepted")
+	}
+}
+
+func TestParseMinimal(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM lineitem")
+	if sel.From != "lineitem" || len(sel.Items) != 1 || !sel.Items[0].Star {
+		t.Errorf("parsed %+v", sel)
+	}
+	if sel.Where != nil || len(sel.GroupBy) != 0 || sel.HasLim {
+		t.Errorf("unexpected clauses: %+v", sel)
+	}
+}
+
+func TestParseFullStatement(t *testing.T) {
+	sel := mustParse(t, `
+		SELECT l_returnflag, count(*), sum(l_extendedprice) AS revenue
+		FROM lineitem
+		WHERE l_shipdate >= DATE '1997-01-01' AND l_discount BETWEEN 0.05 AND 0.07
+		GROUP BY l_returnflag
+		LIMIT 10`)
+	if len(sel.Items) != 3 {
+		t.Fatalf("items = %v", sel.Items)
+	}
+	if sel.Items[1].Agg != "count" || !sel.Items[1].Star {
+		t.Errorf("item 1 = %+v", sel.Items[1])
+	}
+	if sel.Items[2].Agg != "sum" || sel.Items[2].Alias != "revenue" {
+		t.Errorf("item 2 = %+v", sel.Items[2])
+	}
+	if sel.Where == nil {
+		t.Fatal("missing WHERE")
+	}
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0] != "l_returnflag" {
+		t.Errorf("group by = %v", sel.GroupBy)
+	}
+	if !sel.HasLim || sel.Limit != 10 {
+		t.Errorf("limit = %v %v", sel.HasLim, sel.Limit)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT c = 3")
+	// Must parse as (a=1) OR ((b=2) AND (NOT (c=3))).
+	want := "((a = 1) OR ((b = 2) AND (NOT (c = 3))))"
+	if got := sel.Where.String(); got != want {
+		t.Errorf("parsed %s, want %s", got, want)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE a + b * 2 - -c / 4 > 0")
+	want := "(((a + (b * 2)) - ((- c) / 4)) > 0)"
+	if got := sel.Where.String(); got != want {
+		t.Errorf("parsed %s, want %s", got, want)
+	}
+}
+
+func TestParseBetweenDesugars(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE x BETWEEN 1 AND 5")
+	want := "((x >= 1) AND (x <= 5))"
+	if got := sel.Where.String(); got != want {
+		t.Errorf("parsed %s, want %s", got, want)
+	}
+}
+
+func TestParseDateLiteral(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE d >= DATE '1992-01-02'")
+	b := sel.Where.(Binary)
+	lit := b.R.(Literal)
+	if lit.Val.Kind != record.KindDate || lit.Val.I != 1 {
+		t.Errorf("date literal = %#v, want day 1", lit.Val)
+	}
+	if FormatDate(1) != "1992-01-02" {
+		t.Errorf("FormatDate(1) = %q", FormatDate(1))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP x",
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t LIMIT -1",
+		"SELECT sum(*) FROM t",
+		"SELECT avg(*) FROM t",
+		"SELECT a FROM t trailing",
+		"SELECT (a FROM t",
+		"SELECT * FROM t WHERE d >= DATE '97-1-1'",
+		"SELECT * FROM t WHERE d >= DATE 5",
+		"SELECT * FROM t WHERE x BETWEEN 1",
+	}
+	for _, input := range bad {
+		if _, err := Parse(input); err == nil {
+			t.Errorf("Parse(%q) succeeded", input)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	sel := mustParse(t, "select Count(*) from t where a and b group by c limit 3")
+	if sel.Items[0].Agg != "count" || sel.From != "t" || len(sel.GroupBy) != 1 || sel.Limit != 3 {
+		t.Errorf("parsed %+v", sel)
+	}
+}
+
+func TestSelectStringRoundTrips(t *testing.T) {
+	inputs := []string{
+		"SELECT * FROM t",
+		"SELECT a, sum(b) AS s FROM t WHERE (a > 1) GROUP BY a LIMIT 5",
+	}
+	for _, in := range inputs {
+		sel := mustParse(t, in)
+		again, err := Parse(sel.String())
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v", sel.String(), err)
+			continue
+		}
+		if again.String() != sel.String() {
+			t.Errorf("round trip: %q -> %q", sel.String(), again.String())
+		}
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE a + 1 > 2 AND NOT b")
+	// AND(1) + >(1) + +(1) + a,1,2,b(4) + NOT(1) = 8
+	if got := nodeCount(sel.Where); got != 8 {
+		t.Errorf("nodeCount = %d, want 8", got)
+	}
+	if nodeCount(nil) != 0 {
+		t.Error("nodeCount(nil) != 0")
+	}
+}
+
+func TestParseErrorsMentionOffset(t *testing.T) {
+	_, err := Parse("SELECT * FROM t WHERE !")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error %v lacks offset", err)
+	}
+}

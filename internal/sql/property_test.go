@@ -1,0 +1,182 @@
+package sql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"scanshare/internal/record"
+)
+
+// genExpr builds a random well-typed boolean expression as SQL text, along
+// with a Go reference evaluator, over schema (i int, f float, s string).
+type genCtx struct {
+	rng   *rand.Rand
+	depth int
+}
+
+type refFn func(i int64, f float64, s string) bool
+
+func (g *genCtx) boolExpr() (string, refFn) {
+	if g.depth > 4 || g.rng.Intn(3) == 0 {
+		return g.comparison()
+	}
+	g.depth++
+	defer func() { g.depth-- }()
+	switch g.rng.Intn(3) {
+	case 0:
+		l, lf := g.boolExpr()
+		r, rf := g.boolExpr()
+		return fmt.Sprintf("(%s AND %s)", l, r), func(i int64, f float64, s string) bool {
+			return lf(i, f, s) && rf(i, f, s)
+		}
+	case 1:
+		l, lf := g.boolExpr()
+		r, rf := g.boolExpr()
+		return fmt.Sprintf("(%s OR %s)", l, r), func(i int64, f float64, s string) bool {
+			return lf(i, f, s) || rf(i, f, s)
+		}
+	default:
+		x, xf := g.boolExpr()
+		return fmt.Sprintf("NOT %s", x), func(i int64, f float64, s string) bool {
+			return !xf(i, f, s)
+		}
+	}
+}
+
+func (g *genCtx) comparison() (string, refFn) {
+	ops := []string{"=", "<>", "<", "<=", ">", ">="}
+	op := ops[g.rng.Intn(len(ops))]
+	test := func(c int) bool {
+		switch op {
+		case "=":
+			return c == 0
+		case "<>":
+			return c != 0
+		case "<":
+			return c < 0
+		case "<=":
+			return c <= 0
+		case ">":
+			return c > 0
+		default:
+			return c >= 0
+		}
+	}
+	switch g.rng.Intn(3) {
+	case 0: // integer arithmetic comparison
+		a, b := int64(g.rng.Intn(21)-10), int64(g.rng.Intn(21)-10)
+		expr := fmt.Sprintf("i + %d %s %d * 2", a, op, b)
+		return expr, func(i int64, f float64, s string) bool {
+			l, r := i+a, b*2
+			switch {
+			case l < r:
+				return test(-1)
+			case l > r:
+				return test(1)
+			}
+			return test(0)
+		}
+	case 1: // float comparison
+		a := float64(g.rng.Intn(100)) / 4
+		expr := fmt.Sprintf("f %s %.2f", op, a)
+		return expr, func(i int64, f float64, s string) bool {
+			switch {
+			case f < a:
+				return test(-1)
+			case f > a:
+				return test(1)
+			}
+			return test(0)
+		}
+	default: // string comparison
+		lit := []string{"a", "b", "c", "mm", "zz"}[g.rng.Intn(5)]
+		expr := fmt.Sprintf("s %s '%s'", op, lit)
+		return expr, func(i int64, f float64, s string) bool {
+			c := strings.Compare(s, lit)
+			return test(c)
+		}
+	}
+}
+
+// TestRandomExpressionsMatchReference generates random boolean expressions
+// and checks the compiled predicate against a Go reference over random
+// tuples.
+func TestRandomExpressionsMatchReference(t *testing.T) {
+	schema := record.MustSchema(
+		record.Field{Name: "i", Kind: record.KindInt64},
+		record.Field{Name: "f", Kind: record.KindFloat64},
+		record.Field{Name: "s", Kind: record.KindString},
+	)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := &genCtx{rng: rng}
+		text, ref := g.boolExpr()
+		sel, err := Parse("SELECT * FROM t WHERE " + text)
+		if err != nil {
+			t.Logf("generated %q failed to parse: %v", text, err)
+			return false
+		}
+		pred, err := CompilePredicate(sel.Where, schema)
+		if err != nil {
+			t.Logf("generated %q failed to compile: %v", text, err)
+			return false
+		}
+		for k := 0; k < 20; k++ {
+			i := int64(rng.Intn(41) - 20)
+			f := float64(rng.Intn(100)) / 4
+			s := []string{"a", "b", "c", "mm", "zz", ""}[rng.Intn(6)]
+			tup := record.Tuple{record.Int64(i), record.Float64(f), record.String(s)}
+			if pred(tup) != ref(i, f, s) {
+				t.Logf("%q diverges at i=%d f=%g s=%q", text, i, f, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanics feeds the parser mangled statements; errors are
+// fine, panics are not.
+func TestParserNeverPanics(t *testing.T) {
+	base := "SELECT a, sum(b) FROM t WHERE x >= 1.5 AND s = 'q' GROUP BY a LIMIT 3"
+	rng := rand.New(rand.NewSource(1))
+	mutations := []func(string) string{
+		func(s string) string { // drop a random chunk
+			if len(s) < 4 {
+				return s
+			}
+			i := rng.Intn(len(s) - 2)
+			j := i + 1 + rng.Intn(len(s)-i-1)
+			return s[:i] + s[j:]
+		},
+		func(s string) string { // duplicate a random chunk
+			i := rng.Intn(len(s))
+			return s[:i] + s[i:] + s[i:]
+		},
+		func(s string) string { // sprinkle random symbol
+			syms := ")(*,='<>"
+			i := rng.Intn(len(s))
+			return s[:i] + string(syms[rng.Intn(len(syms))]) + s[i:]
+		},
+	}
+	for n := 0; n < 2000; n++ {
+		s := base
+		for m := 0; m <= rng.Intn(3); m++ {
+			s = mutations[rng.Intn(len(mutations))](s)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", s, r)
+				}
+			}()
+			Parse(s) // error is fine
+		}()
+	}
+}

@@ -1,0 +1,75 @@
+// Package vclock provides a minimal clock abstraction so that the scan
+// sharing machinery can run either against the wall clock (inside a real
+// engine) or against a deterministic virtual clock (inside the discrete-event
+// simulator used by the benchmark harness).
+//
+// Time is represented as a time.Duration offset from an arbitrary epoch.
+// Everything in this repository that needs "now" takes it either from a Clock
+// or as an explicit parameter, which keeps the core algorithms trivially
+// testable.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock reports the current time as an offset from the clock's epoch.
+type Clock interface {
+	Now() time.Duration
+}
+
+// Wall is a Clock backed by the operating system clock. The zero value is
+// ready to use; its epoch is fixed on the first call to Now.
+type Wall struct {
+	once  sync.Once
+	epoch time.Time
+}
+
+// Now returns the elapsed wall time since the first call to Now.
+func (w *Wall) Now() time.Duration {
+	w.once.Do(func() { w.epoch = time.Now() })
+	return time.Since(w.epoch)
+}
+
+// Manual is a Clock that only moves when told to. It is safe for concurrent
+// use and is primarily a testing aid; the simulator has its own notion of
+// virtual time.
+type Manual struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewManual returns a Manual clock set to the given time.
+func NewManual(start time.Duration) *Manual {
+	return &Manual{now: start}
+}
+
+// Now returns the clock's current time.
+func (m *Manual) Now() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Advance moves the clock forward by d. Advancing by a negative duration
+// panics: time never moves backwards anywhere in this repository.
+func (m *Manual) Advance(d time.Duration) {
+	if d < 0 {
+		panic("vclock: Manual.Advance called with negative duration")
+	}
+	m.mu.Lock()
+	m.now += d
+	m.mu.Unlock()
+}
+
+// Set moves the clock to an absolute time. Setting the clock backwards
+// panics.
+func (m *Manual) Set(now time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now < m.now {
+		panic("vclock: Manual.Set would move time backwards")
+	}
+	m.now = now
+}

@@ -1,0 +1,58 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallMonotone(t *testing.T) {
+	var w Wall
+	a := w.Now()
+	b := w.Now()
+	if b < a {
+		t.Errorf("wall clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestManualStartsAtGivenTime(t *testing.T) {
+	m := NewManual(5 * time.Second)
+	if m.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", m.Now())
+	}
+}
+
+func TestManualAdvance(t *testing.T) {
+	m := NewManual(0)
+	m.Advance(time.Second)
+	m.Advance(2 * time.Second)
+	if m.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", m.Now())
+	}
+}
+
+func TestManualSet(t *testing.T) {
+	m := NewManual(time.Second)
+	m.Set(10 * time.Second)
+	if m.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", m.Now())
+	}
+}
+
+func TestManualSetBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set backwards did not panic")
+		}
+	}()
+	m := NewManual(time.Second)
+	m.Set(0)
+}
+
+func TestManualNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Advance did not panic")
+		}
+	}()
+	NewManual(0).Advance(-1)
+}

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"scanshare"
+)
+
+// StreamOrder returns the deterministic query permutation of the given
+// stream, in the spirit of TPC-H's per-stream ordering tables: every stream
+// runs all 22 queries, each stream in a different fixed order, so different
+// queries overlap at different points of the run.
+func StreamOrder(stream int) []int {
+	rng := rand.New(rand.NewSource(7919 + int64(stream)))
+	return rng.Perm(len(Templates()))
+}
+
+// StreamItems instantiates one stream's queries against db in the stream's
+// permutation order.
+func StreamItems(db *DB, stream int) []scanshare.StreamItem {
+	templates := Templates()
+	order := StreamOrder(stream)
+	items := make([]scanshare.StreamItem, 0, len(order))
+	for _, idx := range order {
+		items = append(items, scanshare.StreamItem{Query: templates[idx].Query(db)})
+	}
+	return items
+}
+
+// ThroughputStreams builds the n-stream TPC-H-style throughput workload: n
+// concurrent streams, each running all 22 queries back to back in its own
+// permutation order.
+func ThroughputStreams(db *DB, n int) [][]scanshare.StreamItem {
+	streams := make([][]scanshare.StreamItem, n)
+	for s := 0; s < n; s++ {
+		streams[s] = StreamItems(db, s)
+	}
+	return streams
+}
+
+// StaggeredJobs submits count copies of q, each starting interval after the
+// previous — the shape of the paper's staggered Q1/Q6 experiments (queries
+// started 10 seconds apart so their scans overlap).
+func StaggeredJobs(q *scanshare.Query, count int, interval time.Duration) []scanshare.Job {
+	jobs := make([]scanshare.Job, count)
+	for i := range jobs {
+		jobs[i] = scanshare.Job{Query: q, Start: time.Duration(i) * interval, Stream: i}
+	}
+	return jobs
+}

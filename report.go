@@ -1,0 +1,239 @@
+package scanshare
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"scanshare/internal/buffer"
+	"scanshare/internal/core"
+	"scanshare/internal/disk"
+	"scanshare/internal/metrics"
+)
+
+// QueryResult reports one job's execution: when it ran, where its time went,
+// how much it read, and what it returned.
+type QueryResult struct {
+	Name   string
+	Stream int
+	Job    int
+
+	// Start and End are relative to the beginning of the Run.
+	Start, End time.Duration
+
+	// Time decomposition, the analog of the paper's iostat readings:
+	// CPU is useful work, CPUQueueWait is time waiting for a core (only
+	// with Config.CPU.Cores set), IOWait is time blocked on own physical
+	// reads, BusyWait is time waiting on pages being read by other scans,
+	// and ThrottleWait is wait inserted by the scan sharing manager.
+	CPU, CPUQueueWait, IOWait, BusyWait, ThrottleWait time.Duration
+
+	LogicalReads  int64
+	PhysicalReads int64
+	TuplesRead    int64
+	TuplesOut     int64
+
+	// Rows are the query's result tuples.
+	Rows []Tuple
+}
+
+// Elapsed returns the query's end-to-end time.
+func (r QueryResult) Elapsed() time.Duration { return r.End - r.Start }
+
+// DiskStats summarizes device activity during a Run.
+type DiskStats struct {
+	Reads     int64
+	Seeks     int64
+	BytesRead int64
+	BusyTime  time.Duration
+	QueueWait time.Duration
+}
+
+// PoolStats summarizes buffer pool activity during a Run.
+type PoolStats struct {
+	LogicalReads int64
+	Hits         int64
+	Misses       int64
+	Evictions    int64
+}
+
+// HitRatio returns Hits / LogicalReads, or 0.
+func (p PoolStats) HitRatio() float64 {
+	if p.LogicalReads == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.LogicalReads)
+}
+
+// SharingStats summarizes scan sharing manager activity (cumulative over the
+// engine's lifetime; the SSM is global state like the pool).
+type SharingStats struct {
+	ScansStarted       int64
+	ScansFinished      int64
+	JoinPlacements     int64
+	TrailPlacements    int64
+	ResidualPlacements int64
+	ColdPlacements     int64
+	ThrottleEvents     int64
+	ThrottleTime       time.Duration
+	FairnessExemptions int64
+	ProgressReports    int64
+}
+
+// DiskSample is one bucket of the reads/seeks-over-time series, offset from
+// the beginning of the Run.
+type DiskSample struct {
+	Offset time.Duration
+	Reads  int64
+	Seeks  int64
+	Bytes  int64
+}
+
+// Report is the outcome of one Engine.Run.
+type Report struct {
+	Mode     Mode
+	Results  []QueryResult
+	Makespan time.Duration
+	Disk     DiskStats
+	// Pool aggregates buffer activity across all pools; Pools breaks it
+	// down per pool (the default pool is named "").
+	Pool       PoolStats
+	Pools      map[string]PoolStats
+	Sharing    SharingStats
+	DiskSeries []DiskSample
+}
+
+// add returns the element-wise sum of two sharing stats.
+func (s SharingStats) add(o SharingStats) SharingStats {
+	return SharingStats{
+		ScansStarted:       s.ScansStarted + o.ScansStarted,
+		ScansFinished:      s.ScansFinished + o.ScansFinished,
+		JoinPlacements:     s.JoinPlacements + o.JoinPlacements,
+		TrailPlacements:    s.TrailPlacements + o.TrailPlacements,
+		ResidualPlacements: s.ResidualPlacements + o.ResidualPlacements,
+		ColdPlacements:     s.ColdPlacements + o.ColdPlacements,
+		ThrottleEvents:     s.ThrottleEvents + o.ThrottleEvents,
+		ThrottleTime:       s.ThrottleTime + o.ThrottleTime,
+		FairnessExemptions: s.FairnessExemptions + o.FairnessExemptions,
+		ProgressReports:    s.ProgressReports + o.ProgressReports,
+	}
+}
+
+// PerStream returns each stream's end-to-end time: from its first job's
+// start to its last job's end. Streams are returned in ascending order.
+func (r *Report) PerStream() map[int]time.Duration {
+	type window struct {
+		start, end time.Duration
+		seen       bool
+	}
+	windows := map[int]*window{}
+	for _, q := range r.Results {
+		w := windows[q.Stream]
+		if w == nil {
+			w = &window{start: q.Start, end: q.End, seen: true}
+			windows[q.Stream] = w
+			continue
+		}
+		if q.Start < w.start {
+			w.start = q.Start
+		}
+		if q.End > w.end {
+			w.end = q.End
+		}
+	}
+	out := make(map[int]time.Duration, len(windows))
+	for s, w := range windows {
+		out[s] = w.end - w.start
+	}
+	return out
+}
+
+// PerQuery returns the mean elapsed time of each distinct query name.
+func (r *Report) PerQuery() map[string]time.Duration {
+	sums := map[string]time.Duration{}
+	counts := map[string]int{}
+	for _, q := range r.Results {
+		sums[q.Name] += q.Elapsed()
+		counts[q.Name]++
+	}
+	out := make(map[string]time.Duration, len(sums))
+	for name, sum := range sums {
+		out[name] = sum / time.Duration(counts[name])
+	}
+	return out
+}
+
+// TotalAcct returns the run-wide time decomposition summed over all queries.
+func (r *Report) TotalAcct() (cpu, io, busy, throttle time.Duration) {
+	for _, q := range r.Results {
+		cpu += q.CPU
+		io += q.IOWait
+		busy += q.BusyWait
+		throttle += q.ThrottleWait
+	}
+	return
+}
+
+// Summary renders a human-readable overview of the run.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%s makespan=%s queries=%d\n",
+		r.Mode, metrics.FormatDuration(r.Makespan), len(r.Results))
+	fmt.Fprintf(&b, "disk: %d reads, %d seeks, %.1f MB\n",
+		r.Disk.Reads, r.Disk.Seeks, float64(r.Disk.BytesRead)/(1<<20))
+	fmt.Fprintf(&b, "pool: %.1f%% hit ratio (%d hits / %d reads)\n",
+		r.Pool.HitRatio()*100, r.Pool.Hits, r.Pool.LogicalReads)
+	cpu, io, busy, throttle := r.TotalAcct()
+	fmt.Fprintf(&b, "time: cpu=%s io=%s busy=%s throttle=%s\n",
+		metrics.FormatDuration(cpu), metrics.FormatDuration(io),
+		metrics.FormatDuration(busy), metrics.FormatDuration(throttle))
+
+	tbl := metrics.NewTable("query", "stream", "start", "elapsed", "phys reads")
+	results := append([]QueryResult(nil), r.Results...)
+	sort.Slice(results, func(i, j int) bool { return results[i].Start < results[j].Start })
+	for _, q := range results {
+		tbl.AddRow(q.Name, fmt.Sprint(q.Stream),
+			metrics.FormatDuration(q.Start), metrics.FormatDuration(q.Elapsed()),
+			fmt.Sprint(q.PhysicalReads))
+	}
+	b.WriteString(tbl.Render())
+	return b.String()
+}
+
+// diskDelta converts internal device stats.
+func diskDelta(s disk.Stats) DiskStats {
+	return DiskStats{
+		Reads:     s.Reads,
+		Seeks:     s.Seeks,
+		BytesRead: s.BytesRead,
+		BusyTime:  s.BusyTime,
+		QueueWait: s.QueueWait,
+	}
+}
+
+// poolDelta converts internal pool stats, as the delta after-before.
+func poolDelta(after, before buffer.Stats) PoolStats {
+	return PoolStats{
+		LogicalReads: after.LogicalReads - before.LogicalReads,
+		Hits:         after.Hits - before.Hits,
+		Misses:       after.Misses - before.Misses,
+		Evictions:    after.Evictions - before.Evictions,
+	}
+}
+
+// sharingStats converts internal SSM stats.
+func sharingStats(s core.Stats) SharingStats {
+	return SharingStats{
+		ScansStarted:       s.ScansStarted,
+		ScansFinished:      s.ScansFinished,
+		JoinPlacements:     s.JoinPlacements,
+		TrailPlacements:    s.TrailPlacements,
+		ResidualPlacements: s.ResidualPlacements,
+		ColdPlacements:     s.ColdPlacements,
+		ThrottleEvents:     s.ThrottleEvents,
+		ThrottleTime:       s.ThrottleTime,
+		FairnessExemptions: s.FairnessExemptions,
+		ProgressReports:    s.ProgressReports,
+	}
+}

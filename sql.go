@@ -1,0 +1,90 @@
+package scanshare
+
+import (
+	"scanshare/internal/sql"
+)
+
+// SQL compiles a SQL SELECT statement against the engine's catalog into a
+// Query, ready to submit in Jobs or StreamItems. The dialect covers the
+// single-table analytics shape of the paper's workload:
+//
+//	SELECT l_returnflag, count(*), sum(l_extendedprice), avg(l_discount)
+//	FROM lineitem
+//	WHERE l_shipdate >= DATE '1997-01-01' AND l_discount BETWEEN 0.05 AND 0.07
+//	GROUP BY l_returnflag
+//	LIMIT 10
+//
+// The compiler feeds the scan sharing machinery the same optimizer-style
+// information the Go builder takes explicitly: range predicates on a
+// clustered column become a page-range restriction (the scan only covers the
+// matching extent of the table), and the scan's CPU weight is derived from
+// the statement's expression complexity. DATE literals are anchored at
+// 1992-01-01, the start of the TPC-H date range.
+//
+// Two-table equi-joins are supported (FROM a JOIN b ON acol = bcol); the
+// joined tables' column names must not collide, since the dialect has no
+// qualified names. Unsupported by design: multi-way joins, subqueries,
+// HAVING, NULLs, and computed select items.
+func (e *Engine) SQL(query string) (*Query, error) {
+	sel, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := e.Lookup(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := sql.Compile(sel, func(name string) (sql.Meta, error) { return e.Lookup(name) })
+	if err != nil {
+		return nil, err
+	}
+
+	var q *Query
+	if spec.Join != nil {
+		rightTbl, err := e.Lookup(spec.Join.RightFrom)
+		if err != nil {
+			return nil, err
+		}
+		q = NewQuery(tbl).Weight(spec.Weight).
+			Join(NewQuery(rightTbl).Weight(spec.Weight), spec.Join.LeftCol, spec.Join.RightCol).
+			Named(sel.From + "⋈" + spec.Join.RightFrom)
+	} else {
+		q = NewQuery(tbl).
+			Named(sel.From).
+			Range(spec.StartFrac, spec.EndFrac).
+			Weight(spec.Weight)
+	}
+	if spec.Pred != nil {
+		q.Where(spec.Pred)
+	}
+	if len(spec.Select) > 0 {
+		q.Select(spec.Select...)
+	}
+	if len(spec.GroupBy) > 0 {
+		q.GroupBy(spec.GroupBy...)
+	}
+	for _, agg := range spec.Aggs {
+		q.Aggregate(agg.Kind, agg.Column)
+	}
+	for _, term := range spec.OrderBy {
+		if term.Desc {
+			q.OrderByDesc(term.Col)
+		} else {
+			q.OrderBy(term.Col)
+		}
+	}
+	if spec.HasLimit {
+		q.Limit(spec.Limit)
+	}
+	return q, nil
+}
+
+// MustSQL is SQL panicking on error, for tests and examples with known-good
+// statements.
+func (e *Engine) MustSQL(query string) *Query {
+	q, err := e.SQL(query)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

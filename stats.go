@@ -1,0 +1,87 @@
+package scanshare
+
+import (
+	"scanshare/internal/catalog"
+	"scanshare/internal/record"
+)
+
+// colStats tracks the statistics the engine collects for one column while a
+// table loads: value bounds and whether the column arrived in non-decreasing
+// order. A monotone column is a physical clustering key — a range predicate
+// on it selects a contiguous page range, which is what turns the paper's
+// "analysts hit the last year" scenario into overlapping range scans.
+type colStats struct {
+	seen     bool
+	min, max record.Value
+	monotone bool
+	prev     record.Value
+}
+
+func newColStats(n int) []colStats {
+	out := make([]colStats, n)
+	for i := range out {
+		out[i].monotone = true
+	}
+	return out
+}
+
+// observe folds one value into the stats.
+func (c *colStats) observe(v record.Value) {
+	if !c.seen {
+		c.seen = true
+		c.min, c.max, c.prev = v, v, v
+		return
+	}
+	if record.Compare(v, c.min) < 0 {
+		c.min = v
+	}
+	if record.Compare(v, c.max) > 0 {
+		c.max = v
+	}
+	if c.monotone && record.Compare(v, c.prev) < 0 {
+		c.monotone = false
+	}
+	c.prev = v
+}
+
+// statsObserver wraps a load callback so every appended tuple updates the
+// per-column statistics.
+func statsObserver(schema *Schema, stats []colStats, add func(Tuple) error) func(Tuple) error {
+	return func(t Tuple) error {
+		if len(t) == len(stats) {
+			for i := range t {
+				stats[i].observe(t[i])
+			}
+		}
+		return add(t)
+	}
+}
+
+// tableStatsOf returns the recorded stats for a table, or nil.
+func (e *Engine) tableStatsOf(id catalog.TableID) []colStats { return e.tableStats[id] }
+
+// ColumnRange returns the minimum and maximum value the named column held at
+// load time. ok is false when the column is unknown or the table is empty.
+func (t *Table) ColumnRange(column string) (min, max Value, ok bool) {
+	ord, err := t.Schema().Ordinal(column)
+	if err != nil {
+		return Value{}, Value{}, false
+	}
+	stats := t.eng.tableStatsOf(t.id)
+	if ord >= len(stats) || !stats[ord].seen {
+		return Value{}, Value{}, false
+	}
+	return stats[ord].min, stats[ord].max, true
+}
+
+// Clustered reports whether the named column arrived in non-decreasing
+// insertion order, i.e. whether the table is physically clustered on it. A
+// range predicate on a clustered column maps to a contiguous page range.
+func (t *Table) Clustered(column string) bool {
+	ord, err := t.Schema().Ordinal(column)
+	if err != nil {
+		return false
+	}
+	stats := t.eng.tableStatsOf(t.id)
+	return ord < len(stats) && stats[ord].seen && stats[ord].monotone
+}

@@ -1,0 +1,25 @@
+# Tier-1 gate (see ROADMAP.md): every PR must pass `make check`.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent layers, run twice to shake out
+# schedule-dependent failures. See CONCURRENCY.md for the deterministic
+# seed-replay harness used to debug anything this finds.
+race:
+	$(GO) test -race -count=2 ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -27,6 +27,10 @@ func main() {
 	p := experiments.DefaultParams()
 	list := flag.Bool("list", false, "list experiments and exit")
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
+	rtScans := flag.Int("realtime", 0, "instead of experiments, run N concurrent goroutine scans in wall-clock time")
+	rtWorkers := flag.Int("rt-workers", 4, "realtime mode: prefetch worker count")
+	rtPageDelay := flag.Duration("rt-pagedelay", 50*time.Microsecond, "realtime mode: per-page processing delay")
+	rtReadDelay := flag.Duration("rt-readdelay", 200*time.Microsecond, "realtime mode: per-physical-read device delay")
 	flag.Float64Var(&p.Scale, "scale", p.Scale, "workload scale factor")
 	flag.Int64Var(&p.Seed, "seed", p.Seed, "data generation seed")
 	flag.IntVar(&p.Streams, "streams", p.Streams, "throughput run stream count")
@@ -50,6 +54,14 @@ func main() {
 	if err := p.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *rtScans > 0 {
+		if err := runRealtime(p, *rtScans, *rtWorkers, *rtPageDelay, *rtReadDelay); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	specs := experiments.All()

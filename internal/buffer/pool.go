@@ -300,6 +300,31 @@ func (p *Pool) Release(pid disk.PageID, prio Priority) error {
 	return nil
 }
 
+// ReleaseRetain unpins page pid without changing its replacement priority:
+// the frame keeps whatever priority its last Release recorded. Prefetchers
+// use it when they find a page already resident, where a plain Release would
+// overwrite the priority the owning scan chose (e.g. demote a leader's
+// high-priority page to normal just because a prefetch worker touched it).
+func (p *Pool) ReleaseRetain(pid disk.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pid]
+	if !ok {
+		return fmt.Errorf("buffer: ReleaseRetain of non-resident page %d", pid)
+	}
+	if f.state != frameValid {
+		return fmt.Errorf("buffer: ReleaseRetain of pending page %d", pid)
+	}
+	if f.pins <= 0 {
+		return fmt.Errorf("buffer: ReleaseRetain of unpinned page %d", pid)
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = p.levels[f.prio].PushBack(f)
+	}
+	return nil
+}
+
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
@@ -314,9 +339,10 @@ func (p *Pool) ResetStats() {
 	p.stats = Stats{}
 }
 
-// checkInvariants panics if internal bookkeeping is inconsistent. It is
-// exported to the package's tests via export_test.go.
-func (p *Pool) checkInvariants() {
+// CheckInvariants panics if internal bookkeeping is inconsistent. It exists
+// for tests — the pool's own and those of concurrent layers built on top —
+// as a cheap way to assert a stress run left the structure coherent.
+func (p *Pool) CheckInvariants() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.frames) > p.capacity {

@@ -133,9 +133,10 @@ type Config struct {
 	AdaptiveReporting bool
 
 	// OnEvent, when set, receives every SSM decision (placements, scan
-	// ends, throttles, fairness exemptions) for tracing. It is invoked
-	// with the manager's lock held: keep it fast and do not call back
-	// into the manager.
+	// ends, throttles, fairness exemptions) for tracing. Events are
+	// delivered in decision order after the manager's state lock is
+	// released, so the callback may synchronize with other goroutines;
+	// it must still be fast and must not call back into the manager.
 	OnEvent func(Event)
 
 	// EstimatePlacement switches the placement policy from the shipped

@@ -78,11 +78,35 @@ func (e Event) String() string {
 	}
 }
 
-// emit delivers an event to the configured observer. Called with the
-// manager lock held, so observers must be fast and must not call back into
-// the manager.
+// emit queues an event for the configured observer. Called with the manager
+// lock held; the event is delivered by deliverAndUnlock once the state lock
+// is released, so a slow observer never blocks readers of the manager state.
 func (m *Manager) emit(ev Event) {
 	if m.cfg.OnEvent != nil {
-		m.cfg.OnEvent(ev)
+		m.pending = append(m.pending, ev)
 	}
+}
+
+// deliverAndUnlock releases the state lock and hands any buffered events to
+// the observer. It acquires the delivery lock *before* releasing the state
+// lock (hand-over-hand), which guarantees observers see events in mutation
+// order without running under the state lock itself. Observers must still
+// not call back into the manager: a mutator queued behind the delivery lock
+// may hold the state lock, so a re-entrant call could deadlock.
+func (m *Manager) deliverAndUnlock() {
+	if len(m.pending) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	events := m.pending
+	m.pending = nil
+	fn := m.cfg.OnEvent
+	m.emitMu.Lock()
+	m.mu.Unlock()
+	if fn != nil {
+		for _, ev := range events {
+			fn(ev)
+		}
+	}
+	m.emitMu.Unlock()
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFairnessCapSurvivesGroupRemerges is the regression test for the
+// fairness bound's persistence: once a scan has been throttled past
+// MaxThrottleFraction of its estimated total time it must never wait again —
+// not merely within its current group, but across group dissolutions and
+// re-merges with new partners. The accumulated-throttle state lives on the
+// scan, not the group; this test would catch a refactor that moves it onto
+// the group and thereby resets the allowance whenever the group re-forms.
+func TestFairnessCapSurvivesGroupRemerges(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.MinSharePages = 1
+	cfg.MaxWaitPerUpdate = time.Hour // only the fairness cap limits waits
+	cfg.Placement = false            // positions driven explicitly below
+	m := MustNewManager(cfg)
+
+	var exemptions []ScanID
+	m.SetOnEvent(func(ev Event) {
+		if ev.Kind == EventFairnessExempted {
+			exemptions = append(exemptions, ev.Scan)
+		}
+	})
+
+	// Leader a estimates a 1s total scan: its throttle allowance is 800ms.
+	a, _, err := m.StartScan(ScanOpts{Table: 1, TablePages: 5000, EstimatedDuration: time.Second}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partner #1: establish a growing gap and burn the whole allowance in
+	// one capped wait.
+	b, _ := startScan(t, m, 1, 5000, 0)
+	report(t, m, b, 50, time.Second)
+	report(t, m, a, 500, time.Second) // gap baseline: 450 pages to b
+	if adv := report(t, m, a, 1000, time.Second); adv.Wait != 800*time.Millisecond {
+		t.Fatalf("first wait = %v, want the full 800ms allowance", adv.Wait)
+	}
+
+	// Partner #1 leaves; the group dissolves.
+	if err := m.EndScan(b, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partner #2 arrives behind a and the group re-merges. The first leader
+	// report only re-baselines the gap against the new trailer; the second
+	// sees the gap grow — the exact condition that inserted the 800ms wait
+	// above — but now the exhausted allowance must veto it.
+	c, _ := startScan(t, m, 1, 5000, 2*time.Second)
+	report(t, m, c, 910, 2200*time.Millisecond) // 90 pages behind a
+	report(t, m, a, 1100, 2500*time.Millisecond)
+	report(t, m, c, 920, 2700*time.Millisecond)
+	if adv := report(t, m, a, 1200, 3*time.Second); adv.Wait != 0 {
+		t.Fatalf("throttled after re-merge despite exhausted allowance: %+v", adv)
+	}
+	if len(exemptions) != 1 || exemptions[0] != a {
+		t.Fatalf("exemptions after first re-merge = %v, want [%d] (gap must have grown)", exemptions, a)
+	}
+
+	// Second re-merge with partner #3: still zero waits.
+	if err := m.EndScan(c, 4*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := startScan(t, m, 1, 5000, 4*time.Second)
+	report(t, m, d, 1110, 4200*time.Millisecond)
+	report(t, m, a, 1300, 4500*time.Millisecond)
+	report(t, m, d, 1120, 4700*time.Millisecond)
+	if adv := report(t, m, a, 1400, 5*time.Second); adv.Wait != 0 {
+		t.Fatalf("throttled after second re-merge: %+v", adv)
+	}
+	if len(exemptions) != 2 {
+		t.Fatalf("exemptions = %v, want two for scan %d", exemptions, a)
+	}
+
+	st := m.Stats()
+	if st.ThrottleEvents != 1 || st.ThrottleTime != 800*time.Millisecond {
+		t.Errorf("throttle totals %+v, want exactly the single 800ms wait", st)
+	}
+	if st.FairnessExemptions != 2 {
+		t.Errorf("FairnessExemptions = %d, want 2", st.FairnessExemptions)
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// These property tests complement the static-population invariants in
+// grouping_test.go with the two guarantees that only show up dynamically:
+// the greedy algorithm merges adjacent pairs in increasing distance order
+// (so any unmerged pair is at least as distant as every merged one), and
+// the structural invariants survive arbitrary interleaved start / progress /
+// end sequences, not just a single batch of starts.
+
+// checkGroupInvariants validates the structural invariants of a snapshot
+// against the manager's configuration: members live and distinct, each scan
+// in at most one group, trailer/leader at the run's ends, per-group extent
+// equal to the circular trailer→leader distance and within the pool budget,
+// and the extents summing to at most the budget.
+func checkGroupInvariants(t *testing.T, snap Snapshot, budget int, tablePages map[TableID]int) {
+	t.Helper()
+	live := make(map[ScanID]ScanInfo, len(snap.Scans))
+	for _, s := range snap.Scans {
+		live[s.ID] = s
+	}
+	seen := make(map[ScanID]bool)
+	total := 0
+	for _, g := range snap.Groups {
+		if len(g.Members) < 2 {
+			t.Fatalf("group with %d member(s): %+v", len(g.Members), g)
+		}
+		if g.Members[0] != g.Trailer || g.Members[len(g.Members)-1] != g.Leader {
+			t.Fatalf("trailer/leader not at run ends: %+v", g)
+		}
+		for _, id := range g.Members {
+			if seen[id] {
+				t.Fatalf("scan %d in more than one group: %s", id, snap)
+			}
+			seen[id] = true
+			info, ok := live[id]
+			if !ok {
+				t.Fatalf("group member %d is not a live scan: %s", id, snap)
+			}
+			if info.Table != g.Table {
+				t.Fatalf("scan %d on table %d in group of table %d", id, info.Table, g.Table)
+			}
+		}
+		dist := live[g.Leader].Position - live[g.Trailer].Position
+		if dist < 0 {
+			dist += tablePages[g.Table]
+		}
+		if dist != g.ExtentPages {
+			t.Fatalf("group extent %d but trailer→leader distance %d: %s", g.ExtentPages, dist, snap)
+		}
+		if g.ExtentPages > budget {
+			t.Fatalf("group extent %d exceeds pool budget %d: %s", g.ExtentPages, budget, snap)
+		}
+		total += g.ExtentPages
+	}
+	if total > budget {
+		t.Fatalf("group extents sum to %d, budget %d: %s", total, budget, snap)
+	}
+}
+
+// TestGroupingInvariantsUnderChurnProperty drives random interleavings of
+// StartScan / ReportProgress / EndScan — the "arbitrary start/end sequences"
+// a live system produces as groups form, split, and re-merge — and checks
+// the structural invariants after every operation.
+func TestGroupingInvariantsUnderChurnProperty(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		budget := 50 + rng.Intn(800)
+		cfg := DefaultConfig(budget)
+		cfg.MinSharePages = 1
+		m := MustNewManager(cfg)
+
+		tables := map[TableID]int{1: 400 + rng.Intn(800), 2: 400 + rng.Intn(800)}
+		type liveScan struct {
+			id        ScanID
+			length    int
+			processed int
+		}
+		var scans []liveScan
+		now := time.Duration(0)
+
+		for step := 0; step < 120; step++ {
+			now += time.Duration(1+rng.Intn(20)) * time.Millisecond
+			switch op := rng.Intn(10); {
+			case op < 4 && len(scans) < 12: // start
+				table := TableID(1 + rng.Intn(2))
+				pages := tables[table]
+				id, _, err := m.StartScan(ScanOpts{Table: table, TablePages: pages}, now)
+				if err != nil {
+					t.Fatalf("seed %d step %d: StartScan: %v", seed, step, err)
+				}
+				scans = append(scans, liveScan{id: id, length: pages})
+			case op < 8 && len(scans) > 0: // progress
+				i := rng.Intn(len(scans))
+				s := &scans[i]
+				if remaining := s.length - s.processed; remaining > 0 {
+					s.processed += 1 + rng.Intn(remaining)
+					if _, err := m.ReportProgress(s.id, s.processed, now); err != nil {
+						t.Fatalf("seed %d step %d: ReportProgress: %v", seed, step, err)
+					}
+				}
+			case len(scans) > 0: // end
+				i := rng.Intn(len(scans))
+				if err := m.EndScan(scans[i].id, now); err != nil {
+					t.Fatalf("seed %d step %d: EndScan: %v", seed, step, err)
+				}
+				scans = append(scans[:i], scans[i+1:]...)
+			}
+			checkGroupInvariants(t, m.Snapshot(), budget, tables)
+		}
+	}
+}
+
+// TestGroupingMergeOrderProperty verifies the greedy order: pairs of
+// adjacent scans merge in increasing distance order, so every adjacency
+// that stayed unmerged must be at least as distant as every merged one
+// (unless merging it would have closed a full circle), and the cheapest
+// unmerged adjacency must be exactly the one that broke the budget.
+func TestGroupingMergeOrderProperty(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		budget := 30 + rng.Intn(600)
+		m := MustNewManager(noPlacementConfig(budget))
+		tableCount := 1 + rng.Intn(2)
+		tablePages := make(map[TableID]int)
+		position := make(map[ScanID]int)
+		table := make(map[ScanID]TableID)
+
+		for ti := 1; ti <= tableCount; ti++ {
+			tid := TableID(ti)
+			pages := 300 + rng.Intn(900)
+			tablePages[tid] = pages
+			n := 2 + rng.Intn(6)
+			// Distinct positions: duplicate positions are legal but make
+			// the external reconstruction of the adjacency order depend
+			// on ID tie-breaks; the churn test covers them.
+			for _, pos := range rng.Perm(pages)[:n] {
+				id := placeAt(t, m, tid, pages, pos, 0)
+				position[id], table[id] = pos, tid
+			}
+		}
+		snap := m.Snapshot()
+		checkGroupInvariants(t, snap, budget, tablePages)
+
+		// Reconstruct the candidate adjacencies per table and mark which
+		// of them the groups actually merged.
+		type adjacency struct {
+			dist   int
+			merged bool
+			closer bool // merging would close a full circle
+		}
+		var adjs []adjacency
+		mergedLink := make(map[[2]ScanID]bool)
+		groupSize := make(map[ScanID]int) // member -> size of its group
+		for _, g := range snap.Groups {
+			for i := 0; i+1 < len(g.Members); i++ {
+				mergedLink[[2]ScanID{g.Members[i], g.Members[i+1]}] = true
+			}
+			for _, id := range g.Members {
+				groupSize[id] = len(g.Members)
+			}
+		}
+		for tid, pages := range tablePages {
+			var ids []ScanID
+			for id, tb := range table {
+				if tb == tid {
+					ids = append(ids, id)
+				}
+			}
+			for i := 0; i < len(ids); i++ {
+				for j := i + 1; j < len(ids); j++ {
+					if position[ids[j]] < position[ids[i]] {
+						ids[i], ids[j] = ids[j], ids[i]
+					}
+				}
+			}
+			n := len(ids)
+			if n < 2 {
+				continue
+			}
+			if n == 2 {
+				// Both orientations exist; the implementation keeps the
+				// shorter one.
+				forward := position[ids[1]] - position[ids[0]]
+				if backward := pages - forward; backward < forward {
+					ids[0], ids[1] = ids[1], ids[0]
+					forward = backward
+				}
+				adjs = append(adjs, adjacency{
+					dist:   forward,
+					merged: mergedLink[[2]ScanID{ids[0], ids[1]}],
+				})
+				continue
+			}
+			for i := 0; i < n; i++ {
+				behind, ahead := ids[i], ids[(i+1)%n]
+				d := position[ahead] - position[behind]
+				if d < 0 {
+					d += pages
+				}
+				adjs = append(adjs, adjacency{
+					dist:   d,
+					merged: mergedLink[[2]ScanID{behind, ahead}],
+					// If the whole table already forms one group, the one
+					// remaining adjacency would close the circle.
+					closer: groupSize[behind] == n,
+				})
+			}
+		}
+
+		maxMerged, total := -1, 0
+		minUnmerged := -1
+		for _, a := range adjs {
+			switch {
+			case a.merged:
+				total += a.dist
+				if a.dist > maxMerged {
+					maxMerged = a.dist
+				}
+			case !a.closer:
+				if minUnmerged < 0 || a.dist < minUnmerged {
+					minUnmerged = a.dist
+				}
+			}
+		}
+		if maxMerged >= 0 && minUnmerged >= 0 && minUnmerged < maxMerged {
+			t.Fatalf("seed %d: merged a %d-page pair while a %d-page pair stayed unmerged:\n%s",
+				seed, maxMerged, minUnmerged, snap)
+		}
+		if minUnmerged >= 0 && total+minUnmerged <= budget {
+			t.Fatalf("seed %d: cheapest unmerged pair (%d pages) would still fit the budget (%d used of %d):\n%s",
+				seed, minUnmerged, total, budget, snap)
+		}
+	}
+}

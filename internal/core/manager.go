@@ -200,6 +200,13 @@ type Manager struct {
 	cfg    Config
 	nextID ScanID
 	scans  map[ScanID]*scanState
+	// pending buffers decision events raised while mu is held; they are
+	// handed to the observer by deliverAndUnlock once the state lock is
+	// released. emitMu serializes deliveries so observers see events in
+	// mutation order; it is always acquired while still holding mu
+	// (hand-over-hand), never the other way around.
+	emitMu  sync.Mutex
+	pending []Event
 	// lastFinished remembers, per table, where the most recently finished
 	// scan stopped.
 	lastFinished map[TableID]residual
@@ -232,8 +239,14 @@ func MustNewManager(cfg Config) *Manager {
 	return m
 }
 
-// Config returns the manager's configuration.
-func (m *Manager) Config() Config { return m.cfg }
+// Config returns a copy of the manager's configuration. It takes the state
+// lock because SetOnEvent mutates the configuration's observer field and
+// Config is called from concurrently running scan operators.
+func (m *Manager) Config() Config {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg
+}
 
 // SetOnEvent installs (or clears) the decision-event observer; see
 // Config.OnEvent for the contract.
@@ -263,7 +276,7 @@ func (m *Manager) StartScan(opts ScanOpts, now time.Duration) (ScanID, Placement
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.deliverAndUnlock()
 
 	s := &scanState{
 		id:             m.nextID,
@@ -311,7 +324,7 @@ func (m *Manager) StartScan(opts ScanOpts, now time.Duration) (ScanID, Placement
 // expected to call this at prefetch-extent granularity.
 func (m *Manager) ReportProgress(id ScanID, pagesProcessed int, now time.Duration) (Advice, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.deliverAndUnlock()
 
 	s, ok := m.scans[id]
 	if !ok {
@@ -472,7 +485,7 @@ func (m *Manager) recordThrottle(s *scanState, wait time.Duration, gap int, now 
 // future scan on the same table can reuse leftover buffer pages.
 func (m *Manager) EndScan(id ScanID, now time.Duration) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.deliverAndUnlock()
 	s, ok := m.scans[id]
 	if !ok {
 		return fmt.Errorf("core: EndScan for unknown scan %d", id)

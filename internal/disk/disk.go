@@ -234,6 +234,27 @@ func (d *Device) Read(now time.Duration, p PageID) ([]byte, time.Duration, error
 	return data, queueWait + service, nil
 }
 
+// ReadRaw returns the contents of page p without engaging the cost model:
+// no latency is computed and the head position, busy window, counters, and
+// activity series stay untouched. The realtime execution mode reads through
+// it — its reads happen in wall-clock time, and letting them advance the
+// device's virtual-time state (head, freeAt) would corrupt any virtual-time
+// Run that follows on the same engine.
+//
+// The returned slice is the device's own copy; callers must not modify it.
+func (d *Device) ReadRaw(p PageID) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p < 0 || p >= d.alloced {
+		return nil, fmt.Errorf("disk: read of unallocated page %d", p)
+	}
+	data := d.pages[p]
+	if data == nil {
+		data = []byte{}
+	}
+	return data, nil
+}
+
 func (d *Device) record(now time.Duration, seek bool) {
 	if d.buckets == nil {
 		return

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Collector aggregates activity counters from many concurrently running scan
+// workers. Unlike the Manager's and Pool's own statistics, which live behind
+// their mutexes, the Collector is written from the hottest per-page paths of
+// the realtime execution mode, so it uses plain atomics and never blocks.
+// The zero value is ready to use.
+type Collector struct {
+	pagesRead   atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	busyRetries atomic.Int64
+
+	scansStarted atomic.Int64
+	scansEnded   atomic.Int64
+	scansStopped atomic.Int64
+
+	throttleEvents atomic.Int64
+	throttleNanos  atomic.Int64
+
+	prefetchEnqueued atomic.Int64
+	prefetchDropped  atomic.Int64
+	prefetchFilled   atomic.Int64
+}
+
+// CollectorStats is a consistent-enough snapshot of the counters: each field
+// is read atomically, but the set is not sampled at one instant. Counters
+// only grow, so sums and ratios derived from a snapshot are conservative.
+type CollectorStats struct {
+	PagesRead   int64 // pages fetched and processed by scan workers
+	Hits        int64
+	Misses      int64
+	BusyRetries int64
+
+	ScansStarted int64
+	ScansEnded   int64
+	ScansStopped int64 // scans terminated mid-flight (cancel or stop limit)
+
+	ThrottleEvents int64
+	ThrottleWait   time.Duration
+
+	PrefetchEnqueued int64 // extents accepted into the prefetch queue
+	PrefetchDropped  int64 // extents dropped because the queue was full
+	PrefetchFilled   int64 // pages a prefetch worker brought into the pool
+}
+
+// HitRatio returns Hits / PagesRead, or 0 when nothing was read.
+func (s CollectorStats) HitRatio() float64 {
+	if s.PagesRead == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.PagesRead)
+}
+
+// String renders the snapshot as one compact log line.
+func (s CollectorStats) String() string {
+	return fmt.Sprintf(
+		"scans %d/%d done (%d stopped), pages %d (%.1f%% hit, %d busy), throttles %d (%v), prefetch %d queued/%d filled/%d dropped",
+		s.ScansEnded, s.ScansStarted, s.ScansStopped,
+		s.PagesRead, s.HitRatio()*100, s.BusyRetries,
+		s.ThrottleEvents, s.ThrottleWait,
+		s.PrefetchEnqueued, s.PrefetchFilled, s.PrefetchDropped)
+}
+
+// PageHit records a buffer-pool hit for one processed page.
+func (c *Collector) PageHit() {
+	c.pagesRead.Add(1)
+	c.hits.Add(1)
+}
+
+// PageMiss records a pool miss that the scan worker filled itself.
+func (c *Collector) PageMiss() {
+	c.pagesRead.Add(1)
+	c.misses.Add(1)
+}
+
+// BusyRetry records one backoff on a page whose read is in flight elsewhere.
+func (c *Collector) BusyRetry() { c.busyRetries.Add(1) }
+
+// ScanStarted records a scan registering with the sharing manager.
+func (c *Collector) ScanStarted() { c.scansStarted.Add(1) }
+
+// ScanEnded records a scan deregistering; stopped marks a mid-flight
+// termination rather than a completed range.
+func (c *Collector) ScanEnded(stopped bool) {
+	c.scansEnded.Add(1)
+	if stopped {
+		c.scansStopped.Add(1)
+	}
+}
+
+// Throttled records one inserted wait of duration d.
+func (c *Collector) Throttled(d time.Duration) {
+	c.throttleEvents.Add(1)
+	c.throttleNanos.Add(int64(d))
+}
+
+// PrefetchEnqueued records an extent accepted into the prefetch queue.
+func (c *Collector) PrefetchEnqueued() { c.prefetchEnqueued.Add(1) }
+
+// PrefetchDropped records an extent dropped because the queue was full.
+func (c *Collector) PrefetchDropped() { c.prefetchDropped.Add(1) }
+
+// PrefetchFilled records a page a prefetch worker read into the pool.
+func (c *Collector) PrefetchFilled() { c.prefetchFilled.Add(1) }
+
+// Snapshot returns the current counter values.
+func (c *Collector) Snapshot() CollectorStats {
+	if c == nil {
+		return CollectorStats{}
+	}
+	return CollectorStats{
+		PagesRead:        c.pagesRead.Load(),
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		BusyRetries:      c.busyRetries.Load(),
+		ScansStarted:     c.scansStarted.Load(),
+		ScansEnded:       c.scansEnded.Load(),
+		ScansStopped:     c.scansStopped.Load(),
+		ThrottleEvents:   c.throttleEvents.Load(),
+		ThrottleWait:     time.Duration(c.throttleNanos.Load()),
+		PrefetchEnqueued: c.prefetchEnqueued.Load(),
+		PrefetchDropped:  c.prefetchDropped.Load(),
+		PrefetchFilled:   c.prefetchFilled.Load(),
+	}
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCollectorConcurrent hammers every counter from many goroutines and
+// checks the totals balance; run with -race to verify the atomics.
+func TestCollectorConcurrent(t *testing.T) {
+	var c Collector
+	const (
+		workers = 8
+		rounds  = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.ScanStarted()
+				c.PageHit()
+				c.PageMiss()
+				c.BusyRetry()
+				c.Throttled(time.Millisecond)
+				c.PrefetchEnqueued()
+				c.PrefetchDropped()
+				c.PrefetchFilled()
+				c.ScanEnded(i%2 == 0)
+				_ = c.Snapshot() // readers interleave with writers
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := c.Snapshot()
+	n := int64(workers * rounds)
+	if s.ScansStarted != n || s.ScansEnded != n || s.ScansStopped != n/2 {
+		t.Errorf("scan counters: %+v", s)
+	}
+	if s.PagesRead != 2*n || s.Hits != n || s.Misses != n || s.BusyRetries != n {
+		t.Errorf("page counters: %+v", s)
+	}
+	if s.ThrottleEvents != n || s.ThrottleWait != time.Duration(n)*time.Millisecond {
+		t.Errorf("throttle counters: %+v", s)
+	}
+	if s.PrefetchEnqueued != n || s.PrefetchDropped != n || s.PrefetchFilled != n {
+		t.Errorf("prefetch counters: %+v", s)
+	}
+	if got := s.HitRatio(); got != 0.5 {
+		t.Errorf("hit ratio %g, want 0.5", got)
+	}
+	if (CollectorStats{}).HitRatio() != 0 {
+		t.Errorf("zero snapshot hit ratio non-zero")
+	}
+	if s.String() == "" {
+		t.Errorf("empty String rendering")
+	}
+}

@@ -1,0 +1,351 @@
+package realtime
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"scanshare/internal/buffer"
+	"scanshare/internal/core"
+	"scanshare/internal/disk"
+	"scanshare/internal/sim"
+)
+
+// The parity test checks that the realtime goroutine runner and the
+// virtual-time sim kernel extract the *same logical decisions* from the
+// Manager for an identical 4-scan script: placements (join/trail/residual/
+// cold), page-priority hints per progress report, and the decision-event
+// sequence. Only timing may differ between the modes, so the script is
+// built to be timing-free: every Manager call is assigned a global step
+// index, the sim side executes step k at virtual time k·1ms, and the
+// realtime side gates the same calls through a turnstile hook that admits
+// them in exactly script order. Scans advance in lockstep (one extent per
+// round), so gaps never grow and no throttles fire — what remains is the
+// purely structural decision trace, which must match exactly.
+
+type parityKind int
+
+const (
+	parityStart parityKind = iota
+	parityReport
+	parityEnd
+)
+
+type parityStep struct {
+	scan  int
+	kind  parityKind
+	pages int // for parityReport: total pages processed at this report
+}
+
+// parityScript interleaves the scans round-robin: scan i starts in round
+// startRound[i], then reports one extent per round until it has covered
+// tablePages, ending immediately after its final report.
+func parityScript(startRound []int, tablePages, extent int) []parityStep {
+	var steps []parityStep
+	started := make([]bool, len(startRound))
+	ended := make([]bool, len(startRound))
+	for r := 0; ; r++ {
+		live := false
+		for i, sr := range startRound {
+			if sr > r {
+				live = true
+				continue
+			}
+			if sr == r {
+				steps = append(steps, parityStep{scan: i, kind: parityStart})
+				started[i] = true
+			}
+			if !started[i] || ended[i] {
+				continue
+			}
+			pages := extent * (r - sr + 1)
+			if pages > tablePages {
+				pages = tablePages
+			}
+			steps = append(steps, parityStep{scan: i, kind: parityReport, pages: pages})
+			if pages == tablePages {
+				steps = append(steps, parityStep{scan: i, kind: parityEnd})
+				ended[i] = true
+			} else {
+				live = true
+			}
+		}
+		if !live {
+			return steps
+		}
+	}
+}
+
+// parityTrace is what one execution mode extracted from the Manager.
+type parityTrace struct {
+	ids        []core.ScanID
+	placements []core.Placement
+	advices    [][]core.Advice // per scan, in report order
+	events     []core.Event    // decision events, Time zeroed
+	stats      core.Stats      // ThrottleTime zeroed (virtual vs real waits)
+}
+
+func normalizeEvents(events []core.Event) []core.Event {
+	out := make([]core.Event, len(events))
+	for i, ev := range events {
+		ev.Time = 0
+		out[i] = ev
+	}
+	return out
+}
+
+// runSimScript executes the script on the sim kernel: one Proc per scan,
+// performing step k at virtual time k·1ms, calling the Manager directly.
+func runSimScript(t *testing.T, cfg core.Config, script []parityStep, scans, tablePages int) parityTrace {
+	t.Helper()
+	mgr := core.MustNewManager(cfg)
+	tr := parityTrace{
+		ids:        make([]core.ScanID, scans),
+		placements: make([]core.Placement, scans),
+		advices:    make([][]core.Advice, scans),
+	}
+	mgr.SetOnEvent(func(ev core.Event) { tr.events = append(tr.events, ev) })
+
+	perScan := make([][]int, scans) // global step indices, per scan
+	for k, st := range script {
+		perScan[st.scan] = append(perScan[st.scan], k)
+	}
+
+	k := sim.New()
+	stepTime := func(idx int) time.Duration { return time.Duration(idx) * time.Millisecond }
+	for i := 0; i < scans; i++ {
+		i := i
+		mine := perScan[i]
+		k.Spawn(fmt.Sprintf("scan%d", i), stepTime(mine[0]), func(p *sim.Proc) {
+			for _, idx := range mine {
+				if d := stepTime(idx) - p.Now(); d > 0 {
+					p.Sleep(d)
+				}
+				st := script[idx]
+				switch st.kind {
+				case parityStart:
+					id, pl, err := mgr.StartScan(core.ScanOpts{
+						Table:      1,
+						TablePages: tablePages,
+					}, p.Now())
+					if err != nil {
+						panic(err)
+					}
+					tr.ids[i], tr.placements[i] = id, pl
+				case parityReport:
+					adv, err := mgr.ReportProgress(tr.ids[i], st.pages, p.Now())
+					if err != nil {
+						panic(err)
+					}
+					tr.advices[i] = append(tr.advices[i], adv)
+				case parityEnd:
+					if err := mgr.EndScan(tr.ids[i], p.Now()); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+	}
+	k.Run()
+	if n := mgr.ActiveScans(); n != 0 {
+		t.Fatalf("sim: %d scans leaked", n)
+	}
+	tr.events = normalizeEvents(tr.events)
+	tr.stats = mgr.Stats()
+	tr.stats.ThrottleTime = 0
+	return tr
+}
+
+// turnstile admits the realtime workers' Manager calls in script order: a
+// worker parks at SiteStartScan/SiteReport/SiteEndScan until the global
+// position reaches its next scripted step, and advances the position at the
+// matching Started/Reported/Ended site. Everything between Manager calls —
+// page fetches, releases, busy retries — runs freely concurrent.
+type turnstile struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	pos  int
+	next [][]int // per scan: remaining global step indices
+	errs []string
+}
+
+func newTurnstile(script []parityStep, scans int) *turnstile {
+	ts := &turnstile{next: make([][]int, scans)}
+	ts.cond = sync.NewCond(&ts.mu)
+	for k, st := range script {
+		ts.next[st.scan] = append(ts.next[st.scan], k)
+	}
+	return ts
+}
+
+func (ts *turnstile) Hook(scan int, site Site) {
+	switch site {
+	case SiteStartScan, SiteReport, SiteEndScan:
+		ts.mu.Lock()
+		if len(ts.next[scan]) == 0 {
+			// The worker is making a call the script did not predict;
+			// record it and let it through rather than deadlock.
+			ts.errs = append(ts.errs, fmt.Sprintf("scan %d: unscripted %s", scan, site))
+			ts.mu.Unlock()
+			return
+		}
+		for ts.pos != ts.next[scan][0] {
+			ts.cond.Wait()
+		}
+		ts.mu.Unlock()
+	case SiteStarted, SiteReported, SiteEnded:
+		ts.mu.Lock()
+		if len(ts.next[scan]) > 0 {
+			ts.next[scan] = ts.next[scan][1:]
+		}
+		ts.pos++
+		ts.cond.Broadcast()
+		ts.mu.Unlock()
+	}
+}
+
+// runRealScript executes the script with real goroutines through a Runner,
+// the turnstile enforcing the script's Manager-call order.
+func runRealScript(t *testing.T, cfg core.Config, script []parityStep, scans, tablePages int) parityTrace {
+	t.Helper()
+	pool := buffer.MustNewPool(cfg.BufferPoolPages)
+	mgr := core.MustNewManager(cfg)
+	tr := parityTrace{
+		ids:        make([]core.ScanID, scans),
+		placements: make([]core.Placement, scans),
+		advices:    make([][]core.Advice, scans),
+	}
+	// Event delivery happens inside Manager calls, which the turnstile
+	// serializes, so the unsynchronized append is race-free — and -race
+	// verifies that claim on every run.
+	mgr.SetOnEvent(func(ev core.Event) { tr.events = append(tr.events, ev) })
+
+	ts := newTurnstile(script, scans)
+	r, err := NewRunner(Config{
+		Pool:    pool,
+		Manager: mgr,
+		Store:   testStore{pageBytes: 16},
+		Hook:    ts.Hook,
+		// OnAdvice runs after SiteReported releases the turnstile, so it
+		// may race globally across scans; each worker appends only to its
+		// own scan's slice, which is single-writer and safe.
+		OnAdvice: func(scan, processed int, adv core.Advice) {
+			tr.advices[scan] = append(tr.advices[scan], adv)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := make([]ScanSpec, scans)
+	for i := range specs {
+		specs[i] = ScanSpec{
+			Table:      1,
+			TablePages: tablePages,
+			PageID:     func(pageNo int) disk.PageID { return disk.PageID(pageNo) },
+		}
+	}
+	results, err := r.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.errs) > 0 {
+		t.Fatalf("turnstile protocol violations: %v", ts.errs)
+	}
+	for i, res := range results {
+		tr.ids[i], tr.placements[i] = res.ID, res.Placement
+	}
+	if n := mgr.ActiveScans(); n != 0 {
+		t.Fatalf("realtime: %d scans leaked", n)
+	}
+	pool.CheckInvariants()
+	tr.events = normalizeEvents(tr.events)
+	tr.stats = mgr.Stats()
+	tr.stats.ThrottleTime = 0
+	return tr
+}
+
+func TestSimRealtimeParity(t *testing.T) {
+	const (
+		tablePages = 240
+		poolPages  = 96
+		extent     = 8
+		scans      = 4
+	)
+	cfg := core.DefaultConfig(poolPages)
+	cfg.PrefetchExtentPages = extent
+	cfg.MinSharePages = 4
+
+	startRound := []int{0, 2, 5, 8}
+	script := parityScript(startRound, tablePages, extent)
+
+	simTr := runSimScript(t, cfg, script, scans, tablePages)
+	realTr := runRealScript(t, cfg, script, scans, tablePages)
+
+	// The script keeps the scans in lockstep, so gaps never grow and no
+	// throttle may fire in either mode; with that, every remaining decision
+	// is structural and must be identical.
+	if simTr.stats.ThrottleEvents != 0 || realTr.stats.ThrottleEvents != 0 {
+		t.Fatalf("lockstep script throttled: sim %d, realtime %d events",
+			simTr.stats.ThrottleEvents, realTr.stats.ThrottleEvents)
+	}
+
+	if !reflect.DeepEqual(simTr.ids, realTr.ids) {
+		t.Errorf("scan IDs diverge: sim %v, realtime %v", simTr.ids, realTr.ids)
+	}
+	if !reflect.DeepEqual(simTr.placements, realTr.placements) {
+		t.Errorf("placements diverge:\nsim:      %+v\nrealtime: %+v",
+			simTr.placements, realTr.placements)
+	}
+	for i := range simTr.advices {
+		if !reflect.DeepEqual(simTr.advices[i], realTr.advices[i]) {
+			t.Errorf("scan %d advice traces diverge (%d vs %d reports):\nsim:      %+v\nrealtime: %+v",
+				i, len(simTr.advices[i]), len(realTr.advices[i]), simTr.advices[i], realTr.advices[i])
+		}
+	}
+	if !reflect.DeepEqual(simTr.events, realTr.events) {
+		t.Errorf("event traces diverge (%d vs %d events)", len(simTr.events), len(realTr.events))
+		max := len(simTr.events)
+		if len(realTr.events) > max {
+			max = len(realTr.events)
+		}
+		for k := 0; k < max; k++ {
+			var s, r string
+			if k < len(simTr.events) {
+				s = simTr.events[k].String()
+			}
+			if k < len(realTr.events) {
+				r = realTr.events[k].String()
+			}
+			if s != r {
+				t.Errorf("  step %d: sim %q, realtime %q", k, s, r)
+			}
+		}
+	}
+	if !reflect.DeepEqual(simTr.stats, realTr.stats) {
+		t.Errorf("manager stats diverge:\nsim:      %+v\nrealtime: %+v", simTr.stats, realTr.stats)
+	}
+
+	// Sanity: the script actually exercised sharing — later scans must have
+	// joined or trailed earlier ones, and leader/trailer hints must appear.
+	if simTr.stats.JoinPlacements+simTr.stats.TrailPlacements == 0 {
+		t.Errorf("script produced no shared placements: %+v", simTr.stats)
+	}
+	var high, low bool
+	for _, advs := range simTr.advices {
+		for _, adv := range advs {
+			if adv.Priority == core.PageHigh {
+				high = true
+			}
+			if adv.Priority == core.PageLow {
+				low = true
+			}
+		}
+	}
+	if !high || !low {
+		t.Errorf("script produced no leader/trailer priority hints (high=%v low=%v)", high, low)
+	}
+}

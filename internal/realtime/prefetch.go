@@ -1,0 +1,120 @@
+package realtime
+
+import (
+	"sync"
+
+	"scanshare/internal/buffer"
+	"scanshare/internal/disk"
+	"scanshare/internal/metrics"
+)
+
+// prefetcher is the bounded worker-pool read-ahead pipeline. Scan workers
+// enqueue the device pages of their next prefetch extent; workers drain the
+// queue and stage missing pages in the pool so the scans hit instead of
+// stalling on the store.
+//
+// Two properties keep it from fighting the scans it serves:
+//
+//   - Best-effort admission: enqueue never blocks. When the queue is full
+//     the extent is dropped (and counted) — the scan will simply read those
+//     pages itself, as it would without a prefetcher.
+//   - Coalescing: pages already being fetched by another worker are skipped
+//     via the in-flight set, so the members of a scan group — who request
+//     largely identical extents — share one read-ahead stream instead of
+//     issuing duplicate store reads.
+type prefetcher struct {
+	pool  *buffer.Pool
+	store PageStore
+	col   *metrics.Collector
+
+	reqs chan []disk.PageID
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[disk.PageID]struct{}
+}
+
+// newPrefetcher starts workers goroutines draining a queue of at most
+// queueExtents pending extents.
+func newPrefetcher(pool *buffer.Pool, store PageStore, col *metrics.Collector, workers, queueExtents int) *prefetcher {
+	p := &prefetcher{
+		pool:     pool,
+		store:    store,
+		col:      col,
+		reqs:     make(chan []disk.PageID, queueExtents),
+		inflight: make(map[disk.PageID]struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// enqueue offers one extent to the pipeline without blocking.
+func (p *prefetcher) enqueue(pids []disk.PageID) {
+	if len(pids) == 0 {
+		return
+	}
+	select {
+	case p.reqs <- pids:
+		p.col.PrefetchEnqueued()
+	default:
+		p.col.PrefetchDropped()
+	}
+}
+
+// stop drains the pipeline and joins the workers. Callers must guarantee no
+// further enqueue calls.
+func (p *prefetcher) stop() {
+	close(p.reqs)
+	p.wg.Wait()
+}
+
+func (p *prefetcher) worker() {
+	defer p.wg.Done()
+	for pids := range p.reqs {
+		for _, pid := range pids {
+			p.fetch(pid)
+		}
+	}
+}
+
+// fetch stages one page in the pool. Failures are silently dropped: a
+// prefetch that cannot complete just leaves the work to the scan.
+func (p *prefetcher) fetch(pid disk.PageID) {
+	p.mu.Lock()
+	if _, busy := p.inflight[pid]; busy {
+		p.mu.Unlock()
+		return
+	}
+	p.inflight[pid] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.inflight, pid)
+		p.mu.Unlock()
+	}()
+
+	switch st, _ := p.pool.Acquire(pid); st {
+	case buffer.Hit:
+		// Already resident: unpin without disturbing the priority the
+		// owning scan released it at.
+		p.pool.ReleaseRetain(pid)
+	case buffer.Miss:
+		data, err := p.store.ReadPage(pid)
+		if err != nil {
+			p.pool.Abort(pid)
+			return
+		}
+		if p.pool.Fill(pid, data) != nil {
+			return
+		}
+		// Normal priority: the scan that asked for the extent is about
+		// to re-acquire the page and release it at the advised level.
+		p.pool.Release(pid, buffer.PriorityNormal)
+		p.col.PrefetchFilled()
+	case buffer.Busy:
+		// Someone is reading it right now; nothing left to stage.
+	}
+}

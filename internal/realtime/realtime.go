@@ -1,0 +1,241 @@
+// Package realtime executes scan streams as real goroutines against the
+// shared buffer pool and scan sharing manager.
+//
+// The discrete-event kernel in internal/sim reproduces the paper's results in
+// virtual time, where a single goroutine serializes every interaction with
+// the Manager and the Pool. A production engine has no such serializer: many
+// workers hammer one pool and one manager concurrently, throttle advice is
+// honored with actual sleeps, and scans start, wrap, and die mid-flight at
+// arbitrary real times. This package is that execution mode:
+//
+//   - Runner runs N scans as goroutines. Each scan registers with the
+//     Manager, reads its pages through the Pool (filling misses from a
+//     PageStore), reports progress at prefetch-extent granularity, sleeps
+//     through throttle advice with context-aware waits, releases pages at
+//     the advised priority, and deregisters on completion, cancellation, or
+//     a configured mid-flight stop.
+//   - A bounded worker-pool prefetch pipeline reads upcoming extents into
+//     the pool ahead of the scans. Requests from group members covering the
+//     same pages coalesce: the queue is deduplicated per page in flight, and
+//     already-resident pages are left untouched (ReleaseRetain).
+//   - A Hook test point fires at every Manager call site, which is what the
+//     deterministic schedule-perturbation harness (Sched) latches onto: with
+//     a Hook, a seeded Sched serializes the workers at those points in a
+//     pseudo-random but fully reproducible order, so an interleaving bug
+//     reproduces from its seed alone.
+//
+// See CONCURRENCY.md at the repository root for the locking discipline and
+// for how to replay a failing interleaving.
+package realtime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"scanshare/internal/buffer"
+	"scanshare/internal/core"
+	"scanshare/internal/disk"
+	"scanshare/internal/metrics"
+	"scanshare/internal/vclock"
+)
+
+// Site labels a hook point inside a scan worker. "Before" sites fire before
+// the named call, "after" sites (past tense) fire once it returned; a
+// perturbation hook may block at any of them.
+type Site string
+
+// Hook sites, in the order a scan visits them.
+const (
+	// SiteSpawn fires when the scan goroutine starts, before its start
+	// delay.
+	SiteSpawn Site = "spawn"
+	// SiteStartScan and SiteStarted bracket Manager.StartScan.
+	SiteStartScan Site = "start-scan"
+	SiteStarted   Site = "started"
+	// SiteBusy fires before backing off on a Busy page acquire.
+	SiteBusy Site = "busy"
+	// SiteReport and SiteReported bracket Manager.ReportProgress.
+	SiteReport   Site = "report"
+	SiteReported Site = "reported"
+	// SiteThrottle fires before sleeping a throttle wait.
+	SiteThrottle Site = "throttle"
+	// SiteEndScan and SiteEnded bracket Manager.EndScan.
+	SiteEndScan Site = "end-scan"
+	SiteEnded   Site = "ended"
+	// SiteExit fires exactly once when the scan goroutine finishes, after
+	// any SiteEnded. Scheduler hooks use it to retire the worker; it must
+	// not block.
+	SiteExit Site = "exit"
+)
+
+// Hook observes (and, in perturbation harnesses, delays) a scan worker at a
+// site. It is called from the worker's own goroutine.
+type Hook func(scan int, site Site)
+
+// PageStore supplies page contents for buffer-pool misses. Implementations
+// must be safe for concurrent use; the returned bytes are handed to
+// Pool.Fill and must not be mutated afterwards.
+type PageStore interface {
+	ReadPage(pid disk.PageID) ([]byte, error)
+}
+
+// StoreFunc adapts a function to the PageStore interface.
+type StoreFunc func(pid disk.PageID) ([]byte, error)
+
+// ReadPage calls f.
+func (f StoreFunc) ReadPage(pid disk.PageID) ([]byte, error) { return f(pid) }
+
+// Config assembles the shared structures a Runner operates on and its
+// tuning knobs. Pool, Manager, and Store are required.
+type Config struct {
+	Pool    *buffer.Pool
+	Manager *core.Manager
+	Store   PageStore
+
+	// Clock supplies the timestamps passed to the Manager. Defaults to a
+	// wall clock; perturbation harnesses substitute a deterministic one.
+	Clock vclock.Clock
+
+	// Collector receives activity counters; optional. All runner and
+	// prefetcher counters funnel into it.
+	Collector *metrics.Collector
+
+	// PrefetchWorkers sets the size of the prefetch worker pool; 0
+	// disables prefetching. PrefetchQueueExtents bounds the request
+	// channel (defaults to 2×workers); when the queue is full, requests
+	// are dropped, not blocked on — prefetch is best-effort.
+	PrefetchWorkers      int
+	PrefetchQueueExtents int
+
+	// BusyRetryDelay is the backoff before re-requesting a page whose
+	// read is in flight elsewhere. Defaults to 200µs.
+	BusyRetryDelay time.Duration
+
+	// Sleep waits for d or until ctx is done. Defaults to a timer-based
+	// wait; perturbation harnesses substitute a virtual-clock advance.
+	Sleep func(ctx context.Context, d time.Duration)
+
+	// Hook, when set, fires at every Site. Nil means no instrumentation.
+	Hook Hook
+
+	// OnAdvice, when set, observes every progress report's advice from
+	// the worker's goroutine (after SiteReported). Used by parity tests
+	// and decision tracing.
+	OnAdvice func(scan int, processed int, adv core.Advice)
+}
+
+// ScanSpec describes one scan stream.
+type ScanSpec struct {
+	// Table and TablePages identify and size the scanned table.
+	Table      core.TableID
+	TablePages int
+	// StartPage and EndPage bound the scan to [StartPage, EndPage);
+	// EndPage == 0 means the end of the table.
+	StartPage, EndPage int
+	// PageID maps a table-relative page number to its device page.
+	PageID func(pageNo int) disk.PageID
+	// EstimatedDuration and Importance are passed to the Manager.
+	EstimatedDuration time.Duration
+	Importance        core.Importance
+	// StartDelay staggers the scan's start.
+	StartDelay time.Duration
+	// StopAfterPages > 0 terminates the scan mid-flight after that many
+	// pages, modelling a query that ends early (LIMIT, error, kill).
+	StopAfterPages int
+	// PageDelay, when positive, is slept after each page to model
+	// per-page processing cost; it creates the speed differentials that
+	// make grouping and throttling interesting.
+	PageDelay time.Duration
+}
+
+// ScanResult reports one scan's outcome.
+type ScanResult struct {
+	Scan      int // index into the spec slice
+	ID        core.ScanID
+	Placement core.Placement
+
+	PagesRead   int
+	Hits        int64
+	Misses      int64
+	BusyRetries int64
+	// Checksum folds one byte of every processed page, so the race
+	// detector sees workers reading shared frame bytes and tests can
+	// assert all workers observed identical table contents.
+	Checksum uint64
+
+	ThrottleWait   time.Duration
+	Started, Done  time.Duration // Config.Clock times
+	Stopped        bool          // terminated before covering its range
+	Err            error
+}
+
+// Runner executes batches of scans against one pool/manager pair.
+type Runner struct {
+	cfg Config
+}
+
+// NewRunner validates cfg, applies defaults, and returns a Runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("realtime: Config without Pool")
+	}
+	if cfg.Manager == nil {
+		return nil, fmt.Errorf("realtime: Config without Manager")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("realtime: Config without Store")
+	}
+	if cfg.PrefetchWorkers < 0 {
+		return nil, fmt.Errorf("realtime: negative PrefetchWorkers %d", cfg.PrefetchWorkers)
+	}
+	if cfg.BusyRetryDelay < 0 {
+		return nil, fmt.Errorf("realtime: negative BusyRetryDelay %v", cfg.BusyRetryDelay)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = &vclock.Wall{}
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = new(metrics.Collector)
+	}
+	if cfg.BusyRetryDelay == 0 {
+		cfg.BusyRetryDelay = 200 * time.Microsecond
+	}
+	if cfg.PrefetchQueueExtents <= 0 {
+		cfg.PrefetchQueueExtents = 2 * cfg.PrefetchWorkers
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = ctxSleep
+	}
+	return &Runner{cfg: cfg}, nil
+}
+
+// Collector returns the runner's collector (the configured one, or the
+// default the runner created).
+func (r *Runner) Collector() *metrics.Collector { return r.cfg.Collector }
+
+// ctxSleep waits for d or until ctx is done, whichever comes first.
+func ctxSleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// poolPriority maps the Manager's engine-agnostic hint onto the pool's
+// priority levels (same mapping as the virtual-time executor).
+func poolPriority(hint core.PagePriority) buffer.Priority {
+	switch hint {
+	case core.PageLow:
+		return buffer.PriorityLow
+	case core.PageHigh:
+		return buffer.PriorityHigh
+	default:
+		return buffer.PriorityNormal
+	}
+}

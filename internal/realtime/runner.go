@@ -1,0 +1,258 @@
+package realtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"scanshare/internal/buffer"
+	"scanshare/internal/core"
+	"scanshare/internal/disk"
+)
+
+// Run executes the specs concurrently, one goroutine per scan, and returns
+// one result per spec (index-aligned). Cancelling ctx stops every scan at
+// its next page boundary; stopped scans are deregistered cleanly and their
+// results marked Stopped rather than failed. The returned error joins hard
+// failures only (Manager rejections, store errors) — cancellation is not an
+// error.
+func (r *Runner) Run(ctx context.Context, specs []ScanSpec) ([]ScanResult, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("realtime: Run with no scans")
+	}
+	for i, spec := range specs {
+		if spec.TablePages <= 0 {
+			return nil, fmt.Errorf("realtime: scan %d of table with %d pages", i, spec.TablePages)
+		}
+		if spec.PageID == nil {
+			return nil, fmt.Errorf("realtime: scan %d without a PageID mapping", i)
+		}
+		if spec.StartDelay < 0 || spec.PageDelay < 0 || spec.StopAfterPages < 0 {
+			return nil, fmt.Errorf("realtime: scan %d has a negative knob", i)
+		}
+	}
+
+	var pf *prefetcher
+	if r.cfg.PrefetchWorkers > 0 {
+		pf = newPrefetcher(r.cfg.Pool, r.cfg.Store, r.cfg.Collector,
+			r.cfg.PrefetchWorkers, r.cfg.PrefetchQueueExtents)
+	}
+
+	results := make([]ScanResult, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.runScan(ctx, i, specs[i], pf, &results[i])
+		}()
+	}
+	wg.Wait()
+	if pf != nil {
+		pf.stop()
+	}
+
+	var errs []error
+	for i := range results {
+		if results[i].Err != nil {
+			errs = append(errs, fmt.Errorf("scan %d: %w", i, results[i].Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// runScan is the body of one scan worker.
+func (r *Runner) runScan(ctx context.Context, idx int, spec ScanSpec, pf *prefetcher, res *ScanResult) {
+	cfg := &r.cfg
+	res.Scan = idx
+	res.ID = core.NoScan
+	hook := func(site Site) {
+		if cfg.Hook != nil {
+			cfg.Hook(idx, site)
+		}
+	}
+	defer hook(SiteExit)
+
+	hook(SiteSpawn)
+	if spec.StartDelay > 0 {
+		cfg.Sleep(ctx, spec.StartDelay)
+	}
+	if ctx.Err() != nil {
+		res.Stopped = true
+		return
+	}
+
+	end := spec.EndPage
+	if end == 0 {
+		end = spec.TablePages
+	}
+	length := end - spec.StartPage
+
+	hook(SiteStartScan)
+	id, pl, err := cfg.Manager.StartScan(core.ScanOpts{
+		Table:             spec.Table,
+		TablePages:        spec.TablePages,
+		StartPage:         spec.StartPage,
+		EndPage:           spec.EndPage,
+		EstimatedDuration: spec.EstimatedDuration,
+		Importance:        spec.Importance,
+	}, cfg.Clock.Now())
+	hook(SiteStarted)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	cfg.Collector.ScanStarted()
+	res.ID = id
+	res.Placement = pl
+	res.Started = cfg.Clock.Now()
+
+	// The scan always deregisters, whatever path it leaves on: leaked
+	// registrations would pin group structure and placement decisions for
+	// every later scan of the table.
+	defer func() {
+		hook(SiteEndScan)
+		if err := cfg.Manager.EndScan(id, cfg.Clock.Now()); err != nil && res.Err == nil {
+			res.Err = err
+		}
+		hook(SiteEnded)
+		cfg.Collector.ScanEnded(res.Stopped)
+		res.Done = cfg.Clock.Now()
+	}()
+
+	limit := length
+	if spec.StopAfterPages > 0 && spec.StopAfterPages < length {
+		limit = spec.StopAfterPages
+		res.Stopped = true
+	}
+	interval := cfg.Manager.Config().PrefetchExtentPages
+	reportAt := interval
+	prio := core.PageNormal
+
+	pageNo := func(i int) int {
+		return spec.StartPage + (pl.Origin-spec.StartPage+i)%length
+	}
+
+	for v := 0; v < limit; v++ {
+		if ctx.Err() != nil {
+			res.Stopped = true
+			return
+		}
+		// At each extent boundary, ask the prefetch pipeline to stage
+		// the following extent. Requests are deduplicated downstream,
+		// so a whole group effectively issues one read-ahead stream.
+		if pf != nil && v%interval == 0 {
+			pf.enqueue(r.extentPIDs(spec, pageNo, v+interval, limit, interval))
+		}
+
+		pid := spec.PageID(pageNo(v))
+		data, ok := r.fetchPage(ctx, idx, pid, hook, res)
+		if !ok {
+			return
+		}
+		if len(data) > 0 {
+			res.Checksum += uint64(data[0]) + uint64(data[len(data)-1])<<8
+		}
+		res.PagesRead++
+		if spec.PageDelay > 0 {
+			cfg.Sleep(ctx, spec.PageDelay)
+		}
+
+		done := v + 1
+		if done >= reportAt || done == limit {
+			hook(SiteReport)
+			adv, err := cfg.Manager.ReportProgress(id, done, cfg.Clock.Now())
+			hook(SiteReported)
+			if err != nil {
+				r.releasePage(pid, prio, res)
+				res.Err = err
+				return
+			}
+			if cfg.OnAdvice != nil {
+				cfg.OnAdvice(idx, done, adv)
+			}
+			prio = adv.Priority
+			next := adv.NextReportPages
+			if next <= 0 {
+				next = interval
+			}
+			reportAt = done + next
+			if adv.Wait > 0 {
+				cfg.Collector.Throttled(adv.Wait)
+				res.ThrottleWait += adv.Wait
+				hook(SiteThrottle)
+				cfg.Sleep(ctx, adv.Wait)
+			}
+		}
+		r.releasePage(pid, prio, res)
+	}
+}
+
+// fetchPage pins pid, filling it from the store on a miss and backing off
+// while another worker's read is in flight. ok=false means the scan should
+// stop (context cancelled or hard error, recorded in res).
+func (r *Runner) fetchPage(ctx context.Context, idx int, pid disk.PageID, hook func(Site), res *ScanResult) ([]byte, bool) {
+	cfg := &r.cfg
+	for {
+		st, data := cfg.Pool.Acquire(pid)
+		switch st {
+		case buffer.Hit:
+			cfg.Collector.PageHit()
+			res.Hits++
+			return data, true
+		case buffer.Miss:
+			cfg.Collector.PageMiss()
+			res.Misses++
+			data, err := cfg.Store.ReadPage(pid)
+			if err != nil {
+				cfg.Pool.Abort(pid)
+				res.Err = err
+				return nil, false
+			}
+			if err := cfg.Pool.Fill(pid, data); err != nil {
+				res.Err = err
+				return nil, false
+			}
+			return data, true
+		case buffer.Busy:
+			cfg.Collector.BusyRetry()
+			res.BusyRetries++
+			hook(SiteBusy)
+			cfg.Sleep(ctx, cfg.BusyRetryDelay)
+			if ctx.Err() != nil {
+				res.Stopped = true
+				return nil, false
+			}
+		default:
+			res.Err = fmt.Errorf("realtime: unexpected acquire status %v", st)
+			return nil, false
+		}
+	}
+}
+
+// releasePage unpins a processed page at the advised priority, recording
+// bookkeeping errors (they indicate a runner bug, not a workload condition).
+func (r *Runner) releasePage(pid disk.PageID, prio core.PagePriority, res *ScanResult) {
+	if err := r.cfg.Pool.Release(pid, poolPriority(prio)); err != nil && res.Err == nil {
+		res.Err = err
+	}
+}
+
+// extentPIDs collects the device pages of the extent starting at scan-order
+// index from, clipped to the scan's limit.
+func (r *Runner) extentPIDs(spec ScanSpec, pageNo func(int) int, from, limit, interval int) []disk.PageID {
+	if from >= limit {
+		return nil
+	}
+	to := from + interval
+	if to > limit {
+		to = limit
+	}
+	pids := make([]disk.PageID, 0, to-from)
+	for i := from; i < to; i++ {
+		pids = append(pids, spec.PageID(pageNo(i)))
+	}
+	return pids
+}

@@ -1,0 +1,306 @@
+package realtime
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"scanshare/internal/buffer"
+	"scanshare/internal/core"
+	"scanshare/internal/disk"
+	"scanshare/internal/metrics"
+)
+
+// testStore serves synthetic pages whose first and last bytes encode the
+// page ID, so scans can checksum what they read.
+type testStore struct{ pageBytes int }
+
+func (s testStore) ReadPage(pid disk.PageID) ([]byte, error) {
+	n := s.pageBytes
+	if n < 2 {
+		n = 2
+	}
+	data := make([]byte, n)
+	data[0] = byte(pid)
+	data[n-1] = byte(pid >> 8)
+	return data, nil
+}
+
+// wantChecksum is the checksum a scan accumulates over pages [base+start,
+// base+end) of testStore content, independent of visit order.
+func wantChecksum(base disk.PageID, start, end, pageBytes int) uint64 {
+	var sum uint64
+	for p := start; p < end; p++ {
+		pid := base + disk.PageID(p)
+		data := make([]byte, pageBytes)
+		data[0] = byte(pid)
+		data[pageBytes-1] = byte(pid >> 8)
+		sum += uint64(data[0]) + uint64(data[len(data)-1])<<8
+	}
+	return sum
+}
+
+func testManagerConfig(poolPages int) core.Config {
+	cfg := core.DefaultConfig(poolPages)
+	cfg.PrefetchExtentPages = 8
+	cfg.MinSharePages = 4
+	// Keep real sleeps short: throttling behavior is exercised, test
+	// wall time stays bounded.
+	cfg.MaxWaitPerUpdate = 300 * time.Microsecond
+	return cfg
+}
+
+// TestRunnerStress runs 20 concurrent goroutine scans — staggered starts,
+// mixed speeds, partial ranges, mid-scan terminations — against one shared
+// pool and manager, with the prefetch pipeline on and concurrent metadata
+// readers polling throughout. Run with -race; this is the suite's main
+// concurrency workout.
+func TestRunnerStress(t *testing.T) {
+	const (
+		tablePages = 400
+		poolPages  = 200
+		pageBytes  = 64
+		scans      = 20
+	)
+	pool := buffer.MustNewPool(poolPages)
+	mgr := core.MustNewManager(testManagerConfig(poolPages))
+	store := testStore{pageBytes: pageBytes}
+
+	// Trace events through the observer to verify delivery is race-free
+	// and complete.
+	var traceMu sync.Mutex
+	var trace []core.Event
+	mgr.SetOnEvent(func(ev core.Event) {
+		traceMu.Lock()
+		trace = append(trace, ev)
+		traceMu.Unlock()
+	})
+
+	col := new(metrics.Collector)
+	r, err := NewRunner(Config{
+		Pool:            pool,
+		Manager:         mgr,
+		Store:           store,
+		Collector:       col,
+		PrefetchWorkers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const base = disk.PageID(1000)
+	pageID := func(pageNo int) disk.PageID { return base + disk.PageID(pageNo) }
+	specs := make([]ScanSpec, scans)
+	for i := range specs {
+		specs[i] = ScanSpec{
+			Table:             1,
+			TablePages:        tablePages,
+			PageID:            pageID,
+			EstimatedDuration: 10 * time.Millisecond,
+			Importance:        core.Importance(i % 3),
+			StartDelay:        time.Duration(i) * 400 * time.Microsecond,
+			PageDelay:         time.Duration(10+5*(i%4)) * time.Microsecond,
+		}
+	}
+	// A few partial-range scans and mid-flight terminations.
+	specs[5].StartPage, specs[5].EndPage = 50, 250
+	specs[11].StartPage, specs[11].EndPage = 50, 250
+	specs[7].StopAfterPages = 60
+	specs[13].StopAfterPages = 100
+	specs[17].StopAfterPages = 5
+
+	// Concurrent readers: snapshots, stats, and config reads must be safe
+	// while the scans mutate everything.
+	readerDone := make(chan struct{})
+	var readers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-readerDone:
+					return
+				default:
+					_ = mgr.Snapshot()
+					_ = mgr.Stats()
+					_ = mgr.Config()
+					_ = mgr.ActiveScans()
+					_ = pool.Stats()
+					_ = col.Snapshot()
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	results, err := r.Run(context.Background(), specs)
+	close(readerDone)
+	readers.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool.CheckInvariants()
+	if n := mgr.ActiveScans(); n != 0 {
+		t.Errorf("%d scans still registered", n)
+	}
+
+	fullSum := wantChecksum(base, 0, tablePages, pageBytes)
+	partialSum := wantChecksum(base, 50, 250, pageBytes)
+	for i, res := range results {
+		spec := specs[i]
+		length := tablePages - spec.StartPage
+		if spec.EndPage != 0 {
+			length = spec.EndPage - spec.StartPage
+		}
+		want := length
+		if spec.StopAfterPages > 0 && spec.StopAfterPages < length {
+			want = spec.StopAfterPages
+			if !res.Stopped {
+				t.Errorf("scan %d: not marked stopped", i)
+			}
+		}
+		if res.PagesRead != want {
+			t.Errorf("scan %d: read %d pages, want %d", i, res.PagesRead, want)
+		}
+		if res.Hits+res.Misses != int64(res.PagesRead) {
+			t.Errorf("scan %d: hits %d + misses %d != pages %d", i, res.Hits, res.Misses, res.PagesRead)
+		}
+		if spec.StopAfterPages == 0 {
+			wantSum := fullSum
+			if spec.EndPage != 0 {
+				wantSum = partialSum
+			}
+			if res.Checksum != wantSum {
+				t.Errorf("scan %d: checksum %d, want %d (read wrong pages?)", i, res.Checksum, wantSum)
+			}
+		}
+	}
+
+	st := mgr.Stats()
+	if st.ScansStarted != scans || st.ScansFinished != scans {
+		t.Errorf("manager stats unbalanced: %+v", st)
+	}
+	if total := st.JoinPlacements + st.TrailPlacements + st.ResidualPlacements + st.ColdPlacements; total != scans {
+		t.Errorf("placements (%d) do not add up to %d", total, scans)
+	}
+	// With 20 overlapping scans of one table, placement must have found
+	// sharing partners; joins at an ongoing position imply wrap-around.
+	if st.JoinPlacements+st.TrailPlacements == 0 {
+		t.Errorf("no join or trail placements across %d overlapping scans: %+v", scans, st)
+	}
+
+	cs := col.Snapshot()
+	if cs.ScansStarted != scans || cs.ScansEnded != scans || cs.ScansStopped != 3 {
+		t.Errorf("collector scan counters: %+v", cs)
+	}
+	var pagesTotal int64
+	for _, res := range results {
+		pagesTotal += int64(res.PagesRead)
+	}
+	if cs.PagesRead != pagesTotal {
+		t.Errorf("collector pages %d, results total %d", cs.PagesRead, pagesTotal)
+	}
+	if cs.ThrottleEvents != st.ThrottleEvents {
+		t.Errorf("collector throttles %d, manager %d", cs.ThrottleEvents, st.ThrottleEvents)
+	}
+
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	var started, ended, throttled int64
+	for _, ev := range trace {
+		switch ev.Kind {
+		case core.EventScanStarted:
+			started++
+		case core.EventScanEnded:
+			ended++
+		case core.EventThrottled:
+			throttled++
+		}
+	}
+	if started != st.ScansStarted || ended != st.ScansFinished || throttled != st.ThrottleEvents {
+		t.Errorf("event trace (%d started, %d ended, %d throttled) disagrees with stats %+v",
+			started, ended, throttled, st)
+	}
+}
+
+// TestRunnerCancel cancels the context mid-run and checks every scan
+// deregisters cleanly and is reported stopped rather than failed.
+func TestRunnerCancel(t *testing.T) {
+	pool := buffer.MustNewPool(128)
+	mgr := core.MustNewManager(testManagerConfig(128))
+	r, err := NewRunner(Config{
+		Pool:    pool,
+		Manager: mgr,
+		Store:   testStore{pageBytes: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := make([]ScanSpec, 16)
+	for i := range specs {
+		specs[i] = ScanSpec{
+			Table:      1,
+			TablePages: 10000,
+			PageID:     func(pageNo int) disk.PageID { return disk.PageID(pageNo) },
+			PageDelay:  20 * time.Microsecond, // long-running: cancel hits mid-scan
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	results, err := r.Run(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if !res.Stopped {
+			t.Errorf("scan %d ran to completion despite cancel (read %d pages)", i, res.PagesRead)
+		}
+	}
+	if n := mgr.ActiveScans(); n != 0 {
+		t.Errorf("%d scans leaked after cancel", n)
+	}
+	pool.CheckInvariants()
+}
+
+// TestNewRunnerValidation covers the config error paths.
+func TestNewRunnerValidation(t *testing.T) {
+	pool := buffer.MustNewPool(8)
+	mgr := core.MustNewManager(core.DefaultConfig(8))
+	store := testStore{pageBytes: 8}
+	cases := []Config{
+		{Manager: mgr, Store: store},
+		{Pool: pool, Store: store},
+		{Pool: pool, Manager: mgr},
+		{Pool: pool, Manager: mgr, Store: store, PrefetchWorkers: -1},
+		{Pool: pool, Manager: mgr, Store: store, BusyRetryDelay: -time.Second},
+	}
+	for i, cfg := range cases {
+		if _, err := NewRunner(cfg); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+
+	r, err := NewRunner(Config{Pool: pool, Manager: mgr, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]ScanSpec{
+		{},
+		{{Table: 1, TablePages: 0, PageID: func(int) disk.PageID { return 0 }}},
+		{{Table: 1, TablePages: 10}},
+		{{Table: 1, TablePages: 10, PageID: func(int) disk.PageID { return 0 }, StartDelay: -1}},
+	}
+	for i, specs := range bad {
+		if _, err := r.Run(context.Background(), specs); err == nil {
+			t.Errorf("bad specs %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package realtime
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"scanshare/internal/vclock"
+)
+
+// Sched is the deterministic schedule-perturbation harness. It turns the
+// free-running goroutines of a Runner into a reproducible interleaving:
+// plugged in as the Runner's Hook, Sleep, and Clock, it parks every scan
+// worker at each hook site and releases exactly one — chosen by a seeded
+// RNG — once all live workers are parked. Between two releases only a
+// single worker runs, so the order of every Manager and Pool interaction,
+// and therefore the whole decision trace, is a pure function of the seed.
+//
+// That is the property that makes interleaving bugs debuggable: a failure
+// observed at seed S replays identically under seed S, and sweeping seeds
+// explores distinct interleavings the way jittered wall-clock scheduling
+// never reliably would. The harness deliberately serializes execution —
+// it trades away the parallelism that `go test -race` with free-running
+// goroutines exercises, which is why the test suite runs both.
+//
+// The clock is virtual: each release advances a Manual clock by a seeded
+// jitter, and Sleep advances it by the requested duration instead of
+// blocking, so traces are stable across machines and -race slowdowns.
+//
+// Workers must be registered up front (workers argument), and every worker
+// must fire SiteExit exactly once; the Runner guarantees both for one Run
+// with len(specs) == workers. Prefetch workers are not instrumented — run
+// the harness with PrefetchWorkers == 0.
+type Sched struct {
+	maxJitter time.Duration
+	clock     *vclock.Manual
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	live    int
+	waiters []schedWaiter
+	trace   []TraceStep
+}
+
+type schedWaiter struct {
+	scan int
+	site Site
+	ch   chan struct{}
+}
+
+// TraceStep is one scheduling decision: worker scan was released at site
+// when the virtual clock read Now.
+type TraceStep struct {
+	Scan int
+	Site Site
+	Now  time.Duration
+}
+
+// String renders the step compactly, e.g. "12.5ms scan3 report".
+func (s TraceStep) String() string {
+	return fmt.Sprintf("%v scan%d %s", s.Now, s.Scan, s.Site)
+}
+
+// NewSched creates a harness for the given worker count. maxJitter bounds
+// the virtual-time advance injected per scheduling step (0 keeps the clock
+// still except for Sleep calls).
+func NewSched(seed int64, workers int, maxJitter time.Duration) *Sched {
+	if workers <= 0 {
+		panic("realtime: Sched with no workers")
+	}
+	if maxJitter < 0 {
+		panic("realtime: Sched with negative jitter")
+	}
+	return &Sched{
+		maxJitter: maxJitter,
+		clock:     vclock.NewManual(0),
+		rng:       rand.New(rand.NewSource(seed)),
+		live:      workers,
+	}
+}
+
+// Clock returns the harness's virtual clock, for Config.Clock.
+func (s *Sched) Clock() vclock.Clock { return s.clock }
+
+// Sleep advances the virtual clock by d instead of blocking, for
+// Config.Sleep.
+func (s *Sched) Sleep(ctx context.Context, d time.Duration) {
+	if d > 0 {
+		s.clock.Advance(d)
+	}
+}
+
+// Hook parks the calling worker at site until the harness releases it, for
+// Config.Hook. SiteExit retires the worker instead of parking it.
+func (s *Sched) Hook(scan int, site Site) {
+	if site == SiteExit {
+		s.mu.Lock()
+		s.live--
+		s.trace = append(s.trace, TraceStep{Scan: scan, Site: site, Now: s.clock.Now()})
+		if s.live > 0 && len(s.waiters) == s.live {
+			s.dispatchLocked()
+		}
+		s.mu.Unlock()
+		return
+	}
+
+	ch := make(chan struct{})
+	s.mu.Lock()
+	// Keep waiters ordered by scan index: the order in which workers
+	// reach their first park is scheduling-dependent (they all start
+	// concurrently), but the *set* of parked workers is not. Picking by
+	// rank over a sorted list makes the choice a pure function of the
+	// seed and the set.
+	at := len(s.waiters)
+	for at > 0 && s.waiters[at-1].scan > scan {
+		at--
+	}
+	s.waiters = append(s.waiters, schedWaiter{})
+	copy(s.waiters[at+1:], s.waiters[at:])
+	s.waiters[at] = schedWaiter{scan: scan, site: site, ch: ch}
+	if len(s.waiters) == s.live {
+		s.dispatchLocked()
+	}
+	s.mu.Unlock()
+	<-ch
+}
+
+// dispatchLocked picks one parked worker with the seeded RNG, advances the
+// clock, records the step, and releases the worker. Called with mu held and
+// every live worker parked — the invariant that makes the pick, and thus
+// the trace, deterministic.
+func (s *Sched) dispatchLocked() {
+	i := s.rng.Intn(len(s.waiters))
+	w := s.waiters[i]
+	s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+	if s.maxJitter > 0 {
+		s.clock.Advance(time.Duration(s.rng.Int63n(int64(s.maxJitter))))
+	}
+	s.trace = append(s.trace, TraceStep{Scan: w.scan, Site: w.site, Now: s.clock.Now()})
+	close(w.ch)
+}
+
+// Trace returns the recorded schedule. Only call it after the Run using
+// this harness has returned.
+func (s *Sched) Trace() []TraceStep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]TraceStep(nil), s.trace...)
+}
+
+// FormatTrace renders a trace one step per line, for failure reports.
+func FormatTrace(steps []TraceStep) string {
+	var b strings.Builder
+	for _, st := range steps {
+		b.WriteString(st.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

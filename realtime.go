@@ -1,0 +1,196 @@
+package scanshare
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"scanshare/internal/disk"
+	"scanshare/internal/metrics"
+	"scanshare/internal/realtime"
+)
+
+// RealtimeScan describes one scan stream for RunRealtime: a sequential read
+// of a table range executed by a real goroutine in wall-clock time.
+type RealtimeScan struct {
+	// Table to scan. Required.
+	Table *Table
+	// StartPage and EndPage bound the scan to [StartPage, EndPage) in
+	// table-relative pages; EndPage == 0 means "to the end of the table".
+	StartPage, EndPage int
+	// EstimatedDuration seeds the SSM's speed estimate and bounds the
+	// throttling fairness cap. Zero means unknown.
+	EstimatedDuration time.Duration
+	// Importance scales the scan's throttling allowance.
+	Importance Importance
+	// StartDelay staggers the scan's start.
+	StartDelay time.Duration
+	// StopAfterPages, when positive, terminates the scan early after that
+	// many pages — a query abandoned mid-flight.
+	StopAfterPages int
+	// PageDelay models per-page processing cost as a wall-clock sleep.
+	PageDelay time.Duration
+}
+
+// RealtimeOptions tunes RunRealtime.
+type RealtimeOptions struct {
+	// PrefetchWorkers sets the read-ahead worker pool size; 0 disables
+	// prefetching.
+	PrefetchWorkers int
+	// PrefetchQueueExtents bounds the prefetch request queue; 0 picks a
+	// default proportional to the worker count.
+	PrefetchQueueExtents int
+	// PageReadDelay is a wall-clock sleep charged per physical page read,
+	// standing in for device transfer time (the virtual-time disk cost
+	// model does not apply in this mode).
+	PageReadDelay time.Duration
+}
+
+// RealtimeScanResult is the per-scan outcome of a RunRealtime call.
+type RealtimeScanResult = realtime.ScanResult
+
+// RealtimeReport is the outcome of one RunRealtime call.
+type RealtimeReport struct {
+	// Results holds one entry per input scan, index-aligned.
+	Results []RealtimeScanResult
+	// Wall is the wall-clock duration of the whole run.
+	Wall time.Duration
+	// Counters aggregates the run's page and scan activity across pools.
+	Counters metrics.CollectorStats
+	// Pools breaks buffer activity down per pool for this run.
+	Pools map[string]PoolStats
+	// Sharing summarizes SSM activity (cumulative over the engine's
+	// lifetime, like Report.Sharing).
+	Sharing SharingStats
+}
+
+// rtStore adapts the simulated device to the realtime page-store interface:
+// contents come from the same backing pages the virtual-time mode reads, but
+// through ReadRaw, so wall-clock reads never disturb the device's
+// virtual-time head position or busy window.
+type rtStore struct {
+	dev   *disk.Device
+	delay time.Duration
+}
+
+func (s rtStore) ReadPage(pid disk.PageID) ([]byte, error) {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	return s.dev.ReadRaw(pid)
+}
+
+// RunRealtime executes the scans as concurrent goroutines in wall-clock
+// time — the realtime counterpart of the virtual-time Run. Scans go through
+// the same buffer pools and scan sharing managers as Shared-mode queries:
+// placements, grouping, priority hints, and throttling all apply, with
+// throttle advice honored as real context-aware sleeps. Cancelling ctx stops
+// every scan at its next page boundary; cancelled scans are reported Stopped,
+// not failed.
+//
+// Scans only coordinate within their table's buffer pool, as in Run; scans
+// of tables in different pools proceed independently and concurrently.
+//
+// The engine's virtual clock does not advance: a virtual-time Run may follow
+// a realtime one on the same engine (the pools keep their contents, which is
+// the warm-database behavior Run documents).
+func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []RealtimeScan) (*RealtimeReport, error) {
+	if len(scans) == 0 {
+		return nil, errors.New("scanshare: RunRealtime with no scans")
+	}
+	for i, sc := range scans {
+		if sc.Table == nil {
+			return nil, fmt.Errorf("scanshare: realtime scan %d has no table", i)
+		}
+		if sc.Table.eng != e {
+			return nil, fmt.Errorf("scanshare: realtime scan %d targets a table of another engine", i)
+		}
+	}
+
+	col := new(metrics.Collector)
+	store := rtStore{dev: e.dev, delay: opts.PageReadDelay}
+	poolsBefore := e.poolStatsSnapshot()
+
+	// Group the scans by buffer pool; each pool gets its own runner, all
+	// runners execute concurrently.
+	type poolBatch struct {
+		rt      *poolRT
+		specs   []realtime.ScanSpec
+		indices []int // spec j came from scans[indices[j]]
+	}
+	batches := make(map[string]*poolBatch)
+	for i, sc := range scans {
+		rt := sc.Table.rt
+		b := batches[rt.name]
+		if b == nil {
+			b = &poolBatch{rt: rt}
+			batches[rt.name] = b
+		}
+		first := sc.Table.tbl.FirstPage()
+		b.specs = append(b.specs, realtime.ScanSpec{
+			Table:             sc.Table.coreTableID(),
+			TablePages:        sc.Table.NumPages(),
+			StartPage:         sc.StartPage,
+			EndPage:           sc.EndPage,
+			PageID:            func(pageNo int) disk.PageID { return first + disk.PageID(pageNo) },
+			EstimatedDuration: sc.EstimatedDuration,
+			Importance:        sc.Importance,
+			StartDelay:        sc.StartDelay,
+			StopAfterPages:    sc.StopAfterPages,
+			PageDelay:         sc.PageDelay,
+		})
+		b.indices = append(b.indices, i)
+	}
+
+	report := &RealtimeReport{
+		Results: make([]RealtimeScanResult, len(scans)),
+		Pools:   make(map[string]PoolStats, len(batches)),
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(batches))
+	bi := 0
+	for _, b := range batches {
+		b, bi := b, bi
+		runner, err := realtime.NewRunner(realtime.Config{
+			Pool:                 b.rt.pool,
+			Manager:              b.rt.ssm,
+			Store:                store,
+			Collector:            col,
+			PrefetchWorkers:      opts.PrefetchWorkers,
+			PrefetchQueueExtents: opts.PrefetchQueueExtents,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results, err := runner.Run(ctx, b.specs)
+			if err != nil {
+				errs[bi] = fmt.Errorf("pool %q: %w", b.rt.name, err)
+			}
+			for j, res := range results {
+				res.Scan = b.indices[j]
+				report.Results[b.indices[j]] = res
+			}
+		}()
+		bi++
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	report.Wall = time.Since(start)
+	report.Counters = col.Snapshot()
+	for name, rt := range e.pools {
+		if delta := poolDelta(rt.pool.Stats(), poolsBefore[name]); delta.LogicalReads > 0 || delta.Evictions > 0 {
+			report.Pools[name] = delta
+		}
+		report.Sharing = report.Sharing.add(sharingStats(rt.ssm.Stats()))
+	}
+	return report, nil
+}

@@ -1,10 +1,11 @@
 # Tier-1 gate (see ROADMAP.md): every PR must pass `make check`.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race fuzz bench
 
-check: vet build test race
+check: vet build test race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +21,11 @@ test:
 # seed-replay harness used to debug anything this finds.
 race:
 	$(GO) test -race -count=2 ./internal/...
+
+# Short coverage-guided fuzz pass over the SQL parser; a longer session is
+# one FUZZTIME=5m away.
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sql
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -31,6 +31,13 @@ func main() {
 	rtWorkers := flag.Int("rt-workers", 4, "realtime mode: prefetch worker count")
 	rtPageDelay := flag.Duration("rt-pagedelay", 50*time.Microsecond, "realtime mode: per-page processing delay")
 	rtReadDelay := flag.Duration("rt-readdelay", 200*time.Microsecond, "realtime mode: per-physical-read device delay")
+	var rtFaults rtFaultFlags
+	flag.StringVar(&rtFaults.scenario, "rt-faults", "", `realtime mode: fault scenario ("errors", "slowband", "stall", "torn")`)
+	flag.Float64Var(&rtFaults.prob, "rt-fault-prob", 0.05, "realtime mode: per-(page,attempt) fault probability")
+	flag.Int64Var(&rtFaults.seed, "rt-fault-seed", 1, "realtime mode: fault plan seed")
+	flag.DurationVar(&rtFaults.readTimeout, "rt-read-timeout", 5*time.Millisecond, "realtime mode: per-read-attempt timeout when faults are on")
+	flag.IntVar(&rtFaults.retries, "rt-read-retries", 4, "realtime mode: failed-read retry budget when faults are on")
+	flag.IntVar(&rtFaults.detachAfter, "rt-detach-after", 3, "realtime mode: consecutive read failures before a scan detaches from its group (0 = never)")
 	flag.Float64Var(&p.Scale, "scale", p.Scale, "workload scale factor")
 	flag.Int64Var(&p.Seed, "seed", p.Seed, "data generation seed")
 	flag.IntVar(&p.Streams, "streams", p.Streams, "throughput run stream count")
@@ -57,7 +64,7 @@ func main() {
 	}
 
 	if *rtScans > 0 {
-		if err := runRealtime(p, *rtScans, *rtWorkers, *rtPageDelay, *rtReadDelay); err != nil {
+		if err := runRealtime(p, *rtScans, *rtWorkers, *rtPageDelay, *rtReadDelay, rtFaults); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -12,6 +12,57 @@ import (
 	"scanshare/internal/experiments"
 )
 
+// rtFaultFlags bundles the -rt-fault* command-line knobs.
+type rtFaultFlags struct {
+	scenario    string
+	prob        float64
+	seed        int64
+	readTimeout time.Duration
+	retries     int
+	detachAfter int
+}
+
+// apply turns the flags into a fault plan plus tolerance settings on opts.
+// The scenarios are canned shapes of the failure modes the engine degrades
+// under:
+//
+//	errors   — transient read errors on every page; retries absorb them
+//	slowband — a permanent latency band over the first eighth of the table
+//	stall    — reads in a narrow band stall forever on the first two
+//	           attempts, then recover; the per-read timeout unsticks them
+//	torn     — short reads on every page, always retried successfully
+func (f rtFaultFlags) apply(opts *scanshare.RealtimeOptions, tbl *scanshare.Table) error {
+	if f.scenario == "" {
+		return nil
+	}
+	rule := scanshare.FaultRule{Table: tbl, Prob: f.prob}
+	switch f.scenario {
+	case "errors":
+		rule.Kind = scanshare.FaultError
+		rule.UntilAttempt = 2
+	case "slowband":
+		rule.Kind = scanshare.FaultLatency
+		rule.Latency = 2 * time.Millisecond
+		rule.LastPage = tbl.NumPages() / 8
+	case "stall":
+		rule.Kind = scanshare.FaultStall
+		rule.UntilAttempt = 2
+		rule.FirstPage = tbl.NumPages() / 4
+		rule.LastPage = tbl.NumPages() / 2
+	case "torn":
+		rule.Kind = scanshare.FaultTorn
+		rule.UntilAttempt = 1
+	default:
+		return fmt.Errorf("unknown fault scenario %q (want errors, slowband, stall, or torn)", f.scenario)
+	}
+	opts.Faults = &scanshare.FaultPlan{Seed: f.seed, Rules: []scanshare.FaultRule{rule}}
+	opts.ReadTimeout = f.readTimeout
+	opts.MaxReadRetries = f.retries
+	opts.DetachAfterFailures = f.detachAfter
+	opts.ContinueOnPageFailure = true
+	return nil
+}
+
 // runRealtime executes n concurrent goroutine scans of one synthetic table
 // in wall-clock time — the realtime counterpart of the virtual-time
 // experiments, exercising the same pool and scan sharing manager with real
@@ -21,7 +72,7 @@ import (
 // Unlike the virtual-time experiments, the printed timings depend on the
 // machine; the structural counters (placements, hit ratio, throttles) are
 // what to look at.
-func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time.Duration) error {
+func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time.Duration, faults rtFaultFlags) error {
 	rows := int(30000 * p.Scale)
 	eng, err := scanshare.New(scanshare.Config{
 		// Sized after load below would be circular; ~100 bytes/row on
@@ -67,12 +118,21 @@ func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	fmt.Printf("realtime: %d goroutine scans of %d pages, pool %d pages, %d prefetch workers\n",
-		n, tbl.NumPages(), poolPagesFor(rows, p.BufferFrac), workers)
-	rep, err := eng.RunRealtime(ctx, scanshare.RealtimeOptions{
+	opts := scanshare.RealtimeOptions{
 		PrefetchWorkers: workers,
 		PageReadDelay:   readDelay,
-	}, scans)
+	}
+	if err := faults.apply(&opts, tbl); err != nil {
+		return err
+	}
+
+	fmt.Printf("realtime: %d goroutine scans of %d pages, pool %d pages, %d prefetch workers\n",
+		n, tbl.NumPages(), poolPagesFor(rows, p.BufferFrac), workers)
+	if faults.scenario != "" {
+		fmt.Printf("faults: scenario %q, prob %.3f, seed %d; timeout %v, %d retries, detach after %d\n",
+			faults.scenario, faults.prob, faults.seed, faults.readTimeout, faults.retries, faults.detachAfter)
+	}
+	rep, err := eng.RunRealtime(ctx, opts, scans)
 	if err != nil {
 		return err
 	}
@@ -82,8 +142,13 @@ func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time
 		if res.Stopped {
 			status = "stopped"
 		}
-		fmt.Printf("  scan %2d: %5d pages (%5d hit / %5d miss), throttled %8v, %s\n",
-			res.Scan, res.PagesRead, res.Hits, res.Misses, res.ThrottleWait.Round(time.Microsecond), status)
+		suffix := ""
+		if res.ReadRetries > 0 || res.DegradedPages > 0 || res.Detaches > 0 {
+			suffix = fmt.Sprintf(", %d retries (%d timeouts), %d degraded, %d detach/%d rejoin",
+				res.ReadRetries, res.ReadTimeouts, res.DegradedPages, res.Detaches, res.Rejoins)
+		}
+		fmt.Printf("  scan %2d: %5d pages (%5d hit / %5d miss), throttled %8v, %s%s\n",
+			res.Scan, res.PagesRead, res.Hits, res.Misses, res.ThrottleWait.Round(time.Microsecond), status, suffix)
 	}
 	fmt.Printf("wall time %v\n", rep.Wall.Round(time.Millisecond))
 	fmt.Printf("counters: %s\n", rep.Counters)
@@ -95,6 +160,13 @@ func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time
 	fmt.Printf("sharing: %d joins, %d trails, %d residual, %d cold; %d throttles (%v), %d fairness exemptions\n",
 		s.JoinPlacements, s.TrailPlacements, s.ResidualPlacements, s.ColdPlacements,
 		s.ThrottleEvents, s.ThrottleTime.Round(time.Millisecond), s.FairnessExemptions)
+	if f := rep.Faults; f.Reads > 0 {
+		fmt.Printf("faults: %d reads saw %d errors, %d latency spikes (%v), %d stalls, %d torn reads\n",
+			f.Reads, f.InjectedErrors, f.LatencyEvents, f.InjectedLatency.Round(time.Millisecond), f.Stalls, f.TornReads)
+		c := rep.Counters
+		fmt.Printf("recovery: %d retries (%d timeouts), %d pages degraded, %d detaches / %d rejoins, %d prefetch failures\n",
+			c.ReadRetries, c.ReadTimeouts, c.PagesFailed, c.ScanDetaches, c.ScanRejoins, c.PrefetchFailed)
+	}
 	return nil
 }
 

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDetachRejoinLifecycle covers the graceful-degradation state machine on
+// the manager: detaching hides a scan from grouping and placement, rejoining
+// restores it, both transitions emit events and count in Stats, and both are
+// idempotent.
+func TestDetachRejoinLifecycle(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.MinSharePages = 1
+	m := MustNewManager(cfg)
+
+	var events []Event
+	m.SetOnEvent(func(ev Event) {
+		if ev.Kind == EventScanDetached || ev.Kind == EventScanRejoined {
+			events = append(events, ev)
+		}
+	})
+
+	// A pair of nearby scans forms a group. The 600-page gap is past the
+	// trailing window (half the pool budget) so the newcomer joins.
+	a, _ := startScan(t, m, 1, 5000, 0)
+	report(t, m, a, 600, time.Second)
+	b, pl := startScan(t, m, 1, 5000, time.Second)
+	if pl.JoinedScan != a {
+		t.Fatalf("scan %d placed %+v, want a join on %d", b, pl, a)
+	}
+	if snap := m.Snapshot(); len(snap.Groups) != 1 || len(snap.Groups[0].Members) != 2 {
+		t.Fatalf("before detach: %s", snap)
+	}
+
+	// Detach dissolves the pair and marks the scan in snapshots.
+	if err := m.DetachScan(a, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if len(snap.Groups) != 0 {
+		t.Errorf("detached scan still grouped: %s", snap)
+	}
+	for _, sc := range snap.Scans {
+		if want := sc.ID == a; sc.Detached != want {
+			t.Errorf("scan %d detached=%v, want %v", sc.ID, sc.Detached, want)
+		}
+	}
+
+	// With every ongoing scan detached, a newcomer must not join or trail
+	// any of them even though their positions are in perfect sharing range:
+	// it starts cold.
+	if err := m.DetachScan(b, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c, pl := startScan(t, m, 1, 5000, 2*time.Second)
+	if pl.JoinedScan != NoScan || pl.TrailingScan != NoScan || pl.FromResidual || pl.Origin != 0 {
+		t.Errorf("scan %d placed %+v next to detached scans, want cold", c, pl)
+	}
+
+	// Detaching again is a no-op; so is rejoining a healthy scan.
+	if err := m.DetachScan(a, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RejoinScan(c, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.ScanDetaches != 2 || st.ScanRejoins != 0 {
+		t.Errorf("stats after idempotent calls: %d detaches, %d rejoins", st.ScanDetaches, st.ScanRejoins)
+	}
+
+	// Rejoin restores grouping eligibility at the scans' current positions.
+	if err := m.RejoinScan(a, 4*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RejoinScan(b, 4*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	report(t, m, a, 610, 4*time.Second)
+	snap = m.Snapshot()
+	if len(snap.Groups) != 1 {
+		t.Fatalf("after rejoin: %s", snap)
+	}
+	for _, sc := range snap.Scans {
+		if sc.Detached {
+			t.Errorf("scan %d still detached after rejoin", sc.ID)
+		}
+	}
+
+	if st := m.Stats(); st.ScanDetaches != 2 || st.ScanRejoins != 2 {
+		t.Errorf("final stats: %d detaches, %d rejoins, want 2 and 2", st.ScanDetaches, st.ScanRejoins)
+	}
+	want := []struct {
+		kind EventKind
+		scan ScanID
+	}{{EventScanDetached, a}, {EventScanDetached, b}, {EventScanRejoined, a}, {EventScanRejoined, b}}
+	if len(events) != len(want) {
+		t.Fatalf("%d transition events %v, want %d (no-ops must not emit)", len(events), events, len(want))
+	}
+	for i, w := range want {
+		if events[i].Kind != w.kind || events[i].Scan != w.scan {
+			t.Errorf("event %d = %v, want %v on scan %d", i, events[i], w.kind, w.scan)
+		}
+	}
+
+	// Unknown scans are errors, not silent no-ops.
+	if err := m.DetachScan(ScanID(999), 5*time.Second); err == nil {
+		t.Error("DetachScan accepted an unknown scan")
+	}
+	if err := m.RejoinScan(ScanID(999), 5*time.Second); err == nil {
+		t.Error("RejoinScan accepted an unknown scan")
+	}
+
+	// A detached scan ends like any other.
+	if err := m.DetachScan(b, 6*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EndScan(b, 6*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ActiveScans(); got != 2 {
+		t.Errorf("%d active scans after ending b, want 2", got)
+	}
+}
+
+// TestFairnessCapSurvivesDetachRejoin mirrors the group-remerge fairness
+// regression test for the degradation path: a leader that has burned its
+// whole throttle allowance, then detached and rejoined, must still be exempt
+// from further waits — the throttle debt lives on the scan and must not be
+// reset by the detach/rejoin cycle.
+func TestFairnessCapSurvivesDetachRejoin(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.MinSharePages = 1
+	cfg.MaxWaitPerUpdate = time.Hour // only the fairness cap limits waits
+	cfg.Placement = false            // positions driven explicitly below
+	m := MustNewManager(cfg)
+
+	var exemptions []ScanID
+	m.SetOnEvent(func(ev Event) {
+		if ev.Kind == EventFairnessExempted {
+			exemptions = append(exemptions, ev.Scan)
+		}
+	})
+
+	// Leader a estimates a 1s total scan: its throttle allowance is 800ms.
+	a, _, err := m.StartScan(ScanOpts{Table: 1, TablePages: 5000, EstimatedDuration: time.Second}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := startScan(t, m, 1, 5000, 0)
+	report(t, m, b, 50, time.Second)
+	report(t, m, a, 500, time.Second) // gap baseline
+	if adv := report(t, m, a, 1000, time.Second); adv.Wait != 800*time.Millisecond {
+		t.Fatalf("first wait = %v, want the full 800ms allowance", adv.Wait)
+	}
+
+	// The leader's reads start failing: it detaches, limps along, recovers,
+	// and rejoins its partner.
+	if err := m.DetachScan(a, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	report(t, m, a, 1010, 2100*time.Millisecond) // progress while detached is fine
+	if err := m.RejoinScan(a, 2200*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trailer catches up to within grouping reach, the pair re-merges,
+	// then the gap grows again — the condition that produced the 800ms wait
+	// above. The exhausted allowance must veto a second wait.
+	report(t, m, b, 600, 2300*time.Millisecond)
+	report(t, m, a, 1100, 2500*time.Millisecond)
+	report(t, m, b, 610, 2700*time.Millisecond)
+	if adv := report(t, m, a, 1200, 3*time.Second); adv.Wait != 0 {
+		t.Fatalf("throttled after detach/rejoin despite exhausted allowance: %+v", adv)
+	}
+	if len(exemptions) != 1 || exemptions[0] != a {
+		t.Fatalf("exemptions = %v, want [%d]", exemptions, a)
+	}
+
+	st := m.Stats()
+	if st.ThrottleEvents != 1 || st.ThrottleTime != 800*time.Millisecond {
+		t.Errorf("throttle totals %+v, want exactly the single 800ms wait", st)
+	}
+	snap := m.Snapshot()
+	for _, sc := range snap.Scans {
+		if sc.ID == a && sc.Throttled != 800*time.Millisecond {
+			t.Errorf("scan %d throttled %v after detach/rejoin, want the 800ms debt preserved", a, sc.Throttled)
+		}
+	}
+}

@@ -20,6 +20,13 @@ const (
 	// EventFairnessExempted fires when a throttle was warranted but the
 	// scan's fairness allowance is exhausted.
 	EventFairnessExempted
+	// EventScanDetached fires when a scan is excluded from group
+	// coordination after persistent read failures; GapPages carries its
+	// position at detach time.
+	EventScanDetached
+	// EventScanRejoined fires when a detached scan is re-admitted;
+	// GapPages carries its position at rejoin time.
+	EventScanRejoined
 )
 
 // String returns the kind's name.
@@ -33,6 +40,10 @@ func (k EventKind) String() string {
 		return "throttled"
 	case EventFairnessExempted:
 		return "fairness-exempted"
+	case EventScanDetached:
+		return "scan-detached"
+	case EventScanRejoined:
+		return "scan-rejoined"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -73,6 +84,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%v] scan %d throttled %v (gap %d pages)", e.Time, e.Scan, e.Wait, e.GapPages)
 	case EventFairnessExempted:
 		return fmt.Sprintf("[%v] scan %d exempt from throttling (fairness cap)", e.Time, e.Scan)
+	case EventScanDetached:
+		return fmt.Sprintf("[%v] scan %d on table %d detached at page %d (degraded)", e.Time, e.Scan, e.Table, e.GapPages)
+	case EventScanRejoined:
+		return fmt.Sprintf("[%v] scan %d on table %d rejoined at page %d", e.Time, e.Scan, e.Table, e.GapPages)
 	default:
 		return fmt.Sprintf("[%v] scan %d: %s", e.Time, e.Scan, e.Kind)
 	}

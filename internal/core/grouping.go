@@ -32,9 +32,15 @@ func (m *Manager) regroupLocked() {
 	m.dirty = false
 	m.groups = m.groups[:0]
 
-	// Collect candidate pairs per table.
+	// Collect candidate pairs per table. Detached scans are invisible
+	// here: a group must never chain itself to a scan whose reads are
+	// failing, and a detached scan must not be picked as anyone's leader
+	// or trailer.
 	byTable := make(map[TableID][]*scanState)
 	for _, s := range m.scans {
+		if s.detached {
+			continue
+		}
 		byTable[s.table] = append(byTable[s.table], s)
 	}
 
@@ -97,7 +103,10 @@ func (m *Manager) regroupLocked() {
 		}
 		return x
 	}
-	for id := range m.scans {
+	for id, s := range m.scans {
+		if s.detached {
+			continue
+		}
 		parent[id] = id
 	}
 	budget := m.cfg.BufferPoolPages

@@ -127,6 +127,8 @@ type Stats struct {
 	ThrottleTime       time.Duration
 	FairnessExemptions int64 // throttles skipped due to the 80% cap
 	ProgressReports    int64 // ReportProgress calls accepted
+	ScanDetaches       int64 // scans detached after persistent read failures
+	ScanRejoins        int64 // detached scans re-admitted after recovery
 }
 
 // scanState is the SSM's record of one ongoing scan (the paper's per-scan
@@ -153,6 +155,13 @@ type scanState struct {
 	importance   Importance
 
 	throttled time.Duration // accumulated inserted wait
+
+	// detached marks a scan excluded from grouping, placement, and
+	// throttling after persistent read failures, so healthy scans are
+	// never chained to it. The rest of its state (position, speed,
+	// accumulated throttle debt) is kept, which is what preserves the
+	// fairness-cap accounting across a detach/rejoin cycle.
+	detached bool
 
 	// lastGapTrailer and lastGap remember the gap to the group trailer
 	// observed at this scan's previous update, for the gap-trend check
@@ -479,6 +488,51 @@ func (m *Manager) recordThrottle(s *scanState, wait time.Duration, gap int, now 
 	m.stats.ThrottleTime += wait
 	m.emit(Event{Kind: EventThrottled, Time: now, Scan: s.id, Table: s.table, Wait: wait, GapPages: gap})
 	return wait
+}
+
+// DetachScan excludes an ongoing scan from group coordination: it no longer
+// joins groups, attracts placements, or participates in throttling, so a
+// scan whose reads persistently stall cannot chain a healthy group to its
+// (lack of) progress. The scan stays registered and keeps reporting
+// progress; its accumulated throttle debt is preserved, so the fairness cap
+// carries across a detach/rejoin cycle. Detaching an already-detached scan
+// is a no-op.
+func (m *Manager) DetachScan(id ScanID, now time.Duration) error {
+	m.mu.Lock()
+	defer m.deliverAndUnlock()
+	s, ok := m.scans[id]
+	if !ok {
+		return fmt.Errorf("core: DetachScan for unknown scan %d", id)
+	}
+	if s.detached {
+		return nil
+	}
+	s.detached = true
+	m.dirty = true
+	m.stats.ScanDetaches++
+	m.emit(Event{Kind: EventScanDetached, Time: now, Scan: id, Table: s.table, GapPages: s.pos()})
+	return nil
+}
+
+// RejoinScan re-admits a detached scan to group coordination once its reads
+// recover. The scan is re-placed implicitly: the next regrouping considers
+// its current position, so it merges back into whatever group is now within
+// reach. Rejoining a scan that is not detached is a no-op.
+func (m *Manager) RejoinScan(id ScanID, now time.Duration) error {
+	m.mu.Lock()
+	defer m.deliverAndUnlock()
+	s, ok := m.scans[id]
+	if !ok {
+		return fmt.Errorf("core: RejoinScan for unknown scan %d", id)
+	}
+	if !s.detached {
+		return nil
+	}
+	s.detached = false
+	m.dirty = true
+	m.stats.ScanRejoins++
+	m.emit(Event{Kind: EventScanRejoined, Time: now, Scan: id, Table: s.table, GapPages: s.pos()})
+	return nil
 }
 
 // EndScan deregisters a finished scan and remembers its final position so a

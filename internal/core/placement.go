@@ -18,10 +18,12 @@ func (m *Manager) placeLocked(s *scanState, now time.Duration) Placement {
 
 	// Candidates: ongoing scans on the same table whose current position
 	// lies inside the new scan's range (a scan cannot start outside its
-	// own range).
+	// own range). Detached scans are skipped — joining or trailing a scan
+	// whose reads are failing would chain the newcomer to a stalled
+	// position.
 	var candidates []*scanState
 	for _, c := range m.scans {
-		if c.table != s.table {
+		if c.table != s.table || c.detached {
 			continue
 		}
 		if p := c.pos(); p >= s.startPage && p < s.endPage {

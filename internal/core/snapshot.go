@@ -16,6 +16,9 @@ type ScanInfo struct {
 	Length        int
 	SpeedPagesSec float64
 	Throttled     time.Duration
+	// Detached reports whether the scan is currently excluded from group
+	// coordination after persistent read failures.
+	Detached bool
 }
 
 // GroupInfo describes one scan group.
@@ -50,6 +53,7 @@ func (m *Manager) Snapshot() Snapshot {
 			Length:        s.length,
 			SpeedPagesSec: s.speed,
 			Throttled:     s.throttled,
+			Detached:      s.detached,
 		})
 	}
 	sort.Slice(snap.Scans, func(i, j int) bool { return snap.Scans[i].ID < snap.Scans[j].ID })
@@ -72,8 +76,12 @@ func (s Snapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d scan(s), %d group(s)\n", len(s.Scans), len(s.Groups))
 	for _, sc := range s.Scans {
-		fmt.Fprintf(&b, "  scan %d table %d pos %d (%d/%d pages, %.0f pages/s, throttled %v)\n",
-			sc.ID, sc.Table, sc.Position, sc.Processed, sc.Length, sc.SpeedPagesSec, sc.Throttled)
+		tag := ""
+		if sc.Detached {
+			tag = ", detached"
+		}
+		fmt.Fprintf(&b, "  scan %d table %d pos %d (%d/%d pages, %.0f pages/s, throttled %v%s)\n",
+			sc.ID, sc.Table, sc.Position, sc.Processed, sc.Length, sc.SpeedPagesSec, sc.Throttled, tag)
 	}
 	for _, g := range s.Groups {
 		fmt.Fprintf(&b, "  group table %d: members %v trailer %d leader %d extent %d pages\n",

@@ -27,6 +27,13 @@ type Collector struct {
 	prefetchEnqueued atomic.Int64
 	prefetchDropped  atomic.Int64
 	prefetchFilled   atomic.Int64
+	prefetchFailed   atomic.Int64
+
+	readRetries  atomic.Int64
+	readTimeouts atomic.Int64
+	pagesFailed  atomic.Int64
+	scanDetaches atomic.Int64
+	scanRejoins  atomic.Int64
 }
 
 // CollectorStats is a consistent-enough snapshot of the counters: each field
@@ -48,6 +55,13 @@ type CollectorStats struct {
 	PrefetchEnqueued int64 // extents accepted into the prefetch queue
 	PrefetchDropped  int64 // extents dropped because the queue was full
 	PrefetchFilled   int64 // pages a prefetch worker brought into the pool
+	PrefetchFailed   int64 // pages whose prefetch read failed (deduplicated thereafter)
+
+	ReadRetries  int64 // store read attempts retried after an error or timeout
+	ReadTimeouts int64 // store reads that exceeded the per-read timeout
+	PagesFailed  int64 // pages declared failed after exhausting retries (degraded)
+	ScanDetaches int64 // scans detached from group coordination after persistent failures
+	ScanRejoins  int64 // detached scans re-admitted after a successful read
 }
 
 // HitRatio returns Hits / PagesRead, or 0 when nothing was read.
@@ -58,14 +72,21 @@ func (s CollectorStats) HitRatio() float64 {
 	return float64(s.Hits) / float64(s.PagesRead)
 }
 
-// String renders the snapshot as one compact log line.
+// String renders the snapshot as one compact log line. Failure counters are
+// appended only when any failure occurred, so healthy runs read as before.
 func (s CollectorStats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"scans %d/%d done (%d stopped), pages %d (%.1f%% hit, %d busy), throttles %d (%v), prefetch %d queued/%d filled/%d dropped",
 		s.ScansEnded, s.ScansStarted, s.ScansStopped,
 		s.PagesRead, s.HitRatio()*100, s.BusyRetries,
 		s.ThrottleEvents, s.ThrottleWait,
 		s.PrefetchEnqueued, s.PrefetchFilled, s.PrefetchDropped)
+	if s.ReadRetries != 0 || s.ReadTimeouts != 0 || s.PagesFailed != 0 ||
+		s.ScanDetaches != 0 || s.ScanRejoins != 0 || s.PrefetchFailed != 0 {
+		out += fmt.Sprintf(", failures: %d retries (%d timeouts), %d degraded pages, %d detaches/%d rejoins, %d prefetch fails",
+			s.ReadRetries, s.ReadTimeouts, s.PagesFailed, s.ScanDetaches, s.ScanRejoins, s.PrefetchFailed)
+	}
+	return out
 }
 
 // PageHit records a buffer-pool hit for one processed page.
@@ -110,6 +131,25 @@ func (c *Collector) PrefetchDropped() { c.prefetchDropped.Add(1) }
 // PrefetchFilled records a page a prefetch worker read into the pool.
 func (c *Collector) PrefetchFilled() { c.prefetchFilled.Add(1) }
 
+// PrefetchFailed records a page whose prefetch read failed; the pipeline
+// dedups further attempts on it.
+func (c *Collector) PrefetchFailed() { c.prefetchFailed.Add(1) }
+
+// ReadRetried records a store read attempt retried after an error or timeout.
+func (c *Collector) ReadRetried() { c.readRetries.Add(1) }
+
+// ReadTimedOut records a store read that exceeded the per-read timeout.
+func (c *Collector) ReadTimedOut() { c.readTimeouts.Add(1) }
+
+// PageFailed records a page declared failed after its retries were exhausted.
+func (c *Collector) PageFailed() { c.pagesFailed.Add(1) }
+
+// ScanDetached records a scan detached from group coordination.
+func (c *Collector) ScanDetached() { c.scanDetaches.Add(1) }
+
+// ScanRejoined records a detached scan re-admitted to group coordination.
+func (c *Collector) ScanRejoined() { c.scanRejoins.Add(1) }
+
 // Snapshot returns the current counter values.
 func (c *Collector) Snapshot() CollectorStats {
 	if c == nil {
@@ -128,5 +168,11 @@ func (c *Collector) Snapshot() CollectorStats {
 		PrefetchEnqueued: c.prefetchEnqueued.Load(),
 		PrefetchDropped:  c.prefetchDropped.Load(),
 		PrefetchFilled:   c.prefetchFilled.Load(),
+		PrefetchFailed:   c.prefetchFailed.Load(),
+		ReadRetries:      c.readRetries.Load(),
+		ReadTimeouts:     c.readTimeouts.Load(),
+		PagesFailed:      c.pagesFailed.Load(),
+		ScanDetaches:     c.scanDetaches.Load(),
+		ScanRejoins:      c.scanRejoins.Load(),
 	}
 }

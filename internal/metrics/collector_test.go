@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -28,6 +30,12 @@ func TestCollectorConcurrent(t *testing.T) {
 				c.PrefetchEnqueued()
 				c.PrefetchDropped()
 				c.PrefetchFilled()
+				c.PrefetchFailed()
+				c.ReadRetried()
+				c.ReadTimedOut()
+				c.PageFailed()
+				c.ScanDetached()
+				c.ScanRejoined()
 				c.ScanEnded(i%2 == 0)
 				_ = c.Snapshot() // readers interleave with writers
 			}
@@ -49,6 +57,10 @@ func TestCollectorConcurrent(t *testing.T) {
 	if s.PrefetchEnqueued != n || s.PrefetchDropped != n || s.PrefetchFilled != n {
 		t.Errorf("prefetch counters: %+v", s)
 	}
+	if s.PrefetchFailed != n || s.ReadRetries != n || s.ReadTimeouts != n ||
+		s.PagesFailed != n || s.ScanDetaches != n || s.ScanRejoins != n {
+		t.Errorf("failure counters: %+v", s)
+	}
 	if got := s.HitRatio(); got != 0.5 {
 		t.Errorf("hit ratio %g, want 0.5", got)
 	}
@@ -57,5 +69,89 @@ func TestCollectorConcurrent(t *testing.T) {
 	}
 	if s.String() == "" {
 		t.Errorf("empty String rendering")
+	}
+}
+
+// TestCollectorStringFailureSuffix checks the log line stays in its healthy
+// shape until a failure counter goes non-zero, so dashboards that grep the
+// prefix keep working and failures are impossible to miss when present.
+func TestCollectorStringFailureSuffix(t *testing.T) {
+	var c Collector
+	c.PageHit()
+	if s := c.Snapshot().String(); strings.Contains(s, "failures:") {
+		t.Errorf("healthy snapshot renders failure suffix: %q", s)
+	}
+	c.ReadTimedOut()
+	c.ReadRetried()
+	out := c.Snapshot().String()
+	if !strings.Contains(out, "failures: 1 retries (1 timeouts)") {
+		t.Errorf("failure suffix missing or wrong: %q", out)
+	}
+
+	// Each failure counter must switch the suffix on by itself.
+	arm := []struct {
+		name string
+		hit  func(c *Collector)
+	}{
+		{"prefetch-failed", (*Collector).PrefetchFailed},
+		{"read-retried", (*Collector).ReadRetried},
+		{"read-timed-out", (*Collector).ReadTimedOut},
+		{"page-failed", (*Collector).PageFailed},
+		{"scan-detached", (*Collector).ScanDetached},
+	}
+	for _, tc := range arm {
+		var c Collector
+		tc.hit(&c)
+		if s := c.Snapshot().String(); !strings.Contains(s, "failures:") {
+			t.Errorf("%s alone does not arm the failure suffix: %q", tc.name, s)
+		}
+	}
+}
+
+// TestCollectorFailureCountersOverflow drives a failure counter across the
+// int64 ceiling. The counters are monotone in normal operation; this pins the
+// two's-complement wrap as the defined (if absurd) behavior and checks that a
+// wrapped counter neither corrupts its neighbors nor panics the renderer.
+func TestCollectorFailureCountersOverflow(t *testing.T) {
+	var c Collector
+	c.readRetries.Store(math.MaxInt64 - 1)
+	c.ReadRetried()
+	if got := c.Snapshot().ReadRetries; got != math.MaxInt64 {
+		t.Fatalf("ReadRetries = %d, want MaxInt64", got)
+	}
+	c.ReadTimedOut() // neighbor written between the saturating and wrapping add
+	c.ReadRetried()  // wraps
+	s := c.Snapshot()
+	if s.ReadRetries != math.MinInt64 {
+		t.Errorf("ReadRetries after wrap = %d, want MinInt64", s.ReadRetries)
+	}
+	if s.ReadTimeouts != 1 {
+		t.Errorf("neighbor ReadTimeouts = %d, want 1 (corrupted by wrap?)", s.ReadTimeouts)
+	}
+	if out := s.String(); !strings.Contains(out, "failures:") {
+		// MinInt64 + 1 timeout is non-zero, so the suffix must still render.
+		t.Errorf("wrapped snapshot lost its failure suffix: %q", out)
+	}
+
+	// Concurrent increments across the boundary still land exactly.
+	var c2 Collector
+	const workers, each = 8, 1000
+	c2.pagesFailed.Store(math.MaxInt64 - workers*each/2)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c2.PageFailed()
+			}
+		}()
+	}
+	wg.Wait()
+	base := int64(math.MaxInt64 - workers*each/2)
+	want := base + int64(workers*each) // wraps, deterministically
+	if got := c2.Snapshot().PagesFailed; got != want {
+		t.Errorf("PagesFailed = %d, want %d after %d increments across the boundary",
+			got, want, workers*each)
 	}
 }

@@ -8,12 +8,17 @@ import (
 	"scanshare/internal/metrics"
 )
 
+// maxFailedPages bounds the prefetcher's failed-page memory; past it the set
+// is reset wholesale (coarse, but the set only exists to stop the pipeline
+// from hammering known-bad pages back to back).
+const maxFailedPages = 1 << 14
+
 // prefetcher is the bounded worker-pool read-ahead pipeline. Scan workers
 // enqueue the device pages of their next prefetch extent; workers drain the
 // queue and stage missing pages in the pool so the scans hit instead of
 // stalling on the store.
 //
-// Two properties keep it from fighting the scans it serves:
+// Three properties keep it from fighting the scans it serves:
 //
 //   - Best-effort admission: enqueue never blocks. When the queue is full
 //     the extent is dropped (and counted) — the scan will simply read those
@@ -22,27 +27,36 @@ import (
 //     via the in-flight set, so the members of a scan group — who request
 //     largely identical extents — share one read-ahead stream instead of
 //     issuing duplicate store reads.
+//   - Failure dedup: a page whose read failed is remembered and skipped on
+//     later extents, so one bad page cannot occupy the pipeline every time
+//     a group member's extent covers it. The scans still read it themselves,
+//     with retries — only the best-effort pipeline gives up. The read
+//     function is timeout-bounded by the Runner, so a stalling page delays
+//     one worker for at most one ReadTimeout instead of wedging it.
 type prefetcher struct {
-	pool  *buffer.Pool
-	store PageStore
-	col   *metrics.Collector
+	pool *buffer.Pool
+	read func(pid disk.PageID) ([]byte, error)
+	col  *metrics.Collector
 
 	reqs chan []disk.PageID
 	wg   sync.WaitGroup
 
 	mu       sync.Mutex
 	inflight map[disk.PageID]struct{}
+	failed   map[disk.PageID]struct{}
 }
 
 // newPrefetcher starts workers goroutines draining a queue of at most
-// queueExtents pending extents.
-func newPrefetcher(pool *buffer.Pool, store PageStore, col *metrics.Collector, workers, queueExtents int) *prefetcher {
+// queueExtents pending extents. read performs one page read; the Runner
+// passes its timeout-bounded store read.
+func newPrefetcher(pool *buffer.Pool, read func(pid disk.PageID) ([]byte, error), col *metrics.Collector, workers, queueExtents int) *prefetcher {
 	p := &prefetcher{
 		pool:     pool,
-		store:    store,
+		read:     read,
 		col:      col,
 		reqs:     make(chan []disk.PageID, queueExtents),
 		inflight: make(map[disk.PageID]struct{}),
+		failed:   make(map[disk.PageID]struct{}),
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -80,10 +94,15 @@ func (p *prefetcher) worker() {
 	}
 }
 
-// fetch stages one page in the pool. Failures are silently dropped: a
-// prefetch that cannot complete just leaves the work to the scan.
+// fetch stages one page in the pool. Failures are recorded and the page is
+// skipped thereafter: a prefetch that cannot complete leaves the work — and
+// the retry policy — to the scan.
 func (p *prefetcher) fetch(pid disk.PageID) {
 	p.mu.Lock()
+	if _, bad := p.failed[pid]; bad {
+		p.mu.Unlock()
+		return
+	}
 	if _, busy := p.inflight[pid]; busy {
 		p.mu.Unlock()
 		return
@@ -102,9 +121,10 @@ func (p *prefetcher) fetch(pid disk.PageID) {
 		// owning scan released it at.
 		p.pool.ReleaseRetain(pid)
 	case buffer.Miss:
-		data, err := p.store.ReadPage(pid)
+		data, err := p.read(pid)
 		if err != nil {
 			p.pool.Abort(pid)
+			p.markFailed(pid)
 			return
 		}
 		if p.pool.Fill(pid, data) != nil {
@@ -117,4 +137,15 @@ func (p *prefetcher) fetch(pid disk.PageID) {
 	case buffer.Busy:
 		// Someone is reading it right now; nothing left to stage.
 	}
+}
+
+// markFailed records a failed page for the dedup set.
+func (p *prefetcher) markFailed(pid disk.PageID) {
+	p.mu.Lock()
+	if len(p.failed) >= maxFailedPages {
+		p.failed = make(map[disk.PageID]struct{})
+	}
+	p.failed[pid] = struct{}{}
+	p.mu.Unlock()
+	p.col.PrefetchFailed()
 }

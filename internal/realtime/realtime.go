@@ -55,6 +55,17 @@ const (
 	SiteStarted   Site = "started"
 	// SiteBusy fires before backing off on a Busy page acquire.
 	SiteBusy Site = "busy"
+	// SiteRetry fires before backing off on a failed or timed-out store
+	// read, one firing per retry attempt.
+	SiteRetry Site = "retry"
+	// SiteDetach and SiteDetached bracket Manager.DetachScan when a scan's
+	// consecutive read failures cross the degradation threshold.
+	SiteDetach   Site = "detach"
+	SiteDetached Site = "detached"
+	// SiteRejoin and SiteRejoined bracket Manager.RejoinScan when a
+	// detached scan's reads recover.
+	SiteRejoin   Site = "rejoin"
+	SiteRejoined Site = "rejoined"
 	// SiteReport and SiteReported bracket Manager.ReportProgress.
 	SiteReport   Site = "report"
 	SiteReported Site = "reported"
@@ -86,6 +97,17 @@ type StoreFunc func(pid disk.PageID) ([]byte, error)
 // ReadPage calls f.
 func (f StoreFunc) ReadPage(pid disk.PageID) ([]byte, error) { return f(pid) }
 
+// ContextStore is an optional PageStore extension for stores that honor
+// cancellation and distinguish retry attempts (fault.Store implements it).
+// When the configured store provides it, the runner passes the per-read
+// context — carrying the ReadTimeout deadline — and the attempt number, so
+// an injected stall unblocks at the deadline without leaking a goroutine and
+// attempt-windowed fault rules see true attempt counts.
+type ContextStore interface {
+	PageStore
+	ReadPageAt(ctx context.Context, pid disk.PageID, attempt int) ([]byte, error)
+}
+
 // Config assembles the shared structures a Runner operates on and its
 // tuning knobs. Pool, Manager, and Store are required.
 type Config struct {
@@ -111,6 +133,34 @@ type Config struct {
 	// BusyRetryDelay is the backoff before re-requesting a page whose
 	// read is in flight elsewhere. Defaults to 200µs.
 	BusyRetryDelay time.Duration
+
+	// ReadTimeout bounds one page-store read attempt; 0 disables the
+	// bound. For a ContextStore the deadline is passed through the read's
+	// context; for a plain PageStore the read runs in a helper goroutine
+	// and the runner abandons it at the deadline (the goroutine is
+	// reclaimed when the underlying read eventually returns).
+	ReadTimeout time.Duration
+
+	// MaxReadRetries is how many times a failed or timed-out store read
+	// is retried (with exponential backoff) before the page is declared
+	// failed. 0 keeps the pre-fault behavior: the first error is final.
+	MaxReadRetries int
+
+	// RetryBackoff is the wait before the first read retry; it doubles
+	// per attempt up to MaxRetryBackoff. Defaults: 200µs, capped at 10ms.
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
+
+	// DetachAfterFailures is the number of consecutive failed read
+	// attempts after which the scan is detached from group coordination
+	// until a read succeeds again; 0 disables degradation-driven
+	// detaching.
+	DetachAfterFailures int
+
+	// ContinueOnPageFailure makes a scan skip a page whose retries are
+	// exhausted — recording it as degraded — instead of failing the whole
+	// scan. Off by default: a permanent page failure fails the scan.
+	ContinueOnPageFailure bool
 
 	// Sleep waits for d or until ctx is done. Defaults to a timer-based
 	// wait; perturbation harnesses substitute a virtual-clock advance.
@@ -159,6 +209,17 @@ type ScanResult struct {
 	Hits        int64
 	Misses      int64
 	BusyRetries int64
+	// ReadRetries counts store read attempts that were retried after an
+	// error or timeout; ReadTimeouts counts the timed-out subset.
+	ReadRetries  int64
+	ReadTimeouts int64
+	// DegradedPages counts pages skipped after exhausting read retries
+	// (only with Config.ContinueOnPageFailure). Such pages appear in
+	// Misses but not PagesRead.
+	DegradedPages int
+	// Detaches and Rejoins count degradation transitions: how often the
+	// scan was detached from group coordination and re-admitted.
+	Detaches, Rejoins int
 	// Checksum folds one byte of every processed page, so the race
 	// detector sees workers reading shared frame bytes and tests can
 	// assert all workers observed identical table contents.
@@ -173,6 +234,9 @@ type ScanResult struct {
 // Runner executes batches of scans against one pool/manager pair.
 type Runner struct {
 	cfg Config
+	// ctxStore is cfg.Store's ContextStore extension, or nil; asserted
+	// once so the per-page read path avoids a repeated type switch.
+	ctxStore ContextStore
 }
 
 // NewRunner validates cfg, applies defaults, and returns a Runner.
@@ -192,6 +256,15 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.BusyRetryDelay < 0 {
 		return nil, fmt.Errorf("realtime: negative BusyRetryDelay %v", cfg.BusyRetryDelay)
 	}
+	if cfg.ReadTimeout < 0 || cfg.RetryBackoff < 0 || cfg.MaxRetryBackoff < 0 {
+		return nil, fmt.Errorf("realtime: negative read-failure knob")
+	}
+	if cfg.MaxReadRetries < 0 {
+		return nil, fmt.Errorf("realtime: negative MaxReadRetries %d", cfg.MaxReadRetries)
+	}
+	if cfg.DetachAfterFailures < 0 {
+		return nil, fmt.Errorf("realtime: negative DetachAfterFailures %d", cfg.DetachAfterFailures)
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = &vclock.Wall{}
 	}
@@ -204,10 +277,21 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.PrefetchQueueExtents <= 0 {
 		cfg.PrefetchQueueExtents = 2 * cfg.PrefetchWorkers
 	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 200 * time.Microsecond
+	}
+	if cfg.MaxRetryBackoff == 0 {
+		cfg.MaxRetryBackoff = 10 * time.Millisecond
+	}
+	if cfg.MaxRetryBackoff < cfg.RetryBackoff {
+		cfg.MaxRetryBackoff = cfg.RetryBackoff
+	}
 	if cfg.Sleep == nil {
 		cfg.Sleep = ctxSleep
 	}
-	return &Runner{cfg: cfg}, nil
+	r := &Runner{cfg: cfg}
+	r.ctxStore, _ = cfg.Store.(ContextStore)
+	return r, nil
 }
 
 // Collector returns the runner's collector (the configured one, or the

@@ -35,7 +35,12 @@ func (r *Runner) Run(ctx context.Context, specs []ScanSpec) ([]ScanResult, error
 
 	var pf *prefetcher
 	if r.cfg.PrefetchWorkers > 0 {
-		pf = newPrefetcher(r.cfg.Pool, r.cfg.Store, r.cfg.Collector,
+		// Prefetch reads share the scans' timeout discipline (one
+		// attempt, no retries — prefetch is best-effort), so a stalling
+		// page cannot wedge a worker and starve the group's shared
+		// read-ahead stream.
+		read := func(pid disk.PageID) ([]byte, error) { return r.storeRead(ctx, pid, 0) }
+		pf = newPrefetcher(r.cfg.Pool, read, r.cfg.Collector,
 			r.cfg.PrefetchWorkers, r.cfg.PrefetchQueueExtents)
 	}
 
@@ -130,6 +135,7 @@ func (r *Runner) runScan(ctx context.Context, idx int, spec ScanSpec, pf *prefet
 	interval := cfg.Manager.Config().PrefetchExtentPages
 	reportAt := interval
 	prio := core.PageNormal
+	var deg degradeState
 
 	pageNo := func(i int) int {
 		return spec.StartPage + (pl.Origin-spec.StartPage+i)%length
@@ -148,25 +154,33 @@ func (r *Runner) runScan(ctx context.Context, idx int, spec ScanSpec, pf *prefet
 		}
 
 		pid := spec.PageID(pageNo(v))
-		data, ok := r.fetchPage(ctx, idx, pid, hook, res)
-		if !ok {
+		data, out := r.fetchPage(ctx, id, pid, hook, res, &deg)
+		if out == fetchStop {
 			return
 		}
-		if len(data) > 0 {
-			res.Checksum += uint64(data[0]) + uint64(data[len(data)-1])<<8
+		pinned := out == fetchOK
+		if pinned {
+			if len(data) > 0 {
+				res.Checksum += uint64(data[0]) + uint64(data[len(data)-1])<<8
+			}
+			res.PagesRead++
 		}
-		res.PagesRead++
 		if spec.PageDelay > 0 {
 			cfg.Sleep(ctx, spec.PageDelay)
 		}
 
+		// Progress counts degraded (skipped) pages too: the manager
+		// tracks the scan's *position*, and the scan has moved past the
+		// page whether or not its bytes arrived.
 		done := v + 1
 		if done >= reportAt || done == limit {
 			hook(SiteReport)
 			adv, err := cfg.Manager.ReportProgress(id, done, cfg.Clock.Now())
 			hook(SiteReported)
 			if err != nil {
-				r.releasePage(pid, prio, res)
+				if pinned {
+					r.releasePage(pid, prio, res)
+				}
 				res.Err = err
 				return
 			}
@@ -186,14 +200,40 @@ func (r *Runner) runScan(ctx context.Context, idx int, spec ScanSpec, pf *prefet
 				cfg.Sleep(ctx, adv.Wait)
 			}
 		}
-		r.releasePage(pid, prio, res)
+		if pinned {
+			r.releasePage(pid, prio, res)
+		}
 	}
 }
 
-// fetchPage pins pid, filling it from the store on a miss and backing off
-// while another worker's read is in flight. ok=false means the scan should
-// stop (context cancelled or hard error, recorded in res).
-func (r *Runner) fetchPage(ctx context.Context, idx int, pid disk.PageID, hook func(Site), res *ScanResult) ([]byte, bool) {
+// degradeState tracks one scan's read-failure streak across pages and
+// whether the scan is currently detached from its group. It lives on the
+// scan worker's stack; the Manager holds the authoritative detached flag,
+// this copy just avoids redundant Detach/Rejoin calls.
+type degradeState struct {
+	consecutive int // consecutive failed store read attempts
+	detached    bool
+}
+
+// fetchOutcome says what fetchPage produced.
+type fetchOutcome int
+
+const (
+	// fetchOK: the page is pinned and data is valid; the caller must
+	// release it.
+	fetchOK fetchOutcome = iota
+	// fetchSkip: the page permanently failed and the scan continues
+	// degraded; nothing is pinned.
+	fetchSkip
+	// fetchStop: the scan must stop (cancellation or hard error, recorded
+	// in res); nothing is pinned.
+	fetchStop
+)
+
+// fetchPage pins pid, filling it from the store on a miss — with timeouts,
+// retries, and degradation tracking — and backing off while another worker's
+// read is in flight.
+func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID, hook func(Site), res *ScanResult, deg *degradeState) ([]byte, fetchOutcome) {
 	cfg := &r.cfg
 	for {
 		st, data := cfg.Pool.Acquire(pid)
@@ -201,21 +241,30 @@ func (r *Runner) fetchPage(ctx context.Context, idx int, pid disk.PageID, hook f
 		case buffer.Hit:
 			cfg.Collector.PageHit()
 			res.Hits++
-			return data, true
+			return data, fetchOK
 		case buffer.Miss:
 			cfg.Collector.PageMiss()
 			res.Misses++
-			data, err := cfg.Store.ReadPage(pid)
+			data, err := r.readPage(ctx, id, pid, hook, res, deg)
 			if err != nil {
 				cfg.Pool.Abort(pid)
+				if ctx.Err() != nil {
+					res.Stopped = true
+					return nil, fetchStop
+				}
+				cfg.Collector.PageFailed()
+				if cfg.ContinueOnPageFailure {
+					res.DegradedPages++
+					return nil, fetchSkip
+				}
 				res.Err = err
-				return nil, false
+				return nil, fetchStop
 			}
 			if err := cfg.Pool.Fill(pid, data); err != nil {
 				res.Err = err
-				return nil, false
+				return nil, fetchStop
 			}
-			return data, true
+			return data, fetchOK
 		case buffer.Busy:
 			cfg.Collector.BusyRetry()
 			res.BusyRetries++
@@ -223,12 +272,107 @@ func (r *Runner) fetchPage(ctx context.Context, idx int, pid disk.PageID, hook f
 			cfg.Sleep(ctx, cfg.BusyRetryDelay)
 			if ctx.Err() != nil {
 				res.Stopped = true
-				return nil, false
+				return nil, fetchStop
 			}
 		default:
 			res.Err = fmt.Errorf("realtime: unexpected acquire status %v", st)
-			return nil, false
+			return nil, fetchStop
 		}
+	}
+}
+
+// readPage performs the store read for a missed page: each attempt is
+// bounded by ReadTimeout, failures are retried up to MaxReadRetries with
+// exponential backoff, and the scan's degradation state advances — crossing
+// DetachAfterFailures consecutive failures detaches the scan from group
+// coordination, the first successful read rejoins it.
+func (r *Runner) readPage(ctx context.Context, id core.ScanID, pid disk.PageID, hook func(Site), res *ScanResult, deg *degradeState) ([]byte, error) {
+	cfg := &r.cfg
+	backoff := cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		data, err := r.storeRead(ctx, pid, attempt)
+		if err == nil {
+			deg.consecutive = 0
+			if deg.detached {
+				deg.detached = false
+				hook(SiteRejoin)
+				rerr := cfg.Manager.RejoinScan(id, cfg.Clock.Now())
+				hook(SiteRejoined)
+				if rerr != nil && res.Err == nil {
+					res.Err = rerr
+				}
+				cfg.Collector.ScanRejoined()
+				res.Rejoins++
+			}
+			return data, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err // run cancelled, not a device failure
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			cfg.Collector.ReadTimedOut()
+			res.ReadTimeouts++
+		}
+		deg.consecutive++
+		if cfg.DetachAfterFailures > 0 && !deg.detached &&
+			deg.consecutive >= cfg.DetachAfterFailures {
+			deg.detached = true
+			hook(SiteDetach)
+			derr := cfg.Manager.DetachScan(id, cfg.Clock.Now())
+			hook(SiteDetached)
+			if derr != nil && res.Err == nil {
+				res.Err = derr
+			}
+			cfg.Collector.ScanDetached()
+			res.Detaches++
+		}
+		if attempt >= cfg.MaxReadRetries {
+			return nil, err
+		}
+		cfg.Collector.ReadRetried()
+		res.ReadRetries++
+		hook(SiteRetry)
+		cfg.Sleep(ctx, backoff)
+		if backoff *= 2; backoff > cfg.MaxRetryBackoff {
+			backoff = cfg.MaxRetryBackoff
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// storeRead performs one read attempt against the page store, bounded by
+// ReadTimeout. Context-aware stores get the deadline through their context;
+// plain stores are read through a helper goroutine the runner abandons at
+// the deadline (the goroutine ends when the underlying read returns).
+func (r *Runner) storeRead(ctx context.Context, pid disk.PageID, attempt int) ([]byte, error) {
+	cfg := &r.cfg
+	if cfg.ReadTimeout <= 0 {
+		if r.ctxStore != nil {
+			return r.ctxStore.ReadPageAt(ctx, pid, attempt)
+		}
+		return cfg.Store.ReadPage(pid)
+	}
+	rctx, cancel := context.WithTimeout(ctx, cfg.ReadTimeout)
+	defer cancel()
+	if r.ctxStore != nil {
+		return r.ctxStore.ReadPageAt(rctx, pid, attempt)
+	}
+	type result struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		data, err := cfg.Store.ReadPage(pid)
+		ch <- result{data, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.data, out.err
+	case <-rctx.Done():
+		return nil, fmt.Errorf("realtime: read of page %d: %w", pid, rctx.Err())
 	}
 }
 

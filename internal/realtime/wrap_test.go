@@ -1,0 +1,137 @@
+package realtime
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"scanshare/internal/buffer"
+	"scanshare/internal/core"
+	"scanshare/internal/disk"
+)
+
+// TestWrapAroundVisitOrder is the table-driven contract test for join
+// placement's circular visit order: a scan placed at joinLoc must cover its
+// range as [joinLoc, end) ++ [start, joinLoc), page by page, in order. An
+// ongoing "driver" scan is registered directly with the manager and parked at
+// joinLoc so the runner's scan joins at a chosen position; the spec's PageID
+// callback records every visited page.
+func TestWrapAroundVisitOrder(t *testing.T) {
+	const (
+		poolPages = 8 // small pool: keeps the trailing window to 4 pages
+		extent    = 8
+	)
+	cases := []struct {
+		name       string
+		tablePages int
+		start, end int // scan range; end 0 = table end
+		joinLoc    int // driver position = expected origin
+		detachAt   int // visit index at which the driver detaches; -1 = never
+	}{
+		{name: "no-wrap-at-start", tablePages: 40, joinLoc: 0, detachAt: -1},
+		{name: "mid-table", tablePages: 40, joinLoc: 21, detachAt: -1},
+		{name: "at-extent-boundary", tablePages: 40, joinLoc: extent, detachAt: -1},
+		{name: "at-second-extent-boundary", tablePages: 40, joinLoc: 2 * extent, detachAt: -1},
+		{name: "one-before-extent-boundary", tablePages: 40, joinLoc: extent - 1, detachAt: -1},
+		{name: "one-past-extent-boundary", tablePages: 40, joinLoc: extent + 1, detachAt: -1},
+		{name: "last-page", tablePages: 40, joinLoc: 39, detachAt: -1},
+		{name: "partial-range", tablePages: 40, start: 10, end: 30, joinLoc: 20, detachAt: -1},
+		{name: "partial-range-at-range-start", tablePages: 40, start: 10, end: 30, joinLoc: 10, detachAt: -1},
+		{name: "single-page-table", tablePages: 1, joinLoc: 0, detachAt: -1},
+		{name: "driver-detaches-mid-wrap", tablePages: 40, joinLoc: 16, detachAt: 30},
+		{name: "driver-detaches-before-wrap", tablePages: 40, joinLoc: 16, detachAt: 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := core.DefaultConfig(poolPages)
+			cfg.PrefetchExtentPages = extent
+			cfg.MinSharePages = 1
+			cfg.MaxWaitPerUpdate = 100 * time.Microsecond
+			mgr := core.MustNewManager(cfg)
+			pool := buffer.MustNewPool(poolPages)
+
+			// The driver scans the whole table and is parked at joinLoc.
+			driver, _, err := mgr.StartScan(core.ScanOpts{Table: 1, TablePages: tc.tablePages}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.joinLoc > 0 {
+				if _, err := mgr.ReportProgress(driver, tc.joinLoc, time.Millisecond); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var visited []int
+			spec := ScanSpec{
+				Table:      1,
+				TablePages: tc.tablePages,
+				StartPage:  tc.start,
+				EndPage:    tc.end,
+				PageID: func(pageNo int) disk.PageID {
+					visited = append(visited, pageNo)
+					if tc.detachAt >= 0 && len(visited)-1 == tc.detachAt {
+						if err := mgr.DetachScan(driver, 2*time.Millisecond); err != nil {
+							t.Error(err)
+						}
+					}
+					return disk.PageID(pageNo)
+				},
+			}
+			r, err := NewRunner(Config{Pool: pool, Manager: mgr, Store: testStore{pageBytes: 16}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := r.Run(context.Background(), []ScanSpec{spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := results[0]
+			if res.Placement.JoinedScan != driver || res.Placement.Origin != tc.joinLoc {
+				t.Fatalf("placement %+v, want a join on scan %d at page %d",
+					res.Placement, driver, tc.joinLoc)
+			}
+
+			// The circular contract, spelled out: [joinLoc, end) ++ [start, joinLoc).
+			end := tc.end
+			if end == 0 {
+				end = tc.tablePages
+			}
+			var want []int
+			for p := tc.joinLoc; p < end; p++ {
+				want = append(want, p)
+			}
+			for p := tc.start; p < tc.joinLoc; p++ {
+				want = append(want, p)
+			}
+			if !reflect.DeepEqual(visited, want) {
+				t.Errorf("visit order:\n got %v\nwant %v", visited, want)
+			}
+			if res.PagesRead != end-tc.start {
+				t.Errorf("read %d pages, want %d", res.PagesRead, end-tc.start)
+			}
+			if want := wantChecksum(0, tc.start, end, 16); res.Checksum != want {
+				t.Errorf("checksum %d, want %d (coverage incomplete?)", res.Checksum, want)
+			}
+
+			if tc.detachAt >= 0 {
+				// The join is a placement-time decision: the driver
+				// detaching mid-flight must not disturb the already
+				// running scan's coverage, and the driver must still
+				// be marked detached.
+				for _, sc := range mgr.Snapshot().Scans {
+					if sc.ID == driver && !sc.Detached {
+						t.Error("driver not detached")
+					}
+				}
+			}
+			if err := mgr.EndScan(driver, time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if n := mgr.ActiveScans(); n != 0 {
+				t.Errorf("%d scans leaked", n)
+			}
+			pool.CheckInvariants()
+		})
+	}
+}

@@ -2,6 +2,7 @@ package sql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"scanshare/internal/record"
@@ -45,7 +46,27 @@ func (Binary) exprNode()  {}
 // String renders the expression with full parenthesization.
 func (e ColRef) String() string { return e.Name }
 
-func (e Literal) String() string { return e.Val.GoString() }
+// String renders the literal in the dialect's own syntax, so rendered
+// statements re-parse: strings get SQL quoting ('' escapes), dates the DATE
+// prefix, and floats keep a decimal point (the parser types by its presence).
+func (e Literal) String() string {
+	switch e.Val.Kind {
+	case record.KindString:
+		return "'" + strings.ReplaceAll(e.Val.S, "'", "''") + "'"
+	case record.KindDate:
+		return "DATE '" + FormatDate(e.Val.I) + "'"
+	case record.KindFloat64:
+		s := strconv.FormatFloat(e.Val.F, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	case record.KindInt64:
+		return strconv.FormatInt(e.Val.I, 10)
+	default:
+		return e.Val.GoString()
+	}
+}
 
 func (e Bool) String() string {
 	if e.Val {

@@ -1,0 +1,75 @@
+package sql
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse throws arbitrary input at the parser. Two properties must hold
+// for every input:
+//
+//  1. Totality: Parse never panics — it returns a *Select or an error, on
+//     garbage as on SQL.
+//  2. Round-trip stability: an accepted statement renders to a string that
+//     parses again, and that second parse renders identically. (String() is
+//     the canonical form, so one render must be a fixed point.)
+//
+// Run a long session with:
+//
+//	go test ./internal/sql -fuzz FuzzParse -fuzztime 5m
+func FuzzParse(f *testing.F) {
+	// Seeds: the statements the unit tests exercise, both well-formed and
+	// malformed, so the fuzzer starts at the grammar's interesting edges.
+	seeds := []string{
+		"SELECT * FROM lineitem",
+		"SELECT a, sum(b) FROM t WHERE x >= 1.5 AND s = 'it''s'",
+		`SELECT l_returnflag, count(*), sum(l_extendedprice) AS revenue
+			FROM lineitem
+			WHERE l_shipdate >= DATE '1997-01-01' AND l_discount BETWEEN 0.05 AND 0.07
+			GROUP BY l_returnflag
+			LIMIT 10`,
+		"SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT c = 3",
+		"SELECT * FROM t WHERE a + b * 2 - -c / 4 > 0",
+		"SELECT * FROM t WHERE x BETWEEN 1 AND 5",
+		"SELECT * FROM t WHERE d >= DATE '1992-01-02'",
+		"select Count(*) from t where a and b group by c limit 3",
+		"SELECT a, sum(b) AS s FROM t WHERE (a > 1) GROUP BY a LIMIT 5",
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM t WHERE",
+		"SELECT sum(*) FROM t",
+		"SELECT (a FROM t",
+		"SELECT * FROM t WHERE d >= DATE '97-1-1'",
+		"SELECT * FROM t WHERE x BETWEEN 1",
+		"SELECT * FROM t LIMIT -1",
+		"SELECT 'unterminated",
+		"SELECT a ; b",
+		"SELECT * FROM t WHERE !",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		sel, err := Parse(input) // must not panic
+		if err != nil {
+			return
+		}
+		if sel == nil {
+			t.Fatalf("Parse(%q) returned nil without error", input)
+		}
+
+		rendered := sel.String()
+		if !utf8.ValidString(rendered) && utf8.ValidString(input) {
+			t.Fatalf("String() of valid-UTF-8 input %q produced invalid UTF-8 %q", input, rendered)
+		}
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", input, rendered, err)
+		}
+		if got := again.String(); got != rendered {
+			t.Fatalf("canonical form is not a fixed point:\n first %q\nsecond %q", rendered, got)
+		}
+	})
+}

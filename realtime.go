@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"scanshare/internal/disk"
+	"scanshare/internal/fault"
 	"scanshare/internal/metrics"
 	"scanshare/internal/realtime"
 )
@@ -34,6 +35,63 @@ type RealtimeScan struct {
 	PageDelay time.Duration
 }
 
+// FaultKind classifies an injected read failure. The kinds mirror
+// internal/fault: an outright error, a latency spike, an indefinite stall
+// (unstuck only by ReadTimeout or cancellation), and a torn (short) read.
+type FaultKind int
+
+const (
+	FaultError FaultKind = iota
+	FaultLatency
+	FaultStall
+	FaultTorn
+)
+
+// FaultRule describes one class of injected read fault. Whether a given read
+// attempt misbehaves is a pure function of (plan seed, rule index, page,
+// attempt), so the same plan replays the same failure schedule on every run.
+type FaultRule struct {
+	// Kind selects the failure mode.
+	Kind FaultKind
+	// Table, when set, scopes the rule to that table and makes FirstPage
+	// and LastPage table-relative. When nil the bounds are device-absolute
+	// page IDs.
+	Table *Table
+	// FirstPage and LastPage bound the rule, inclusive. LastPage == 0
+	// means "to the end of the table" (with Table set) or "no upper bound".
+	FirstPage, LastPage int
+	// Prob is the per-(page, attempt) probability in (0, 1] that the rule
+	// fires.
+	Prob float64
+	// UntilAttempt, when positive, restricts the rule to read attempts
+	// < UntilAttempt, so retries past it succeed ("fail then recover").
+	UntilAttempt int
+	// Latency is the injected delay for FaultLatency rules.
+	Latency time.Duration
+}
+
+// FaultPlan is a declarative, seeded fault schedule for RunRealtime. Rules
+// are checked in order; the first matching rule that clears its probability
+// roll fires.
+type FaultPlan struct {
+	Seed  int64
+	Rules []FaultRule
+}
+
+// FaultStats summarizes the faults a plan actually injected during one run.
+type FaultStats struct {
+	// Reads counts read attempts that reached the fault layer.
+	Reads int64
+	// InjectedErrors, LatencyEvents, Stalls, and TornReads count served
+	// faults by kind.
+	InjectedErrors int64
+	LatencyEvents  int64
+	Stalls         int64
+	TornReads      int64
+	// InjectedLatency is the total delay added by latency faults.
+	InjectedLatency time.Duration
+}
+
 // RealtimeOptions tunes RunRealtime.
 type RealtimeOptions struct {
 	// PrefetchWorkers sets the read-ahead worker pool size; 0 disables
@@ -46,6 +104,29 @@ type RealtimeOptions struct {
 	// standing in for device transfer time (the virtual-time disk cost
 	// model does not apply in this mode).
 	PageReadDelay time.Duration
+
+	// Faults, when non-nil, injects the plan's deterministic read failures
+	// underneath the page store.
+	Faults *FaultPlan
+	// ReadTimeout bounds each page-read attempt; 0 means no bound. A
+	// timeout is required to survive FaultStall rules.
+	ReadTimeout time.Duration
+	// MaxReadRetries is how many times a failed page read is retried with
+	// exponential backoff before the failure is surfaced; 0 disables
+	// retries.
+	MaxReadRetries int
+	// RetryBackoff and MaxRetryBackoff shape the exponential backoff
+	// between retries; zero values pick defaults.
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
+	// DetachAfterFailures detaches a scan from its group's coordination
+	// after that many consecutive failed read attempts; it rejoins on the
+	// first successful read. 0 disables detaching.
+	DetachAfterFailures int
+	// ContinueOnPageFailure makes scans skip pages whose reads keep
+	// failing after all retries (counting them as DegradedPages) instead
+	// of aborting the scan.
+	ContinueOnPageFailure bool
 }
 
 // RealtimeScanResult is the per-scan outcome of a RunRealtime call.
@@ -64,6 +145,47 @@ type RealtimeReport struct {
 	// Sharing summarizes SSM activity (cumulative over the engine's
 	// lifetime, like Report.Sharing).
 	Sharing SharingStats
+	// Faults reports what the fault plan injected; zero when no plan was
+	// set.
+	Faults FaultStats
+}
+
+// compilePlan translates the public fault plan into the internal one,
+// resolving table-relative page bounds to device pages.
+func (e *Engine) compilePlan(p *FaultPlan) (fault.Plan, error) {
+	out := fault.Plan{Seed: p.Seed}
+	for i, r := range p.Rules {
+		ir := fault.Rule{
+			Kind:         fault.Kind(r.Kind),
+			FirstPage:    disk.PageID(r.FirstPage),
+			LastPage:     disk.PageID(r.LastPage),
+			Prob:         r.Prob,
+			UntilAttempt: r.UntilAttempt,
+			Latency:      r.Latency,
+		}
+		if t := r.Table; t != nil {
+			if t.eng != e {
+				return fault.Plan{}, fmt.Errorf("scanshare: fault rule %d targets a table of another engine", i)
+			}
+			if r.FirstPage < 0 || r.FirstPage >= t.NumPages() ||
+				(r.LastPage != 0 && (r.LastPage < r.FirstPage || r.LastPage >= t.NumPages())) {
+				return fault.Plan{}, fmt.Errorf("scanshare: fault rule %d page range [%d,%d] outside table %q (%d pages)",
+					i, r.FirstPage, r.LastPage, t.Name(), t.NumPages())
+			}
+			first := t.tbl.FirstPage()
+			ir.FirstPage = first + disk.PageID(r.FirstPage)
+			last := r.LastPage
+			if last == 0 {
+				last = t.NumPages() - 1
+			}
+			ir.LastPage = first + disk.PageID(last)
+		}
+		out.Rules = append(out.Rules, ir)
+	}
+	if err := out.Validate(); err != nil {
+		return fault.Plan{}, fmt.Errorf("scanshare: %w", err)
+	}
+	return out, nil
 }
 
 // rtStore adapts the simulated device to the realtime page-store interface:
@@ -110,7 +232,19 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 	}
 
 	col := new(metrics.Collector)
-	store := rtStore{dev: e.dev, delay: opts.PageReadDelay}
+	var store realtime.PageStore = rtStore{dev: e.dev, delay: opts.PageReadDelay}
+	var faultStore *fault.Store
+	if opts.Faults != nil {
+		plan, err := e.compilePlan(opts.Faults)
+		if err != nil {
+			return nil, err
+		}
+		faultStore, err = fault.NewStore(store, plan)
+		if err != nil {
+			return nil, fmt.Errorf("scanshare: %w", err)
+		}
+		store = faultStore
+	}
 	poolsBefore := e.poolStatsSnapshot()
 
 	// Group the scans by buffer pool; each pool gets its own runner, all
@@ -155,12 +289,18 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 	for _, b := range batches {
 		b, bi := b, bi
 		runner, err := realtime.NewRunner(realtime.Config{
-			Pool:                 b.rt.pool,
-			Manager:              b.rt.ssm,
-			Store:                store,
-			Collector:            col,
-			PrefetchWorkers:      opts.PrefetchWorkers,
-			PrefetchQueueExtents: opts.PrefetchQueueExtents,
+			Pool:                  b.rt.pool,
+			Manager:               b.rt.ssm,
+			Store:                 store,
+			Collector:             col,
+			PrefetchWorkers:       opts.PrefetchWorkers,
+			PrefetchQueueExtents:  opts.PrefetchQueueExtents,
+			ReadTimeout:           opts.ReadTimeout,
+			MaxReadRetries:        opts.MaxReadRetries,
+			RetryBackoff:          opts.RetryBackoff,
+			MaxRetryBackoff:       opts.MaxRetryBackoff,
+			DetachAfterFailures:   opts.DetachAfterFailures,
+			ContinueOnPageFailure: opts.ContinueOnPageFailure,
 		})
 		if err != nil {
 			return nil, err
@@ -186,6 +326,17 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 
 	report.Wall = time.Since(start)
 	report.Counters = col.Snapshot()
+	if faultStore != nil {
+		c := faultStore.Counters()
+		report.Faults = FaultStats{
+			Reads:           c.Reads,
+			InjectedErrors:  c.InjectedErrors,
+			LatencyEvents:   c.LatencyEvents,
+			Stalls:          c.Stalls,
+			TornReads:       c.TornReads,
+			InjectedLatency: c.InjectedLatency,
+		}
+	}
 	for name, rt := range e.pools {
 		if delta := poolDelta(rt.pool.Stats(), poolsBefore[name]); delta.LogicalReads > 0 || delta.Evictions > 0 {
 			report.Pools[name] = delta

@@ -3,12 +3,23 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench
+.PHONY: check vet lint build test race fuzz bench
 
-check: vet build test race fuzz
+check: vet lint build test race fuzz
 
 vet:
 	$(GO) vet ./...
+
+# Deeper static analysis when staticcheck is installed; falls back to an
+# extended vet configuration otherwise so `make check` works on a bare
+# toolchain.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; running go vet with extra analyzers"; \
+		$(GO) vet -unusedresult -copylocks -atomic -bools -nilfunc ./...; \
+	fi
 
 build:
 	$(GO) build ./...

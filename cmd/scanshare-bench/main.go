@@ -31,6 +31,11 @@ func main() {
 	rtWorkers := flag.Int("rt-workers", 4, "realtime mode: prefetch worker count")
 	rtPageDelay := flag.Duration("rt-pagedelay", 50*time.Microsecond, "realtime mode: per-page processing delay")
 	rtReadDelay := flag.Duration("rt-readdelay", 200*time.Microsecond, "realtime mode: per-physical-read device delay")
+	var rtObs rtObsFlags
+	flag.StringVar(&rtObs.httpAddr, "http", "", "realtime mode: serve expvar and pprof introspection on this address (e.g. localhost:6060)")
+	flag.DurationVar(&rtObs.statsEvery, "stats-every", 0, "realtime mode: print a live stats line at this interval (0 = off)")
+	flag.StringVar(&rtObs.tracePath, "rt-trace", "", "realtime mode: write the structured event journal as JSONL to this file")
+	flag.BoolVar(&rtObs.timeline, "rt-timeline", false, "realtime mode: print the run's event timeline after the summary")
 	var rtFaults rtFaultFlags
 	flag.StringVar(&rtFaults.scenario, "rt-faults", "", `realtime mode: fault scenario ("errors", "slowband", "stall", "torn")`)
 	flag.Float64Var(&rtFaults.prob, "rt-fault-prob", 0.05, "realtime mode: per-(page,attempt) fault probability")
@@ -64,7 +69,7 @@ func main() {
 	}
 
 	if *rtScans > 0 {
-		if err := runRealtime(p, *rtScans, *rtWorkers, *rtPageDelay, *rtReadDelay, rtFaults); err != nil {
+		if err := runRealtime(p, *rtScans, *rtWorkers, *rtPageDelay, *rtReadDelay, rtFaults, rtObs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -2,15 +2,30 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -http
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"scanshare"
 	"scanshare/internal/experiments"
+	"scanshare/internal/trace"
 )
+
+// rtObsFlags bundles the realtime-mode observability knobs: the expvar/pprof
+// server, the periodic stats reporter, the JSONL event journal, and the
+// post-run timeline rendering.
+type rtObsFlags struct {
+	httpAddr   string
+	statsEvery time.Duration
+	tracePath  string
+	timeline   bool
+}
 
 // rtFaultFlags bundles the -rt-fault* command-line knobs.
 type rtFaultFlags struct {
@@ -72,7 +87,7 @@ func (f rtFaultFlags) apply(opts *scanshare.RealtimeOptions, tbl *scanshare.Tabl
 // Unlike the virtual-time experiments, the printed timings depend on the
 // machine; the structural counters (placements, hit ratio, throttles) are
 // what to look at.
-func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time.Duration, faults rtFaultFlags) error {
+func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time.Duration, faults rtFaultFlags, obs rtObsFlags) error {
 	rows := int(30000 * p.Scale)
 	eng, err := scanshare.New(scanshare.Config{
 		// Sized after load below would be circular; ~100 bytes/row on
@@ -126,6 +141,73 @@ func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time
 		return err
 	}
 
+	// Observability: event journal sinks, live expvar/pprof server, and the
+	// periodic stats reporter. The tracer drains its ring on a short ticker
+	// so the JSONL journal and expvar counters stay current during the run.
+	var tracer *trace.Tracer
+	var rec *trace.Recorder
+	var traceFile *os.File
+	if obs.tracePath != "" || obs.timeline {
+		tracer = trace.NewTracer(nil)
+		if obs.timeline {
+			rec = &trace.Recorder{Cap: 1 << 16}
+			tracer.Attach(rec)
+		}
+		if obs.tracePath != "" {
+			f, err := os.Create(obs.tracePath)
+			if err != nil {
+				return err
+			}
+			traceFile = f
+			tracer.Attach(trace.NewJSONLSink(f))
+		}
+		tracer.Start(20 * time.Millisecond)
+		opts.Tracer = tracer
+	}
+	if obs.httpAddr != "" {
+		expvar.Publish("scanshare_pools", expvar.Func(func() any { return eng.PoolStats() }))
+		expvar.Publish("scanshare_sharing", expvar.Func(func() any { return eng.SharingSnapshot() }))
+		if tracer != nil {
+			expvar.Publish("scanshare_trace_dropped", expvar.Func(func() any { return tracer.Dropped() }))
+		}
+		go func() {
+			if err := http.ListenAndServe(obs.httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "introspection server:", err)
+			}
+		}()
+		fmt.Printf("introspection: http://%s/debug/vars and http://%s/debug/pprof/\n", obs.httpAddr, obs.httpAddr)
+	}
+	stopStats := make(chan struct{})
+	var statsWG sync.WaitGroup
+	if obs.statsEvery > 0 {
+		statsWG.Add(1)
+		go func() {
+			defer statsWG.Done()
+			tick := time.NewTicker(obs.statsEvery)
+			defer tick.Stop()
+			start := time.Now()
+			for {
+				select {
+				case <-stopStats:
+					return
+				case <-tick.C:
+					ps := eng.PoolStats()[""]
+					snap := eng.SharingSnapshot()
+					line := fmt.Sprintf("[%8v] pool %.1f%% hit, %d evictions",
+						time.Since(start).Round(time.Millisecond), 100*ps.HitRatio(), ps.Evictions)
+					if bd := ps.EvictionBreakdown(); bd != "" {
+						line += " (" + bd + ")"
+					}
+					line += fmt.Sprintf("; %d scans in %d groups", len(snap.Scans), len(snap.Groups))
+					if tracer != nil {
+						line += fmt.Sprintf("; trace dropped %d", tracer.Dropped())
+					}
+					fmt.Println(line)
+				}
+			}
+		}()
+	}
+
 	fmt.Printf("realtime: %d goroutine scans of %d pages, pool %d pages, %d prefetch workers\n",
 		n, tbl.NumPages(), poolPagesFor(rows, p.BufferFrac), workers)
 	if faults.scenario != "" {
@@ -133,6 +215,18 @@ func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time
 			faults.scenario, faults.prob, faults.seed, faults.readTimeout, faults.retries, faults.detachAfter)
 	}
 	rep, err := eng.RunRealtime(ctx, opts, scans)
+	close(stopStats)
+	statsWG.Wait()
+	if tracer != nil {
+		if cerr := tracer.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace sink: %w", cerr)
+		}
+		if traceFile != nil {
+			if cerr := traceFile.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -152,9 +246,20 @@ func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time
 	}
 	fmt.Printf("wall time %v\n", rep.Wall.Round(time.Millisecond))
 	fmt.Printf("counters: %s\n", rep.Counters)
+	if h := rep.Counters.Histograms(); h != "" {
+		fmt.Print(h)
+	}
 	if def, ok := rep.Pools[""]; ok {
-		fmt.Printf("pool: %.1f%% hit ratio (%d logical reads, %d evictions)\n",
+		line := fmt.Sprintf("pool: %.1f%% hit ratio (%d logical reads, %d evictions",
 			100*def.HitRatio(), def.LogicalReads, def.Evictions)
+		if bd := def.EvictionBreakdown(); bd != "" {
+			line += ": " + bd
+		}
+		line += ")"
+		if def.Aborts > 0 {
+			line += fmt.Sprintf(", %d aborted reads", def.Aborts)
+		}
+		fmt.Println(line)
 	}
 	s := rep.Sharing
 	fmt.Printf("sharing: %d joins, %d trails, %d residual, %d cold; %d throttles (%v), %d fairness exemptions\n",
@@ -166,6 +271,14 @@ func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time
 		c := rep.Counters
 		fmt.Printf("recovery: %d retries (%d timeouts), %d pages degraded, %d detaches / %d rejoins, %d prefetch failures\n",
 			c.ReadRetries, c.ReadTimeouts, c.PagesFailed, c.ScanDetaches, c.ScanRejoins, c.PrefetchFailed)
+	}
+	if obs.tracePath != "" {
+		fmt.Printf("trace: wrote %s (%d events dropped)\n", obs.tracePath, tracer.Dropped())
+	}
+	if rec != nil {
+		evs := rec.Events()
+		fmt.Printf("\ntimeline (%d events; %s):\n", len(evs), trace.SummarizeKinds(evs))
+		fmt.Print(trace.RenderTimeline(evs))
 	}
 	return nil
 }

@@ -118,8 +118,12 @@ func runBatch(eng *scanshare.Engine, mode scanshare.Mode, line string) error {
 			res.PhysicalReads, res.LogicalReads-res.PhysicalReads)
 	}
 	if len(jobs) > 1 {
-		fmt.Printf("batch: %s end to end, %d disk reads, %.0f%% pool hits\n",
+		line := fmt.Sprintf("batch: %s end to end, %d disk reads, %.0f%% pool hits",
 			metrics.FormatDuration(rep.Makespan), rep.Disk.Reads, rep.Pool.HitRatio()*100)
+		if rep.Pool.Evictions > 0 {
+			line += fmt.Sprintf(", %d evictions (%s)", rep.Pool.Evictions, rep.Pool.EvictionBreakdown())
+		}
+		fmt.Println(line)
 	}
 	return nil
 }

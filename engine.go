@@ -13,6 +13,7 @@ import (
 	"scanshare/internal/exec"
 	"scanshare/internal/heap"
 	"scanshare/internal/sim"
+	"scanshare/internal/trace"
 )
 
 // Engine owns one storage stack — simulated disk, buffer pool, catalog,
@@ -36,6 +37,11 @@ type Engine struct {
 	cpu       *sim.Resource // nil = unlimited cores
 	jobSeq    int
 	observers []observer
+
+	// tracer and sharingFn are the two consumers of manager events; a
+	// single dispatch closure installed by rewireEvents feeds both.
+	tracer    *trace.Tracer
+	sharingFn func(pool string, ev SharingEvent)
 
 	// tableRT remembers each table's pool for Lookup; tableStats holds
 	// the per-column statistics collected while each table loaded.
@@ -285,15 +291,50 @@ func (e *Engine) SharingSnapshot() core.Snapshot {
 // decision — placements, throttles, fairness exemptions, scan ends — from
 // every buffer pool's sharing manager, tagged with the pool name. Pass nil
 // to stop tracing. The callback runs inside the manager; keep it fast and
-// do not call engine methods from it.
+// do not call engine methods from it. TraceSharing composes with
+// AttachTracer: both consumers see every event.
 func (e *Engine) TraceSharing(fn func(pool string, ev SharingEvent)) {
+	e.sharingFn = fn
+	e.rewireEvents()
+}
+
+// AttachTracer journals every sharing decision and buffer eviction across
+// all pools into tr's event ring. Pass nil to detach. The tracer's timeline
+// carries manager virtual timestamps in virtual-time runs and the tracer
+// clock's stamps for events emitted outside the managers (evictions), so
+// attach a tracer whose clock matches the mode being observed (RunRealtime
+// wires this automatically via RealtimeOptions.Tracer).
+func (e *Engine) AttachTracer(tr *trace.Tracer) {
+	e.tracer = tr
+	for _, rt := range e.pools {
+		rt.pool.SetTracer(tr)
+	}
+	e.rewireEvents()
+}
+
+// rewireEvents installs one per-pool dispatch closure feeding the attached
+// tracer and the TraceSharing callback, or clears the hook when neither is
+// set (keeping the managers' zero-cost no-observer fast path).
+func (e *Engine) rewireEvents() {
+	var obs func(core.Event)
+	if e.tracer != nil {
+		obs = trace.ManagerObserver(e.tracer)
+	}
 	for name, rt := range e.pools {
-		if fn == nil {
+		fn := e.sharingFn
+		if fn == nil && obs == nil {
 			rt.ssm.SetOnEvent(nil)
 			continue
 		}
-		name := name
-		rt.ssm.SetOnEvent(func(ev SharingEvent) { fn(name, ev) })
+		name, obs := name, obs
+		rt.ssm.SetOnEvent(func(ev SharingEvent) {
+			if obs != nil {
+				obs(ev)
+			}
+			if fn != nil {
+				fn(name, ev)
+			}
+		})
 	}
 }
 
@@ -514,6 +555,17 @@ func (e *Engine) runQuery(p *sim.Proc, mode Mode, q *Query, runStart time.Durati
 	}, nil
 }
 
+// PoolStats returns every pool's cumulative counters since engine creation,
+// keyed by pool name (the default pool is ""). Safe to call concurrently
+// with a running RunRealtime, so live reporters can poll it mid-run.
+func (e *Engine) PoolStats() map[string]PoolStats {
+	out := make(map[string]PoolStats, len(e.pools))
+	for name, rt := range e.pools {
+		out[name] = poolDelta(rt.pool.Stats(), buffer.Stats{})
+	}
+	return out
+}
+
 // poolStatsSnapshot captures every pool's counters for later deltas.
 func (e *Engine) poolStatsSnapshot() map[string]buffer.Stats {
 	out := make(map[string]buffer.Stats, len(e.pools))
@@ -538,7 +590,11 @@ func (e *Engine) report(mode Mode, results []QueryResult, runStart, end time.Dur
 		r.Pool.LogicalReads += delta.LogicalReads
 		r.Pool.Hits += delta.Hits
 		r.Pool.Misses += delta.Misses
+		r.Pool.Aborts += delta.Aborts
 		r.Pool.Evictions += delta.Evictions
+		for i := range delta.EvictionsByPriority {
+			r.Pool.EvictionsByPriority[i] += delta.EvictionsByPriority[i]
+		}
 		r.Sharing = r.Sharing.add(sharingStats(rt.ssm.Stats()))
 	}
 	for _, s := range e.dev.Series() {

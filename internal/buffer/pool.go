@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"scanshare/internal/disk"
+	"scanshare/internal/trace"
 )
 
 // Priority is a page release priority hint. Higher values survive longer in
@@ -48,6 +49,10 @@ const (
 
 	numPriorities
 )
+
+// NumPriorities is the number of defined priority levels, for sizing
+// per-priority breakdowns outside the package.
+const NumPriorities = int(numPriorities)
 
 // String returns a short human-readable name for the priority.
 func (p Priority) String() string {
@@ -79,9 +84,16 @@ const (
 	// Fill (or Abort on failure).
 	Miss
 	// Busy: another caller is currently reading this page from disk, or
-	// the pool is full of pinned frames. The caller should wait a little
-	// and retry; this models waiting on an in-flight I/O.
+	// the pool is full but an in-flight read holds a frame that will soon
+	// become evictable. The caller should wait a little and retry; this
+	// models waiting on an in-flight I/O.
 	Busy
+	// AllPinned: the pool is full, every frame is pinned by an active
+	// caller, and no read is in flight that could free one. Retrying on an
+	// I/O timescale is pointless — a frame only frees when some caller
+	// releases — so callers back off for longer (or fail) instead of
+	// spinning. Err returns ErrAllPinned for this status.
+	AllPinned
 )
 
 // String returns the status name.
@@ -93,9 +105,21 @@ func (s Status) String() string {
 		return "miss"
 	case Busy:
 		return "busy"
+	case AllPinned:
+		return "all-pinned"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
+}
+
+// Err returns the sentinel error corresponding to a failure status:
+// ErrAllPinned for AllPinned, nil for every other status. It lets callers
+// use errors.Is on an Acquire outcome they choose to surface as an error.
+func (s Status) Err() error {
+	if s == AllPinned {
+		return ErrAllPinned
+	}
+	return nil
 }
 
 // Stats is a snapshot of the pool counters.
@@ -103,21 +127,41 @@ type Stats struct {
 	LogicalReads  int64 // Acquire calls that returned Hit or Miss
 	Hits          int64
 	Misses        int64
+	Aborts        int64 // misses whose physical read failed (Abort), never delivered
+	Fills         int64 // misses completed by Fill
 	BusyRetries   int64 // Acquire calls that returned Busy
+	AllPinned     int64 // Acquire calls that returned AllPinned
 	Evictions     int64
 	EvictionsByPr [numPriorities]int64
 }
 
-// HitRatio returns Hits / LogicalReads, or 0 when nothing was read.
-func (s Stats) HitRatio() float64 {
-	if s.LogicalReads == 0 {
-		return 0
-	}
-	return float64(s.Hits) / float64(s.LogicalReads)
+// PagesDelivered returns the number of Acquire calls that actually put page
+// data in the caller's hands: hits plus misses, minus the misses whose
+// physical read failed and was aborted. The accounting invariant
+//
+//	Hits + Misses - Aborts == PagesDelivered
+//
+// holds by construction here and is asserted against independent per-caller
+// counts in the chaos suite.
+func (s Stats) PagesDelivered() int64 {
+	return s.Hits + s.Misses - s.Aborts
 }
 
-// ErrAllPinned is wrapped by Acquire's Busy-causing internal state when every
-// frame is pinned; exposed for tests of pathological configurations.
+// HitRatio returns the fraction of delivered pages served from the pool.
+// Aborted misses are excluded from the denominator: a miss whose read failed
+// delivered nothing, so counting it would understate locality under fault
+// injection.
+func (s Stats) HitRatio() float64 {
+	delivered := s.LogicalReads - s.Aborts
+	if delivered <= 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(delivered)
+}
+
+// ErrAllPinned is the sentinel for the AllPinned acquire status: the pool is
+// full of pinned frames with no in-flight read that could free one.
+// Status.Err exposes it for errors.Is.
 var ErrAllPinned = errors.New("buffer: all frames pinned")
 
 type frameState int
@@ -147,7 +191,23 @@ type Pool struct {
 	// levels[p] holds unpinned frames released at priority p, least
 	// recently released at the front (the eviction end).
 	levels [numPriorities]*list.List
-	stats  Stats
+	// pending counts frames in framePending state (reads in flight); it
+	// lets a full-pool Acquire distinguish "wait for I/O" (Busy) from
+	// "every frame pinned by a caller" (AllPinned).
+	pending int
+	stats   Stats
+	// tracer, when set, receives an eviction event per victimized frame.
+	// Emission is non-blocking, so holding the pool lock across it is fine.
+	tracer *trace.Tracer
+}
+
+// SetTracer attaches tr (may be nil to detach) as the pool's observability
+// journal; evictLocked emits a trace event per victim with the priority the
+// page was released at.
+func (p *Pool) SetTracer(tr *trace.Tracer) {
+	p.mu.Lock()
+	p.tracer = tr
+	p.mu.Unlock()
 }
 
 // NewPool creates a pool with room for capacity pages.
@@ -216,12 +276,22 @@ func (p *Pool) Acquire(pid disk.PageID) (Status, []byte) {
 	}
 
 	if len(p.frames) >= p.capacity && !p.evictLocked() {
-		p.stats.BusyRetries++
-		return Busy, nil
+		if p.pending > 0 {
+			// An in-flight read holds at least one frame that will be
+			// filled and released shortly; waiting on an I/O timescale
+			// is the right backoff.
+			p.stats.BusyRetries++
+			return Busy, nil
+		}
+		// Every frame is pinned by an active caller and nothing is in
+		// flight: only a Release can free one.
+		p.stats.AllPinned++
+		return AllPinned, nil
 	}
 
 	f := &frame{pid: pid, pins: 1, state: framePending}
 	p.frames[pid] = f
+	p.pending++
 	p.stats.LogicalReads++
 	p.stats.Misses++
 	return Miss, nil
@@ -239,6 +309,10 @@ func (p *Pool) evictLocked() bool {
 		delete(p.frames, victim.pid)
 		p.stats.Evictions++
 		p.stats.EvictionsByPr[prio]++
+		p.tracer.Emit(trace.Event{
+			Kind: trace.KindEvict, Page: int64(victim.pid), Prio: int8(prio),
+			Scan: trace.NoID, Peer: trace.NoID, Table: trace.NoID,
+		})
 		return true
 	}
 	return false
@@ -258,6 +332,8 @@ func (p *Pool) Fill(pid disk.PageID, data []byte) error {
 	}
 	f.data = data
 	f.state = frameValid
+	p.pending--
+	p.stats.Fills++
 	return nil
 }
 
@@ -271,6 +347,11 @@ func (p *Pool) Abort(pid disk.PageID) error {
 		return fmt.Errorf("buffer: Abort of page %d that is not pending", pid)
 	}
 	delete(p.frames, pid)
+	p.pending--
+	// The reserving Acquire counted a Miss, but the page was never
+	// delivered; Aborts is the correction term that keeps
+	// Hits + Misses - Aborts equal to pages actually handed to callers.
+	p.stats.Aborts++
 	return nil
 }
 
@@ -364,6 +445,7 @@ func (p *Pool) CheckInvariants() {
 			unpinned++
 		}
 	}
+	pending := 0
 	for pid, f := range p.frames {
 		if f.pid != pid {
 			panic("buffer: frame table key mismatch")
@@ -371,5 +453,15 @@ func (p *Pool) CheckInvariants() {
 		if f.pins == 0 && f.state == frameValid && f.elem == nil {
 			panic(fmt.Sprintf("buffer: unpinned valid page %d not on any level list", pid))
 		}
+		if f.state == framePending {
+			pending++
+		}
+	}
+	if pending != p.pending {
+		panic(fmt.Sprintf("buffer: %d pending frames resident but pending counter is %d", pending, p.pending))
+	}
+	if delivered := p.stats.Hits + p.stats.Misses - p.stats.Aborts; delivered < 0 {
+		panic(fmt.Sprintf("buffer: negative pages delivered (%d hits + %d misses - %d aborts)",
+			p.stats.Hits, p.stats.Misses, p.stats.Aborts))
 	}
 }

@@ -125,8 +125,8 @@ func TestPinnedPagesAreNotEvicted(t *testing.T) {
 	p := MustNewPool(2)
 	load(t, p, 1) // stays pinned
 	load(t, p, 2) // stays pinned
-	if st, _ := p.Acquire(3); st != Busy {
-		t.Errorf("acquire with all frames pinned: %v, want busy", st)
+	if st, _ := p.Acquire(3); st != AllPinned {
+		t.Errorf("acquire with all frames pinned: %v, want all-pinned", st)
 	}
 	p.Release(1, PriorityNormal)
 	if st, _ := p.Acquire(3); st != Miss {

@@ -27,6 +27,24 @@ const (
 	// EventScanRejoined fires when a detached scan is re-admitted;
 	// GapPages carries its position at rejoin time.
 	EventScanRejoined
+	// EventGroupFormed fires when a regroup produces a group none of whose
+	// members were grouped before. Scan is the leader, Peer the trailer,
+	// Members the full membership (trailer first), GapPages the extent.
+	EventGroupFormed
+	// EventGroupMerged fires when a regroup produces a group combining
+	// members of two or more previous groups, or absorbing a previously
+	// ungrouped scan. Fields as for EventGroupFormed.
+	EventGroupMerged
+	// EventGroupSplit fires when the surviving members of a previous group
+	// no longer share one group. Scan is the old leader, Peer the old
+	// trailer, Members the old membership.
+	EventGroupSplit
+	// EventLeaderHandoff fires when a continuing group changes leaders.
+	// Scan is the new leader, Peer the old one.
+	EventLeaderHandoff
+	// EventTrailerHandoff fires when a continuing group changes trailers.
+	// Scan is the new trailer, Peer the old one.
+	EventTrailerHandoff
 )
 
 // String returns the kind's name.
@@ -44,6 +62,16 @@ func (k EventKind) String() string {
 		return "scan-detached"
 	case EventScanRejoined:
 		return "scan-rejoined"
+	case EventGroupFormed:
+		return "group-formed"
+	case EventGroupMerged:
+		return "group-merged"
+	case EventGroupSplit:
+		return "group-split"
+	case EventLeaderHandoff:
+		return "leader-handoff"
+	case EventTrailerHandoff:
+		return "trailer-handoff"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -62,6 +90,14 @@ type Event struct {
 	// Wait and GapPages are set for EventThrottled.
 	Wait     time.Duration
 	GapPages int
+	// Peer is the secondary scan of group events: the trailer for
+	// formed/merged/split (Scan is the leader), the previous holder for
+	// handoffs (Scan is the new one). NoScan otherwise.
+	Peer ScanID
+	// Members is the group membership (trailer first) for formed, merged,
+	// and split events. The slice is owned by the event and never mutated
+	// after delivery.
+	Members []ScanID
 }
 
 // String renders the event as one log line.
@@ -88,6 +124,19 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%v] scan %d on table %d detached at page %d (degraded)", e.Time, e.Scan, e.Table, e.GapPages)
 	case EventScanRejoined:
 		return fmt.Sprintf("[%v] scan %d on table %d rejoined at page %d", e.Time, e.Scan, e.Table, e.GapPages)
+	case EventGroupFormed:
+		return fmt.Sprintf("[%v] group formed on table %d: members %v trailer %d leader %d extent %d pages",
+			e.Time, e.Table, e.Members, e.Peer, e.Scan, e.GapPages)
+	case EventGroupMerged:
+		return fmt.Sprintf("[%v] groups merged on table %d: members %v trailer %d leader %d extent %d pages",
+			e.Time, e.Table, e.Members, e.Peer, e.Scan, e.GapPages)
+	case EventGroupSplit:
+		return fmt.Sprintf("[%v] group split on table %d: was members %v trailer %d leader %d",
+			e.Time, e.Table, e.Members, e.Peer, e.Scan)
+	case EventLeaderHandoff:
+		return fmt.Sprintf("[%v] leader handoff on table %d: %d -> %d", e.Time, e.Table, e.Peer, e.Scan)
+	case EventTrailerHandoff:
+		return fmt.Sprintf("[%v] trailer handoff on table %d: %d -> %d", e.Time, e.Table, e.Peer, e.Scan)
 	default:
 		return fmt.Sprintf("[%v] scan %d: %s", e.Time, e.Scan, e.Kind)
 	}
@@ -98,6 +147,11 @@ func (e Event) String() string {
 // is released, so a slow observer never blocks readers of the manager state.
 func (m *Manager) emit(ev Event) {
 	if m.cfg.OnEvent != nil {
+		switch ev.Kind {
+		case EventGroupFormed, EventGroupMerged, EventGroupSplit, EventLeaderHandoff, EventTrailerHandoff:
+		default:
+			ev.Peer = NoScan // only group events carry a secondary scan
+		}
 		m.pending = append(m.pending, ev)
 	}
 }

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// groupEventRecorder collects only the group-transition events from a
+// manager's decision stream.
+type groupEventRecorder struct {
+	events []Event
+}
+
+func (r *groupEventRecorder) observe(ev Event) {
+	switch ev.Kind {
+	case EventGroupFormed, EventGroupMerged, EventGroupSplit, EventLeaderHandoff, EventTrailerHandoff:
+		r.events = append(r.events, ev)
+	}
+}
+
+func (r *groupEventRecorder) kinds() []EventKind {
+	var out []EventKind
+	for _, ev := range r.events {
+		out = append(out, ev.Kind)
+	}
+	return out
+}
+
+// startAt registers a scan over [start, TablePages) so that, with Placement
+// disabled, its position is exactly start.
+func startAt(t *testing.T, m *Manager, table TableID, pages, start int, now time.Duration) ScanID {
+	t.Helper()
+	id, _, err := m.StartScan(ScanOpts{Table: table, TablePages: pages, StartPage: start}, now)
+	if err != nil {
+		t.Fatalf("StartScan at %d: %v", start, err)
+	}
+	return id
+}
+
+func TestGroupFormedAndMergedEvents(t *testing.T) {
+	cfg := testConfig() // 1000-page budget
+	cfg.Placement = false
+	rec := &groupEventRecorder{}
+	cfg.OnEvent = rec.observe
+	m := MustNewManager(cfg)
+
+	const pages = 10000
+	// Two pairs far apart: {s0@0, s1@10} and {s2@5000, s3@5010}.
+	s0 := startAt(t, m, 1, pages, 0, 0)
+	s1 := startAt(t, m, 1, pages, 10, 0)
+	s2 := startAt(t, m, 1, pages, 5000, 0)
+	s3 := startAt(t, m, 1, pages, 5010, 0)
+	m.Snapshot() // force the regroup
+
+	if got := rec.kinds(); len(got) != 2 || got[0] != EventGroupFormed || got[1] != EventGroupFormed {
+		t.Fatalf("after two far pairs: events %v, want two group-formed", got)
+	}
+	for _, ev := range rec.events {
+		if len(ev.Members) != 2 {
+			t.Errorf("formed group members = %v, want a pair", ev.Members)
+		}
+	}
+
+	// Advance the first pair to within budget of the second: one group.
+	// Each report triggers its own regroup, so transient regroupings along
+	// the way are fine; what must eventually appear is a 4-member merge.
+	rec.events = nil
+	report(t, m, s0, 4500, time.Second)
+	report(t, m, s1, 4600, time.Second) // pos 4610
+	m.Snapshot()
+
+	var merged *Event
+	for i, ev := range rec.events {
+		if ev.Kind == EventGroupMerged && len(ev.Members) == 4 {
+			merged = &rec.events[i]
+		}
+	}
+	if merged == nil {
+		t.Fatalf("no 4-member group-merged event; got %v", rec.kinds())
+	}
+	if merged.Peer != s0 || merged.Scan != s3 {
+		t.Errorf("merged group trailer/leader = %d/%d, want %d/%d", merged.Peer, merged.Scan, s0, s3)
+	}
+	_ = s2
+}
+
+func TestGroupSplitEvent(t *testing.T) {
+	cfg := testConfig()
+	cfg.Placement = false
+	rec := &groupEventRecorder{}
+	cfg.OnEvent = rec.observe
+	m := MustNewManager(cfg)
+
+	const pages = 10000
+	a := startAt(t, m, 1, pages, 0, 0)
+	b := startAt(t, m, 1, pages, 20, 0)
+	m.Snapshot()
+	if got := rec.kinds(); len(got) != 1 || got[0] != EventGroupFormed {
+		t.Fatalf("events %v, want one group-formed", got)
+	}
+
+	// The front scan runs beyond the whole buffer budget: grouping them no
+	// longer pays and the group comes apart.
+	rec.events = nil
+	report(t, m, b, 2000, time.Second) // pos 2020, gap 2020 > budget 1000
+	m.Snapshot()
+
+	got := rec.kinds()
+	if len(got) != 1 || got[0] != EventGroupSplit {
+		t.Fatalf("events %v, want one group-split", got)
+	}
+	sp := rec.events[0]
+	if sp.Peer != a || sp.Scan != b || len(sp.Members) != 2 {
+		t.Errorf("split event = %+v, want trailer %d leader %d", sp, a, b)
+	}
+}
+
+func TestLeaderHandoffOnLeaderEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.Placement = false
+	rec := &groupEventRecorder{}
+	cfg.OnEvent = rec.observe
+	m := MustNewManager(cfg)
+
+	const pages = 10000
+	s0 := startAt(t, m, 1, pages, 0, 0)
+	s1 := startAt(t, m, 1, pages, 20, 0)
+	s2 := startAt(t, m, 1, pages, 40, 0)
+	m.Snapshot()
+	if got := rec.kinds(); len(got) != 1 || got[0] != EventGroupFormed {
+		t.Fatalf("events %v, want one group-formed", got)
+	}
+	if g := rec.events[0]; g.Scan != s2 || g.Peer != s0 {
+		t.Fatalf("formed group leader/trailer = %d/%d, want %d/%d", g.Scan, g.Peer, s2, s0)
+	}
+
+	// The leader finishes; the group continues with a new front.
+	rec.events = nil
+	if err := m.EndScan(s2, time.Second); err != nil {
+		t.Fatalf("EndScan: %v", err)
+	}
+	m.Snapshot()
+
+	got := rec.kinds()
+	if len(got) != 1 || got[0] != EventLeaderHandoff {
+		t.Fatalf("events %v, want one leader-handoff", got)
+	}
+	if h := rec.events[0]; h.Scan != s1 || h.Peer != s2 {
+		t.Errorf("handoff = %d -> %d, want %d -> %d", h.Peer, h.Scan, s2, s1)
+	}
+
+	// And a steady-state regroup emits nothing.
+	rec.events = nil
+	report(t, m, s0, 16, 2*time.Second)
+	report(t, m, s1, 16, 2*time.Second)
+	m.Snapshot()
+	for _, ev := range rec.events {
+		t.Errorf("steady-state regroup emitted %v", ev)
+	}
+}
+
+func TestDetachDissolvesPairWithoutSplit(t *testing.T) {
+	// A pair whose partner detaches just dissolves — only one survivor, so
+	// no split event is raised (the detach event itself tells the story).
+	cfg := testConfig()
+	cfg.Placement = false
+	rec := &groupEventRecorder{}
+	cfg.OnEvent = rec.observe
+	m := MustNewManager(cfg)
+
+	a := startAt(t, m, 1, 10000, 0, 0)
+	startAt(t, m, 1, 10000, 20, 0)
+	m.Snapshot()
+	rec.events = nil
+
+	if err := m.DetachScan(a, time.Second); err != nil {
+		t.Fatalf("DetachScan: %v", err)
+	}
+	m.Snapshot()
+	if got := rec.kinds(); len(got) != 0 {
+		t.Fatalf("events after detach = %v, want none", got)
+	}
+}

@@ -30,6 +30,13 @@ func (m *Manager) regroupLocked() {
 		return
 	}
 	m.dirty = false
+	// Group-change events are derived by diffing the new grouping against
+	// the old one; snapshotting the old group pointers is only worth it when
+	// somebody listens.
+	var prev []*group
+	if m.cfg.OnEvent != nil {
+		prev = append(prev, m.groups...)
+	}
 	m.groups = m.groups[:0]
 
 	// Collect candidate pairs per table. Detached scans are invisible
@@ -171,4 +178,109 @@ func (m *Manager) regroupLocked() {
 		}
 		m.groups = append(m.groups, g)
 	}
+
+	if m.cfg.OnEvent != nil {
+		m.emitGroupDeltasLocked(prev)
+	}
 }
+
+// emitGroupDeltasLocked compares the freshly computed grouping against the
+// previous one and emits formed/merged/split/handoff events. Steady-state
+// regroups (same composition) emit nothing, so the event stream records only
+// actual transitions. Called with the state lock held, right after
+// regroupLocked materializes m.groups; events are timestamped with the
+// manager's most recent caller-supplied time.
+func (m *Manager) emitGroupDeltasLocked(prev []*group) {
+	now := m.lastNow
+
+	prevOf := make(map[ScanID]int, len(m.scans))
+	for i, g := range prev {
+		for _, id := range g.members {
+			prevOf[id] = i
+		}
+	}
+	newOf := make(map[ScanID]int, len(m.scans))
+	for i, g := range m.groups {
+		for _, id := range g.members {
+			newOf[id] = i
+		}
+	}
+
+	// Splits first: a previous group whose surviving members (scans still
+	// registered and attached) no longer all share one new group has come
+	// apart. A group that merely dissolved because its scans finished or
+	// detached is not a split.
+	for _, g := range prev {
+		var survivors []ScanID
+		for _, id := range g.members {
+			if s, ok := m.scans[id]; ok && !s.detached {
+				survivors = append(survivors, id)
+			}
+		}
+		if len(survivors) < 2 {
+			continue
+		}
+		first, ok := newOf[survivors[0]]
+		together := ok
+		for _, id := range survivors[1:] {
+			if idx, ok := newOf[id]; !ok || idx != first {
+				together = false
+				break
+			}
+		}
+		if !together {
+			m.emit(Event{
+				Kind: EventGroupSplit, Time: now, Table: g.table,
+				Scan: g.leader, Peer: g.trailer,
+				Members: append([]ScanID(nil), g.members...),
+			})
+		}
+	}
+
+	// Then classify each new group by where its members came from.
+	for _, g := range m.groups {
+		sources := make(map[int]bool)
+		fresh := false // has a member that was ungrouped before
+		for _, id := range g.members {
+			if i, ok := prevOf[id]; ok {
+				sources[i] = true
+			} else {
+				fresh = true
+			}
+		}
+		ev := Event{
+			Time: now, Table: g.table,
+			Scan: g.leader, Peer: g.trailer, GapPages: g.extent,
+			Members: append([]ScanID(nil), g.members...),
+		}
+		switch {
+		case len(sources) == 0:
+			ev.Kind = EventGroupFormed
+			m.emit(ev)
+		case len(sources) >= 2 || fresh:
+			ev.Kind = EventGroupMerged
+			m.emit(ev)
+		default:
+			// Continuation of exactly one previous group: report role
+			// changes at its front and back.
+			old := prev[firstKey(sources)]
+			if old.leader != g.leader {
+				m.emit(Event{Kind: EventLeaderHandoff, Time: now, Table: g.table,
+					Scan: g.leader, Peer: old.leader})
+			}
+			if old.trailer != g.trailer {
+				m.emit(Event{Kind: EventTrailerHandoff, Time: now, Table: g.table,
+					Scan: g.trailer, Peer: old.trailer})
+			}
+		}
+	}
+}
+
+// firstKey returns the single key of a one-element set.
+func firstKey(set map[int]bool) int {
+	for k := range set {
+		return k
+	}
+	return -1
+}
+

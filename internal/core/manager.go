@@ -225,6 +225,18 @@ type Manager struct {
 	groups    []*group
 	dirty     bool // groups need recomputation
 	stats     Stats
+	// lastNow is the latest caller-supplied timestamp, used to stamp group
+	// delta events raised by regroups that have no time of their own (for
+	// example a Snapshot-triggered recomputation).
+	lastNow time.Duration
+}
+
+// touch advances lastNow; timestamps from concurrent scan workers may arrive
+// slightly out of order, so it only moves forward.
+func (m *Manager) touch(now time.Duration) {
+	if now > m.lastNow {
+		m.lastNow = now
+	}
 }
 
 // NewManager creates an SSM with the given configuration.
@@ -286,6 +298,7 @@ func (m *Manager) StartScan(opts ScanOpts, now time.Duration) (ScanID, Placement
 
 	m.mu.Lock()
 	defer m.deliverAndUnlock()
+	m.touch(now)
 
 	s := &scanState{
 		id:             m.nextID,
@@ -334,6 +347,7 @@ func (m *Manager) StartScan(opts ScanOpts, now time.Duration) (ScanID, Placement
 func (m *Manager) ReportProgress(id ScanID, pagesProcessed int, now time.Duration) (Advice, error) {
 	m.mu.Lock()
 	defer m.deliverAndUnlock()
+	m.touch(now)
 
 	s, ok := m.scans[id]
 	if !ok {
@@ -500,6 +514,7 @@ func (m *Manager) recordThrottle(s *scanState, wait time.Duration, gap int, now 
 func (m *Manager) DetachScan(id ScanID, now time.Duration) error {
 	m.mu.Lock()
 	defer m.deliverAndUnlock()
+	m.touch(now)
 	s, ok := m.scans[id]
 	if !ok {
 		return fmt.Errorf("core: DetachScan for unknown scan %d", id)
@@ -521,6 +536,7 @@ func (m *Manager) DetachScan(id ScanID, now time.Duration) error {
 func (m *Manager) RejoinScan(id ScanID, now time.Duration) error {
 	m.mu.Lock()
 	defer m.deliverAndUnlock()
+	m.touch(now)
 	s, ok := m.scans[id]
 	if !ok {
 		return fmt.Errorf("core: RejoinScan for unknown scan %d", id)
@@ -540,6 +556,7 @@ func (m *Manager) RejoinScan(id ScanID, now time.Duration) error {
 func (m *Manager) EndScan(id ScanID, now time.Duration) error {
 	m.mu.Lock()
 	defer m.deliverAndUnlock()
+	m.touch(now)
 	s, ok := m.scans[id]
 	if !ok {
 		return fmt.Errorf("core: EndScan for unknown scan %d", id)

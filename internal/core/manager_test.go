@@ -454,7 +454,13 @@ func TestEventsTraceDecisions(t *testing.T) {
 	for _, ev := range events {
 		kinds = append(kinds, ev.Kind)
 	}
-	want := []EventKind{EventScanStarted, EventScanStarted, EventThrottled, EventScanEnded, EventScanEnded}
+	// b joins a and overtakes it on its first report, so the group forms
+	// with b in front and the roles swap once a's own report lands.
+	want := []EventKind{
+		EventScanStarted, EventScanStarted,
+		EventGroupFormed, EventLeaderHandoff, EventTrailerHandoff,
+		EventThrottled, EventScanEnded, EventScanEnded,
+	}
 	if len(kinds) != len(want) {
 		t.Fatalf("got %d events %v, want %v", len(kinds), kinds, want)
 	}
@@ -467,7 +473,17 @@ func TestEventsTraceDecisions(t *testing.T) {
 	if events[1].Placement.JoinedScan != a && events[1].Placement.TrailingScan != a {
 		t.Errorf("second start event placement = %+v", events[1].Placement)
 	}
-	th := events[2]
+	form := events[2]
+	if len(form.Members) != 2 || form.Scan != b || form.Peer != a {
+		t.Errorf("group-formed event = %+v, want leader %d trailer %d", form, b, a)
+	}
+	if lh := events[3]; lh.Scan != a || lh.Peer != b {
+		t.Errorf("leader-handoff event = %+v, want %d -> %d", lh, b, a)
+	}
+	if th := events[4]; th.Scan != b || th.Peer != a {
+		t.Errorf("trailer-handoff event = %+v, want %d -> %d", th, a, b)
+	}
+	th := events[5]
 	if th.Scan != a || th.Wait <= 0 || th.GapPages <= 0 {
 		t.Errorf("throttle event = %+v", th)
 	}
@@ -482,7 +498,10 @@ func TestEventKindString(t *testing.T) {
 	for k, want := range map[EventKind]string{
 		EventScanStarted: "scan-started", EventScanEnded: "scan-ended",
 		EventThrottled: "throttled", EventFairnessExempted: "fairness-exempted",
-		EventKind(9): "EventKind(9)",
+		EventGroupFormed: "group-formed", EventGroupMerged: "group-merged",
+		EventGroupSplit: "group-split", EventLeaderHandoff: "leader-handoff",
+		EventTrailerHandoff: "trailer-handoff",
+		EventKind(99):       "EventKind(99)",
 	} {
 		if k.String() != want {
 			t.Errorf("EventKind.String() = %q, want %q", k.String(), want)

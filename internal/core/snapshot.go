@@ -40,7 +40,10 @@ type Snapshot struct {
 // inspection tool. Groups are recomputed if stale.
 func (m *Manager) Snapshot() Snapshot {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	// A stale grouping is recomputed here, which can raise group-delta
+	// events; deliver them like any mutator would so observers never miss a
+	// transition just because a snapshot reader got there first.
+	defer m.deliverAndUnlock()
 	m.regroupLocked()
 
 	var snap Snapshot

@@ -200,7 +200,12 @@ func (e *Env) fetchPage(pid disk.PageID) ([]byte, error) {
 				return nil, err
 			}
 			return data, nil
-		case buffer.Busy:
+		case buffer.Busy, buffer.AllPinned:
+			// AllPinned gets the same retry as Busy here: simulated
+			// processes only unpin when they run, virtual time is
+			// free, and the next release makes the retry succeed.
+			// (The realtime runner, where waiting costs wall time,
+			// backs off much longer for AllPinned.)
 			e.Proc.Sleep(e.BusyRetryDelay)
 			e.Acct.Busy += e.BusyRetryDelay
 		default:

@@ -34,6 +34,13 @@ type Collector struct {
 	pagesFailed  atomic.Int64
 	scanDetaches atomic.Int64
 	scanRejoins  atomic.Int64
+
+	// Latency distributions for the three waits a scan can experience:
+	// the physical read of a missed page, an SSM-inserted throttle, and
+	// the queueing delay of a prefetch request before a worker picks it up.
+	pageRead      Histogram
+	throttleWait  Histogram
+	prefetchDelay Histogram
 }
 
 // CollectorStats is a consistent-enough snapshot of the counters: each field
@@ -62,6 +69,30 @@ type CollectorStats struct {
 	PagesFailed  int64 // pages declared failed after exhausting retries (degraded)
 	ScanDetaches int64 // scans detached from group coordination after persistent failures
 	ScanRejoins  int64 // detached scans re-admitted after a successful read
+
+	PageReadLatency    HistogramStats // physical read time of missed pages
+	ThrottleWaitDist   HistogramStats // SSM-inserted leader waits
+	PrefetchQueueDelay HistogramStats // enqueue-to-pickup delay of prefetch extents
+}
+
+// Histograms renders the three latency distributions as a multi-line block,
+// omitting empty ones; it returns "" when nothing was observed.
+func (s CollectorStats) Histograms() string {
+	out := ""
+	for _, h := range []struct {
+		name string
+		st   HistogramStats
+	}{
+		{"page-read", s.PageReadLatency},
+		{"throttle-wait", s.ThrottleWaitDist},
+		{"prefetch-queue", s.PrefetchQueueDelay},
+	} {
+		if h.st.Count == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%-15s %s\n", h.name, h.st)
+	}
+	return out
 }
 
 // HitRatio returns Hits / PagesRead, or 0 when nothing was read.
@@ -120,7 +151,16 @@ func (c *Collector) ScanEnded(stopped bool) {
 func (c *Collector) Throttled(d time.Duration) {
 	c.throttleEvents.Add(1)
 	c.throttleNanos.Add(int64(d))
+	c.throttleWait.Observe(d)
 }
+
+// PageReadTimed records the duration of one physical page read (successful
+// attempts only; retries and timeouts have their own counters).
+func (c *Collector) PageReadTimed(d time.Duration) { c.pageRead.Observe(d) }
+
+// PrefetchDelayed records how long a prefetch request sat in the queue
+// before a worker started on it.
+func (c *Collector) PrefetchDelayed(d time.Duration) { c.prefetchDelay.Observe(d) }
 
 // PrefetchEnqueued records an extent accepted into the prefetch queue.
 func (c *Collector) PrefetchEnqueued() { c.prefetchEnqueued.Add(1) }
@@ -169,10 +209,13 @@ func (c *Collector) Snapshot() CollectorStats {
 		PrefetchDropped:  c.prefetchDropped.Load(),
 		PrefetchFilled:   c.prefetchFilled.Load(),
 		PrefetchFailed:   c.prefetchFailed.Load(),
-		ReadRetries:      c.readRetries.Load(),
-		ReadTimeouts:     c.readTimeouts.Load(),
-		PagesFailed:      c.pagesFailed.Load(),
-		ScanDetaches:     c.scanDetaches.Load(),
-		ScanRejoins:      c.scanRejoins.Load(),
+		ReadRetries:        c.readRetries.Load(),
+		ReadTimeouts:       c.readTimeouts.Load(),
+		PagesFailed:        c.pagesFailed.Load(),
+		ScanDetaches:       c.scanDetaches.Load(),
+		ScanRejoins:        c.scanRejoins.Load(),
+		PageReadLatency:    c.pageRead.Snapshot(),
+		ThrottleWaitDist:   c.throttleWait.Snapshot(),
+		PrefetchQueueDelay: c.prefetchDelay.Snapshot(),
 	}
 }

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values 0..3 get exact buckets; above that, each
+// power-of-two octave is subdivided into 4 logarithmic sub-buckets, giving a
+// worst-case quantile error of ~12.5% at any magnitude (the HDR-histogram
+// idea with 2 significant bits). 62 octaves * 4 sub-buckets + 4 exact
+// buckets covers every non-negative int64 nanosecond value.
+const (
+	histSubBits    = 2
+	histSubBuckets = 1 << histSubBits // 4
+	histExact      = histSubBuckets   // values 0..3 recorded exactly
+	histBuckets    = histExact + (63-histSubBits)*histSubBuckets
+)
+
+// Histogram is a fixed-footprint latency histogram with logarithmic buckets.
+// All operations are atomic; Observe never blocks and allocates nothing, so
+// it is safe on the hottest paths (per-page reads). The zero value is ready
+// to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histExact {
+		return int(v)
+	}
+	o := bits.Len64(uint64(v)) - 1 // top set bit; >= histSubBits here
+	sub := (v >> (o - histSubBits)) & (histSubBuckets - 1)
+	return histExact + (o-histSubBits)*histSubBuckets + int(sub)
+}
+
+// bucketUpper returns the largest value mapping to bucket idx, the value
+// quantiles report for it.
+func bucketUpper(idx int) int64 {
+	if idx < histExact {
+		return int64(idx)
+	}
+	o := histSubBits + (idx-histExact)/histSubBuckets
+	sub := int64((idx - histExact) % histSubBuckets)
+	lower := int64(1)<<o | sub<<(o-histSubBits)
+	return lower + int64(1)<<(o-histSubBits) - 1
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// HistogramStats is a point-in-time summary. Quantiles are upper bounds of
+// the bucket containing the quantile rank, so they overestimate by at most
+// one sub-bucket width (~12.5%).
+type HistogramStats struct {
+	Count         int64
+	Sum           time.Duration
+	Max           time.Duration
+	P50, P90, P99 time.Duration
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (s HistogramStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// String renders the summary as one compact segment for log lines.
+func (s HistogramStats) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		s.Count, round(s.Mean()), round(s.P50), round(s.P90), round(s.P99), round(s.Max))
+}
+
+// round trims sub-microsecond noise from rendered durations.
+func round(d time.Duration) time.Duration {
+	if d >= time.Millisecond {
+		return d.Round(10 * time.Microsecond)
+	}
+	return d.Round(10 * time.Nanosecond)
+}
+
+// Snapshot summarizes the histogram. Like the Collector's snapshot it is
+// consistent-enough: concurrent observes may straddle the reads, skewing a
+// quantile by at most the in-flight events.
+func (h *Histogram) Snapshot() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	st := HistogramStats{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		Max:   time.Duration(h.max.Load()),
+	}
+	if st.Count == 0 {
+		return st
+	}
+	// Ranks for the three quantiles, found in one bucket walk.
+	r50, r90, r99 := rank(st.Count, 50), rank(st.Count, 90), rank(st.Count, 99)
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		prev := seen
+		seen += n
+		upper := time.Duration(bucketUpper(i))
+		if prev < r50 && seen >= r50 {
+			st.P50 = upper
+		}
+		if prev < r90 && seen >= r90 {
+			st.P90 = upper
+		}
+		if prev < r99 && seen >= r99 {
+			st.P99 = upper
+		}
+	}
+	// The max is exact; never report a quantile beyond it.
+	for _, p := range []*time.Duration{&st.P50, &st.P90, &st.P99} {
+		if *p > st.Max {
+			*p = st.Max
+		}
+	}
+	return st
+}
+
+// rank returns the 1-based rank of the q-th percentile in a population of n.
+func rank(n, q int64) int64 {
+	r := (n*q + 99) / 100
+	if r < 1 {
+		r = 1
+	}
+	return r
+}

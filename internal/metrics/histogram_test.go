@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Every probe value must land in a bucket whose range contains it, and
+	// indexes must be monotone in the value.
+	probes := []int64{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, 1<<62 + 99}
+	lastIdx := -1
+	for _, v := range probes {
+		idx := bucketIndex(v)
+		if idx < lastIdx {
+			t.Errorf("bucketIndex(%d) = %d, below previous %d", v, idx, lastIdx)
+		}
+		lastIdx = idx
+		if up := bucketUpper(idx); up < v {
+			t.Errorf("bucketUpper(%d) = %d < value %d", idx, up, v)
+		}
+		if idx > 0 {
+			if below := bucketUpper(idx - 1); below >= v {
+				t.Errorf("value %d should not fit bucket %d (upper %d)", v, idx-1, below)
+			}
+		}
+	}
+	if idx := bucketIndex(1<<63 - 1); idx >= histBuckets {
+		t.Errorf("max int64 bucket %d out of range %d", idx, histBuckets)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// 1..1000 microseconds, uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	st := h.Snapshot()
+	if st.Count != 1000 {
+		t.Fatalf("Count = %d", st.Count)
+	}
+	if st.Max != time.Millisecond {
+		t.Errorf("Max = %v, want 1ms (max is exact)", st.Max)
+	}
+	// Quantiles are bucket upper bounds: allow the one-sub-bucket (+12.5%)
+	// overestimate, never an underestimate.
+	checks := []struct {
+		name  string
+		got   time.Duration
+		exact time.Duration
+	}{
+		{"P50", st.P50, 500 * time.Microsecond},
+		{"P90", st.P90, 900 * time.Microsecond},
+		{"P99", st.P99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		if c.got < c.exact {
+			t.Errorf("%s = %v, below exact %v", c.name, c.got, c.exact)
+		}
+		if c.got > c.exact+c.exact/6 {
+			t.Errorf("%s = %v, more than ~17%% above exact %v", c.name, c.got, c.exact)
+		}
+	}
+	if mean := st.Mean(); mean < 450*time.Microsecond || mean > 550*time.Microsecond {
+		t.Errorf("Mean = %v, want ~500µs (sum is exact)", mean)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot(); got.Count != 0 || got.String() != "n=0" {
+		t.Errorf("empty snapshot = %+v / %q", got, got.String())
+	}
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped to zero
+	st := h.Snapshot()
+	if st.Count != 2 || st.Sum != 0 || st.Max != 0 || st.P99 != 0 {
+		t.Errorf("snapshot = %+v, want two zero observations", st)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := h.Snapshot()
+	if st.Count != workers*per {
+		t.Fatalf("Count = %d, want %d (lost updates)", st.Count, workers*per)
+	}
+	var inBuckets int64
+	for i := range h.buckets {
+		inBuckets += h.buckets[i].Load()
+	}
+	if inBuckets != workers*per {
+		t.Errorf("bucket total = %d, want %d", inBuckets, workers*per)
+	}
+	if st.P50 > st.P90 || st.P90 > st.P99 || st.P99 > st.Max {
+		t.Errorf("quantiles not monotone: %+v", st)
+	}
+}
+
+func TestCollectorHistogramWiring(t *testing.T) {
+	var c Collector
+	c.Throttled(2 * time.Millisecond)
+	c.PageReadTimed(500 * time.Microsecond)
+	c.PrefetchDelayed(100 * time.Microsecond)
+	s := c.Snapshot()
+	if s.ThrottleWaitDist.Count != 1 || s.PageReadLatency.Count != 1 || s.PrefetchQueueDelay.Count != 1 {
+		t.Errorf("histogram counts = %d/%d/%d, want 1/1/1",
+			s.ThrottleWaitDist.Count, s.PageReadLatency.Count, s.PrefetchQueueDelay.Count)
+	}
+	if s.ThrottleWaitDist.Sum != 2*time.Millisecond {
+		t.Errorf("throttle sum = %v", s.ThrottleWaitDist.Sum)
+	}
+	if block := s.Histograms(); block == "" {
+		t.Error("Histograms() empty with observations present")
+	}
+	if block := (CollectorStats{}).Histograms(); block != "" {
+		t.Errorf("Histograms() on empty stats = %q, want empty", block)
+	}
+}

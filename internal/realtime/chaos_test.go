@@ -176,6 +176,20 @@ func TestChaosStress(t *testing.T) {
 		t.Errorf("%d scans still registered", n)
 	}
 
+	// At rest every miss either completed (Fill) or was walked back
+	// (Abort), and the abort correction keeps the delivered-pages identity
+	// exact. This fault plan guarantees failed reads, so Aborts must move.
+	ps := pool.Stats()
+	if ps.Misses != ps.Fills+ps.Aborts {
+		t.Errorf("pool accounting: misses %d != fills %d + aborts %d", ps.Misses, ps.Fills, ps.Aborts)
+	}
+	if ps.Aborts == 0 {
+		t.Error("fault plan produced no aborted reads; the abort path went unexercised")
+	}
+	if got, want := ps.PagesDelivered(), ps.Hits+ps.Fills; got != want {
+		t.Errorf("pages delivered %d, want hits %d + fills %d", got, ps.Hits, ps.Fills)
+	}
+
 	// The bad band degrades deterministically: the fault decision is a pure
 	// function of (seed, rule, page, attempt), so exactly the band pages in
 	// range fail for every scan, and the checksum over the surviving pages

@@ -2,6 +2,7 @@ package realtime
 
 import (
 	"sync"
+	"time"
 
 	"scanshare/internal/buffer"
 	"scanshare/internal/disk"
@@ -37,8 +38,9 @@ type prefetcher struct {
 	pool *buffer.Pool
 	read func(pid disk.PageID) ([]byte, error)
 	col  *metrics.Collector
+	now  func() time.Duration
 
-	reqs chan []disk.PageID
+	reqs chan prefetchReq
 	wg   sync.WaitGroup
 
 	mu       sync.Mutex
@@ -46,15 +48,26 @@ type prefetcher struct {
 	failed   map[disk.PageID]struct{}
 }
 
+// prefetchReq is one queued extent plus its enqueue time, so the pickup
+// delay — how long the request sat behind others in the bounded queue — can
+// be observed into the collector's queue-delay histogram.
+type prefetchReq struct {
+	pids []disk.PageID
+	at   time.Duration
+}
+
 // newPrefetcher starts workers goroutines draining a queue of at most
 // queueExtents pending extents. read performs one page read; the Runner
-// passes its timeout-bounded store read.
-func newPrefetcher(pool *buffer.Pool, read func(pid disk.PageID) ([]byte, error), col *metrics.Collector, workers, queueExtents int) *prefetcher {
+// passes its timeout-bounded store read. now supplies queue-delay
+// timestamps (the Runner's clock, so the delay histogram is deterministic
+// under the replay harness).
+func newPrefetcher(pool *buffer.Pool, read func(pid disk.PageID) ([]byte, error), col *metrics.Collector, now func() time.Duration, workers, queueExtents int) *prefetcher {
 	p := &prefetcher{
 		pool:     pool,
 		read:     read,
 		col:      col,
-		reqs:     make(chan []disk.PageID, queueExtents),
+		now:      now,
+		reqs:     make(chan prefetchReq, queueExtents),
 		inflight: make(map[disk.PageID]struct{}),
 		failed:   make(map[disk.PageID]struct{}),
 	}
@@ -71,7 +84,7 @@ func (p *prefetcher) enqueue(pids []disk.PageID) {
 		return
 	}
 	select {
-	case p.reqs <- pids:
+	case p.reqs <- prefetchReq{pids: pids, at: p.now()}:
 		p.col.PrefetchEnqueued()
 	default:
 		p.col.PrefetchDropped()
@@ -87,8 +100,9 @@ func (p *prefetcher) stop() {
 
 func (p *prefetcher) worker() {
 	defer p.wg.Done()
-	for pids := range p.reqs {
-		for _, pid := range pids {
+	for req := range p.reqs {
+		p.col.PrefetchDelayed(p.now() - req.at)
+		for _, pid := range req.pids {
 			p.fetch(pid)
 		}
 	}
@@ -136,6 +150,9 @@ func (p *prefetcher) fetch(pid disk.PageID) {
 		p.col.PrefetchFilled()
 	case buffer.Busy:
 		// Someone is reading it right now; nothing left to stage.
+	case buffer.AllPinned:
+		// Pool saturated with pinned frames; prefetching ahead of the
+		// scans cannot help until they release, so skip the page.
 	}
 }
 

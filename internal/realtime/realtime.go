@@ -37,6 +37,7 @@ import (
 	"scanshare/internal/core"
 	"scanshare/internal/disk"
 	"scanshare/internal/metrics"
+	"scanshare/internal/trace"
 	"scanshare/internal/vclock"
 )
 
@@ -122,6 +123,13 @@ type Config struct {
 	// Collector receives activity counters; optional. All runner and
 	// prefetcher counters funnel into it.
 	Collector *metrics.Collector
+
+	// Tracer receives the runner's own observability events (currently
+	// page-failure declarations); optional. Manager decision events and
+	// pool evictions are journaled by attaching the same Tracer to those
+	// components — the runner deliberately does not rewire structures it
+	// does not own.
+	Tracer *trace.Tracer
 
 	// PrefetchWorkers sets the size of the prefetch worker pool; 0
 	// disables prefetching. PrefetchQueueExtents bounds the request

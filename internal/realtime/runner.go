@@ -9,7 +9,13 @@ import (
 	"scanshare/internal/buffer"
 	"scanshare/internal/core"
 	"scanshare/internal/disk"
+	"scanshare/internal/trace"
 )
+
+// allPinnedBackoff scales BusyRetryDelay for the AllPinned acquire status:
+// with no read in flight a frame only frees when another scan releases one,
+// so the retry cadence follows page processing, not I/O completion.
+const allPinnedBackoff = 8
 
 // Run executes the specs concurrently, one goroutine per scan, and returns
 // one result per spec (index-aligned). Cancelling ctx stops every scan at
@@ -40,7 +46,7 @@ func (r *Runner) Run(ctx context.Context, specs []ScanSpec) ([]ScanResult, error
 		// page cannot wedge a worker and starve the group's shared
 		// read-ahead stream.
 		read := func(pid disk.PageID) ([]byte, error) { return r.storeRead(ctx, pid, 0) }
-		pf = newPrefetcher(r.cfg.Pool, read, r.cfg.Collector,
+		pf = newPrefetcher(r.cfg.Pool, read, r.cfg.Collector, r.cfg.Clock.Now,
 			r.cfg.PrefetchWorkers, r.cfg.PrefetchQueueExtents)
 	}
 
@@ -253,6 +259,10 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 					return nil, fetchStop
 				}
 				cfg.Collector.PageFailed()
+				cfg.Tracer.Emit(trace.Event{
+					Kind: trace.KindPageFailed, Scan: int64(id), Page: int64(pid),
+					Peer: trace.NoID, Table: trace.NoID, Prio: -1,
+				})
 				if cfg.ContinueOnPageFailure {
 					res.DegradedPages++
 					return nil, fetchSkip
@@ -274,6 +284,19 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 				res.Stopped = true
 				return nil, fetchStop
 			}
+		case buffer.AllPinned:
+			// Every frame is pinned and no read is in flight: a frame
+			// only frees when some scan releases one, which happens on
+			// a page-processing timescale, not an I/O one. Back off
+			// well past the busy delay instead of spinning.
+			cfg.Collector.BusyRetry()
+			res.BusyRetries++
+			hook(SiteBusy)
+			cfg.Sleep(ctx, allPinnedBackoff*cfg.BusyRetryDelay)
+			if ctx.Err() != nil {
+				res.Stopped = true
+				return nil, fetchStop
+			}
 		default:
 			res.Err = fmt.Errorf("realtime: unexpected acquire status %v", st)
 			return nil, fetchStop
@@ -290,8 +313,10 @@ func (r *Runner) readPage(ctx context.Context, id core.ScanID, pid disk.PageID, 
 	cfg := &r.cfg
 	backoff := cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
+		readStart := cfg.Clock.Now()
 		data, err := r.storeRead(ctx, pid, attempt)
 		if err == nil {
+			cfg.Collector.PageReadTimed(cfg.Clock.Now() - readStart)
 			deg.consecutive = 0
 			if deg.detached {
 				deg.detached = false

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"sync/atomic"
+)
+
+// ring is a bounded multi-producer single-consumer event queue in the style
+// of Vyukov's MPMC array queue. Each cell carries a sequence number that
+// encodes whose turn it is:
+//
+//	cell.seq == pos          the cell is free for the producer claiming pos
+//	cell.seq == pos+1        the cell holds the event published at pos
+//	cell.seq  < pos          the ring is full (consumer lagging >= size slots)
+//
+// A producer CAS-claims a position on head, stores the event, then publishes
+// by setting seq = pos+1 with a release store; the consumer's acquire load of
+// seq is what makes the event's plain stores visible. After consuming, the
+// consumer re-arms the cell with seq = pos+size for the producer that will
+// come around next lap. Producers never wait: if the claimed cell is still
+// occupied the event is dropped and counted, which turns consumer lag into a
+// visible Dropped counter instead of a stall on the scan path.
+type ring struct {
+	mask  uint64
+	cells []cell
+	head  atomic.Uint64 // next position to claim (producers)
+	tail  uint64        // next position to consume (single consumer)
+	drops atomic.Uint64
+}
+
+type cell struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// newRing returns a ring with capacity rounded up to a power of two, at
+// least 2.
+func newRing(capacity int) *ring {
+	size := 2
+	for size < capacity {
+		size <<= 1
+	}
+	r := &ring{mask: uint64(size - 1), cells: make([]cell, size)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push publishes ev; it reports false (and counts a drop) when the ring is
+// full. Safe for any number of concurrent callers.
+func (r *ring) push(ev Event) bool {
+	for {
+		pos := r.head.Load()
+		c := &r.cells[pos&r.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos:
+			if !r.head.CompareAndSwap(pos, pos+1) {
+				continue // lost the claim race; retry at the new head
+			}
+			c.ev = ev
+			c.seq.Store(pos + 1)
+			return true
+		case seq < pos:
+			// The cell still holds an event from a full lap ago: the ring
+			// is full. Drop rather than block the emitter.
+			r.drops.Add(1)
+			return false
+		default:
+			// Another producer claimed pos and is mid-publish, or head
+			// moved; reload and retry.
+		}
+	}
+}
+
+// pop removes the oldest event. It must only be called from one goroutine at
+// a time (the Tracer serializes drains behind a mutex).
+func (r *ring) pop() (Event, bool) {
+	c := &r.cells[r.tail&r.mask]
+	if c.seq.Load() != r.tail+1 {
+		return Event{}, false // empty, or the producer at tail hasn't published yet
+	}
+	ev := c.ev
+	c.seq.Store(r.tail + r.mask + 1) // re-arm for the next lap
+	r.tail++
+	return ev, true
+}
+
+// dropped returns the number of events discarded because the ring was full.
+func (r *ring) dropped() uint64 { return r.drops.Load() }

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink receives batches of drained events. Consume is always called from one
+// goroutine at a time (the tracer serializes drains), so sinks need no
+// internal locking against the tracer — only against their own readers.
+type Sink interface {
+	// Consume receives a batch in journal order. The slice is reused by the
+	// tracer only after Consume returns; a sink that retains events must
+	// copy them (they are flat values, so a plain append copies).
+	Consume(batch []Event)
+	// Close releases any resources. The tracer calls it once from Close.
+	Close() error
+}
+
+// Recorder is an in-memory sink for tests and for rendering timelines after
+// a run. A non-zero Cap bounds memory: when exceeded, the oldest events are
+// discarded so the recorder keeps the most recent Cap events.
+type Recorder struct {
+	// Cap limits retained events; 0 means unlimited. Set before attaching.
+	Cap int
+
+	mu  sync.Mutex
+	evs []Event
+}
+
+// Consume implements Sink.
+func (r *Recorder) Consume(batch []Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evs = append(r.evs, batch...)
+	if r.Cap > 0 && len(r.evs) > r.Cap {
+		keep := r.evs[len(r.evs)-r.Cap:]
+		r.evs = append(r.evs[:0], keep...)
+	}
+}
+
+// Close implements Sink; the recorded events stay readable after Close.
+func (r *Recorder) Close() error { return nil }
+
+// Events returns a copy of the recorded events in arrival order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.evs))
+	copy(out, r.evs)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.evs)
+}
+
+// CountKind returns how many recorded events have the given kind.
+func (r *Recorder) CountKind(k Kind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ev := range r.evs {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// jsonEvent is the JSONL wire shape: the kind as its string name, numeric
+// fields only when meaningful, durations in nanoseconds.
+type jsonEvent struct {
+	T     int64  `json:"t"`
+	Kind  string `json:"kind"`
+	Scan  *int64 `json:"scan,omitempty"`
+	Peer  *int64 `json:"peer,omitempty"`
+	Table *int64 `json:"table,omitempty"`
+	Page  *int64 `json:"page,omitempty"`
+	Prio  *int8  `json:"prio,omitempty"`
+	Count int32  `json:"count,omitempty"`
+	Gap   int64  `json:"gap,omitempty"`
+	Wait  int64  `json:"wait,omitempty"`
+}
+
+// JSONLSink streams events to w, one JSON object per line, for offline
+// analysis. Write errors are sticky: the first one is remembered, later
+// batches are discarded, and Close reports it.
+type JSONLSink struct {
+	w   io.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w. The caller keeps
+// ownership of w; Close does not close it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w, enc: json.NewEncoder(w)}
+}
+
+// Consume implements Sink.
+func (s *JSONLSink) Consume(batch []Event) {
+	if s.err != nil {
+		return
+	}
+	for _, ev := range batch {
+		je := jsonEvent{
+			T:     int64(ev.Time),
+			Kind:  ev.Kind.String(),
+			Count: ev.Count,
+			Gap:   ev.Gap,
+			Wait:  int64(ev.Wait),
+		}
+		if ev.Scan != NoID {
+			je.Scan = &ev.Scan
+		}
+		if ev.Peer != NoID {
+			je.Peer = &ev.Peer
+		}
+		if ev.Table != NoID {
+			je.Table = &ev.Table
+		}
+		if ev.Page != NoID {
+			je.Page = &ev.Page
+		}
+		if ev.Prio >= 0 {
+			je.Prio = &ev.Prio
+		}
+		if s.err = s.enc.Encode(je); s.err != nil {
+			return
+		}
+	}
+}
+
+// Close implements Sink, reporting the first write error if any.
+func (s *JSONLSink) Close() error { return s.err }

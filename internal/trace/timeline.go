@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderTimeline formats a recorded event stream as the compact text
+// timeline printed by scanshare-bench: one line per event, a right-aligned
+// timestamp column, and stable ordering (by time, then by journal order for
+// ties) so that deterministic runs render byte-identical timelines.
+func RenderTimeline(evs []Event) string {
+	if len(evs) == 0 {
+		return "(no events)\n"
+	}
+	// Stable sort keeps journal order inside each timestamp; under the
+	// virtual clock many events share an instant.
+	sorted := make([]Event, len(evs))
+	copy(sorted, evs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+
+	var b strings.Builder
+	for _, ev := range sorted {
+		fmt.Fprintf(&b, "%12s  %-16s %s\n", formatStamp(ev.Time), ev.Kind, ev)
+	}
+	return b.String()
+}
+
+// formatStamp renders a timestamp with fixed precision so columns line up:
+// microseconds under a second, milliseconds after.
+func formatStamp(d time.Duration) string {
+	if d < time.Second {
+		return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+	}
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+// SummarizeKinds returns a one-line "kind=count" breakdown of an event
+// stream in kind order, e.g. "scan-start=4 throttle-wait=2 evict=31".
+func SummarizeKinds(evs []Event) string {
+	var counts [numKinds]int
+	for _, ev := range evs {
+		if int(ev.Kind) < len(counts) {
+			counts[ev.Kind]++
+		}
+	}
+	var parts []string
+	for k, n := range counts {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", Kind(k), n))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no events)"
+	}
+	return strings.Join(parts, " ")
+}

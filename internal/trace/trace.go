@@ -1,0 +1,267 @@
+// Package trace is the engine's structured observability layer: a lock-free
+// ring-buffer journal of scan-sharing decision events with pluggable sinks.
+//
+// The paper's mechanism — grouping, throttling, priority-tagged eviction — is
+// all about *temporal* behavior: a leader that waits, a trailer whose pages
+// are victimized first, a group that merges when two scans converge. End-of-
+// run aggregate counters cannot show any of that; this package records the
+// individual events as they happen, cheaply enough to leave compiled in.
+//
+// The design point is that emission must be free when nobody listens and
+// non-blocking when somebody does:
+//
+//   - With no sink attached, Emit is one atomic load and a branch. Hot paths
+//     (the buffer pool's eviction loop, the manager's throttle decision) can
+//     call it unconditionally.
+//   - With a sink attached, events go through a bounded lock-free ring
+//     (a Vyukov-style MPMC queue with a single consumer). Producers never
+//     block: when the ring is full because the consumer is behind, the event
+//     is dropped and counted. Backpressure becomes a visible Dropped counter
+//     instead of a stall in the scan path.
+//
+// Sinks consume drained batches: a Recorder accumulates events in memory for
+// tests and timeline rendering, a JSONL writer streams them to a file for
+// offline analysis, and RenderTimeline turns a recorded stream into the
+// compact text timeline scanshare-bench prints. See CONCURRENCY.md for the
+// ring's memory-model argument.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"scanshare/internal/core"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds. The scan lifecycle and throttling kinds mirror the manager's
+// decision events; group kinds record composition changes; pool kinds record
+// buffer activity the manager never sees.
+const (
+	// KindScanStart: a scan registered; Page is its placement origin, Peer
+	// the scan it joined or trails (or -1).
+	KindScanStart Kind = iota
+	// KindScanEnd: a scan deregistered.
+	KindScanEnd
+	// KindGroupForm: a group appeared whose members shared no previous
+	// group. Scan is the leader, Peer the trailer, Count the member count,
+	// Gap the extent in pages.
+	KindGroupForm
+	// KindGroupMerge: a group absorbed members of two or more previous
+	// groups. Fields as for KindGroupForm.
+	KindGroupMerge
+	// KindGroupSplit: a previous group's members no longer share one group.
+	// Scan is the old leader, Peer the old trailer, Count the old size.
+	KindGroupSplit
+	// KindLeaderHandoff: a continuing group changed leaders. Scan is the
+	// new leader, Peer the old one.
+	KindLeaderHandoff
+	// KindTrailerHandoff: a continuing group changed trailers. Scan is the
+	// new trailer, Peer the old one.
+	KindTrailerHandoff
+	// KindThrottleWait: the manager inserted Wait into the leader Scan;
+	// Gap is the leader-trailer distance in pages.
+	KindThrottleWait
+	// KindFairnessExempt: a warranted throttle was skipped because Scan's
+	// fairness allowance is exhausted.
+	KindFairnessExempt
+	// KindDetach: Scan was excluded from group coordination after
+	// persistent read failures; Page is its position.
+	KindDetach
+	// KindRejoin: a detached Scan was re-admitted; Page is its position.
+	KindRejoin
+	// KindEvict: the buffer pool evicted Page, which had been released at
+	// priority Prio. This is the paper's direct evidence of trailer pages
+	// being victimized first.
+	KindEvict
+	// KindPageFailed: a scan declared Page permanently failed after
+	// exhausting read retries and continued degraded.
+	KindPageFailed
+
+	numKinds
+)
+
+// String returns the kind's short name, used in timelines and JSONL output.
+func (k Kind) String() string {
+	switch k {
+	case KindScanStart:
+		return "scan-start"
+	case KindScanEnd:
+		return "scan-end"
+	case KindGroupForm:
+		return "group-form"
+	case KindGroupMerge:
+		return "group-merge"
+	case KindGroupSplit:
+		return "group-split"
+	case KindLeaderHandoff:
+		return "leader-handoff"
+	case KindTrailerHandoff:
+		return "trailer-handoff"
+	case KindThrottleWait:
+		return "throttle-wait"
+	case KindFairnessExempt:
+		return "fairness-exempt"
+	case KindDetach:
+		return "detach"
+	case KindRejoin:
+		return "rejoin"
+	case KindEvict:
+		return "evict"
+	case KindPageFailed:
+		return "page-failed"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// NoID marks an unset Scan, Peer, Table, or Page field.
+const NoID int64 = -1
+
+// Event is one observability record. It is a flat value — no pointers, no
+// slices — so producing one is a handful of stores and the ring can hold
+// events by value. Only the fields relevant to the Kind are meaningful; the
+// rest are NoID or zero.
+type Event struct {
+	// Time is the event timestamp on the emitting component's clock —
+	// virtual under the deterministic harnesses, wall offset otherwise.
+	Time time.Duration
+	Kind Kind
+	// Prio is the release priority of an evicted page (KindEvict), else -1.
+	Prio int8
+	// Count is the group member count for group events.
+	Count int32
+	// Scan and Peer identify the primary and secondary scans involved.
+	Scan, Peer int64
+	// Table is the scanned table, Page a table or device page number.
+	Table, Page int64
+	// Gap is a page distance (group extent, throttle gap).
+	Gap int64
+	// Wait is an inserted throttle wait.
+	Wait time.Duration
+}
+
+// String renders the event as one timeline line (without the timestamp; the
+// renderer owns time formatting).
+func (e Event) String() string {
+	switch e.Kind {
+	case KindScanStart:
+		how := "cold"
+		if e.Peer != NoID {
+			how = fmt.Sprintf("with scan %d", e.Peer)
+		}
+		return fmt.Sprintf("scan %d on table %d started at page %d (%s)", e.Scan, e.Table, e.Page, how)
+	case KindScanEnd:
+		return fmt.Sprintf("scan %d on table %d ended", e.Scan, e.Table)
+	case KindGroupForm:
+		return fmt.Sprintf("group formed on table %d: %d scans, trailer %d leader %d, extent %d pages",
+			e.Table, e.Count, e.Peer, e.Scan, e.Gap)
+	case KindGroupMerge:
+		return fmt.Sprintf("groups merged on table %d: %d scans, trailer %d leader %d, extent %d pages",
+			e.Table, e.Count, e.Peer, e.Scan, e.Gap)
+	case KindGroupSplit:
+		return fmt.Sprintf("group split on table %d: %d scans, was trailer %d leader %d",
+			e.Table, e.Count, e.Peer, e.Scan)
+	case KindLeaderHandoff:
+		return fmt.Sprintf("leader handoff on table %d: %d -> %d", e.Table, e.Peer, e.Scan)
+	case KindTrailerHandoff:
+		return fmt.Sprintf("trailer handoff on table %d: %d -> %d", e.Table, e.Peer, e.Scan)
+	case KindThrottleWait:
+		return fmt.Sprintf("scan %d throttled %v (gap %d pages)", e.Scan, e.Wait, e.Gap)
+	case KindFairnessExempt:
+		return fmt.Sprintf("scan %d exempt from throttling (fairness cap)", e.Scan)
+	case KindDetach:
+		return fmt.Sprintf("scan %d detached at page %d (degraded)", e.Scan, e.Page)
+	case KindRejoin:
+		return fmt.Sprintf("scan %d rejoined at page %d", e.Scan, e.Page)
+	case KindEvict:
+		return fmt.Sprintf("evicted page %d (released at %s)", e.Page, prioName(e.Prio))
+	case KindPageFailed:
+		return fmt.Sprintf("scan %d gave up on page %d (degraded)", e.Scan, e.Page)
+	default:
+		return fmt.Sprintf("scan %d: %s", e.Scan, e.Kind)
+	}
+}
+
+// prioName names a buffer release priority without importing the buffer
+// package (which imports this one).
+func prioName(p int8) string {
+	switch p {
+	case 0:
+		return "evict"
+	case 1:
+		return "low"
+	case 2:
+		return "normal"
+	case 3:
+		return "high"
+	default:
+		return fmt.Sprintf("prio(%d)", p)
+	}
+}
+
+// ManagerObserver adapts a Tracer to the manager's Config.OnEvent contract:
+// every SSM decision event is translated into the trace vocabulary and
+// emitted with the manager's own timestamp. The returned function is safe to
+// chain after another observer.
+func ManagerObserver(t *Tracer) func(core.Event) {
+	return func(ev core.Event) { t.EmitAt(FromManagerEvent(ev)) }
+}
+
+// FromManagerEvent translates one manager decision event.
+func FromManagerEvent(ev core.Event) Event {
+	out := Event{
+		Time:  ev.Time,
+		Scan:  int64(ev.Scan),
+		Peer:  NoID,
+		Table: int64(ev.Table),
+		Page:  NoID,
+		Prio:  -1,
+	}
+	switch ev.Kind {
+	case core.EventScanStarted:
+		out.Kind = KindScanStart
+		out.Page = int64(ev.Placement.Origin)
+		if ev.Placement.JoinedScan != core.NoScan {
+			out.Peer = int64(ev.Placement.JoinedScan)
+		} else if ev.Placement.TrailingScan != core.NoScan {
+			out.Peer = int64(ev.Placement.TrailingScan)
+		}
+	case core.EventScanEnded:
+		out.Kind = KindScanEnd
+	case core.EventThrottled:
+		out.Kind = KindThrottleWait
+		out.Wait = ev.Wait
+		out.Gap = int64(ev.GapPages)
+	case core.EventFairnessExempted:
+		out.Kind = KindFairnessExempt
+	case core.EventScanDetached:
+		out.Kind = KindDetach
+		out.Page = int64(ev.GapPages)
+	case core.EventScanRejoined:
+		out.Kind = KindRejoin
+		out.Page = int64(ev.GapPages)
+	case core.EventGroupFormed, core.EventGroupMerged, core.EventGroupSplit:
+		switch ev.Kind {
+		case core.EventGroupFormed:
+			out.Kind = KindGroupForm
+		case core.EventGroupMerged:
+			out.Kind = KindGroupMerge
+		default:
+			out.Kind = KindGroupSplit
+		}
+		out.Scan = int64(ev.Scan) // leader
+		out.Peer = int64(ev.Peer) // trailer
+		out.Count = int32(len(ev.Members))
+		out.Gap = int64(ev.GapPages)
+	case core.EventLeaderHandoff:
+		out.Kind = KindLeaderHandoff
+		out.Peer = int64(ev.Peer)
+	case core.EventTrailerHandoff:
+		out.Kind = KindTrailerHandoff
+		out.Peer = int64(ev.Peer)
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scanshare/internal/vclock"
+)
+
+func TestRingPushPopOrder(t *testing.T) {
+	r := newRing(8)
+	for i := 0; i < 6; i++ {
+		if !r.push(Event{Scan: int64(i)}) {
+			t.Fatalf("push %d rejected on non-full ring", i)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		ev, ok := r.pop()
+		if !ok {
+			t.Fatalf("pop %d: ring empty early", i)
+		}
+		if ev.Scan != int64(i) {
+			t.Fatalf("pop %d = scan %d, want FIFO order", i, ev.Scan)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Error("pop on drained ring returned an event")
+	}
+}
+
+// TestRingWraparound cycles the ring through several times its capacity to
+// exercise the sequence re-arming on every cell.
+func TestRingWraparound(t *testing.T) {
+	r := newRing(4)
+	next := int64(0)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.push(Event{Scan: int64(round*3 + i)}) {
+				t.Fatalf("round %d push %d rejected", round, i)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			ev, ok := r.pop()
+			if !ok {
+				t.Fatalf("round %d pop %d: empty", round, i)
+			}
+			if ev.Scan != next {
+				t.Fatalf("round %d pop %d = scan %d, want %d", round, i, ev.Scan, next)
+			}
+			next++
+		}
+	}
+	if r.dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", r.dropped())
+	}
+}
+
+// TestRingDropsNewestWhenFull pins the overflow policy: the ring keeps the
+// oldest events (the root causes) and counts the rejected newcomers.
+func TestRingDropsNewestWhenFull(t *testing.T) {
+	r := newRing(4)
+	for i := 0; i < 7; i++ {
+		r.push(Event{Scan: int64(i)})
+	}
+	if got := r.dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	for i := 0; i < 4; i++ {
+		ev, ok := r.pop()
+		if !ok || ev.Scan != int64(i) {
+			t.Fatalf("pop %d = (%v, %v), want oldest events preserved", i, ev.Scan, ok)
+		}
+	}
+}
+
+// TestRingConcurrentPush hammers the ring from many producers while one
+// consumer drains, and checks conservation: every event is either delivered
+// exactly once or counted dropped. Run under -race this also exercises the
+// publication ordering between push's data write and pop's read.
+func TestRingConcurrentPush(t *testing.T) {
+	const producers = 8
+	const perProducer = 2000
+	r := newRing(64)
+
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		pr := pr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				r.push(Event{Scan: int64(pr*perProducer + i)})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	seen := make(map[int64]bool)
+	for {
+		ev, ok := r.pop()
+		if ok {
+			if seen[ev.Scan] {
+				t.Errorf("event %d delivered twice", ev.Scan)
+			}
+			seen[ev.Scan] = true
+			continue
+		}
+		select {
+		case <-done:
+			// Producers finished and the ring read empty; one final
+			// drain pass picks up anything published in between.
+			for {
+				ev, ok := r.pop()
+				if !ok {
+					if got, want := uint64(len(seen))+r.dropped(), uint64(producers*perProducer); got != want {
+						t.Fatalf("delivered %d + dropped %d = %d, want %d", len(seen), r.dropped(), got, want)
+					}
+					return
+				}
+				if seen[ev.Scan] {
+					t.Errorf("event %d delivered twice", ev.Scan)
+				}
+				seen[ev.Scan] = true
+			}
+		default:
+		}
+	}
+}
+
+// TestEmitWithoutSinkIsOff checks the hot-path guarantee: with no sink
+// attached the tracer journals nothing, so later consumers see an empty ring.
+func TestEmitWithoutSinkIsOff(t *testing.T) {
+	tr := NewTracer(new(vclock.Wall))
+	for i := 0; i < 100; i++ {
+		tr.Emit(Event{Kind: KindScanStart, Scan: int64(i)})
+	}
+	rec := new(Recorder)
+	tr.Attach(rec)
+	if n := tr.Flush(); n != 0 {
+		t.Errorf("flush after sink-less emits delivered %d events, want 0", n)
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindScanStart})
+	tr.EmitAt(Event{Kind: KindScanEnd})
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	if tr.Dropped() != 0 {
+		t.Error("nil tracer reports drops")
+	}
+}
+
+func TestTracerStampsTime(t *testing.T) {
+	clk := new(vclock.Manual)
+	clk.Advance(5 * time.Millisecond)
+	tr := NewTracer(clk)
+	rec := new(Recorder)
+	tr.Attach(rec)
+	tr.Emit(Event{Kind: KindScanStart, Scan: 1})
+	clk.Advance(5 * time.Millisecond)
+	tr.EmitAt(Event{Time: 42 * time.Millisecond, Kind: KindScanEnd, Scan: 1})
+	tr.Flush()
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(evs))
+	}
+	if evs[0].Time != 5*time.Millisecond {
+		t.Errorf("Emit stamped %v, want the clock's 5ms", evs[0].Time)
+	}
+	if evs[1].Time != 42*time.Millisecond {
+		t.Errorf("EmitAt rewrote the caller timestamp to %v", evs[1].Time)
+	}
+}
+
+// TestTracerBackpressureDrops fills the ring faster than it is drained and
+// checks emitters never block: the overflow is counted, the rest flows.
+func TestTracerBackpressureDrops(t *testing.T) {
+	tr := NewTracerSize(new(vclock.Wall), 16)
+	rec := new(Recorder)
+	tr.Attach(rec)
+	const total = 500
+	for i := 0; i < total; i++ {
+		tr.Emit(Event{Kind: KindThrottleWait, Scan: int64(i)})
+	}
+	tr.Flush()
+	if tr.Dropped() == 0 {
+		t.Error("expected drops when emitting 500 events into a 16-slot ring with no drainer")
+	}
+	if got := uint64(rec.Len()) + tr.Dropped(); got != total {
+		t.Errorf("delivered %d + dropped %d = %d, want %d", rec.Len(), tr.Dropped(), got, total)
+	}
+}
+
+// TestTracerConcurrentEmitters runs emitters against the background drainer
+// (as the realtime runner does) and checks conservation after Close.
+func TestTracerConcurrentEmitters(t *testing.T) {
+	tr := NewTracerSize(new(vclock.Wall), 256)
+	rec := new(Recorder)
+	tr.Attach(rec)
+	tr.Start(time.Millisecond)
+
+	const workers = 4
+	const each = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Emit(Event{Kind: KindPageFailed, Scan: int64(w), Page: int64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := uint64(rec.Len()) + tr.Dropped(); got != workers*each {
+		t.Errorf("delivered %d + dropped %d = %d, want %d", rec.Len(), tr.Dropped(), got, workers*each)
+	}
+}
+
+func TestRecorderKeepsMostRecent(t *testing.T) {
+	rec := &Recorder{Cap: 4}
+	for i := 0; i < 10; i++ {
+		rec.Consume([]Event{{Scan: int64(i)}})
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("kept %d events, want cap 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Scan != want {
+			t.Errorf("kept[%d] = scan %d, want %d (most recent)", i, ev.Scan, want)
+		}
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(new(vclock.Manual))
+	tr.Attach(NewJSONLSink(&buf))
+	tr.Emit(Event{Kind: KindEvict, Page: 17, Prio: 1, Scan: NoID, Peer: NoID, Table: NoID})
+	tr.Emit(Event{Kind: KindThrottleWait, Scan: 3, Table: 2, Peer: NoID, Wait: 250 * time.Microsecond})
+	tr.Flush()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var lines []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	if lines[0]["kind"] != "evict" || lines[0]["page"] != float64(17) || lines[0]["prio"] != float64(1) {
+		t.Errorf("evict line = %v", lines[0])
+	}
+	if _, has := lines[0]["scan"]; has {
+		t.Errorf("evict line carries a scan id despite NoID: %v", lines[0])
+	}
+	if lines[1]["kind"] != "throttle-wait" || lines[1]["scan"] != float64(3) || lines[1]["wait"] != float64(250*time.Microsecond) {
+		t.Errorf("throttle line = %v", lines[1])
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	evs := []Event{
+		{Time: 3 * time.Millisecond, Kind: KindEvict, Page: 9, Prio: 1, Scan: NoID, Peer: NoID, Table: NoID},
+		{Time: 1 * time.Millisecond, Kind: KindScanStart, Scan: 2, Table: 0, Peer: NoID},
+	}
+	out := RenderTimeline(evs)
+	want := "" +
+		"     1.000ms  scan-start       scan 2 on table 0 started at page 0 (cold)\n" +
+		"     3.000ms  evict            evicted page 9 (released at low)\n"
+	if out != want {
+		t.Errorf("timeline:\n%s\nwant:\n%s", out, want)
+	}
+	if got := SummarizeKinds(evs); got != "scan-start=1 evict=1" {
+		t.Errorf("SummarizeKinds = %q", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if got := Kind(200).String(); got != "Kind(200)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func BenchmarkEmitNoSink(b *testing.B) {
+	tr := NewTracer(new(vclock.Wall))
+	ev := Event{Kind: KindThrottleWait, Scan: 1, Table: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(ev)
+	}
+}
+
+func BenchmarkEmitWithRecorder(b *testing.B) {
+	tr := NewTracer(new(vclock.Wall))
+	tr.Attach(&Recorder{Cap: 1024})
+	tr.Start(time.Millisecond)
+	defer tr.Close()
+	ev := Event{Kind: KindThrottleWait, Scan: 1, Table: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(ev)
+	}
+}
+
+// TestTimelineStampFormats pins the sub-second/second switchover.
+func TestTimelineStampFormats(t *testing.T) {
+	if got := formatStamp(1500 * time.Microsecond); got != "1.500ms" {
+		t.Errorf("formatStamp(1.5ms) = %q", got)
+	}
+	if got := formatStamp(2300 * time.Millisecond); got != "2.300s" {
+		t.Errorf("formatStamp(2.3s) = %q", got)
+	}
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scanshare/internal/vclock"
+)
+
+// DefaultRingSize is the journal capacity used by NewTracer. At 96 bytes per
+// event that is ~400 KiB — deep enough that a drain every few milliseconds
+// keeps up with full-tilt scanning.
+const DefaultRingSize = 4096
+
+// Tracer is the emission front end shared by every instrumented component.
+// One Tracer is threaded through the manager, the buffer pool, and the
+// realtime runner so that a whole run lands in a single ordered-enough
+// journal.
+//
+// A Tracer starts disabled: Emit is a nil check, an atomic load, and a
+// return. Attaching a sink enables it. All methods are safe for concurrent
+// use, and all methods are safe on a nil Tracer, so components hold a
+// *Tracer field without guarding call sites.
+type Tracer struct {
+	enabled atomic.Bool
+	ring    *ring
+	clock   vclock.Clock
+
+	mu    sync.Mutex // guards sinks and serializes the single consumer
+	sinks []Sink
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewTracer returns a disabled Tracer journaling into a ring of
+// DefaultRingSize slots, timestamping with clk (vclock.Wall when nil).
+func NewTracer(clk vclock.Clock) *Tracer {
+	return NewTracerSize(clk, DefaultRingSize)
+}
+
+// NewTracerSize is NewTracer with an explicit ring capacity (rounded up to a
+// power of two).
+func NewTracerSize(clk vclock.Clock, ringSize int) *Tracer {
+	if clk == nil {
+		clk = new(vclock.Wall)
+	}
+	return &Tracer{ring: newRing(ringSize), clock: clk}
+}
+
+// Enabled reports whether at least one sink is attached. Components emitting
+// events that are expensive to *construct* (not just to push) may check it
+// first; Emit itself already returns immediately when disabled.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Emit journals ev, stamping ev.Time from the tracer's clock. It never
+// blocks: with no sink attached it is a no-op, and with the ring full the
+// event is dropped and counted.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	ev.Time = t.clock.Now()
+	t.ring.push(ev)
+}
+
+// EmitAt journals ev keeping its caller-supplied timestamp. Used by
+// components that already stamp events on their own clock (the manager's
+// decision events).
+func (t *Tracer) EmitAt(ev Event) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	t.ring.push(ev)
+}
+
+// Attach adds a sink and enables the tracer. Events already in the ring are
+// delivered on the next Flush.
+func (t *Tracer) Attach(s Sink) {
+	t.mu.Lock()
+	t.sinks = append(t.sinks, s)
+	t.mu.Unlock()
+	t.enabled.Store(true)
+}
+
+// Flush drains every journaled event to the attached sinks and returns how
+// many were delivered. Concurrent Flush calls serialize; emitters are never
+// blocked by a flush.
+func (t *Tracer) Flush() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+func (t *Tracer) flushLocked() int {
+	var batch []Event
+	for {
+		ev, ok := t.ring.pop()
+		if !ok {
+			break
+		}
+		batch = append(batch, ev)
+	}
+	if len(batch) == 0 {
+		return 0
+	}
+	for _, s := range t.sinks {
+		s.Consume(batch)
+	}
+	return len(batch)
+}
+
+// Dropped returns the number of events discarded because the ring was full
+// (the consumer lagged a full ring behind the emitters).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ring.dropped()
+}
+
+// Start launches a background goroutine draining the ring every interval.
+// Stop it with Close. Start panics if called twice without a Close.
+func (t *Tracer) Start(interval time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stop != nil {
+		panic("trace: Tracer.Start called twice")
+	}
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	go t.drainLoop(interval, t.stop, t.done)
+}
+
+func (t *Tracer) drainLoop(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			t.Flush()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Close stops the background drainer (if any), performs a final Flush, and
+// closes every sink. The tracer is disabled afterwards; further Emits are
+// no-ops.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	stop, done := t.stop, t.done
+	t.stop, t.done = nil, nil
+	t.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flushLocked()
+	t.enabled.Store(false)
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.sinks = nil
+	return first
+}

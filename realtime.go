@@ -11,6 +11,7 @@ import (
 	"scanshare/internal/fault"
 	"scanshare/internal/metrics"
 	"scanshare/internal/realtime"
+	"scanshare/internal/trace"
 )
 
 // RealtimeScan describes one scan stream for RunRealtime: a sequential read
@@ -127,6 +128,15 @@ type RealtimeOptions struct {
 	// failing after all retries (counting them as DegradedPages) instead
 	// of aborting the scan.
 	ContinueOnPageFailure bool
+
+	// Tracer, when non-nil, journals the run's structured events — scan
+	// lifecycle, group merges and splits, leader/trailer handoffs,
+	// throttle waits, detach/rejoin, evictions with priority, and page
+	// failures — into its event ring. The tracer is attached to every
+	// pool and sharing manager for the duration of the call and detached
+	// afterwards (an Engine.AttachTracer registration, if any, is
+	// restored).
+	Tracer *trace.Tracer
 }
 
 // RealtimeScanResult is the per-scan outcome of a RunRealtime call.
@@ -247,6 +257,12 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 	}
 	poolsBefore := e.poolStatsSnapshot()
 
+	if opts.Tracer != nil {
+		prev := e.tracer
+		e.AttachTracer(opts.Tracer)
+		defer e.AttachTracer(prev)
+	}
+
 	// Group the scans by buffer pool; each pool gets its own runner, all
 	// runners execute concurrently.
 	type poolBatch struct {
@@ -301,6 +317,7 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 			MaxRetryBackoff:       opts.MaxRetryBackoff,
 			DetachAfterFailures:   opts.DetachAfterFailures,
 			ContinueOnPageFailure: opts.ContinueOnPageFailure,
+			Tracer:                opts.Tracer,
 		})
 		if err != nil {
 			return nil, err

@@ -55,15 +55,39 @@ type PoolStats struct {
 	LogicalReads int64
 	Hits         int64
 	Misses       int64
-	Evictions    int64
+	// Aborts counts misses whose physical read failed; they delivered no
+	// page and are excluded from the hit-ratio denominator.
+	Aborts    int64
+	Evictions int64
+	// EvictionsByPriority breaks Evictions down by the priority the victim
+	// was released at, indexed by buffer.Priority (evict, low, normal,
+	// high). A healthy grouped run victimizes the trailer's evict/low
+	// levels almost exclusively — the paper's direct evidence that
+	// priority-tagged releases protect the pages the group still needs.
+	EvictionsByPriority [buffer.NumPriorities]int64
 }
 
-// HitRatio returns Hits / LogicalReads, or 0.
+// HitRatio returns the fraction of delivered pages served from the pool
+// (aborted misses delivered nothing and are excluded).
 func (p PoolStats) HitRatio() float64 {
-	if p.LogicalReads == 0 {
+	delivered := p.LogicalReads - p.Aborts
+	if delivered <= 0 {
 		return 0
 	}
-	return float64(p.Hits) / float64(p.LogicalReads)
+	return float64(p.Hits) / float64(delivered)
+}
+
+// EvictionBreakdown renders the per-priority eviction counts as e.g.
+// "low 37, normal 5", omitting empty levels; it returns "" when nothing was
+// evicted.
+func (p PoolStats) EvictionBreakdown() string {
+	parts := make([]string, 0, len(p.EvictionsByPriority))
+	for i, n := range p.EvictionsByPriority {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", buffer.Priority(i), n))
+		}
+	}
+	return strings.Join(parts, ", ")
 }
 
 // SharingStats summarizes scan sharing manager activity (cumulative over the
@@ -184,6 +208,9 @@ func (r *Report) Summary() string {
 		r.Disk.Reads, r.Disk.Seeks, float64(r.Disk.BytesRead)/(1<<20))
 	fmt.Fprintf(&b, "pool: %.1f%% hit ratio (%d hits / %d reads)\n",
 		r.Pool.HitRatio()*100, r.Pool.Hits, r.Pool.LogicalReads)
+	if r.Pool.Evictions > 0 {
+		fmt.Fprintf(&b, "evictions: %d (%s)\n", r.Pool.Evictions, r.Pool.EvictionBreakdown())
+	}
 	cpu, io, busy, throttle := r.TotalAcct()
 	fmt.Fprintf(&b, "time: cpu=%s io=%s busy=%s throttle=%s\n",
 		metrics.FormatDuration(cpu), metrics.FormatDuration(io),
@@ -214,12 +241,17 @@ func diskDelta(s disk.Stats) DiskStats {
 
 // poolDelta converts internal pool stats, as the delta after-before.
 func poolDelta(after, before buffer.Stats) PoolStats {
-	return PoolStats{
+	out := PoolStats{
 		LogicalReads: after.LogicalReads - before.LogicalReads,
 		Hits:         after.Hits - before.Hits,
 		Misses:       after.Misses - before.Misses,
+		Aborts:       after.Aborts - before.Aborts,
 		Evictions:    after.Evictions - before.Evictions,
 	}
+	for i := range out.EvictionsByPriority {
+		out.EvictionsByPriority[i] = after.EvictionsByPr[i] - before.EvictionsByPr[i]
+	}
+	return out
 }
 
 // sharingStats converts internal SSM stats.

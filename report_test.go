@@ -1,0 +1,78 @@
+package scanshare_test
+
+import (
+	"strings"
+	"testing"
+
+	"scanshare"
+)
+
+// TestPoolStatsEvictionBreakdown pins the per-priority eviction rendering:
+// empty levels are omitted and an eviction-free pool renders "".
+func TestPoolStatsEvictionBreakdown(t *testing.T) {
+	var ps scanshare.PoolStats
+	if got := ps.EvictionBreakdown(); got != "" {
+		t.Errorf("empty breakdown = %q, want \"\"", got)
+	}
+	ps.Evictions = 5
+	ps.EvictionsByPriority[1] = 3 // low
+	ps.EvictionsByPriority[2] = 2 // normal
+	if got, want := ps.EvictionBreakdown(), "low 3, normal 2"; got != want {
+		t.Errorf("breakdown = %q, want %q", got, want)
+	}
+}
+
+// TestPoolStatsHitRatioExcludesAborts checks that aborted misses (reads that
+// delivered no page) do not dilute the hit ratio.
+func TestPoolStatsHitRatioExcludesAborts(t *testing.T) {
+	ps := scanshare.PoolStats{LogicalReads: 10, Hits: 4, Misses: 6, Aborts: 2}
+	if got := ps.HitRatio(); got != 0.5 {
+		t.Errorf("HitRatio = %v, want 0.5 (4 hits / 8 delivered)", got)
+	}
+	all := scanshare.PoolStats{LogicalReads: 3, Aborts: 3}
+	if got := all.HitRatio(); got != 0 {
+		t.Errorf("all-aborted HitRatio = %v, want 0", got)
+	}
+}
+
+// TestReportSurfacesEvictionsByPriority runs a workload that overflows a tiny
+// pool and checks the per-priority eviction counts reach the Report — both the
+// aggregate and the per-pool entry — and appear in the Summary text. This is
+// the regression test for the breakdown being collected but dropped on the
+// floor by report assembly.
+func TestReportSurfacesEvictionsByPriority(t *testing.T) {
+	eng, tbl := newEngine(t, 8, 4000) // table is far larger than 8 pages
+	q := scanshare.NewQuery(tbl)
+	rep, err := eng.Run(scanshare.Shared, []scanshare.Job{
+		{Query: q},
+		{Query: q, Start: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pool.Evictions == 0 {
+		t.Fatal("workload produced no evictions; pool too large for the test")
+	}
+	var sum int64
+	for _, n := range rep.Pool.EvictionsByPriority {
+		sum += n
+	}
+	if sum != rep.Pool.Evictions {
+		t.Errorf("per-priority evictions sum to %d, total says %d", sum, rep.Pool.Evictions)
+	}
+	def := rep.Pools[""]
+	var defSum int64
+	for _, n := range def.EvictionsByPriority {
+		defSum += n
+	}
+	if defSum != def.Evictions {
+		t.Errorf("default pool breakdown sums to %d, total says %d", defSum, def.Evictions)
+	}
+	out := rep.Summary()
+	if !strings.Contains(out, "evictions: ") {
+		t.Errorf("Summary lacks evictions line:\n%s", out)
+	}
+	if !strings.Contains(out, rep.Pool.EvictionBreakdown()) {
+		t.Errorf("Summary lacks breakdown %q:\n%s", rep.Pool.EvictionBreakdown(), out)
+	}
+}

@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint build test race fuzz bench
+.PHONY: check vet lint build test race fuzz bench bench-pool
 
 check: vet lint build test race fuzz
 
@@ -28,15 +28,25 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent layers, run twice to shake out
-# schedule-dependent failures. See CONCURRENCY.md for the deterministic
-# seed-replay harness used to debug anything this finds.
+# schedule-dependent failures, then again over the lock-striped pool and the
+# coalescing runner at constrained and oversubscribed GOMAXPROCS — shard and
+# singleflight races surface at different parallelism levels. See
+# CONCURRENCY.md for the deterministic seed-replay harness used to debug
+# anything this finds.
 race:
 	$(GO) test -race -count=2 ./internal/...
+	$(GO) test -race -cpu 2,8 ./internal/buffer ./internal/realtime
 
-# Short coverage-guided fuzz pass over the SQL parser; a longer session is
-# one FUZZTIME=5m away.
+# Short coverage-guided fuzz passes: the SQL parser and the buffer pool's
+# operation-sequence fuzzer; a longer session is one FUZZTIME=5m away.
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sql
+	$(GO) test -fuzz FuzzPoolOps -fuzztime $(FUZZTIME) ./internal/buffer
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Pool lock-contention surface: the acquire/release hot path across shard
+# counts and GOMAXPROCS (see EXPERIMENTS.md for interpreting the matrix).
+bench-pool:
+	$(GO) test -run '^$$' -bench BenchmarkPoolAcquireRelease -benchmem -cpu 1,4,8 ./internal/buffer

@@ -87,12 +87,13 @@ func (f rtFaultFlags) apply(opts *scanshare.RealtimeOptions, tbl *scanshare.Tabl
 // Unlike the virtual-time experiments, the printed timings depend on the
 // machine; the structural counters (placements, hit ratio, throttles) are
 // what to look at.
-func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time.Duration, faults rtFaultFlags, obs rtObsFlags) error {
+func runRealtime(p experiments.Params, n, workers, shards int, noCoalesce bool, pageDelay, readDelay time.Duration, faults rtFaultFlags, obs rtObsFlags) error {
 	rows := int(30000 * p.Scale)
 	eng, err := scanshare.New(scanshare.Config{
 		// Sized after load below would be circular; ~100 bytes/row on
 		// 8 KiB pages gives the page count up front.
 		BufferPoolPages: poolPagesFor(rows, p.BufferFrac),
+		PoolShards:      shards,
 		Sharing:         scanshare.SharingConfig{PrefetchExtentPages: p.ExtentPages},
 	})
 	if err != nil {
@@ -134,8 +135,9 @@ func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time
 	defer stop()
 
 	opts := scanshare.RealtimeOptions{
-		PrefetchWorkers: workers,
-		PageReadDelay:   readDelay,
+		PrefetchWorkers:       workers,
+		PageReadDelay:         readDelay,
+		DisableReadCoalescing: noCoalesce,
 	}
 	if err := faults.apply(&opts, tbl); err != nil {
 		return err
@@ -208,8 +210,8 @@ func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time
 		}()
 	}
 
-	fmt.Printf("realtime: %d goroutine scans of %d pages, pool %d pages, %d prefetch workers\n",
-		n, tbl.NumPages(), poolPagesFor(rows, p.BufferFrac), workers)
+	fmt.Printf("realtime: %d goroutine scans of %d pages, pool %d pages (%d shards), %d prefetch workers\n",
+		n, tbl.NumPages(), poolPagesFor(rows, p.BufferFrac), shards, workers)
 	if faults.scenario != "" {
 		fmt.Printf("faults: scenario %q, prob %.3f, seed %d; timeout %v, %d retries, detach after %d\n",
 			faults.scenario, faults.prob, faults.seed, faults.readTimeout, faults.retries, faults.detachAfter)
@@ -258,6 +260,20 @@ func runRealtime(p experiments.Params, n, workers int, pageDelay, readDelay time
 		line += ")"
 		if def.Aborts > 0 {
 			line += fmt.Sprintf(", %d aborted reads", def.Aborts)
+		}
+		fmt.Println(line)
+	}
+	if def, ok := rep.Pools[""]; ok {
+		line := fmt.Sprintf("contention: %d shards, %d busy retries, %d all-pinned, %d reads coalesced",
+			def.Shards, def.BusyRetries, def.AllPinned, rep.Counters.ReadsCoalesced)
+		if rep.Counters.CoalescedFailures > 0 {
+			line += fmt.Sprintf(" (%d failed)", rep.Counters.CoalescedFailures)
+		}
+		if len(def.PerShard) > 1 {
+			line += "; per-shard reads:"
+			for _, sh := range def.PerShard {
+				line += fmt.Sprintf(" %d", sh.LogicalReads)
+			}
 		}
 		fmt.Println(line)
 	}

@@ -120,7 +120,10 @@ func New(cfg Config) (*Engine, error) {
 		tableRT:    make(map[catalog.TableID]*poolRT),
 		tableStats: make(map[catalog.TableID][]colStats),
 	}
-	def, err := newPoolRT("", cfg.BufferPoolPages, cfg.Sharing)
+	if cfg.PoolShards < 0 {
+		return nil, fmt.Errorf("scanshare: negative PoolShards %d", cfg.PoolShards)
+	}
+	def, err := newPoolRT("", cfg.BufferPoolPages, cfg.PoolShards, cfg.Sharing)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +136,11 @@ func New(cfg Config) (*Engine, error) {
 		if _, dup := e.pools[pc.Name]; dup {
 			return nil, fmt.Errorf("scanshare: duplicate pool %q", pc.Name)
 		}
-		rt, err := newPoolRT(pc.Name, pc.Pages, cfg.Sharing)
+		shards := pc.Shards
+		if shards == 0 {
+			shards = cfg.PoolShards
+		}
+		rt, err := newPoolRT(pc.Name, pc.Pages, shards, cfg.Sharing)
 		if err != nil {
 			return nil, fmt.Errorf("scanshare: pool %q: %w", pc.Name, err)
 		}
@@ -143,9 +150,13 @@ func New(cfg Config) (*Engine, error) {
 }
 
 // newPoolRT creates one buffer pool and its scan sharing manager. The SSM's
-// grouping budget is the pool's own size.
-func newPoolRT(name string, pages int, s SharingConfig) (*poolRT, error) {
-	pool, err := buffer.NewPool(pages)
+// grouping budget is the pool's own size. shards <= 1 builds the classic
+// single-shard pool.
+func newPoolRT(name string, pages, shards int, s SharingConfig) (*poolRT, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	pool, err := buffer.NewPoolShards(pages, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -561,22 +572,23 @@ func (e *Engine) runQuery(p *sim.Proc, mode Mode, q *Query, runStart time.Durati
 func (e *Engine) PoolStats() map[string]PoolStats {
 	out := make(map[string]PoolStats, len(e.pools))
 	for name, rt := range e.pools {
-		out[name] = poolDelta(rt.pool.Stats(), buffer.Stats{})
+		out[name] = poolDeltaShards(rt.pool.ShardStats(), nil)
 	}
 	return out
 }
 
-// poolStatsSnapshot captures every pool's counters for later deltas.
-func (e *Engine) poolStatsSnapshot() map[string]buffer.Stats {
-	out := make(map[string]buffer.Stats, len(e.pools))
+// poolStatsSnapshot captures every pool's per-shard counters for later
+// deltas.
+func (e *Engine) poolStatsSnapshot() map[string][]buffer.Stats {
+	out := make(map[string][]buffer.Stats, len(e.pools))
 	for name, rt := range e.pools {
-		out[name] = rt.pool.Stats()
+		out[name] = rt.pool.ShardStats()
 	}
 	return out
 }
 
 // report assembles a Report from the collected results and counter deltas.
-func (e *Engine) report(mode Mode, results []QueryResult, runStart, end time.Duration, diskBefore disk.Stats, poolsBefore map[string]buffer.Stats) *Report {
+func (e *Engine) report(mode Mode, results []QueryResult, runStart, end time.Duration, diskBefore disk.Stats, poolsBefore map[string][]buffer.Stats) *Report {
 	r := &Report{
 		Mode:     mode,
 		Results:  results,
@@ -585,12 +597,14 @@ func (e *Engine) report(mode Mode, results []QueryResult, runStart, end time.Dur
 		Pools:    make(map[string]PoolStats, len(e.pools)),
 	}
 	for name, rt := range e.pools {
-		delta := poolDelta(rt.pool.Stats(), poolsBefore[name])
+		delta := poolDeltaShards(rt.pool.ShardStats(), poolsBefore[name])
 		r.Pools[name] = delta
 		r.Pool.LogicalReads += delta.LogicalReads
 		r.Pool.Hits += delta.Hits
 		r.Pool.Misses += delta.Misses
 		r.Pool.Aborts += delta.Aborts
+		r.Pool.BusyRetries += delta.BusyRetries
+		r.Pool.AllPinned += delta.AllPinned
 		r.Pool.Evictions += delta.Evictions
 		for i := range delta.EvictionsByPriority {
 			r.Pool.EvictionsByPriority[i] += delta.EvictionsByPriority[i]

@@ -1,0 +1,88 @@
+package buffer
+
+import (
+	"testing"
+
+	"scanshare/internal/disk"
+)
+
+// FuzzPoolOps interprets the fuzzer's bytes as an operation sequence against
+// a small sharded pool — two bits of opcode, five bits of page id per byte —
+// while tracking which frames the driver holds so every call is legal. After
+// each input the pool must pass CheckInvariants and the counter identities
+// must hold; the fuzzer's job is to find an op order that corrupts the level
+// lists, the pending counter, or the stats.
+func FuzzPoolOps(f *testing.F) {
+	f.Add(uint8(1), []byte{0x00, 0x40, 0x80})
+	f.Add(uint8(4), []byte{0x00, 0x01, 0x02, 0x03, 0x41, 0x82, 0xc3, 0x00})
+	f.Add(uint8(7), []byte{0x1f, 0x5f, 0x9f, 0xdf, 0x1f, 0x5f})
+	f.Fuzz(func(t *testing.T, shardByte uint8, ops []byte) {
+		shards := int(shardByte%8) + 1
+		capacity := shards + 5
+		pool := MustNewPoolShards(capacity, shards)
+
+		pins := map[disk.PageID]int{}
+		pending := map[disk.PageID]bool{}
+		for _, b := range ops {
+			pid := disk.PageID(b & 0x1f)
+			switch b >> 6 {
+			case 0: // acquire
+				st, _ := pool.Acquire(pid)
+				switch st {
+				case Hit:
+					pins[pid]++
+				case Miss:
+					pending[pid] = true
+				}
+			case 1: // settle the page if we owe it a read: fill or abort
+				if !pending[pid] {
+					continue
+				}
+				delete(pending, pid)
+				if b&0x20 != 0 {
+					if err := pool.Abort(pid); err != nil {
+						t.Fatalf("Abort(%d): %v", pid, err)
+					}
+					continue
+				}
+				if err := pool.Fill(pid, []byte{byte(pid)}); err != nil {
+					t.Fatalf("Fill(%d): %v", pid, err)
+				}
+				pins[pid]++
+			case 2: // release one pin at a priority from the low opcode bits
+				if pins[pid] == 0 {
+					continue
+				}
+				prio := Priority(int(b>>5) % NumPriorities)
+				if err := pool.Release(pid, prio); err != nil {
+					t.Fatalf("Release(%d, %v): %v", pid, prio, err)
+				}
+				if pins[pid]--; pins[pid] == 0 {
+					delete(pins, pid)
+				}
+			case 3: // priority-retaining release
+				if pins[pid] == 0 {
+					continue
+				}
+				if err := pool.ReleaseRetain(pid); err != nil {
+					t.Fatalf("ReleaseRetain(%d): %v", pid, err)
+				}
+				if pins[pid]--; pins[pid] == 0 {
+					delete(pins, pid)
+				}
+			}
+		}
+
+		pool.CheckInvariants()
+		st := pool.Stats()
+		if st.PagesDelivered() != st.Hits+st.Misses-st.Aborts {
+			t.Fatalf("delivered identity broken: %+v", st)
+		}
+		if want := st.Fills + st.Aborts + int64(len(pending)); st.Misses != want {
+			t.Fatalf("misses %d != fills %d + aborts %d + %d pending", st.Misses, st.Fills, st.Aborts, len(pending))
+		}
+		if pool.Len() > pool.Capacity() {
+			t.Fatalf("len %d exceeds capacity %d", pool.Len(), pool.Capacity())
+		}
+	})
+}

@@ -14,6 +14,15 @@
 // With every page released at the same priority this degenerates to plain
 // LRU, which is the paper's baseline.
 //
+// The pool is lock-striped: capacity is partitioned across N shards and a
+// page id hashes to exactly one shard, which owns the page's frame, its
+// position on the priority/LRU lists, and the counters it contributes to.
+// Replacement is local to the shard (the victim search never crosses a shard
+// boundary), so two scans touching pages in different shards never contend
+// on a mutex. Aggregate Stats() sums exact per-shard snapshots. With a
+// single shard the pool is byte-for-byte the classic global-mutex design,
+// which is what the deterministic replay harness relies on.
+//
 // The pool deliberately knows nothing about scans, groups, or the sharing
 // manager — the paper's design point is that the caching system can remain a
 // black box, with the mechanism confined to the scan operators.
@@ -24,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"scanshare/internal/disk"
 	"scanshare/internal/trace"
@@ -84,15 +94,15 @@ const (
 	// Fill (or Abort on failure).
 	Miss
 	// Busy: another caller is currently reading this page from disk, or
-	// the pool is full but an in-flight read holds a frame that will soon
-	// become evictable. The caller should wait a little and retry; this
-	// models waiting on an in-flight I/O.
+	// the page's shard is full but an in-flight read holds a frame that
+	// will soon become evictable. The caller should wait a little and
+	// retry; this models waiting on an in-flight I/O.
 	Busy
-	// AllPinned: the pool is full, every frame is pinned by an active
-	// caller, and no read is in flight that could free one. Retrying on an
-	// I/O timescale is pointless — a frame only frees when some caller
-	// releases — so callers back off for longer (or fail) instead of
-	// spinning. Err returns ErrAllPinned for this status.
+	// AllPinned: the page's shard is full, every frame in it is pinned by
+	// an active caller, and no read is in flight there that could free
+	// one. Retrying on an I/O timescale is pointless — a frame only frees
+	// when some caller releases — so callers back off for longer (or
+	// fail) instead of spinning. Err returns ErrAllPinned for this status.
 	AllPinned
 )
 
@@ -122,7 +132,9 @@ func (s Status) Err() error {
 	return nil
 }
 
-// Stats is a snapshot of the pool counters.
+// Stats is a snapshot of the pool counters. For a sharded pool it is the sum
+// of exact per-shard snapshots (each shard's counters are mutated under that
+// shard's mutex, so every summand is internally consistent).
 type Stats struct {
 	LogicalReads  int64 // Acquire calls that returned Hit or Miss
 	Hits          int64
@@ -133,6 +145,21 @@ type Stats struct {
 	AllPinned     int64 // Acquire calls that returned AllPinned
 	Evictions     int64
 	EvictionsByPr [numPriorities]int64
+}
+
+// add accumulates o into s, for aggregating per-shard snapshots.
+func (s *Stats) add(o Stats) {
+	s.LogicalReads += o.LogicalReads
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Aborts += o.Aborts
+	s.Fills += o.Fills
+	s.BusyRetries += o.BusyRetries
+	s.AllPinned += o.AllPinned
+	s.Evictions += o.Evictions
+	for i := range s.EvictionsByPr {
+		s.EvictionsByPr[i] += o.EvictionsByPr[i]
+	}
 }
 
 // PagesDelivered returns the number of Acquire calls that actually put page
@@ -159,8 +186,8 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(delivered)
 }
 
-// ErrAllPinned is the sentinel for the AllPinned acquire status: the pool is
-// full of pinned frames with no in-flight read that could free one.
+// ErrAllPinned is the sentinel for the AllPinned acquire status: the page's
+// shard is full of pinned frames with no in-flight read that could free one.
 // Status.Err exposes it for errors.Is.
 var ErrAllPinned = errors.New("buffer: all frames pinned")
 
@@ -182,9 +209,11 @@ type frame struct {
 	elem *list.Element
 }
 
-// Pool is a fixed-capacity page cache with priority-aware replacement. It is
-// safe for concurrent use.
-type Pool struct {
+// shard is one lock-striped partition of the pool: a fixed slice of the
+// total capacity with its own frame table, priority/LRU lists, and counters,
+// all guarded by its own mutex. A page id maps to exactly one shard, so
+// every operation on a page locks only that shard.
+type shard struct {
 	mu       sync.Mutex
 	capacity int
 	frames   map[disk.PageID]*frame
@@ -192,32 +221,71 @@ type Pool struct {
 	// recently released at the front (the eviction end).
 	levels [numPriorities]*list.List
 	// pending counts frames in framePending state (reads in flight); it
-	// lets a full-pool Acquire distinguish "wait for I/O" (Busy) from
+	// lets a full-shard Acquire distinguish "wait for I/O" (Busy) from
 	// "every frame pinned by a caller" (AllPinned).
 	pending int
 	stats   Stats
+	// resident mirrors len(frames) so Len() can sum shard occupancy
+	// without taking any lock (the -http introspection endpoint polls it
+	// while benchmarks run).
+	resident atomic.Int64
+	// tracer points at the pool-wide tracer slot.
+	tracer *atomic.Pointer[trace.Tracer]
+}
+
+// Pool is a fixed-capacity page cache with priority-aware replacement,
+// lock-striped across one or more shards. It is safe for concurrent use.
+type Pool struct {
+	capacity int
+	shards   []*shard
 	// tracer, when set, receives an eviction event per victimized frame.
-	// Emission is non-blocking, so holding the pool lock across it is fine.
-	tracer *trace.Tracer
+	// Emission is non-blocking, so holding a shard lock across it is fine.
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // SetTracer attaches tr (may be nil to detach) as the pool's observability
-// journal; evictLocked emits a trace event per victim with the priority the
+// journal; evictions emit a trace event per victim with the priority the
 // page was released at.
 func (p *Pool) SetTracer(tr *trace.Tracer) {
-	p.mu.Lock()
-	p.tracer = tr
-	p.mu.Unlock()
+	p.tracer.Store(tr)
 }
 
-// NewPool creates a pool with room for capacity pages.
+// NewPool creates a single-shard pool with room for capacity pages. A
+// single-shard pool behaves exactly like the classic global-mutex design —
+// deterministic replay (Sched) and the golden-timeline tests depend on that.
 func NewPool(capacity int) (*Pool, error) {
+	return NewPoolShards(capacity, 1)
+}
+
+// NewPoolShards creates a pool with room for capacity pages striped across
+// shards partitions. Capacity is split as evenly as possible (the first
+// capacity mod shards shards get one extra frame); every shard must get at
+// least one frame, so shards cannot exceed capacity. Eviction is local to a
+// shard, so with many shards a hot shard can evict while a cold shard has
+// idle frames — that is the price of lock-freedom between partitions, and
+// why shard counts should stay well below capacity (see CONCURRENCY.md).
+func NewPoolShards(capacity, shards int) (*Pool, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("buffer: non-positive capacity %d", capacity)
 	}
-	p := &Pool{capacity: capacity, frames: make(map[disk.PageID]*frame, capacity)}
-	for i := range p.levels {
-		p.levels[i] = list.New()
+	if shards <= 0 {
+		return nil, fmt.Errorf("buffer: non-positive shard count %d", shards)
+	}
+	if shards > capacity {
+		return nil, fmt.Errorf("buffer: %d shards exceed capacity %d (every shard needs a frame)", shards, capacity)
+	}
+	p := &Pool{capacity: capacity, shards: make([]*shard, shards)}
+	base, extra := capacity/shards, capacity%shards
+	for i := range p.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		s := &shard{capacity: c, frames: make(map[disk.PageID]*frame, c), tracer: &p.tracer}
+		for j := range s.levels {
+			s.levels[j] = list.New()
+		}
+		p.shards[i] = s
 	}
 	return p, nil
 }
@@ -231,22 +299,64 @@ func MustNewPool(capacity int) *Pool {
 	return p
 }
 
-// Capacity returns the pool's frame count.
+// MustNewPoolShards is NewPoolShards for known-good parameters; it panics on
+// error.
+func MustNewPoolShards(capacity, shards int) *Pool {
+	p, err := NewPoolShards(capacity, shards)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// shardFor returns the shard owning pid. The single-shard case skips the
+// hash so the classic pool pays nothing for the striping machinery; the
+// multi-shard case runs the page id through a 64-bit finalizer (splitmix64's
+// mixer) so that sequential page ids — the common case for table scans —
+// spread uniformly instead of striping by low bits.
+func (p *Pool) shardFor(pid disk.PageID) *shard {
+	return p.shards[p.shardIndex(pid)]
+}
+
+// shardIndex returns the index of the shard owning pid; the differential
+// model tests use it to route reference-model operations the same way.
+func (p *Pool) shardIndex(pid disk.PageID) int {
+	if len(p.shards) == 1 {
+		return 0
+	}
+	x := uint64(pid)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(len(p.shards)))
+}
+
+// Capacity returns the pool's total frame count across all shards.
 func (p *Pool) Capacity() int { return p.capacity }
 
-// Len returns the number of resident (valid or pending) pages.
+// NumShards returns the number of lock-striped partitions.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Len returns the number of resident (valid or pending) pages. It sums
+// per-shard atomic occupancy counters and takes no locks, so introspection
+// endpoints can poll it without perturbing the hot path.
 func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
+	n := int64(0)
+	for _, s := range p.shards {
+		n += s.resident.Load()
+	}
+	return int(n)
 }
 
 // Contains reports whether pid is resident and valid (useful in tests; a
-// pending frame does not count).
+// pending frame does not count). Only the owning shard is locked.
 func (p *Pool) Contains(pid disk.PageID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pid]
+	s := p.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[pid]
 	return ok && f.state == frameValid
 }
 
@@ -257,59 +367,63 @@ func (p *Pool) Contains(pid disk.PageID) bool {
 // frame: it must read the page from storage and call Fill, then eventually
 // Release. On Busy, nothing is pinned; retry after a short wait.
 func (p *Pool) Acquire(pid disk.PageID) (Status, []byte) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	s := p.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 
-	if f, ok := p.frames[pid]; ok {
+	if f, ok := s.frames[pid]; ok {
 		if f.state == framePending {
-			p.stats.BusyRetries++
+			s.stats.BusyRetries++
 			return Busy, nil
 		}
 		if f.pins == 0 {
-			p.levels[f.prio].Remove(f.elem)
+			s.levels[f.prio].Remove(f.elem)
 			f.elem = nil
 		}
 		f.pins++
-		p.stats.LogicalReads++
-		p.stats.Hits++
+		s.stats.LogicalReads++
+		s.stats.Hits++
 		return Hit, f.data
 	}
 
-	if len(p.frames) >= p.capacity && !p.evictLocked() {
-		if p.pending > 0 {
+	if len(s.frames) >= s.capacity && !s.evictLocked() {
+		if s.pending > 0 {
 			// An in-flight read holds at least one frame that will be
 			// filled and released shortly; waiting on an I/O timescale
 			// is the right backoff.
-			p.stats.BusyRetries++
+			s.stats.BusyRetries++
 			return Busy, nil
 		}
-		// Every frame is pinned by an active caller and nothing is in
-		// flight: only a Release can free one.
-		p.stats.AllPinned++
+		// Every frame in this shard is pinned by an active caller and
+		// nothing is in flight: only a Release can free one.
+		s.stats.AllPinned++
 		return AllPinned, nil
 	}
 
 	f := &frame{pid: pid, pins: 1, state: framePending}
-	p.frames[pid] = f
-	p.pending++
-	p.stats.LogicalReads++
-	p.stats.Misses++
+	s.frames[pid] = f
+	s.resident.Add(1)
+	s.pending++
+	s.stats.LogicalReads++
+	s.stats.Misses++
 	return Miss, nil
 }
 
 // evictLocked removes the least recently released unpinned frame of the
-// lowest occupied priority level. It reports whether a frame was freed.
-func (p *Pool) evictLocked() bool {
+// lowest occupied priority level in this shard. It reports whether a frame
+// was freed.
+func (s *shard) evictLocked() bool {
 	for prio := PriorityEvict; prio < numPriorities; prio++ {
-		lvl := p.levels[prio]
+		lvl := s.levels[prio]
 		if lvl.Len() == 0 {
 			continue
 		}
 		victim := lvl.Remove(lvl.Front()).(*frame)
-		delete(p.frames, victim.pid)
-		p.stats.Evictions++
-		p.stats.EvictionsByPr[prio]++
-		p.tracer.Emit(trace.Event{
+		delete(s.frames, victim.pid)
+		s.resident.Add(-1)
+		s.stats.Evictions++
+		s.stats.EvictionsByPr[prio]++
+		s.tracer.Load().Emit(trace.Event{
 			Kind: trace.KindEvict, Page: int64(victim.pid), Prio: int8(prio),
 			Scan: trace.NoID, Peer: trace.NoID, Table: trace.NoID,
 		})
@@ -321,9 +435,10 @@ func (p *Pool) evictLocked() bool {
 // Fill completes a Miss: it installs data as the content of the pending
 // frame reserved by the calling Acquire. The frame stays pinned.
 func (p *Pool) Fill(pid disk.PageID, data []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pid]
+	s := p.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[pid]
 	if !ok {
 		return fmt.Errorf("buffer: Fill of non-resident page %d", pid)
 	}
@@ -332,26 +447,28 @@ func (p *Pool) Fill(pid disk.PageID, data []byte) error {
 	}
 	f.data = data
 	f.state = frameValid
-	p.pending--
-	p.stats.Fills++
+	s.pending--
+	s.stats.Fills++
 	return nil
 }
 
 // Abort releases a pending frame without filling it, e.g. after a failed
 // disk read.
 func (p *Pool) Abort(pid disk.PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pid]
+	s := p.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[pid]
 	if !ok || f.state != framePending {
 		return fmt.Errorf("buffer: Abort of page %d that is not pending", pid)
 	}
-	delete(p.frames, pid)
-	p.pending--
+	delete(s.frames, pid)
+	s.resident.Add(-1)
+	s.pending--
 	// The reserving Acquire counted a Miss, but the page was never
 	// delivered; Aborts is the correction term that keeps
 	// Hits + Misses - Aborts equal to pages actually handed to callers.
-	p.stats.Aborts++
+	s.stats.Aborts++
 	return nil
 }
 
@@ -361,9 +478,10 @@ func (p *Pool) Release(pid disk.PageID, prio Priority) error {
 	if !prio.Valid() {
 		return fmt.Errorf("buffer: invalid release priority %d", prio)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pid]
+	s := p.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[pid]
 	if !ok {
 		return fmt.Errorf("buffer: Release of non-resident page %d", pid)
 	}
@@ -376,7 +494,7 @@ func (p *Pool) Release(pid disk.PageID, prio Priority) error {
 	f.pins--
 	f.prio = prio
 	if f.pins == 0 {
-		f.elem = p.levels[prio].PushBack(f)
+		f.elem = s.levels[prio].PushBack(f)
 	}
 	return nil
 }
@@ -387,9 +505,10 @@ func (p *Pool) Release(pid disk.PageID, prio Priority) error {
 // overwrite the priority the owning scan chose (e.g. demote a leader's
 // high-priority page to normal just because a prefetch worker touched it).
 func (p *Pool) ReleaseRetain(pid disk.PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[pid]
+	s := p.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[pid]
 	if !ok {
 		return fmt.Errorf("buffer: ReleaseRetain of non-resident page %d", pid)
 	}
@@ -401,37 +520,74 @@ func (p *Pool) ReleaseRetain(pid disk.PageID) error {
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.elem = p.levels[f.prio].PushBack(f)
+		f.elem = s.levels[f.prio].PushBack(f)
 	}
 	return nil
 }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters: the sum of exact per-shard
+// snapshots. Each shard is locked in turn, so the aggregate is a sum of
+// internally-consistent shard states (not a single instantaneous cut across
+// shards — concurrent operations on other shards may land between reads,
+// which is the standard striped-counter tradeoff).
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var total Stats
+	for _, s := range p.shards {
+		s.mu.Lock()
+		total.add(s.stats)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// ShardStats returns one exact counter snapshot per shard, in shard order.
+// Report plumbing uses it for the per-shard contention breakdown.
+func (p *Pool) ShardStats() []Stats {
+	out := make([]Stats, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		out[i] = s.stats
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // ResetStats clears the counters but leaves the cache contents intact.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.stats = Stats{}
+		s.mu.Unlock()
+	}
 }
 
 // CheckInvariants panics if internal bookkeeping is inconsistent. It exists
 // for tests — the pool's own and those of concurrent layers built on top —
-// as a cheap way to assert a stress run left the structure coherent.
+// as a cheap way to assert a stress run left the structure coherent. Each
+// shard is checked under its own lock, then the aggregate identities.
 func (p *Pool) CheckInvariants() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.frames) > p.capacity {
-		panic(fmt.Sprintf("buffer: %d frames resident, capacity %d", len(p.frames), p.capacity))
+	var agg Stats
+	for i, s := range p.shards {
+		s.mu.Lock()
+		s.checkInvariantsLocked(i)
+		agg.add(s.stats)
+		s.mu.Unlock()
 	}
-	unpinned := 0
-	for i := range p.levels {
-		for e := p.levels[i].Front(); e != nil; e = e.Next() {
+	if delivered := agg.Hits + agg.Misses - agg.Aborts; delivered < 0 {
+		panic(fmt.Sprintf("buffer: negative pages delivered (%d hits + %d misses - %d aborts)",
+			agg.Hits, agg.Misses, agg.Aborts))
+	}
+}
+
+func (s *shard) checkInvariantsLocked(idx int) {
+	if len(s.frames) > s.capacity {
+		panic(fmt.Sprintf("buffer: shard %d has %d frames resident, capacity %d", idx, len(s.frames), s.capacity))
+	}
+	if got := s.resident.Load(); got != int64(len(s.frames)) {
+		panic(fmt.Sprintf("buffer: shard %d resident counter %d but %d frames in table", idx, got, len(s.frames)))
+	}
+	for i := range s.levels {
+		for e := s.levels[i].Front(); e != nil; e = e.Next() {
 			f := e.Value.(*frame)
 			if f.pins != 0 {
 				panic(fmt.Sprintf("buffer: pinned page %d on level list", f.pid))
@@ -439,14 +595,13 @@ func (p *Pool) CheckInvariants() {
 			if f.prio != Priority(i) {
 				panic(fmt.Sprintf("buffer: page %d on level %d but prio %d", f.pid, i, f.prio))
 			}
-			if p.frames[f.pid] != f {
+			if s.frames[f.pid] != f {
 				panic(fmt.Sprintf("buffer: page %d level-list entry not in frame table", f.pid))
 			}
-			unpinned++
 		}
 	}
 	pending := 0
-	for pid, f := range p.frames {
+	for pid, f := range s.frames {
 		if f.pid != pid {
 			panic("buffer: frame table key mismatch")
 		}
@@ -457,11 +612,7 @@ func (p *Pool) CheckInvariants() {
 			pending++
 		}
 	}
-	if pending != p.pending {
-		panic(fmt.Sprintf("buffer: %d pending frames resident but pending counter is %d", pending, p.pending))
-	}
-	if delivered := p.stats.Hits + p.stats.Misses - p.stats.Aborts; delivered < 0 {
-		panic(fmt.Sprintf("buffer: negative pages delivered (%d hits + %d misses - %d aborts)",
-			p.stats.Hits, p.stats.Misses, p.stats.Aborts))
+	if pending != s.pending {
+		panic(fmt.Sprintf("buffer: shard %d has %d pending frames resident but pending counter is %d", idx, pending, s.pending))
 	}
 }

@@ -1,0 +1,300 @@
+package buffer
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"scanshare/internal/disk"
+)
+
+// modelFrame is one page's state in the reference model.
+type modelFrame struct {
+	pins    int
+	prio    Priority
+	pending bool
+}
+
+// modelShard is a single-lock reference implementation of one pool shard
+// with the full operation surface — pending frames, Abort, ReleaseRetain,
+// multi-pin — written against the documented semantics rather than the
+// implementation. (The simpler refPool in model_test.go predates Abort and
+// models only the single-pin hit/miss/evict core.) The differential test
+// instantiates one modelShard per pool shard and routes operations with the
+// pool's own shardIndex, so every Acquire outcome and every counter must
+// match exactly, for any shard count.
+type modelShard struct {
+	capacity int
+	frames   map[disk.PageID]*modelFrame
+	// levels[p] holds unpinned valid pages released at priority p, least
+	// recently released first.
+	levels  [numPriorities][]disk.PageID
+	pending int
+	stats   Stats
+}
+
+func newModelShard(capacity int) *modelShard {
+	return &modelShard{capacity: capacity, frames: make(map[disk.PageID]*modelFrame)}
+}
+
+func (m *modelShard) removeFromLevel(pid disk.PageID, prio Priority) {
+	lvl := m.levels[prio]
+	for i, p := range lvl {
+		if p == pid {
+			m.levels[prio] = append(lvl[:i], lvl[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("model: page %d not on level %d", pid, prio))
+}
+
+func (m *modelShard) evict() bool {
+	for prio := PriorityEvict; prio < numPriorities; prio++ {
+		if len(m.levels[prio]) == 0 {
+			continue
+		}
+		victim := m.levels[prio][0]
+		m.levels[prio] = m.levels[prio][1:]
+		delete(m.frames, victim)
+		m.stats.Evictions++
+		m.stats.EvictionsByPr[prio]++
+		return true
+	}
+	return false
+}
+
+func (m *modelShard) acquire(pid disk.PageID) Status {
+	if f, ok := m.frames[pid]; ok {
+		if f.pending {
+			m.stats.BusyRetries++
+			return Busy
+		}
+		if f.pins == 0 {
+			m.removeFromLevel(pid, f.prio)
+		}
+		f.pins++
+		m.stats.LogicalReads++
+		m.stats.Hits++
+		return Hit
+	}
+	if len(m.frames) >= m.capacity && !m.evict() {
+		if m.pending > 0 {
+			m.stats.BusyRetries++
+			return Busy
+		}
+		m.stats.AllPinned++
+		return AllPinned
+	}
+	m.frames[pid] = &modelFrame{pins: 1, pending: true}
+	m.pending++
+	m.stats.LogicalReads++
+	m.stats.Misses++
+	return Miss
+}
+
+func (m *modelShard) fill(pid disk.PageID) {
+	f := m.frames[pid]
+	f.pending = false
+	m.pending--
+	m.stats.Fills++
+}
+
+func (m *modelShard) abort(pid disk.PageID) {
+	delete(m.frames, pid)
+	m.pending--
+	m.stats.Aborts++
+}
+
+func (m *modelShard) release(pid disk.PageID, prio Priority) {
+	f := m.frames[pid]
+	f.pins--
+	f.prio = prio
+	if f.pins == 0 {
+		m.levels[prio] = append(m.levels[prio], pid)
+	}
+}
+
+func (m *modelShard) releaseRetain(pid disk.PageID) {
+	f := m.frames[pid]
+	f.pins--
+	if f.pins == 0 {
+		m.levels[f.prio] = append(m.levels[f.prio], pid)
+	}
+}
+
+// contains mirrors Pool.Contains: resident and valid.
+func (m *modelShard) contains(pid disk.PageID) bool {
+	f, ok := m.frames[pid]
+	return ok && !f.pending
+}
+
+// TestShardedPoolMatchesModel is the model-based differential test: the real
+// pool and the per-shard reference models are driven through the same
+// randomized operation sequence — acquires, fills, aborts, releases at every
+// priority, priority-retaining releases, multi-pins — and every Acquire
+// status, every counter, and the final residency set must agree exactly.
+// With one shard this pins down the classic single-mutex semantics the replay
+// harness depends on; with several it proves striping changed the locking,
+// not the per-shard replacement behavior.
+func TestShardedPoolMatchesModel(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				runShardedModelSeq(t, shards, seed)
+			}
+		})
+	}
+}
+
+func runShardedModelSeq(t *testing.T, shards int, seed int64) {
+	t.Helper()
+	const (
+		capacity  = 13
+		pageRange = 40
+		steps     = 1500
+	)
+	rng := rand.New(rand.NewSource(seed))
+	pool := MustNewPoolShards(capacity, shards)
+
+	// One reference model per shard, with the pool's exact capacity split.
+	refs := make([]*modelShard, shards)
+	base, extra := capacity/shards, capacity%shards
+	for i := range refs {
+		c := base
+		if i < extra {
+			c++
+		}
+		refs[i] = newModelShard(c)
+	}
+	ref := func(pid disk.PageID) *modelShard { return refs[pool.shardIndex(pid)] }
+
+	// Driver-side view of what we hold: pin counts on valid frames, and the
+	// set of pending frames we reserved and still owe a Fill or Abort.
+	pins := map[disk.PageID]int{}
+	pendingOwned := map[disk.PageID]bool{}
+	sortedKeys := func(m map[disk.PageID]int) []disk.PageID {
+		out := make([]disk.PageID, 0, len(m))
+		for pid := range m {
+			out = append(out, pid)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	sortedPending := func() []disk.PageID {
+		out := make([]disk.PageID, 0, len(pendingOwned))
+		for pid := range pendingOwned {
+			out = append(out, pid)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	checkStats := func(step int) {
+		t.Helper()
+		var want Stats
+		for _, m := range refs {
+			want.add(m.stats)
+		}
+		if got := pool.Stats(); got != want {
+			t.Fatalf("shards=%d seed=%d step %d: stats diverge\npool:  %+v\nmodel: %+v",
+				shards, seed, step, got, want)
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // acquire a page, possibly one we already hold
+			pid := disk.PageID(rng.Intn(pageRange))
+			got, _ := pool.Acquire(pid)
+			want := ref(pid).acquire(pid)
+			if got != want {
+				t.Fatalf("shards=%d seed=%d step %d: Acquire(%d) = %v, model says %v",
+					shards, seed, step, pid, got, want)
+			}
+			switch got {
+			case Hit:
+				pins[pid]++
+			case Miss:
+				pendingOwned[pid] = true
+			}
+		case r < 6: // settle a pending frame we own: usually Fill, sometimes Abort
+			owned := sortedPending()
+			if len(owned) == 0 {
+				continue
+			}
+			pid := owned[rng.Intn(len(owned))]
+			delete(pendingOwned, pid)
+			if rng.Intn(4) == 0 {
+				if err := pool.Abort(pid); err != nil {
+					t.Fatalf("shards=%d seed=%d step %d: Abort(%d): %v", shards, seed, step, pid, err)
+				}
+				ref(pid).abort(pid)
+			} else {
+				if err := pool.Fill(pid, []byte{byte(pid)}); err != nil {
+					t.Fatalf("shards=%d seed=%d step %d: Fill(%d): %v", shards, seed, step, pid, err)
+				}
+				ref(pid).fill(pid)
+				pins[pid]++
+			}
+		case r < 9: // release one pin at a random priority
+			held := sortedKeys(pins)
+			if len(held) == 0 {
+				continue
+			}
+			pid := held[rng.Intn(len(held))]
+			prio := Priority(rng.Intn(NumPriorities))
+			if err := pool.Release(pid, prio); err != nil {
+				t.Fatalf("shards=%d seed=%d step %d: Release(%d, %v): %v", shards, seed, step, pid, prio, err)
+			}
+			ref(pid).release(pid, prio)
+			if pins[pid]--; pins[pid] == 0 {
+				delete(pins, pid)
+			}
+		default: // priority-retaining release
+			held := sortedKeys(pins)
+			if len(held) == 0 {
+				continue
+			}
+			pid := held[rng.Intn(len(held))]
+			if err := pool.ReleaseRetain(pid); err != nil {
+				t.Fatalf("shards=%d seed=%d step %d: ReleaseRetain(%d): %v", shards, seed, step, pid, err)
+			}
+			ref(pid).releaseRetain(pid)
+			if pins[pid]--; pins[pid] == 0 {
+				delete(pins, pid)
+			}
+		}
+
+		if step%100 == 99 {
+			checkStats(step)
+			pool.CheckInvariants()
+		}
+	}
+
+	// Final agreement: counters, occupancy, the valid-residency set, and the
+	// ISSUE's stats identity, plus the pool's own structural invariants.
+	checkStats(steps)
+	pool.CheckInvariants()
+	wantLen := 0
+	for _, m := range refs {
+		wantLen += len(m.frames)
+	}
+	if got := pool.Len(); got != wantLen {
+		t.Fatalf("shards=%d seed=%d: Len() = %d, model has %d resident", shards, seed, got, wantLen)
+	}
+	for p := 0; p < pageRange; p++ {
+		pid := disk.PageID(p)
+		if got, want := pool.Contains(pid), ref(pid).contains(pid); got != want {
+			t.Fatalf("shards=%d seed=%d: Contains(%d) = %v, model says %v", shards, seed, pid, got, want)
+		}
+	}
+	st := pool.Stats()
+	if st.PagesDelivered() != st.Hits+st.Misses-st.Aborts {
+		t.Fatalf("shards=%d seed=%d: delivered identity broken: %+v", shards, seed, st)
+	}
+	if want := st.Fills + st.Aborts + int64(len(pendingOwned)); st.Misses != want {
+		t.Fatalf("shards=%d seed=%d: misses %d != fills %d + aborts %d + %d still pending",
+			shards, seed, st.Misses, st.Fills, st.Aborts, len(pendingOwned))
+	}
+}

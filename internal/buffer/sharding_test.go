@@ -1,0 +1,149 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"scanshare/internal/disk"
+)
+
+func TestNewPoolShardsValidation(t *testing.T) {
+	bad := []struct{ capacity, shards int }{
+		{0, 1}, {-1, 1}, {8, 0}, {8, -2}, {4, 5}, {1, 2},
+	}
+	for _, tc := range bad {
+		if _, err := NewPoolShards(tc.capacity, tc.shards); err == nil {
+			t.Errorf("NewPoolShards(%d, %d) accepted", tc.capacity, tc.shards)
+		}
+	}
+	for _, tc := range []struct{ capacity, shards int }{{1, 1}, {8, 8}, {100, 7}} {
+		p, err := NewPoolShards(tc.capacity, tc.shards)
+		if err != nil {
+			t.Fatalf("NewPoolShards(%d, %d): %v", tc.capacity, tc.shards, err)
+		}
+		if p.Capacity() != tc.capacity || p.NumShards() != tc.shards {
+			t.Errorf("NewPoolShards(%d, %d) = capacity %d, shards %d",
+				tc.capacity, tc.shards, p.Capacity(), p.NumShards())
+		}
+	}
+}
+
+// TestShardCapacitySplit checks the even split with remainder-to-the-front:
+// every frame of the total capacity is assigned to exactly one shard, and no
+// two shards differ by more than one frame.
+func TestShardCapacitySplit(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards int }{
+		{10, 3}, {16, 16}, {17, 4}, {100, 7}, {5, 1},
+	} {
+		p := MustNewPoolShards(tc.capacity, tc.shards)
+		total, min, max := 0, tc.capacity, 0
+		for _, s := range p.shards {
+			total += s.capacity
+			if s.capacity < min {
+				min = s.capacity
+			}
+			if s.capacity > max {
+				max = s.capacity
+			}
+		}
+		if total != tc.capacity {
+			t.Errorf("capacity %d over %d shards: shard capacities sum to %d", tc.capacity, tc.shards, total)
+		}
+		if min < 1 || max-min > 1 {
+			t.Errorf("capacity %d over %d shards: uneven split min %d max %d", tc.capacity, tc.shards, min, max)
+		}
+	}
+}
+
+// TestShardIndexSpreadsSequentialPages checks the routing hash: sequential
+// page ids — the access pattern of every table scan — must spread across
+// shards rather than clumping, or striping buys nothing for the workload the
+// paper cares about.
+func TestShardIndexSpreadsSequentialPages(t *testing.T) {
+	const shards, pages = 8, 8000
+	p := MustNewPoolShards(shards*8, shards)
+	var counts [shards]int
+	for pid := 0; pid < pages; pid++ {
+		counts[p.shardIndex(disk.PageID(pid))]++
+	}
+	want := pages / shards
+	for i, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Errorf("shard %d got %d of %d sequential pages (expected near %d): %v",
+				i, n, pages, want, counts)
+		}
+	}
+}
+
+// TestShardStatsSumsToStats drives a multi-shard pool and checks the
+// aggregate snapshot is exactly the sum of the per-shard ones.
+func TestShardStatsSumsToStats(t *testing.T) {
+	p := MustNewPoolShards(12, 4)
+	for pid := disk.PageID(0); pid < 30; pid++ {
+		st, _ := p.Acquire(pid)
+		if st != Miss {
+			continue
+		}
+		if pid%5 == 0 {
+			_ = p.Abort(pid)
+			continue
+		}
+		_ = p.Fill(pid, nil)
+		_ = p.Release(pid, Priority(pid%4))
+	}
+	per := p.ShardStats()
+	if len(per) != 4 {
+		t.Fatalf("ShardStats returned %d entries", len(per))
+	}
+	var sum Stats
+	for _, s := range per {
+		sum.add(s)
+	}
+	if got := p.Stats(); got != sum {
+		t.Errorf("Stats() = %+v, sum of shards = %+v", got, sum)
+	}
+}
+
+// TestLenAndContainsLockFree hammers one shard's pages from a writer while
+// readers poll Len and Contains; under -race this verifies introspection no
+// longer needs (or takes) a global lock.
+func TestLenAndContainsLockFree(t *testing.T) {
+	p := MustNewPoolShards(16, 4)
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					if n := p.Len(); n < 0 || n > p.Capacity() {
+						t.Errorf("Len() = %d outside [0, %d]", n, p.Capacity())
+						return
+					}
+					_ = p.Contains(3)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		pid := disk.PageID(i % 24)
+		st, _ := p.Acquire(pid)
+		if st == Miss {
+			_ = p.Fill(pid, nil)
+			st = Hit
+		}
+		if st == Hit {
+			_ = p.Release(pid, PriorityNormal)
+		}
+	}
+	close(done)
+	readers.Wait()
+	p.CheckInvariants()
+	if n := p.Len(); n > p.Capacity() {
+		t.Errorf("final Len() = %d exceeds capacity %d", n, p.Capacity())
+	}
+}

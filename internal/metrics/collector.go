@@ -35,6 +35,9 @@ type Collector struct {
 	scanDetaches atomic.Int64
 	scanRejoins  atomic.Int64
 
+	readsCoalesced    atomic.Int64
+	coalescedFailures atomic.Int64
+
 	// Latency distributions for the three waits a scan can experience:
 	// the physical read of a missed page, an SSM-inserted throttle, and
 	// the queueing delay of a prefetch request before a worker picks it up.
@@ -69,6 +72,9 @@ type CollectorStats struct {
 	PagesFailed  int64 // pages declared failed after exhausting retries (degraded)
 	ScanDetaches int64 // scans detached from group coordination after persistent failures
 	ScanRejoins  int64 // detached scans re-admitted after a successful read
+
+	ReadsCoalesced    int64 // misses that joined another caller's in-flight read instead of duplicating the I/O
+	CoalescedFailures int64 // coalesced waits that ended in the leader's read error
 
 	PageReadLatency    HistogramStats // physical read time of missed pages
 	ThrottleWaitDist   HistogramStats // SSM-inserted leader waits
@@ -112,6 +118,9 @@ func (s CollectorStats) String() string {
 		s.PagesRead, s.HitRatio()*100, s.BusyRetries,
 		s.ThrottleEvents, s.ThrottleWait,
 		s.PrefetchEnqueued, s.PrefetchFilled, s.PrefetchDropped)
+	if s.ReadsCoalesced != 0 {
+		out += fmt.Sprintf(", %d reads coalesced", s.ReadsCoalesced)
+	}
 	if s.ReadRetries != 0 || s.ReadTimeouts != 0 || s.PagesFailed != 0 ||
 		s.ScanDetaches != 0 || s.ScanRejoins != 0 || s.PrefetchFailed != 0 {
 		out += fmt.Sprintf(", failures: %d retries (%d timeouts), %d degraded pages, %d detaches/%d rejoins, %d prefetch fails",
@@ -190,6 +199,14 @@ func (c *Collector) ScanDetached() { c.scanDetaches.Add(1) }
 // ScanRejoined records a detached scan re-admitted to group coordination.
 func (c *Collector) ScanRejoined() { c.scanRejoins.Add(1) }
 
+// ReadCoalesced records a miss that joined an in-flight read issued by
+// another caller instead of duplicating the physical I/O.
+func (c *Collector) ReadCoalesced() { c.readsCoalesced.Add(1) }
+
+// CoalescedFailure records a coalesced wait that ended with the leading
+// read's error propagated to the waiter.
+func (c *Collector) CoalescedFailure() { c.coalescedFailures.Add(1) }
+
 // Snapshot returns the current counter values.
 func (c *Collector) Snapshot() CollectorStats {
 	if c == nil {
@@ -214,6 +231,8 @@ func (c *Collector) Snapshot() CollectorStats {
 		PagesFailed:        c.pagesFailed.Load(),
 		ScanDetaches:       c.scanDetaches.Load(),
 		ScanRejoins:        c.scanRejoins.Load(),
+		ReadsCoalesced:     c.readsCoalesced.Load(),
+		CoalescedFailures:  c.coalescedFailures.Load(),
 		PageReadLatency:    c.pageRead.Snapshot(),
 		ThrottleWaitDist:   c.throttleWait.Snapshot(),
 		PrefetchQueueDelay: c.prefetchDelay.Snapshot(),

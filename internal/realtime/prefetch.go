@@ -43,6 +43,14 @@ type prefetcher struct {
 	reqs chan prefetchReq
 	wg   sync.WaitGroup
 
+	// flights, when non-nil, is the runner's singleflight registry: the
+	// pipeline registers its reads there so scans that miss on a page
+	// being prefetched join the prefetch read instead of sleep-polling.
+	// Prefetch flights are marked best-effort — on failure, waiters fall
+	// back to their own (retrying) read rather than inheriting the error
+	// of a reader that never retries.
+	flights *flightTable
+
 	mu       sync.Mutex
 	inflight map[disk.PageID]struct{}
 	failed   map[disk.PageID]struct{}
@@ -61,12 +69,13 @@ type prefetchReq struct {
 // passes its timeout-bounded store read. now supplies queue-delay
 // timestamps (the Runner's clock, so the delay histogram is deterministic
 // under the replay harness).
-func newPrefetcher(pool *buffer.Pool, read func(pid disk.PageID) ([]byte, error), col *metrics.Collector, now func() time.Duration, workers, queueExtents int) *prefetcher {
+func newPrefetcher(pool *buffer.Pool, read func(pid disk.PageID) ([]byte, error), col *metrics.Collector, now func() time.Duration, workers, queueExtents int, flights *flightTable) *prefetcher {
 	p := &prefetcher{
 		pool:     pool,
 		read:     read,
 		col:      col,
 		now:      now,
+		flights:  flights,
 		reqs:     make(chan prefetchReq, queueExtents),
 		inflight: make(map[disk.PageID]struct{}),
 		failed:   make(map[disk.PageID]struct{}),
@@ -135,13 +144,17 @@ func (p *prefetcher) fetch(pid disk.PageID) {
 		// owning scan released it at.
 		p.pool.ReleaseRetain(pid)
 	case buffer.Miss:
+		fl := p.flights.begin(pid, true)
 		data, err := p.read(pid)
 		if err != nil {
 			p.pool.Abort(pid)
+			p.flights.finish(pid, fl, err)
 			p.markFailed(pid)
 			return
 		}
-		if p.pool.Fill(pid, data) != nil {
+		ferr := p.pool.Fill(pid, data)
+		p.flights.finish(pid, fl, ferr)
+		if ferr != nil {
 			return
 		}
 		// Normal priority: the scan that asked for the extent is about

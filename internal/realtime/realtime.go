@@ -170,6 +170,16 @@ type Config struct {
 	// scan. Off by default: a permanent page failure fails the scan.
 	ContinueOnPageFailure bool
 
+	// CoalesceReads enables singleflight read coalescing: a scan that
+	// misses on a page another caller is already reading blocks on that
+	// read's completion and shares its outcome, instead of sleep-polling
+	// with BusyRetryDelay. Group members then never duplicate physical
+	// I/O on shared pages. Off by default because waiters block on
+	// channels rather than at Hook sites, which the deterministic Sched
+	// harness cannot serialize — replay-based tests must leave this off
+	// (see CONCURRENCY.md).
+	CoalesceReads bool
+
 	// Sleep waits for d or until ctx is done. Defaults to a timer-based
 	// wait; perturbation harnesses substitute a virtual-clock advance.
 	Sleep func(ctx context.Context, d time.Duration)
@@ -225,6 +235,14 @@ type ScanResult struct {
 	// (only with Config.ContinueOnPageFailure). Such pages appear in
 	// Misses but not PagesRead.
 	DegradedPages int
+	// CoalescedReads counts misses resolved by joining another caller's
+	// in-flight read (Config.CoalesceReads); a successfully coalesced
+	// page is then accounted as a Hit on re-acquire. CoalescedFailures
+	// counts coalesced waits that ended in the leading read's error —
+	// such pages appear in DegradedPages (or fail the scan) without a
+	// Miss of their own, since this scan never owned a pool frame for
+	// them.
+	CoalescedReads, CoalescedFailures int64
 	// Detaches and Rejoins count degradation transitions: how often the
 	// scan was detached from group coordination and re-admitted.
 	Detaches, Rejoins int
@@ -245,6 +263,9 @@ type Runner struct {
 	// ctxStore is cfg.Store's ContextStore extension, or nil; asserted
 	// once so the per-page read path avoids a repeated type switch.
 	ctxStore ContextStore
+	// flights is the singleflight registry for physical reads, shared by
+	// scan workers and prefetch workers; nil when CoalesceReads is off.
+	flights *flightTable
 }
 
 // NewRunner validates cfg, applies defaults, and returns a Runner.
@@ -299,6 +320,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	r := &Runner{cfg: cfg}
 	r.ctxStore, _ = cfg.Store.(ContextStore)
+	if cfg.CoalesceReads {
+		r.flights = newFlightTable()
+	}
 	return r, nil
 }
 

@@ -47,7 +47,7 @@ func (r *Runner) Run(ctx context.Context, specs []ScanSpec) ([]ScanResult, error
 		// read-ahead stream.
 		read := func(pid disk.PageID) ([]byte, error) { return r.storeRead(ctx, pid, 0) }
 		pf = newPrefetcher(r.cfg.Pool, read, r.cfg.Collector, r.cfg.Clock.Now,
-			r.cfg.PrefetchWorkers, r.cfg.PrefetchQueueExtents)
+			r.cfg.PrefetchWorkers, r.cfg.PrefetchQueueExtents, r.flights)
 	}
 
 	results := make([]ScanResult, len(specs))
@@ -251,9 +251,16 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 		case buffer.Miss:
 			cfg.Collector.PageMiss()
 			res.Misses++
+			// This caller won the pool's pending frame and leads the
+			// physical read; with coalescing on, register the flight so
+			// group members missing on the same page join it instead of
+			// sleep-polling. The frame must be settled (Fill/Abort)
+			// before finish wakes them.
+			fl := r.flights.begin(pid, false)
 			data, err := r.readPage(ctx, id, pid, hook, res, deg)
 			if err != nil {
 				cfg.Pool.Abort(pid)
+				r.flights.finish(pid, fl, err)
 				if ctx.Err() != nil {
 					res.Stopped = true
 					return nil, fetchStop
@@ -271,11 +278,20 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 				return nil, fetchStop
 			}
 			if err := cfg.Pool.Fill(pid, data); err != nil {
+				r.flights.finish(pid, fl, err)
 				res.Err = err
 				return nil, fetchStop
 			}
+			r.flights.finish(pid, fl, nil)
 			return data, fetchOK
 		case buffer.Busy:
+			if fl, ok := r.flights.lookup(pid); ok {
+				out, retry := r.waitFlight(ctx, id, pid, fl, res)
+				if retry {
+					continue
+				}
+				return nil, out
+			}
 			cfg.Collector.BusyRetry()
 			res.BusyRetries++
 			hook(SiteBusy)
@@ -302,6 +318,56 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 			return nil, fetchStop
 		}
 	}
+}
+
+// waitFlight blocks the scan on another caller's in-flight read of pid. On a
+// successful fill it reports retry=true: the re-Acquire hits the now-valid
+// frame and the waiter is accounted as an ordinary pool hit, having issued
+// no physical I/O. A failed best-effort (prefetch) flight also reports
+// retry=true — the frame was aborted, so the waiter's re-Acquire misses and
+// runs this scan's own timeout/retry policy. A failed scan-led flight
+// already spent the full retry budget, so its error propagates: the waiter
+// records a degraded page (or fails) without duplicating retries, and
+// without touching the pool — exactly one Abort (the leader's) is counted
+// per failed coalesced read.
+func (r *Runner) waitFlight(ctx context.Context, id core.ScanID, pid disk.PageID, fl *flight, res *ScanResult) (out fetchOutcome, retry bool) {
+	cfg := &r.cfg
+	// Counted before blocking, so tests can gate the leader's store read
+	// on the number of joined waiters.
+	cfg.Collector.ReadCoalesced()
+	res.CoalescedReads++
+	cfg.Tracer.Emit(trace.Event{
+		Kind: trace.KindReadCoalesced, Scan: int64(id), Page: int64(pid),
+		Peer: trace.NoID, Table: trace.NoID, Prio: -1,
+	})
+	select {
+	case <-ctx.Done():
+		res.Stopped = true
+		return fetchStop, false
+	case <-fl.done:
+	}
+	if fl.err == nil || fl.fallback {
+		return 0, true
+	}
+	if ctx.Err() != nil {
+		// The leader's error was (or is indistinguishable from) run
+		// cancellation; stop quietly like any cancelled scan.
+		res.Stopped = true
+		return fetchStop, false
+	}
+	cfg.Collector.CoalescedFailure()
+	res.CoalescedFailures++
+	cfg.Collector.PageFailed()
+	cfg.Tracer.Emit(trace.Event{
+		Kind: trace.KindPageFailed, Scan: int64(id), Page: int64(pid),
+		Peer: trace.NoID, Table: trace.NoID, Prio: -1,
+	})
+	if cfg.ContinueOnPageFailure {
+		res.DegradedPages++
+		return fetchSkip, false
+	}
+	res.Err = fl.err
+	return fetchStop, false
 }
 
 // readPage performs the store read for a missed page: each attempt is

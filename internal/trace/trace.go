@@ -79,6 +79,11 @@ const (
 	// KindPageFailed: a scan declared Page permanently failed after
 	// exhausting read retries and continued degraded.
 	KindPageFailed
+	// KindReadCoalesced: Scan missed on Page but found another caller's
+	// physical read already in flight and joined it instead of issuing a
+	// duplicate I/O. This is the singleflight layer's direct evidence that
+	// grouped scans share reads, not just frames.
+	KindReadCoalesced
 
 	numKinds
 )
@@ -112,6 +117,8 @@ func (k Kind) String() string {
 		return "evict"
 	case KindPageFailed:
 		return "page-failed"
+	case KindReadCoalesced:
+		return "read-coalesced"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -180,6 +187,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("evicted page %d (released at %s)", e.Page, prioName(e.Prio))
 	case KindPageFailed:
 		return fmt.Sprintf("scan %d gave up on page %d (degraded)", e.Scan, e.Page)
+	case KindReadCoalesced:
+		return fmt.Sprintf("scan %d joined in-flight read of page %d", e.Scan, e.Page)
 	default:
 		return fmt.Sprintf("scan %d: %s", e.Scan, e.Kind)
 	}

@@ -129,6 +129,14 @@ type RealtimeOptions struct {
 	// of aborting the scan.
 	ContinueOnPageFailure bool
 
+	// DisableReadCoalescing turns off singleflight read coalescing, which
+	// is on by default: a scan missing on a page that another scan (or a
+	// prefetch worker) is already reading waits on that read and shares
+	// its outcome instead of sleep-polling, so scan-group members never
+	// issue duplicate physical I/O for the same page. Disable it to
+	// reproduce the pre-coalescing busy-poll behavior in comparisons.
+	DisableReadCoalescing bool
+
 	// Tracer, when non-nil, journals the run's structured events — scan
 	// lifecycle, group merges and splits, leader/trailer handoffs,
 	// throttle waits, detach/rejoin, evictions with priority, and page
@@ -317,6 +325,7 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 			MaxRetryBackoff:       opts.MaxRetryBackoff,
 			DetachAfterFailures:   opts.DetachAfterFailures,
 			ContinueOnPageFailure: opts.ContinueOnPageFailure,
+			CoalesceReads:         !opts.DisableReadCoalescing,
 			Tracer:                opts.Tracer,
 		})
 		if err != nil {
@@ -355,7 +364,7 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 		}
 	}
 	for name, rt := range e.pools {
-		if delta := poolDelta(rt.pool.Stats(), poolsBefore[name]); delta.LogicalReads > 0 || delta.Evictions > 0 {
+		if delta := poolDeltaShards(rt.pool.ShardStats(), poolsBefore[name]); delta.LogicalReads > 0 || delta.Evictions > 0 {
 			report.Pools[name] = delta
 		}
 		report.Sharing = report.Sharing.add(sharingStats(rt.ssm.Stats()))

@@ -57,14 +57,25 @@ type PoolStats struct {
 	Misses       int64
 	// Aborts counts misses whose physical read failed; they delivered no
 	// page and are excluded from the hit-ratio denominator.
-	Aborts    int64
-	Evictions int64
+	Aborts int64
+	// BusyRetries counts acquires that backed off on an in-flight read or
+	// a full shard; AllPinned counts acquires that found every frame of
+	// the page's shard pinned. Together they are the pool-side contention
+	// signal the sharding experiment watches.
+	BusyRetries int64
+	AllPinned   int64
+	Evictions   int64
 	// EvictionsByPriority breaks Evictions down by the priority the victim
 	// was released at, indexed by buffer.Priority (evict, low, normal,
 	// high). A healthy grouped run victimizes the trailer's evict/low
 	// levels almost exclusively — the paper's direct evidence that
 	// priority-tagged releases protect the pages the group still needs.
 	EvictionsByPriority [buffer.NumPriorities]int64
+	// Shards is the pool's lock-stripe count; PerShard breaks the counters
+	// down per stripe (nil for a single-shard pool, where the aggregate is
+	// the whole story).
+	Shards   int
+	PerShard []PoolStats
 }
 
 // HitRatio returns the fraction of delivered pages served from the pool
@@ -246,10 +257,52 @@ func poolDelta(after, before buffer.Stats) PoolStats {
 		Hits:         after.Hits - before.Hits,
 		Misses:       after.Misses - before.Misses,
 		Aborts:       after.Aborts - before.Aborts,
+		BusyRetries:  after.BusyRetries - before.BusyRetries,
+		AllPinned:    after.AllPinned - before.AllPinned,
 		Evictions:    after.Evictions - before.Evictions,
 	}
 	for i := range out.EvictionsByPriority {
 		out.EvictionsByPriority[i] = after.EvictionsByPr[i] - before.EvictionsByPr[i]
+	}
+	return out
+}
+
+// add accumulates o's counters into p (PerShard and Shards excluded).
+func (p *PoolStats) add(o PoolStats) {
+	p.LogicalReads += o.LogicalReads
+	p.Hits += o.Hits
+	p.Misses += o.Misses
+	p.Aborts += o.Aborts
+	p.BusyRetries += o.BusyRetries
+	p.AllPinned += o.AllPinned
+	p.Evictions += o.Evictions
+	for i := range p.EvictionsByPriority {
+		p.EvictionsByPriority[i] += o.EvictionsByPriority[i]
+	}
+}
+
+// poolDeltaShards converts per-shard pool snapshots (delta after-before) into
+// one PoolStats: the aggregate counters plus, for multi-shard pools, the
+// per-shard breakdown. A nil before means "since zero". The aggregate is
+// exact: it is the sum of per-shard deltas, each taken under that shard's
+// own lock.
+func poolDeltaShards(after, before []buffer.Stats) PoolStats {
+	var out PoolStats
+	out.Shards = len(after)
+	if len(after) > 1 {
+		out.PerShard = make([]PoolStats, len(after))
+	}
+	for i, a := range after {
+		var b buffer.Stats
+		if i < len(before) {
+			b = before[i]
+		}
+		d := poolDelta(a, b)
+		out.add(d)
+		if out.PerShard != nil {
+			d.Shards = 1
+			out.PerShard[i] = d
+		}
 	}
 	return out
 }

@@ -227,6 +227,8 @@ type PoolConfig struct {
 	Name string
 	// Pages is the pool's capacity.
 	Pages int
+	// Shards overrides Config.PoolShards for this pool; 0 inherits it.
+	Shards int
 }
 
 // Config configures an Engine.
@@ -238,6 +240,14 @@ type Config struct {
 	// own scan sharing manager (the paper: "one ISM per bufferpool");
 	// scans only coordinate with scans on tables of the same pool.
 	Pools []PoolConfig
+	// PoolShards is the number of lock-striped partitions each buffer
+	// pool is split into; capacity divides across shards and a page's
+	// shard is fixed by its id. 0 or 1 keeps the single-shard pool, whose
+	// operation order is fully deterministic under the virtual-time
+	// kernel — raise it only for realtime runs, where it removes mutex
+	// contention between concurrent scan workers. Shards cannot exceed
+	// the pool's page count.
+	PoolShards int
 	// Disk, CPU and Sharing tune the cost models and the SSM.
 	Disk    DiskConfig
 	CPU     CPUConfig

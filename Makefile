@@ -3,9 +3,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint build test race fuzz bench bench-pool
+.PHONY: check vet lint build test race fuzz bench bench-pool bench-smoke bench-smoke-baseline bench-record
 
-check: vet lint build test race fuzz
+check: vet lint build test race fuzz bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,7 +35,7 @@ test:
 # anything this finds.
 race:
 	$(GO) test -race -count=2 ./internal/...
-	$(GO) test -race -cpu 2,8 ./internal/buffer ./internal/realtime
+	$(GO) test -race -cpu 2,8 ./internal/buffer ./internal/realtime ./internal/telemetry
 
 # Short coverage-guided fuzz passes: the SQL parser and the buffer pool's
 # operation-sequence fuzzer; a longer session is one FUZZTIME=5m away.
@@ -50,3 +50,26 @@ bench:
 # counts and GOMAXPROCS (see EXPERIMENTS.md for interpreting the matrix).
 bench-pool:
 	$(GO) test -run '^$$' -bench BenchmarkPoolAcquireRelease -benchmem -cpu 1,4,8 ./internal/buffer
+
+# Tiny deterministic realtime bench compared against the checked-in
+# baseline. The workload is sleep-dominated (page/read delays dwarf CPU
+# time), so pages_read is exactly reproducible and throughput is stable
+# enough for the loose 50% tolerance used here — the strict 10% regression
+# detection is proven in TestCompareBenchRegression. A structural change
+# that alters pages_read or collapses the hit ratio fails this target;
+# refresh the baseline with a reviewed `make bench-smoke-baseline`.
+SMOKE_FLAGS = -realtime 6 -scale 0.2 -rt-pagedelay 200us -rt-readdelay 500us -sample-every 20ms
+SMOKE_BASELINE = cmd/scanshare-bench/testdata/smoke_baseline.json
+
+bench-smoke:
+	$(GO) run ./cmd/scanshare-bench $(SMOKE_FLAGS) -bench-name smoke -bench-json /tmp/scanshare-smoke.json >/dev/null
+	$(GO) run ./cmd/scanshare-bench -compare $(SMOKE_BASELINE) -compare-tolerance 0.5 /tmp/scanshare-smoke.json
+
+bench-smoke-baseline:
+	$(GO) run ./cmd/scanshare-bench $(SMOKE_FLAGS) -bench-name smoke -bench-json $(SMOKE_BASELINE) >/dev/null
+	@echo wrote $(SMOKE_BASELINE)
+
+# Record the full realtime benchmark as the repo's persisted trajectory
+# point (BENCH_<n>.json at the repo root, one per PR; see EXPERIMENTS.md).
+bench-record:
+	$(GO) run ./cmd/scanshare-bench -realtime 16 -pool-shards 4 -bench-name realtime-16x4 -bench-json BENCH_5.json

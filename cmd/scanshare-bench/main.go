@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"scanshare/internal/experiments"
+	"scanshare/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +39,12 @@ func main() {
 	flag.DurationVar(&rtObs.statsEvery, "stats-every", 0, "realtime mode: print a live stats line at this interval (0 = off)")
 	flag.StringVar(&rtObs.tracePath, "rt-trace", "", "realtime mode: write the structured event journal as JSONL to this file")
 	flag.BoolVar(&rtObs.timeline, "rt-timeline", false, "realtime mode: print the run's event timeline after the summary")
+	flag.DurationVar(&rtObs.sampleEvery, "sample-every", 100*time.Millisecond, "realtime mode: telemetry sampling interval (0 = only start/end samples)")
+	flag.StringVar(&rtObs.flightDir, "flight-dir", "", "realtime mode: arm the flight recorder; dumps land in this directory on SIGQUIT or run failure")
+	flag.StringVar(&rtObs.benchJSON, "bench-json", "", "realtime mode: write a schema-versioned benchmark result JSON to this file")
+	flag.StringVar(&rtObs.benchName, "bench-name", "realtime", "realtime mode: name recorded in the -bench-json result")
+	comparePath := flag.String("compare", "", "compare mode: baseline benchmark JSON; the positional argument is the new result (exits 1 on regression)")
+	compareTol := flag.Float64("compare-tolerance", 0.10, "compare mode: allowed fractional throughput drop")
 	var rtFaults rtFaultFlags
 	flag.StringVar(&rtFaults.scenario, "rt-faults", "", `realtime mode: fault scenario ("errors", "slowband", "stall", "torn")`)
 	flag.Float64Var(&rtFaults.prob, "rt-fault-prob", 0.05, "realtime mode: per-(page,attempt) fault probability")
@@ -68,6 +75,18 @@ func main() {
 	if err := p.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *comparePath != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: scanshare-bench -compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(*comparePath, flag.Arg(0), *compareTol); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *rtScans > 0 {
@@ -111,6 +130,31 @@ func main() {
 			}
 		}
 	}
+}
+
+// runCompare loads two persisted benchmark results and reports regressions
+// of new against old; any finding is returned as an error so the caller
+// exits non-zero (the CI tripwire behind `make bench-smoke`).
+func runCompare(oldPath, newPath string, tolerance float64) error {
+	oldRes, err := telemetry.ReadBench(oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := telemetry.ReadBench(newPath)
+	if err != nil {
+		return err
+	}
+	regs := telemetry.CompareBench(oldRes, newRes, tolerance)
+	if len(regs) == 0 {
+		fmt.Printf("ok: %s vs %s within tolerance (%.0f pages/s -> %.0f pages/s, hit %.1f%% -> %.1f%%)\n",
+			oldPath, newPath, oldRes.PagesPerSec, newRes.PagesPerSec,
+			100*oldRes.HitRatio, 100*newRes.HitRatio)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "regression:", r)
+	}
+	return fmt.Errorf("%d regression(s) comparing %s against %s", len(regs), newPath, oldPath)
 }
 
 // writeCSV dumps a result's CSV files, when it offers any.

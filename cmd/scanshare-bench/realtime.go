@@ -5,26 +5,38 @@ import (
 	"expvar"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux for -http
+	"net/http/pprof"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"scanshare"
 	"scanshare/internal/experiments"
+	"scanshare/internal/metrics"
+	"scanshare/internal/telemetry"
 	"scanshare/internal/trace"
 )
 
-// rtObsFlags bundles the realtime-mode observability knobs: the expvar/pprof
-// server, the periodic stats reporter, the JSONL event journal, and the
-// post-run timeline rendering.
+// rtObsFlags bundles the realtime-mode observability knobs: the
+// introspection server, the telemetry sampler, the flight recorder, the
+// periodic stats reporter, the JSONL event journal, the post-run timeline
+// rendering, and the persisted benchmark result.
 type rtObsFlags struct {
-	httpAddr   string
-	statsEvery time.Duration
-	tracePath  string
-	timeline   bool
+	httpAddr    string
+	statsEvery  time.Duration
+	tracePath   string
+	timeline    bool
+	sampleEvery time.Duration
+	flightDir   string
+	benchJSON   string
+	benchName   string
 }
 
 // rtFaultFlags bundles the -rt-fault* command-line knobs.
@@ -78,21 +90,72 @@ func (f rtFaultFlags) apply(opts *scanshare.RealtimeOptions, tbl *scanshare.Tabl
 	return nil
 }
 
+// Expvar names are registered once per process (Publish panics on
+// duplicates), but runRealtime can be reached more than once (tests drive
+// it directly). The published Funcs therefore forward through an atomic
+// pointer to the current run's state: re-running swaps the pointer,
+// never re-publishes.
+type rtExpvarState struct {
+	eng    *scanshare.Engine
+	tracer *trace.Tracer
+}
+
+var (
+	rtExpvarOnce sync.Once
+	rtExpvar     atomic.Pointer[rtExpvarState]
+)
+
+func publishRealtimeExpvars(st *rtExpvarState) {
+	rtExpvar.Store(st)
+	rtExpvarOnce.Do(func() {
+		expvar.Publish("scanshare_pools", expvar.Func(func() any {
+			if st := rtExpvar.Load(); st != nil {
+				return st.eng.PoolStats()
+			}
+			return nil
+		}))
+		expvar.Publish("scanshare_sharing", expvar.Func(func() any {
+			if st := rtExpvar.Load(); st != nil {
+				return st.eng.SharingSnapshot()
+			}
+			return nil
+		}))
+		expvar.Publish("scanshare_trace_dropped", expvar.Func(func() any {
+			if st := rtExpvar.Load(); st != nil && st.tracer != nil {
+				return st.tracer.Dropped()
+			}
+			return 0
+		}))
+	})
+}
+
+// gitRev returns the working tree's short revision, or "" when git (or the
+// repo) is unavailable — the bench result is still valid without it.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 // runRealtime executes n concurrent goroutine scans of one synthetic table
 // in wall-clock time — the realtime counterpart of the virtual-time
 // experiments, exercising the same pool and scan sharing manager with real
 // concurrency. Ctrl-C cancels the run gracefully; every scan stops at its
-// next page boundary.
+// next page boundary. SIGQUIT dumps a flight record (recent telemetry
+// samples plus the trace tail) and keeps running.
 //
 // Unlike the virtual-time experiments, the printed timings depend on the
 // machine; the structural counters (placements, hit ratio, throttles) are
 // what to look at.
 func runRealtime(p experiments.Params, n, workers, shards int, noCoalesce bool, pageDelay, readDelay time.Duration, faults rtFaultFlags, obs rtObsFlags) error {
 	rows := int(30000 * p.Scale)
+	poolPages := poolPagesFor(rows, p.BufferFrac)
 	eng, err := scanshare.New(scanshare.Config{
 		// Sized after load below would be circular; ~100 bytes/row on
 		// 8 KiB pages gives the page count up front.
-		BufferPoolPages: poolPagesFor(rows, p.BufferFrac),
+		BufferPoolPages: poolPages,
 		PoolShards:      shards,
 		Sharing:         scanshare.SharingConfig{PrefetchExtentPages: p.ExtentPages},
 	})
@@ -134,24 +197,27 @@ func runRealtime(p experiments.Params, n, workers, shards int, noCoalesce bool, 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	col := new(metrics.Collector)
 	opts := scanshare.RealtimeOptions{
 		PrefetchWorkers:       workers,
 		PageReadDelay:         readDelay,
 		DisableReadCoalescing: noCoalesce,
+		Collector:             col,
 	}
 	if err := faults.apply(&opts, tbl); err != nil {
 		return err
 	}
 
-	// Observability: event journal sinks, live expvar/pprof server, and the
-	// periodic stats reporter. The tracer drains its ring on a short ticker
-	// so the JSONL journal and expvar counters stay current during the run.
+	// Observability: event journal sinks, the telemetry sampler, the flight
+	// recorder, the live introspection server, and the periodic stats
+	// reporter. The tracer drains its ring on a short ticker so the JSONL
+	// journal and expvar counters stay current during the run.
 	var tracer *trace.Tracer
 	var rec *trace.Recorder
 	var traceFile *os.File
-	if obs.tracePath != "" || obs.timeline {
+	if obs.tracePath != "" || obs.timeline || obs.flightDir != "" {
 		tracer = trace.NewTracer(nil)
-		if obs.timeline {
+		if obs.timeline || obs.flightDir != "" {
 			rec = &trace.Recorder{Cap: 1 << 16}
 			tracer.Attach(rec)
 		}
@@ -166,19 +232,73 @@ func runRealtime(p experiments.Params, n, workers, shards int, noCoalesce bool, 
 		tracer.Start(20 * time.Millisecond)
 		opts.Tracer = tracer
 	}
-	if obs.httpAddr != "" {
-		expvar.Publish("scanshare_pools", expvar.Func(func() any { return eng.PoolStats() }))
-		expvar.Publish("scanshare_sharing", expvar.Func(func() any { return eng.SharingSnapshot() }))
-		if tracer != nil {
-			expvar.Publish("scanshare_trace_dropped", expvar.Func(func() any { return tracer.Dropped() }))
+
+	sources := eng.TelemetrySources(col)
+	sampler := telemetry.NewSampler(sources, obs.sampleEvery, 0)
+	if obs.sampleEvery > 0 {
+		sampler.Start()
+	}
+	flight := &telemetry.FlightRecorder{Sampler: sampler, Dir: obs.flightDir}
+	if rec != nil {
+		flight.Events = rec.Tail
+	}
+	dumpFlight := func(reason string) {
+		path, err := flight.DumpFile(reason)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flight recorder:", err)
+			return
 		}
+		fmt.Fprintf(os.Stderr, "flight record (%s): %s\n", reason, path)
+	}
+
+	// SIGQUIT dumps a flight record instead of killing the process — the
+	// "what is it doing right now" lever for a wedged-looking run.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	quitDone := make(chan struct{})
+	go func() {
+		defer close(quitDone)
+		for range quitCh {
+			dumpFlight("sigquit")
+		}
+	}()
+	defer func() { signal.Stop(quitCh); close(quitCh); <-quitDone }()
+
+	var srv *http.Server
+	if obs.httpAddr != "" {
+		// A dedicated mux (not http.DefaultServeMux) keeps the handler set
+		// explicit, and a retained http.Server makes shutdown graceful
+		// instead of leaking the listener past the run.
+		mux := http.NewServeMux()
+		publishRealtimeExpvars(&rtExpvarState{eng: eng, tracer: tracer})
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/metrics", telemetry.Handler(sources))
+		ln, err := net.Listen("tcp", obs.httpAddr)
+		if err != nil {
+			return fmt.Errorf("introspection server: %w", err)
+		}
+		srv = &http.Server{Handler: mux}
 		go func() {
-			if err := http.ListenAndServe(obs.httpAddr, nil); err != nil {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "introspection server:", err)
 			}
 		}()
-		fmt.Printf("introspection: http://%s/debug/vars and http://%s/debug/pprof/\n", obs.httpAddr, obs.httpAddr)
+		fmt.Printf("introspection: http://%s/debug/vars http://%s/debug/pprof/ http://%s/metrics\n",
+			ln.Addr(), ln.Addr(), ln.Addr())
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintln(os.Stderr, "introspection server shutdown:", err)
+			}
+		}()
 	}
+
 	stopStats := make(chan struct{})
 	var statsWG sync.WaitGroup
 	if obs.statsEvery > 0 {
@@ -211,7 +331,7 @@ func runRealtime(p experiments.Params, n, workers, shards int, noCoalesce bool, 
 	}
 
 	fmt.Printf("realtime: %d goroutine scans of %d pages, pool %d pages (%d shards), %d prefetch workers\n",
-		n, tbl.NumPages(), poolPagesFor(rows, p.BufferFrac), shards, workers)
+		n, tbl.NumPages(), poolPages, shards, workers)
 	if faults.scenario != "" {
 		fmt.Printf("faults: scenario %q, prob %.3f, seed %d; timeout %v, %d retries, detach after %d\n",
 			faults.scenario, faults.prob, faults.seed, faults.readTimeout, faults.retries, faults.detachAfter)
@@ -219,6 +339,10 @@ func runRealtime(p experiments.Params, n, workers, shards int, noCoalesce bool, 
 	rep, err := eng.RunRealtime(ctx, opts, scans)
 	close(stopStats)
 	statsWG.Wait()
+	sampler.Stop()
+	if err != nil && obs.flightDir != "" {
+		dumpFlight("run-error: " + err.Error())
+	}
 	if tracer != nil {
 		if cerr := tracer.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("trace sink: %w", cerr)
@@ -288,13 +412,40 @@ func runRealtime(p experiments.Params, n, workers, shards int, noCoalesce bool, 
 		fmt.Printf("recovery: %d retries (%d timeouts), %d pages degraded, %d detaches / %d rejoins, %d prefetch failures\n",
 			c.ReadRetries, c.ReadTimeouts, c.PagesFailed, c.ScanDetaches, c.ScanRejoins, c.PrefetchFailed)
 	}
+	if taken := sampler.Taken(); taken > 1 {
+		samples := sampler.Samples()
+		last := samples[len(samples)-1]
+		rates := last.Delta(samples[0])
+		fmt.Printf("telemetry: %d samples every %v; run avg %.0f pages/s, %.1f%% interval hit rate, throttle duty %.2f, max group gap %d pages\n",
+			taken, sampler.Interval(), rates.PagesPerSec, 100*rates.HitRate, rates.ThrottleDuty, last.MaxGroupGap())
+	}
 	if obs.tracePath != "" {
 		fmt.Printf("trace: wrote %s (%d events dropped)\n", obs.tracePath, tracer.Dropped())
 	}
-	if rec != nil {
+	if rec != nil && obs.timeline {
 		evs := rec.Events()
 		fmt.Printf("\ntimeline (%d events; %s):\n", len(evs), trace.SummarizeKinds(evs))
 		fmt.Print(trace.RenderTimeline(evs))
+	}
+
+	if obs.benchJSON != "" {
+		res := rep.BenchResult(telemetry.BenchParams{
+			Pages:      tbl.NumPages(),
+			Scans:      n,
+			Workers:    workers,
+			PoolPages:  poolPages,
+			Shards:     shards,
+			PageDelay:  pageDelay,
+			ReadDelay:  readDelay,
+			Coalescing: !noCoalesce,
+		})
+		res.Name = obs.benchName
+		res.GitRev = gitRev()
+		res.RecordedAt = time.Now().UTC().Format(time.RFC3339)
+		if err := telemetry.WriteBench(obs.benchJSON, res); err != nil {
+			return err
+		}
+		fmt.Printf("bench result: wrote %s\n", obs.benchJSON)
 	}
 	return nil
 }

@@ -12,7 +12,9 @@ import (
 	"scanshare/internal/disk"
 	"scanshare/internal/exec"
 	"scanshare/internal/heap"
+	"scanshare/internal/metrics"
 	"scanshare/internal/sim"
+	"scanshare/internal/telemetry"
 	"scanshare/internal/trace"
 )
 
@@ -296,6 +298,35 @@ func (e *Engine) SharingSnapshot() core.Snapshot {
 		snap.Groups = append(snap.Groups, extra.Groups...)
 	}
 	return snap
+}
+
+// TelemetrySources bundles the engine's live metric surfaces — every
+// buffer pool's per-shard counters and occupancy, and the cross-pool
+// sharing snapshot — with the given activity collector, for a
+// telemetry.Sampler or the Prometheus exporter. Pass the collector given
+// to RunRealtime via RealtimeOptions.Collector (nil is fine: the counter
+// section of every sample stays zero). Pools are listed in sorted name
+// order so samples and expositions are deterministic.
+func (e *Engine) TelemetrySources(col *metrics.Collector) telemetry.Sources {
+	src := telemetry.Sources{
+		Collector: col,
+		Sharing:   e.SharingSnapshot,
+	}
+	names := make([]string, 0, len(e.pools))
+	for name := range e.pools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rt := e.pools[name]
+		src.Pools = append(src.Pools, telemetry.PoolSource{
+			Name:      name,
+			Capacity:  rt.pool.Capacity(),
+			Shards:    rt.pool.ShardStats,
+			Occupancy: rt.pool.ShardOccupancy,
+		})
+	}
+	return src
 }
 
 // TraceSharing installs a callback that receives every scan sharing

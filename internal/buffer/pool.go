@@ -147,8 +147,8 @@ type Stats struct {
 	EvictionsByPr [numPriorities]int64
 }
 
-// add accumulates o into s, for aggregating per-shard snapshots.
-func (s *Stats) add(o Stats) {
+// Add accumulates o into s, for aggregating per-shard snapshots.
+func (s *Stats) Add(o Stats) {
 	s.LogicalReads += o.LogicalReads
 	s.Hits += o.Hits
 	s.Misses += o.Misses
@@ -350,6 +350,18 @@ func (p *Pool) Len() int {
 	return int(n)
 }
 
+// ShardOccupancy returns the number of resident (valid or pending) pages in
+// each shard, in shard order. Like Len it reads the per-shard atomic
+// occupancy counters and takes no locks, so the telemetry sampler can poll
+// occupancy skew mid-run without perturbing the hot path.
+func (p *Pool) ShardOccupancy() []int {
+	out := make([]int, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = int(s.resident.Load())
+	}
+	return out
+}
+
 // Contains reports whether pid is resident and valid (useful in tests; a
 // pending frame does not count). Only the owning shard is locked.
 func (p *Pool) Contains(pid disk.PageID) bool {
@@ -534,7 +546,7 @@ func (p *Pool) Stats() Stats {
 	var total Stats
 	for _, s := range p.shards {
 		s.mu.Lock()
-		total.add(s.stats)
+		total.Add(s.stats)
 		s.mu.Unlock()
 	}
 	return total
@@ -570,7 +582,7 @@ func (p *Pool) CheckInvariants() {
 	for i, s := range p.shards {
 		s.mu.Lock()
 		s.checkInvariantsLocked(i)
-		agg.add(s.stats)
+		agg.Add(s.stats)
 		s.mu.Unlock()
 	}
 	if delivered := agg.Hits + agg.Misses - agg.Aborts; delivered < 0 {

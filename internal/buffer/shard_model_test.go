@@ -194,7 +194,7 @@ func runShardedModelSeq(t *testing.T, shards int, seed int64) {
 		t.Helper()
 		var want Stats
 		for _, m := range refs {
-			want.add(m.stats)
+			want.Add(m.stats)
 		}
 		if got := pool.Stats(); got != want {
 			t.Fatalf("shards=%d seed=%d step %d: stats diverge\npool:  %+v\nmodel: %+v",

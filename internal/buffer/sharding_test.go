@@ -97,7 +97,7 @@ func TestShardStatsSumsToStats(t *testing.T) {
 	}
 	var sum Stats
 	for _, s := range per {
-		sum.add(s)
+		sum.Add(s)
 	}
 	if got := p.Stats(); got != sum {
 		t.Errorf("Stats() = %+v, sum of shards = %+v", got, sum)

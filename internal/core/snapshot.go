@@ -74,6 +74,46 @@ func (m *Manager) Snapshot() Snapshot {
 	return snap
 }
 
+// GapPages returns the group's leader–trailer distance in pages. By the
+// grouping invariant (member hops sum to the extent) this is exactly the
+// extent, but callers sampling drift over time should not need to know
+// that identity.
+func (g GroupInfo) GapPages() int { return g.ExtentPages }
+
+// MaxGroupGap returns the largest leader–trailer distance across groups,
+// or 0 with no groups — the one-number "is the throttle holding the groups
+// together" signal the telemetry sampler tracks over time.
+func (s Snapshot) MaxGroupGap() int {
+	max := 0
+	for _, g := range s.Groups {
+		if gap := g.GapPages(); gap > max {
+			max = gap
+		}
+	}
+	return max
+}
+
+// GroupedScans returns how many scans are members of some group.
+func (s Snapshot) GroupedScans() int {
+	n := 0
+	for _, g := range s.Groups {
+		n += len(g.Members)
+	}
+	return n
+}
+
+// DetachedScans returns how many scans are currently detached from group
+// coordination.
+func (s Snapshot) DetachedScans() int {
+	n := 0
+	for _, sc := range s.Scans {
+		if sc.Detached {
+			n++
+		}
+	}
+	return n
+}
+
 // String renders the snapshot as a short multi-line report.
 func (s Snapshot) String() string {
 	var b strings.Builder

@@ -25,6 +25,7 @@ type Collector struct {
 	throttleNanos  atomic.Int64
 
 	prefetchEnqueued atomic.Int64
+	prefetchPicked   atomic.Int64
 	prefetchDropped  atomic.Int64
 	prefetchFilled   atomic.Int64
 	prefetchFailed   atomic.Int64
@@ -63,6 +64,7 @@ type CollectorStats struct {
 	ThrottleWait   time.Duration
 
 	PrefetchEnqueued int64 // extents accepted into the prefetch queue
+	PrefetchPicked   int64 // extents a worker has started on (dequeued)
 	PrefetchDropped  int64 // extents dropped because the queue was full
 	PrefetchFilled   int64 // pages a prefetch worker brought into the pool
 	PrefetchFailed   int64 // pages whose prefetch read failed (deduplicated thereafter)
@@ -99,6 +101,18 @@ func (s CollectorStats) Histograms() string {
 		out += fmt.Sprintf("%-15s %s\n", h.name, h.st)
 	}
 	return out
+}
+
+// PrefetchQueueDepth derives the number of extents sitting in the prefetch
+// queue right now: accepted minus picked up. The two counters are read at
+// slightly different instants, so a concurrent pickup can make the naive
+// difference negative; it is clamped at zero.
+func (s CollectorStats) PrefetchQueueDepth() int64 {
+	d := s.PrefetchEnqueued - s.PrefetchPicked
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 // HitRatio returns Hits / PagesRead, or 0 when nothing was read.
@@ -174,6 +188,10 @@ func (c *Collector) PrefetchDelayed(d time.Duration) { c.prefetchDelay.Observe(d
 // PrefetchEnqueued records an extent accepted into the prefetch queue.
 func (c *Collector) PrefetchEnqueued() { c.prefetchEnqueued.Add(1) }
 
+// PrefetchPicked records a worker dequeuing an extent to start on it; the
+// enqueued-picked difference is the live queue depth.
+func (c *Collector) PrefetchPicked() { c.prefetchPicked.Add(1) }
+
 // PrefetchDropped records an extent dropped because the queue was full.
 func (c *Collector) PrefetchDropped() { c.prefetchDropped.Add(1) }
 
@@ -207,25 +225,50 @@ func (c *Collector) ReadCoalesced() { c.readsCoalesced.Add(1) }
 // read's error propagated to the waiter.
 func (c *Collector) CoalescedFailure() { c.coalescedFailures.Add(1) }
 
+// Reset zeroes every counter and histogram, so back-to-back runs in one
+// process report from a clean slate. Like Histogram.Reset it clears field
+// by field: call it between runs, not while scan workers are writing.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	for _, v := range []*atomic.Int64{
+		&c.pagesRead, &c.hits, &c.misses, &c.busyRetries,
+		&c.scansStarted, &c.scansEnded, &c.scansStopped,
+		&c.throttleEvents, &c.throttleNanos,
+		&c.prefetchEnqueued, &c.prefetchPicked, &c.prefetchDropped,
+		&c.prefetchFilled, &c.prefetchFailed,
+		&c.readRetries, &c.readTimeouts, &c.pagesFailed,
+		&c.scanDetaches, &c.scanRejoins,
+		&c.readsCoalesced, &c.coalescedFailures,
+	} {
+		v.Store(0)
+	}
+	c.pageRead.Reset()
+	c.throttleWait.Reset()
+	c.prefetchDelay.Reset()
+}
+
 // Snapshot returns the current counter values.
 func (c *Collector) Snapshot() CollectorStats {
 	if c == nil {
 		return CollectorStats{}
 	}
 	return CollectorStats{
-		PagesRead:        c.pagesRead.Load(),
-		Hits:             c.hits.Load(),
-		Misses:           c.misses.Load(),
-		BusyRetries:      c.busyRetries.Load(),
-		ScansStarted:     c.scansStarted.Load(),
-		ScansEnded:       c.scansEnded.Load(),
-		ScansStopped:     c.scansStopped.Load(),
-		ThrottleEvents:   c.throttleEvents.Load(),
-		ThrottleWait:     time.Duration(c.throttleNanos.Load()),
-		PrefetchEnqueued: c.prefetchEnqueued.Load(),
-		PrefetchDropped:  c.prefetchDropped.Load(),
-		PrefetchFilled:   c.prefetchFilled.Load(),
-		PrefetchFailed:   c.prefetchFailed.Load(),
+		PagesRead:          c.pagesRead.Load(),
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		BusyRetries:        c.busyRetries.Load(),
+		ScansStarted:       c.scansStarted.Load(),
+		ScansEnded:         c.scansEnded.Load(),
+		ScansStopped:       c.scansStopped.Load(),
+		ThrottleEvents:     c.throttleEvents.Load(),
+		ThrottleWait:       time.Duration(c.throttleNanos.Load()),
+		PrefetchEnqueued:   c.prefetchEnqueued.Load(),
+		PrefetchPicked:     c.prefetchPicked.Load(),
+		PrefetchDropped:    c.prefetchDropped.Load(),
+		PrefetchFilled:     c.prefetchFilled.Load(),
+		PrefetchFailed:     c.prefetchFailed.Load(),
 		ReadRetries:        c.readRetries.Load(),
 		ReadTimeouts:       c.readTimeouts.Load(),
 		PagesFailed:        c.pagesFailed.Load(),

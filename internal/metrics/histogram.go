@@ -149,6 +149,18 @@ func (h *Histogram) Snapshot() HistogramStats {
 	return st
 }
 
+// Reset zeroes the histogram. Each field is cleared atomically, but the
+// clear is not atomic as a whole: call it between runs, not concurrently
+// with a burst of Observes whose counts must all survive or all vanish.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
 // rank returns the 1-based rank of the q-th percentile in a population of n.
 func rank(n, q int64) int64 {
 	r := (n*q + 99) / 100

@@ -133,3 +133,23 @@ func TestCollectorHistogramWiring(t *testing.T) {
 		t.Errorf("Histograms() on empty stats = %q, want empty", block)
 	}
 }
+
+// TestHistogramReset proves Reset clears the counts, sum, max, and every
+// bucket, so a re-observed distribution matches a fresh one exactly.
+func TestHistogramReset(t *testing.T) {
+	var h, fresh Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	h.Reset()
+	if got := h.Snapshot(); got != (HistogramStats{}) {
+		t.Fatalf("snapshot after Reset: %+v, want zero", got)
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+		fresh.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got, want := h.Snapshot(), fresh.Snapshot(); got != want {
+		t.Errorf("reset histogram diverges from fresh one: %+v vs %+v", got, want)
+	}
+}

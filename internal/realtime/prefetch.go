@@ -110,6 +110,7 @@ func (p *prefetcher) stop() {
 func (p *prefetcher) worker() {
 	defer p.wg.Done()
 	for req := range p.reqs {
+		p.col.PrefetchPicked()
 		p.col.PrefetchDelayed(p.now() - req.at)
 		for _, pid := range req.pids {
 			p.fetch(pid)

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"scanshare/internal/metrics"
+)
+
+// BenchSchema identifies the persisted benchmark-result format. Readers
+// reject other schemas outright rather than guessing at fields, so the
+// trajectory of BENCH_*.json files at the repo root stays comparable (or
+// fails loudly) as the format evolves.
+const BenchSchema = "scanshare-bench/1"
+
+// BenchParams records the knobs a benchmark ran with, so a comparator (or
+// a human reading the trajectory) can tell a regression from a changed
+// workload.
+type BenchParams struct {
+	Pages      int           `json:"pages"`
+	Scans      int           `json:"scans"`
+	Workers    int           `json:"workers"`
+	PoolPages  int           `json:"pool_pages"`
+	Shards     int           `json:"shards"`
+	PageDelay  time.Duration `json:"page_delay_ns"`
+	ReadDelay  time.Duration `json:"read_delay_ns"`
+	Coalescing bool          `json:"coalescing"`
+}
+
+// HistSummary is a latency distribution flattened for JSON: integer
+// nanoseconds, schema-stable field names.
+type HistSummary struct {
+	Count  int64 `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P90NS  int64 `json:"p90_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// SummarizeHist flattens a histogram snapshot into the persisted shape.
+func SummarizeHist(st metrics.HistogramStats) HistSummary {
+	return HistSummary{
+		Count:  st.Count,
+		MeanNS: int64(st.Mean()),
+		P50NS:  int64(st.P50),
+		P90NS:  int64(st.P90),
+		P99NS:  int64(st.P99),
+		MaxNS:  int64(st.Max),
+	}
+}
+
+// BenchResult is one benchmark run, persisted as schema-versioned JSON.
+type BenchResult struct {
+	Schema     string      `json:"schema"`
+	Name       string      `json:"name"`
+	GitRev     string      `json:"git_rev,omitempty"`
+	RecordedAt string      `json:"recorded_at,omitempty"` // RFC3339
+	Params     BenchParams `json:"params"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	PagesRead   int64   `json:"pages_read"`
+	PagesPerSec float64 `json:"pages_per_sec"`
+	HitRatio    float64 `json:"hit_ratio"`
+
+	ThrottleEvents      int64   `json:"throttle_events"`
+	ThrottleWaitSeconds float64 `json:"throttle_wait_seconds"`
+	ReadsCoalesced      int64   `json:"reads_coalesced"`
+	Evictions           int64   `json:"evictions"`
+
+	Histograms map[string]HistSummary `json:"histograms,omitempty"`
+}
+
+// WriteBench writes r as indented JSON to path (atomically enough for a
+// build artifact: full truncate-and-write).
+func WriteBench(path string, r BenchResult) error {
+	r.Schema = BenchSchema
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBench reads and validates one persisted benchmark result.
+func ReadBench(path string) (BenchResult, error) {
+	var r BenchResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != BenchSchema {
+		return r, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, BenchSchema)
+	}
+	return r, nil
+}
+
+// Regression is one comparator finding.
+type Regression struct {
+	Metric string  // what regressed
+	Old    float64 // baseline value
+	New    float64 // current value
+	Detail string  // human-readable one-liner
+}
+
+func (r Regression) String() string { return r.Detail }
+
+// CompareBench checks new against old and returns the regressions found,
+// empty when new is acceptable. tolerance is the allowed fractional
+// throughput drop (0.10 = new may be up to 10% slower).
+//
+// Three checks, in decreasing order of "this is definitely wrong":
+//
+//   - pages_read must match to within 1%: it is deterministic for a fixed
+//     workload, so a drift means the two results ran different workloads
+//     and the throughput comparison would be meaningless.
+//   - pages_per_sec must not drop more than tolerance.
+//   - hit_ratio must not drop more than 0.10 absolute: locality is the
+//     paper's whole point, so a collapse is flagged even if raw throughput
+//     happens to survive it.
+func CompareBench(old, new BenchResult, tolerance float64) []Regression {
+	var regs []Regression
+
+	if old.PagesRead > 0 {
+		drift := math.Abs(float64(new.PagesRead-old.PagesRead)) / float64(old.PagesRead)
+		if drift > 0.01 {
+			regs = append(regs, Regression{
+				Metric: "pages_read",
+				Old:    float64(old.PagesRead),
+				New:    float64(new.PagesRead),
+				Detail: fmt.Sprintf("pages_read drifted %.1f%% (%d -> %d): results are not the same workload",
+					drift*100, old.PagesRead, new.PagesRead),
+			})
+		}
+	}
+
+	if old.PagesPerSec > 0 && new.PagesPerSec < old.PagesPerSec*(1-tolerance) {
+		drop := 1 - new.PagesPerSec/old.PagesPerSec
+		regs = append(regs, Regression{
+			Metric: "pages_per_sec",
+			Old:    old.PagesPerSec,
+			New:    new.PagesPerSec,
+			Detail: fmt.Sprintf("throughput dropped %.1f%% (%.0f -> %.0f pages/s, tolerance %.0f%%)",
+				drop*100, old.PagesPerSec, new.PagesPerSec, tolerance*100),
+		})
+	}
+
+	if old.HitRatio-new.HitRatio > 0.10 {
+		regs = append(regs, Regression{
+			Metric: "hit_ratio",
+			Old:    old.HitRatio,
+			New:    new.HitRatio,
+			Detail: fmt.Sprintf("hit ratio dropped %.1f points (%.1f%% -> %.1f%%)",
+				(old.HitRatio-new.HitRatio)*100, old.HitRatio*100, new.HitRatio*100),
+		})
+	}
+
+	return regs
+}

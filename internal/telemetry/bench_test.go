@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"scanshare/internal/metrics"
+)
+
+func baselineResult() BenchResult {
+	return BenchResult{
+		Name:        "smoke",
+		Params:      BenchParams{Pages: 400, Scans: 8, Workers: 2, PoolPages: 200, Shards: 4},
+		WallSeconds: 2.0,
+		PagesRead:   3200,
+		PagesPerSec: 1600,
+		HitRatio:    0.85,
+	}
+}
+
+// TestCompareBenchRegression injects a 10% throughput regression and
+// checks the comparator flags it — the acceptance scenario for the
+// bench-smoke tripwire.
+func TestCompareBenchRegression(t *testing.T) {
+	old := baselineResult()
+
+	same := old
+	if regs := CompareBench(old, same, 0.10); len(regs) != 0 {
+		t.Fatalf("identical results flagged: %v", regs)
+	}
+
+	slight := old
+	slight.PagesPerSec = old.PagesPerSec * 0.95 // 5% slower: inside tolerance
+	if regs := CompareBench(old, slight, 0.10); len(regs) != 0 {
+		t.Fatalf("5%% drop flagged at 10%% tolerance: %v", regs)
+	}
+
+	slow := old
+	slow.PagesPerSec = old.PagesPerSec * 0.89 // just past the 10% line
+	slow.WallSeconds = float64(slow.PagesRead) / slow.PagesPerSec
+	regs := CompareBench(old, slow, 0.10)
+	if len(regs) != 1 {
+		t.Fatalf("10%%+ drop: got %d regressions (%v), want 1", len(regs), regs)
+	}
+	if regs[0].Metric != "pages_per_sec" {
+		t.Errorf("flagged %q, want pages_per_sec", regs[0].Metric)
+	}
+	if !strings.Contains(regs[0].Detail, "throughput dropped 11.0%") {
+		t.Errorf("detail %q lacks the drop percentage", regs[0].Detail)
+	}
+
+	cold := old
+	cold.HitRatio = 0.60 // locality collapse with throughput intact
+	regs = CompareBench(old, cold, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "hit_ratio" {
+		t.Fatalf("hit-ratio collapse: got %v", regs)
+	}
+
+	drifted := old
+	drifted.PagesRead = old.PagesRead * 2 // different workload entirely
+	drifted.PagesPerSec = old.PagesPerSec
+	regs = CompareBench(old, drifted, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "pages_read" {
+		t.Fatalf("workload drift: got %v", regs)
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	res := baselineResult()
+	res.GitRev = "abc1234"
+	res.RecordedAt = "2026-08-05T12:00:00Z"
+	res.Histograms = map[string]HistSummary{
+		"page_read": SummarizeHist(metrics.HistogramStats{
+			Count: 10, Sum: 20 * time.Millisecond, Max: 5 * time.Millisecond,
+			P50: time.Millisecond, P90: 3 * time.Millisecond, P99: 5 * time.Millisecond,
+		}),
+	}
+	if err := WriteBench(path, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != BenchSchema {
+		t.Errorf("schema %q", got.Schema)
+	}
+	if got.Name != res.Name || got.PagesRead != res.PagesRead || got.PagesPerSec != res.PagesPerSec {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, res)
+	}
+	if h := got.Histograms["page_read"]; h.Count != 10 || h.P99NS != int64(5*time.Millisecond) || h.MeanNS != int64(2*time.Millisecond) {
+		t.Errorf("histogram round trip: %+v", h)
+	}
+}
+
+func TestReadBenchRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	res := baselineResult()
+	if err := WriteBench(path, res); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the schema in place.
+	data := `{"schema":"scanshare-bench/999","name":"x"}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBench(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"scanshare/internal/trace"
+)
+
+// FlightSchema identifies the dump format; bump it when the header or line
+// shapes change incompatibly.
+const FlightSchema = "scanshare-flight/1"
+
+// DefaultTailEvents is how many trace events a dump attaches when the
+// recorder's TailEvents is zero.
+const DefaultTailEvents = 256
+
+// FlightRecorder turns the sampler's ring and the trace journal's tail
+// into a post-mortem artifact. It holds no state of its own beyond
+// configuration: the "black box" is the bounded memory the sampler and
+// trace recorder already maintain, so arming the recorder costs nothing
+// until the moment something goes wrong and Dump is called.
+type FlightRecorder struct {
+	// Sampler supplies the time-series tail. Optional: with no sampler the
+	// dump carries only trace events.
+	Sampler *Sampler
+	// Events returns the most recent n trace events, typically
+	// (*trace.Recorder).Tail. Optional.
+	Events func(n int) []trace.Event
+	// TailEvents caps how many trace events a dump includes;
+	// DefaultTailEvents when zero.
+	TailEvents int
+	// Dir is where DumpFile writes; the current directory when empty.
+	Dir string
+	// Prefix names the dump files: <Prefix>-<stamp>.jsonl. "flight" when
+	// empty.
+	Prefix string
+	// Stamp supplies the dump timestamp; time.Now when nil. Tests pin it.
+	Stamp func() time.Time
+}
+
+// flightHeader is the first JSONL line of a dump.
+type flightHeader struct {
+	Schema  string `json:"schema"`
+	Reason  string `json:"reason"`
+	At      string `json:"at"` // RFC3339Nano wall time of the dump
+	Samples int    `json:"samples"`
+	Events  int    `json:"events"`
+}
+
+// flightSampleLine wraps one sampler snapshot so sample and event lines
+// remain distinguishable when the file is read back line by line.
+type flightSampleLine struct {
+	Sample Sample `json:"sample"`
+}
+
+// Dump writes the flight record to w: a header line, the sampler's ring
+// oldest-first (each wrapped in {"sample":...}), then the trace tail in
+// the journal's own JSONL shape.
+func (f *FlightRecorder) Dump(w io.Writer, reason string) error {
+	var samples []Sample
+	if f.Sampler != nil {
+		f.Sampler.SampleNow() // capture the state at the moment of failure
+		samples = f.Sampler.Samples()
+	}
+	var evs []trace.Event
+	if f.Events != nil {
+		n := f.TailEvents
+		if n <= 0 {
+			n = DefaultTailEvents
+		}
+		evs = f.Events(n)
+	}
+	stamp := time.Now
+	if f.Stamp != nil {
+		stamp = f.Stamp
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(flightHeader{
+		Schema:  FlightSchema,
+		Reason:  reason,
+		At:      stamp().UTC().Format(time.RFC3339Nano),
+		Samples: len(samples),
+		Events:  len(evs),
+	}); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if err := enc.Encode(flightSampleLine{Sample: s}); err != nil {
+			return err
+		}
+	}
+	return trace.EncodeJSONL(w, evs)
+}
+
+// DumpFile writes the flight record to a timestamped file in Dir and
+// returns its path. The stamp has second granularity plus a disambiguating
+// suffix drawn from the sampler's sequence, so two dumps in the same
+// second (a violation followed by SIGQUIT, say) do not clobber each other.
+func (f *FlightRecorder) DumpFile(reason string) (string, error) {
+	stamp := time.Now
+	if f.Stamp != nil {
+		stamp = f.Stamp
+	}
+	prefix := f.Prefix
+	if prefix == "" {
+		prefix = "flight"
+	}
+	seq := uint64(0)
+	if f.Sampler != nil {
+		seq = f.Sampler.Taken()
+	}
+	name := fmt.Sprintf("%s-%s-%d.jsonl", prefix, stamp().UTC().Format("20060102T150405Z"), seq)
+	path := filepath.Join(f.Dir, name)
+	if f.Dir != "" {
+		if err := os.MkdirAll(f.Dir, 0o755); err != nil {
+			return "", err
+		}
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := f.Dump(file, reason); err != nil {
+		file.Close()
+		return path, err
+	}
+	return path, file.Close()
+}

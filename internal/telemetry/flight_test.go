@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"scanshare/internal/metrics"
+	"scanshare/internal/trace"
+)
+
+func fixedStamp() time.Time {
+	return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+}
+
+// TestFlightDumpFormat checks the dump's line structure: a schema header
+// with accurate counts, then samples oldest-first, then the trace tail in
+// the journal's JSONL shape.
+func TestFlightDumpFormat(t *testing.T) {
+	col := new(metrics.Collector)
+	s := NewSampler(Sources{Collector: col}, time.Hour, 16)
+	var now time.Duration
+	s.SetClock(func() time.Duration { now += time.Millisecond; return now })
+	col.PageHit()
+	s.SampleNow()
+	col.PageMiss()
+	s.SampleNow()
+
+	rec := &trace.Recorder{}
+	rec.Consume([]trace.Event{
+		{Time: 1, Kind: trace.KindScanStart, Scan: 1, Table: 7, Page: 0, Prio: -1, Peer: trace.NoID},
+		{Time: 2, Kind: trace.KindScanEnd, Scan: 1, Table: 7, Page: 0, Prio: -1, Peer: trace.NoID},
+	})
+
+	f := &FlightRecorder{
+		Sampler: s,
+		Events:  rec.Tail,
+		Stamp:   fixedStamp,
+	}
+	var buf bytes.Buffer
+	if err := f.Dump(&buf, "test-reason"); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("empty dump")
+	}
+	var hdr flightHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if hdr.Schema != FlightSchema {
+		t.Errorf("schema %q, want %q", hdr.Schema, FlightSchema)
+	}
+	if hdr.Reason != "test-reason" {
+		t.Errorf("reason %q", hdr.Reason)
+	}
+	// Dump takes one extra sample at the moment of failure: 2 manual + 1.
+	if hdr.Samples != 3 || hdr.Events != 2 {
+		t.Errorf("header counts samples=%d events=%d, want 3 and 2", hdr.Samples, hdr.Events)
+	}
+	if hdr.At != "2026-08-05T12:00:00Z" {
+		t.Errorf("stamp %q", hdr.At)
+	}
+
+	var lastSeq uint64
+	for i := 0; i < hdr.Samples; i++ {
+		if !sc.Scan() {
+			t.Fatalf("dump truncated at sample %d", i)
+		}
+		var line flightSampleLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("sample line %d: %v", i, err)
+		}
+		if line.Sample.Seq <= lastSeq {
+			t.Errorf("sample line %d: seq %d not ascending", i, line.Sample.Seq)
+		}
+		lastSeq = line.Sample.Seq
+	}
+	var kinds []string
+	for i := 0; i < hdr.Events; i++ {
+		if !sc.Scan() {
+			t.Fatalf("dump truncated at event %d", i)
+		}
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("event line %d: %v", i, err)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	if sc.Scan() {
+		t.Fatalf("unexpected trailing line %q", sc.Text())
+	}
+	if strings.Join(kinds, ",") != "scan-start,scan-end" {
+		t.Errorf("event kinds = %v", kinds)
+	}
+}
+
+func TestFlightDumpFile(t *testing.T) {
+	dir := t.TempDir()
+	col := new(metrics.Collector)
+	s := NewSampler(Sources{Collector: col}, time.Hour, 4)
+	f := &FlightRecorder{Sampler: s, Dir: dir, Prefix: "probe", Stamp: fixedStamp}
+
+	path, err := f.DumpFile("sigquit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(path, dir) || !strings.Contains(path, "probe-20260805T120000Z") {
+		t.Errorf("unexpected dump path %q", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), FlightSchema) {
+		t.Error("dump file missing schema header")
+	}
+
+	// A second dump in the same second must not clobber the first: the
+	// sampler sequence in the name advances with the dump-time sample.
+	path2, err := f.DumpFile("violation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path2 == path {
+		t.Errorf("second dump reused path %q", path)
+	}
+}

@@ -52,6 +52,23 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
+// Tail returns a copy of the most recent n recorded events (all of them
+// when fewer were recorded). The flight recorder uses it to attach the
+// journal's tail to a post-mortem dump.
+func (r *Recorder) Tail(n int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > len(r.evs) {
+		n = len(r.evs)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Event, n)
+	copy(out, r.evs[len(r.evs)-n:])
+	return out
+}
+
 // Len returns the number of recorded events.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
@@ -87,6 +104,47 @@ type jsonEvent struct {
 	Wait  int64  `json:"wait,omitempty"`
 }
 
+// encodeEvent converts one event to its JSONL wire shape.
+func encodeEvent(ev Event) jsonEvent {
+	je := jsonEvent{
+		T:     int64(ev.Time),
+		Kind:  ev.Kind.String(),
+		Count: ev.Count,
+		Gap:   ev.Gap,
+		Wait:  int64(ev.Wait),
+	}
+	if ev.Scan != NoID {
+		je.Scan = &ev.Scan
+	}
+	if ev.Peer != NoID {
+		je.Peer = &ev.Peer
+	}
+	if ev.Table != NoID {
+		je.Table = &ev.Table
+	}
+	if ev.Page != NoID {
+		je.Page = &ev.Page
+	}
+	if ev.Prio >= 0 {
+		je.Prio = &ev.Prio
+	}
+	return je
+}
+
+// EncodeJSONL writes events to w in the journal's JSONL wire format, one
+// JSON object per line — the same shape JSONLSink streams, for consumers
+// (the flight recorder) that hold events in memory rather than sinking them
+// live.
+func EncodeJSONL(w io.Writer, evs []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range evs {
+		if err := enc.Encode(encodeEvent(ev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // JSONLSink streams events to w, one JSON object per line, for offline
 // analysis. Write errors are sticky: the first one is remembered, later
 // batches are discarded, and Close reports it.
@@ -108,29 +166,7 @@ func (s *JSONLSink) Consume(batch []Event) {
 		return
 	}
 	for _, ev := range batch {
-		je := jsonEvent{
-			T:     int64(ev.Time),
-			Kind:  ev.Kind.String(),
-			Count: ev.Count,
-			Gap:   ev.Gap,
-			Wait:  int64(ev.Wait),
-		}
-		if ev.Scan != NoID {
-			je.Scan = &ev.Scan
-		}
-		if ev.Peer != NoID {
-			je.Peer = &ev.Peer
-		}
-		if ev.Table != NoID {
-			je.Table = &ev.Table
-		}
-		if ev.Page != NoID {
-			je.Page = &ev.Page
-		}
-		if ev.Prio >= 0 {
-			je.Prio = &ev.Prio
-		}
-		if s.err = s.enc.Encode(je); s.err != nil {
+		if s.err = s.enc.Encode(encodeEvent(ev)); s.err != nil {
 			return
 		}
 	}

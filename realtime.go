@@ -11,6 +11,7 @@ import (
 	"scanshare/internal/fault"
 	"scanshare/internal/metrics"
 	"scanshare/internal/realtime"
+	"scanshare/internal/telemetry"
 	"scanshare/internal/trace"
 )
 
@@ -137,6 +138,14 @@ type RealtimeOptions struct {
 	// reproduce the pre-coalescing busy-poll behavior in comparisons.
 	DisableReadCoalescing bool
 
+	// Collector, when non-nil, receives the run's activity counters
+	// instead of an internal throwaway one, so live observers — the
+	// telemetry sampler, the Prometheus exporter, expvar — can watch the
+	// run as it happens and a caller can Reset and reuse one collector
+	// across runs. The report's Counters snapshot is taken from it at the
+	// end of the run either way.
+	Collector *metrics.Collector
+
 	// Tracer, when non-nil, journals the run's structured events — scan
 	// lifecycle, group merges and splits, leader/trailer handoffs,
 	// throttle waits, detach/rejoin, evictions with priority, and page
@@ -166,6 +175,33 @@ type RealtimeReport struct {
 	// Faults reports what the fault plan injected; zero when no plan was
 	// set.
 	Faults FaultStats
+}
+
+// BenchResult converts the report into the persisted benchmark shape.
+// params records the workload knobs (the report cannot reconstruct them);
+// the caller fills in Name/GitRev/RecordedAt before writing.
+func (r *RealtimeReport) BenchResult(params telemetry.BenchParams) telemetry.BenchResult {
+	out := telemetry.BenchResult{
+		Params:              params,
+		WallSeconds:         r.Wall.Seconds(),
+		PagesRead:           r.Counters.PagesRead,
+		HitRatio:            r.Counters.HitRatio(),
+		ThrottleEvents:      r.Counters.ThrottleEvents,
+		ThrottleWaitSeconds: r.Counters.ThrottleWait.Seconds(),
+		ReadsCoalesced:      r.Counters.ReadsCoalesced,
+		Histograms: map[string]telemetry.HistSummary{
+			"page_read":      telemetry.SummarizeHist(r.Counters.PageReadLatency),
+			"throttle_wait":  telemetry.SummarizeHist(r.Counters.ThrottleWaitDist),
+			"prefetch_delay": telemetry.SummarizeHist(r.Counters.PrefetchQueueDelay),
+		},
+	}
+	if r.Wall > 0 {
+		out.PagesPerSec = float64(r.Counters.PagesRead) / r.Wall.Seconds()
+	}
+	for _, p := range r.Pools {
+		out.Evictions += p.Evictions
+	}
+	return out
 }
 
 // compilePlan translates the public fault plan into the internal one,
@@ -249,7 +285,10 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 		}
 	}
 
-	col := new(metrics.Collector)
+	col := opts.Collector
+	if col == nil {
+		col = new(metrics.Collector)
+	}
 	var store realtime.PageStore = rtStore{dev: e.dev, delay: opts.PageReadDelay}
 	var faultStore *fault.Store
 	if opts.Faults != nil {

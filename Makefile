@@ -3,9 +3,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint build test race fuzz bench bench-pool bench-smoke bench-smoke-baseline bench-record
+.PHONY: check vet lint build test race fuzz test-policies bench bench-pool bench-smoke bench-smoke-baseline bench-record
 
-check: vet lint build test race fuzz bench-smoke
+check: vet lint build test race fuzz test-policies bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,10 +38,20 @@ race:
 	$(GO) test -race -cpu 2,8 ./internal/buffer ./internal/realtime ./internal/telemetry
 
 # Short coverage-guided fuzz passes: the SQL parser and the buffer pool's
-# operation-sequence fuzzer; a longer session is one FUZZTIME=5m away.
+# operation-sequence fuzzer (which also covers the replacement-policy choice
+# and scan-registration events); a longer session is one FUZZTIME=5m away.
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sql
 	$(GO) test -fuzz FuzzPoolOps -fuzztime $(FUZZTIME) ./internal/buffer
+
+# The differential policy harness: reference-model equivalence for every
+# replacement policy across shard counts, the estimator edge cases, the
+# replay-determinism regression, and a race pass over the same suites with
+# the predictive scan-feed path live.
+test-policies:
+	$(GO) test -run 'TestPoolMatchesReferenceModel|TestShardedPoolMatchesModel|TestNextUseEstimate|TestPredictiveVictimChoice' ./internal/buffer
+	$(GO) test -run 'TestPolicyReplay|TestGoldenChaosTrace' ./internal/realtime
+	$(GO) test -race -run 'TestShardedPoolMatchesModel|TestPolicyReplayDeterminism' ./internal/buffer ./internal/realtime
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -71,5 +81,11 @@ bench-smoke-baseline:
 
 # Record the full realtime benchmark as the repo's persisted trajectory
 # point (BENCH_<n>.json at the repo root, one per PR; see EXPERIMENTS.md).
+# This PR's point also records a predictive-policy run of the same workload
+# and cross-checks the two with the comparator: the policies must agree on
+# pages_read (same workload) and predictive must not collapse throughput or
+# hit ratio relative to classic.
 bench-record:
-	$(GO) run ./cmd/scanshare-bench -realtime 16 -pool-shards 4 -bench-name realtime-16x4 -bench-json BENCH_5.json
+	$(GO) run ./cmd/scanshare-bench -realtime 16 -pool-shards 4 -bench-name realtime-16x4 -bench-json BENCH_6.json
+	$(GO) run ./cmd/scanshare-bench -realtime 16 -pool-shards 4 -pool-policy predictive -bench-name realtime-16x4-predictive -bench-json BENCH_6_predictive.json
+	$(GO) run ./cmd/scanshare-bench -compare BENCH_6.json -compare-tolerance 0.5 BENCH_6_predictive.json

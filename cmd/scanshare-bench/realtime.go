@@ -149,7 +149,7 @@ func gitRev() string {
 // Unlike the virtual-time experiments, the printed timings depend on the
 // machine; the structural counters (placements, hit ratio, throttles) are
 // what to look at.
-func runRealtime(p experiments.Params, n, workers, shards int, noCoalesce bool, pageDelay, readDelay time.Duration, faults rtFaultFlags, obs rtObsFlags) error {
+func runRealtime(p experiments.Params, n, workers, shards int, policy string, noCoalesce bool, pageDelay, readDelay time.Duration, faults rtFaultFlags, obs rtObsFlags) error {
 	rows := int(30000 * p.Scale)
 	poolPages := poolPagesFor(rows, p.BufferFrac)
 	eng, err := scanshare.New(scanshare.Config{
@@ -157,10 +157,14 @@ func runRealtime(p experiments.Params, n, workers, shards int, noCoalesce bool, 
 		// 8 KiB pages gives the page count up front.
 		BufferPoolPages: poolPages,
 		PoolShards:      shards,
+		PoolPolicy:      policy,
 		Sharing:         scanshare.SharingConfig{PrefetchExtentPages: p.ExtentPages},
 	})
 	if err != nil {
 		return err
+	}
+	if policy == "" {
+		policy = scanshare.PoolPolicyLRU
 	}
 	schema := scanshare.MustSchema(
 		scanshare.Field{Name: "id", Kind: scanshare.KindInt64},
@@ -330,8 +334,8 @@ func runRealtime(p experiments.Params, n, workers, shards int, noCoalesce bool, 
 		}()
 	}
 
-	fmt.Printf("realtime: %d goroutine scans of %d pages, pool %d pages (%d shards), %d prefetch workers\n",
-		n, tbl.NumPages(), poolPages, shards, workers)
+	fmt.Printf("realtime: %d goroutine scans of %d pages, pool %d pages (%d shards, %s policy), %d prefetch workers\n",
+		n, tbl.NumPages(), poolPages, shards, policy, workers)
 	if faults.scenario != "" {
 		fmt.Printf("faults: scenario %q, prob %.3f, seed %d; timeout %v, %d retries, detach after %d\n",
 			faults.scenario, faults.prob, faults.seed, faults.readTimeout, faults.retries, faults.detachAfter)
@@ -435,6 +439,7 @@ func runRealtime(p experiments.Params, n, workers, shards int, noCoalesce bool, 
 			Workers:    workers,
 			PoolPages:  poolPages,
 			Shards:     shards,
+			Policy:     policy,
 			PageDelay:  pageDelay,
 			ReadDelay:  readDelay,
 			Coalescing: !noCoalesce,

@@ -125,7 +125,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.PoolShards < 0 {
 		return nil, fmt.Errorf("scanshare: negative PoolShards %d", cfg.PoolShards)
 	}
-	def, err := newPoolRT("", cfg.BufferPoolPages, cfg.PoolShards, cfg.Sharing)
+	def, err := newPoolRT("", cfg.BufferPoolPages, cfg.PoolShards, cfg.PoolPolicy, cfg.Sharing)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +142,11 @@ func New(cfg Config) (*Engine, error) {
 		if shards == 0 {
 			shards = cfg.PoolShards
 		}
-		rt, err := newPoolRT(pc.Name, pc.Pages, shards, cfg.Sharing)
+		policy := pc.Policy
+		if policy == "" {
+			policy = cfg.PoolPolicy
+		}
+		rt, err := newPoolRT(pc.Name, pc.Pages, shards, policy, cfg.Sharing)
 		if err != nil {
 			return nil, fmt.Errorf("scanshare: pool %q: %w", pc.Name, err)
 		}
@@ -153,12 +157,12 @@ func New(cfg Config) (*Engine, error) {
 
 // newPoolRT creates one buffer pool and its scan sharing manager. The SSM's
 // grouping budget is the pool's own size. shards <= 1 builds the classic
-// single-shard pool.
-func newPoolRT(name string, pages, shards int, s SharingConfig) (*poolRT, error) {
+// single-shard pool; policy "" selects the default priority-LRU replacement.
+func newPoolRT(name string, pages, shards int, policy string, s SharingConfig) (*poolRT, error) {
 	if shards <= 0 {
 		shards = 1
 	}
-	pool, err := buffer.NewPoolShards(pages, shards)
+	pool, err := buffer.NewPoolPolicy(pages, shards, policy)
 	if err != nil {
 		return nil, err
 	}
@@ -322,6 +326,7 @@ func (e *Engine) TelemetrySources(col *metrics.Collector) telemetry.Sources {
 		src.Pools = append(src.Pools, telemetry.PoolSource{
 			Name:      name,
 			Capacity:  rt.pool.Capacity(),
+			Policy:    rt.pool.Policy(),
 			Shards:    rt.pool.ShardStats,
 			Occupancy: rt.pool.ShardOccupancy,
 		})

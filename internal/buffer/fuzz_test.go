@@ -8,25 +8,65 @@ import (
 
 // FuzzPoolOps interprets the fuzzer's bytes as an operation sequence against
 // a small sharded pool — two bits of opcode, five bits of page id per byte —
-// while tracking which frames the driver holds so every call is legal. After
-// each input the pool must pass CheckInvariants and the counter identities
-// must hold; the fuzzer's job is to find an op order that corrupts the level
-// lists, the pending counter, or the stats.
+// while tracking which frames the driver holds so every call is legal. The
+// policy byte selects the replacement policy, and acquire opcodes with the
+// 0x20 bit set become scan-registration events (register, progress report,
+// activity toggle, unregister), so the same op streams run under both
+// policies and interleave registration traffic with pin churn. After each
+// input the pool must pass CheckInvariants and the cross-policy invariants
+// must hold: the counter identities, capacity, pinned-page residency, and
+// the registration count (zero on non-scan-aware pools); the fuzzer's job is
+// to find an op order that corrupts the policy order, the pending counter,
+// or the stats.
 func FuzzPoolOps(f *testing.F) {
-	f.Add(uint8(1), []byte{0x00, 0x40, 0x80})
-	f.Add(uint8(4), []byte{0x00, 0x01, 0x02, 0x03, 0x41, 0x82, 0xc3, 0x00})
-	f.Add(uint8(7), []byte{0x1f, 0x5f, 0x9f, 0xdf, 0x1f, 0x5f})
-	f.Fuzz(func(t *testing.T, shardByte uint8, ops []byte) {
+	f.Add(uint8(1), uint8(0), []byte{0x00, 0x40, 0x80})
+	f.Add(uint8(4), uint8(1), []byte{0x00, 0x01, 0x02, 0x03, 0x41, 0x82, 0xc3, 0x00})
+	f.Add(uint8(7), uint8(0), []byte{0x1f, 0x5f, 0x9f, 0xdf, 0x1f, 0x5f})
+	f.Add(uint8(2), uint8(1), []byte{0x20, 0x28, 0x00, 0x01, 0x21, 0x02, 0x42, 0x82, 0x2c, 0x03, 0x23})
+	f.Fuzz(func(t *testing.T, shardByte, policyByte uint8, ops []byte) {
 		shards := int(shardByte%8) + 1
 		capacity := shards + 5
-		pool := MustNewPoolShards(capacity, shards)
+		policies := Policies()
+		policy := policies[int(policyByte)%len(policies)]
+		pool := MustNewPoolPolicy(capacity, shards, policy)
+
+		// Footprint variants for register events; the last is invalid and
+		// must be ignored.
+		footprints := [4]ScanFootprint{
+			{Start: 0, End: 32, Origin: 0},
+			{Start: 4, End: 20, Origin: 10},
+			{Start: 0, End: 32, Origin: 31},
+			{Start: 5, End: 5, Origin: 5},
+		}
 
 		pins := map[disk.PageID]int{}
 		pending := map[disk.PageID]bool{}
+		regs := map[int64]bool{}
 		for _, b := range ops {
 			pid := disk.PageID(b & 0x1f)
 			switch b >> 6 {
-			case 0: // acquire
+			case 0:
+				if b&0x20 != 0 {
+					// Scan-registration event: bits 0-1 pick the kind,
+					// bit 2 the scan id, bits 3-4 the parameter variant.
+					id := int64(b >> 2 & 1)
+					v := int(b >> 3 & 3)
+					switch b & 3 {
+					case 0:
+						pool.RegisterScan(id, footprints[v], float64(v))
+						if pool.ScanAware() && footprints[v].valid() {
+							regs[id] = true
+						}
+					case 1:
+						pool.UpdateScan(id, v*8-4, float64(v)-1)
+					case 2:
+						pool.SetScanActive(id, v&1 == 0)
+					default:
+						pool.UnregisterScan(id)
+						delete(regs, id)
+					}
+					continue
+				}
 				st, _ := pool.Acquire(pid)
 				switch st {
 				case Hit:
@@ -83,6 +123,18 @@ func FuzzPoolOps(f *testing.F) {
 		}
 		if pool.Len() > pool.Capacity() {
 			t.Fatalf("len %d exceeds capacity %d", pool.Len(), pool.Capacity())
+		}
+		// Pinned pages can never be evicted, whatever the policy chooses.
+		for pid, n := range pins {
+			if n > 0 && !pool.Contains(pid) {
+				t.Fatalf("pinned page %d (pins=%d) not resident", pid, n)
+			}
+		}
+		switch want := len(regs); {
+		case !pool.ScanAware() && pool.RegisteredScans() != 0:
+			t.Fatalf("policy %s reports %d registered scans, want 0", policy, pool.RegisteredScans())
+		case pool.ScanAware() && pool.RegisteredScans() != want:
+			t.Fatalf("registered scans %d, want %d", pool.RegisteredScans(), want)
 		}
 	})
 }

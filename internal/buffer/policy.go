@@ -1,0 +1,137 @@
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Replacement policy names, accepted by NewPoolPolicy and the engine-level
+// Config.PoolPolicy / scanshare-bench -pool-policy plumbing.
+const (
+	// PolicyLRU is the paper's priority-LRU replacement: the victim is the
+	// least recently released unpinned frame of the lowest occupied
+	// priority level. It is the default and the only policy with a fully
+	// deterministic operation order, which the replay harness depends on.
+	PolicyLRU = "priority-lru"
+	// PolicyPredictive is predictive buffer management (arXiv 1208.4170,
+	// "From Cooperative Scans to Predictive Buffer Management"): scans
+	// register their position and speed with the pool, each frame gets a
+	// time-to-next-use estimate, and the victim is the frame with the
+	// largest estimated reuse distance. With no scans registered it
+	// degenerates to plain LRU on release order.
+	PolicyPredictive = "predictive"
+)
+
+// Policies returns the known replacement policy names, default first.
+func Policies() []string { return []string{PolicyLRU, PolicyPredictive} }
+
+// NormalizePolicy maps a policy name to its canonical form ("" means the
+// default priority-LRU) or reports an error naming the valid choices.
+func NormalizePolicy(name string) (string, error) {
+	switch name {
+	case "", PolicyLRU:
+		return PolicyLRU, nil
+	case PolicyPredictive:
+		return PolicyPredictive, nil
+	}
+	return "", fmt.Errorf("buffer: unknown replacement policy %q (valid: %q, %q)", name, PolicyLRU, PolicyPredictive)
+}
+
+// replacementPolicy is the per-shard eviction strategy. Every method is
+// called with the owning shard's mutex held, so implementations need no
+// locking of their own for frame bookkeeping (policy state shared across
+// shards, like the predictive scan table, synchronizes separately).
+//
+// The shard keeps ownership of the frame table, pin counts, stats, and trace
+// emission; the policy only orders the unpinned frames and picks victims.
+// A frame is handed to the policy by insert when its pin count reaches zero
+// (with frame.prio already set to the release priority) and taken back by
+// remove when it is re-pinned. victim must detach and return an unpinned
+// frame, or nil when it holds none.
+type replacementPolicy interface {
+	// insert adds f, just unpinned, to the policy's order. It must set
+	// f.elem to a non-nil node so the shard can tell the frame is
+	// policy-held.
+	insert(f *frame)
+	// remove detaches f, about to be re-pinned, and must nil f.elem.
+	remove(f *frame)
+	// victim picks, detaches, and returns the frame to evict, or nil when
+	// no unpinned frame exists. The returned frame's prio field is the
+	// priority it was last released at, which the shard uses for the
+	// per-priority eviction counters.
+	victim() *frame
+	// check panics if the policy's view of shard s (index idx) is
+	// inconsistent: every held frame must be unpinned and present in the
+	// shard's frame table. Used by CheckInvariants.
+	check(s *shard, idx int)
+}
+
+// newPolicy builds the per-shard policy state for a canonical policy name.
+// The predictive policy shares the pool-level scan table.
+func newPolicy(policy string, scans *scanTable) replacementPolicy {
+	switch policy {
+	case PolicyPredictive:
+		return &predictivePolicy{order: list.New(), scans: scans}
+	default:
+		return newLRUPolicy()
+	}
+}
+
+// lruPolicy is the classic priority-LRU replacement extracted from the
+// original pool: one FIFO list per priority level, least recently released
+// at the front, victim taken from the front of the lowest occupied level.
+// The operation order is identical to the pre-refactor inline code, so a
+// single-shard pool under this policy stays bit-identical for the golden
+// replay tests.
+type lruPolicy struct {
+	// levels[p] holds unpinned frames released at priority p, least
+	// recently released at the front (the eviction end).
+	levels [numPriorities]*list.List
+}
+
+func newLRUPolicy() *lruPolicy {
+	p := &lruPolicy{}
+	for i := range p.levels {
+		p.levels[i] = list.New()
+	}
+	return p
+}
+
+func (p *lruPolicy) insert(f *frame) {
+	f.elem = p.levels[f.prio].PushBack(f)
+}
+
+func (p *lruPolicy) remove(f *frame) {
+	p.levels[f.prio].Remove(f.elem)
+	f.elem = nil
+}
+
+func (p *lruPolicy) victim() *frame {
+	for prio := PriorityEvict; prio < numPriorities; prio++ {
+		lvl := p.levels[prio]
+		if lvl.Len() == 0 {
+			continue
+		}
+		f := lvl.Remove(lvl.Front()).(*frame)
+		f.elem = nil
+		return f
+	}
+	return nil
+}
+
+func (p *lruPolicy) check(s *shard, idx int) {
+	for i := range p.levels {
+		for e := p.levels[i].Front(); e != nil; e = e.Next() {
+			f := e.Value.(*frame)
+			if f.pins != 0 {
+				panic(fmt.Sprintf("buffer: pinned page %d on level list", f.pid))
+			}
+			if f.prio != Priority(i) {
+				panic(fmt.Sprintf("buffer: page %d on level %d but prio %d", f.pid, i, f.prio))
+			}
+			if s.frames[f.pid] != f {
+				panic(fmt.Sprintf("buffer: page %d level-list entry not in frame table", f.pid))
+			}
+		}
+	}
+}

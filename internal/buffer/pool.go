@@ -9,10 +9,13 @@
 // will re-read them) and a trailer's pages at low priority (nobody follows
 // closely, so they are the cheapest pages to victimize).
 //
-// Replacement is therefore "priority, then LRU": the victim is the least
-// recently released unpinned page of the lowest occupied priority level.
-// With every page released at the same priority this degenerates to plain
-// LRU, which is the paper's baseline.
+// Replacement is pluggable behind a per-shard policy interface. The default
+// is the paper's "priority, then LRU": the victim is the least recently
+// released unpinned page of the lowest occupied priority level. With every
+// page released at the same priority this degenerates to plain LRU, which is
+// the paper's baseline. The alternative PolicyPredictive replaces the hint
+// scheme with per-page time-to-next-use estimates fed by scan registrations
+// (see predictive.go).
 //
 // The pool is lock-striped: capacity is partitioned across N shards and a
 // page id hashes to exactly one shard, which owns the page's frame, its
@@ -217,9 +220,10 @@ type shard struct {
 	mu       sync.Mutex
 	capacity int
 	frames   map[disk.PageID]*frame
-	// levels[p] holds unpinned frames released at priority p, least
-	// recently released at the front (the eviction end).
-	levels [numPriorities]*list.List
+	// policy orders the unpinned frames and picks eviction victims; every
+	// call into it happens under mu. The default is the priority-LRU of
+	// the paper, preserved operation-for-operation by lruPolicy.
+	policy replacementPolicy
 	// pending counts frames in framePending state (reads in flight); it
 	// lets a full-shard Acquire distinguish "wait for I/O" (Busy) from
 	// "every frame pinned by a caller" (AllPinned).
@@ -237,7 +241,11 @@ type shard struct {
 // lock-striped across one or more shards. It is safe for concurrent use.
 type Pool struct {
 	capacity int
+	policy   string // canonical replacement policy name
 	shards   []*shard
+	// scans is the predictive policy's scan registry, shared by all
+	// shards; nil under policies that ignore scan registrations.
+	scans *scanTable
 	// tracer, when set, receives an eviction event per victimized frame.
 	// Emission is non-blocking, so holding a shard lock across it is fine.
 	tracer atomic.Pointer[trace.Tracer]
@@ -265,6 +273,13 @@ func NewPool(capacity int) (*Pool, error) {
 // idle frames — that is the price of lock-freedom between partitions, and
 // why shard counts should stay well below capacity (see CONCURRENCY.md).
 func NewPoolShards(capacity, shards int) (*Pool, error) {
+	return NewPoolPolicy(capacity, shards, PolicyLRU)
+}
+
+// NewPoolPolicy creates a pool with the given capacity, shard count, and
+// replacement policy name ("" selects the default priority-LRU; see
+// Policies). Capacity and shard constraints are those of NewPoolShards.
+func NewPoolPolicy(capacity, shards int, policy string) (*Pool, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("buffer: non-positive capacity %d", capacity)
 	}
@@ -274,18 +289,26 @@ func NewPoolShards(capacity, shards int) (*Pool, error) {
 	if shards > capacity {
 		return nil, fmt.Errorf("buffer: %d shards exceed capacity %d (every shard needs a frame)", shards, capacity)
 	}
-	p := &Pool{capacity: capacity, shards: make([]*shard, shards)}
+	canonical, err := NormalizePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{capacity: capacity, policy: canonical, shards: make([]*shard, shards)}
+	if canonical == PolicyPredictive {
+		p.scans = newScanTable()
+	}
 	base, extra := capacity/shards, capacity%shards
 	for i := range p.shards {
 		c := base
 		if i < extra {
 			c++
 		}
-		s := &shard{capacity: c, frames: make(map[disk.PageID]*frame, c), tracer: &p.tracer}
-		for j := range s.levels {
-			s.levels[j] = list.New()
+		p.shards[i] = &shard{
+			capacity: c,
+			frames:   make(map[disk.PageID]*frame, c),
+			policy:   newPolicy(canonical, p.scans),
+			tracer:   &p.tracer,
 		}
-		p.shards[i] = s
 	}
 	return p, nil
 }
@@ -303,6 +326,16 @@ func MustNewPool(capacity int) *Pool {
 // error.
 func MustNewPoolShards(capacity, shards int) *Pool {
 	p, err := NewPoolShards(capacity, shards)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustNewPoolPolicy is NewPoolPolicy for known-good parameters; it panics on
+// error.
+func MustNewPoolPolicy(capacity, shards int, policy string) *Pool {
+	p, err := NewPoolPolicy(capacity, shards, policy)
 	if err != nil {
 		panic(err)
 	}
@@ -389,8 +422,7 @@ func (p *Pool) Acquire(pid disk.PageID) (Status, []byte) {
 			return Busy, nil
 		}
 		if f.pins == 0 {
-			s.levels[f.prio].Remove(f.elem)
-			f.elem = nil
+			s.policy.remove(f)
 		}
 		f.pins++
 		s.stats.LogicalReads++
@@ -421,27 +453,24 @@ func (p *Pool) Acquire(pid disk.PageID) (Status, []byte) {
 	return Miss, nil
 }
 
-// evictLocked removes the least recently released unpinned frame of the
-// lowest occupied priority level in this shard. It reports whether a frame
-// was freed.
+// evictLocked asks the shard's policy for a victim and frees its frame. It
+// reports whether a frame was freed. Accounting — the frame table, resident
+// counter, eviction stats (keyed by the priority the victim was released
+// at), and the trace event — is the shard's job, uniform across policies.
 func (s *shard) evictLocked() bool {
-	for prio := PriorityEvict; prio < numPriorities; prio++ {
-		lvl := s.levels[prio]
-		if lvl.Len() == 0 {
-			continue
-		}
-		victim := lvl.Remove(lvl.Front()).(*frame)
-		delete(s.frames, victim.pid)
-		s.resident.Add(-1)
-		s.stats.Evictions++
-		s.stats.EvictionsByPr[prio]++
-		s.tracer.Load().Emit(trace.Event{
-			Kind: trace.KindEvict, Page: int64(victim.pid), Prio: int8(prio),
-			Scan: trace.NoID, Peer: trace.NoID, Table: trace.NoID,
-		})
-		return true
+	victim := s.policy.victim()
+	if victim == nil {
+		return false
 	}
-	return false
+	delete(s.frames, victim.pid)
+	s.resident.Add(-1)
+	s.stats.Evictions++
+	s.stats.EvictionsByPr[victim.prio]++
+	s.tracer.Load().Emit(trace.Event{
+		Kind: trace.KindEvict, Page: int64(victim.pid), Prio: int8(victim.prio),
+		Scan: trace.NoID, Peer: trace.NoID, Table: trace.NoID,
+	})
+	return true
 }
 
 // Fill completes a Miss: it installs data as the content of the pending
@@ -506,7 +535,7 @@ func (p *Pool) Release(pid disk.PageID, prio Priority) error {
 	f.pins--
 	f.prio = prio
 	if f.pins == 0 {
-		f.elem = s.levels[prio].PushBack(f)
+		s.policy.insert(f)
 	}
 	return nil
 }
@@ -532,7 +561,7 @@ func (p *Pool) ReleaseRetain(pid disk.PageID) error {
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.elem = s.levels[f.prio].PushBack(f)
+		s.policy.insert(f)
 	}
 	return nil
 }
@@ -598,20 +627,7 @@ func (s *shard) checkInvariantsLocked(idx int) {
 	if got := s.resident.Load(); got != int64(len(s.frames)) {
 		panic(fmt.Sprintf("buffer: shard %d resident counter %d but %d frames in table", idx, got, len(s.frames)))
 	}
-	for i := range s.levels {
-		for e := s.levels[i].Front(); e != nil; e = e.Next() {
-			f := e.Value.(*frame)
-			if f.pins != 0 {
-				panic(fmt.Sprintf("buffer: pinned page %d on level list", f.pid))
-			}
-			if f.prio != Priority(i) {
-				panic(fmt.Sprintf("buffer: page %d on level %d but prio %d", f.pid, i, f.prio))
-			}
-			if s.frames[f.pid] != f {
-				panic(fmt.Sprintf("buffer: page %d level-list entry not in frame table", f.pid))
-			}
-		}
-	}
+	s.policy.check(s, idx)
 	pending := 0
 	for pid, f := range s.frames {
 		if f.pid != pid {

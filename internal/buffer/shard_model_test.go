@@ -2,6 +2,7 @@ package buffer
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -16,32 +17,38 @@ type modelFrame struct {
 	pending bool
 }
 
-// modelShard is a single-lock reference implementation of one pool shard
-// with the full operation surface — pending frames, Abort, ReleaseRetain,
-// multi-pin — written against the documented semantics rather than the
-// implementation. (The simpler refPool in model_test.go predates Abort and
-// models only the single-pin hit/miss/evict core.) The differential test
-// instantiates one modelShard per pool shard and routes operations with the
-// pool's own shardIndex, so every Acquire outcome and every counter must
-// match exactly, for any shard count.
-type modelShard struct {
-	capacity int
-	frames   map[disk.PageID]*modelFrame
-	// levels[p] holds unpinned valid pages released at priority p, least
-	// recently released first.
-	levels  [numPriorities][]disk.PageID
-	pending int
-	stats   Stats
+// modelEntry is one unpinned page in a model policy's order, with the
+// priority it was released at (needed for the per-priority eviction
+// counters).
+type modelEntry struct {
+	pid  disk.PageID
+	prio Priority
 }
 
-func newModelShard(capacity int) *modelShard {
-	return &modelShard{capacity: capacity, frames: make(map[disk.PageID]*modelFrame)}
+// modelPolicy is the reference-side mirror of replacementPolicy: it orders a
+// shard's unpinned pages and picks victims. One implementation per pool
+// policy, each written against the documented semantics rather than the
+// implementation.
+type modelPolicy interface {
+	insert(pid disk.PageID, prio Priority)
+	remove(pid disk.PageID, prio Priority)
+	victim() (disk.PageID, Priority, bool)
 }
 
-func (m *modelShard) removeFromLevel(pid disk.PageID, prio Priority) {
+// modelLRU is the paper's priority-LRU: per-priority FIFOs, victim from the
+// front of the lowest occupied level.
+type modelLRU struct {
+	levels [numPriorities][]modelEntry
+}
+
+func (m *modelLRU) insert(pid disk.PageID, prio Priority) {
+	m.levels[prio] = append(m.levels[prio], modelEntry{pid, prio})
+}
+
+func (m *modelLRU) remove(pid disk.PageID, prio Priority) {
 	lvl := m.levels[prio]
-	for i, p := range lvl {
-		if p == pid {
+	for i, e := range lvl {
+		if e.pid == pid {
 			m.levels[prio] = append(lvl[:i], lvl[i+1:]...)
 			return
 		}
@@ -49,19 +56,174 @@ func (m *modelShard) removeFromLevel(pid disk.PageID, prio Priority) {
 	panic(fmt.Sprintf("model: page %d not on level %d", pid, prio))
 }
 
-func (m *modelShard) evict() bool {
+func (m *modelLRU) victim() (disk.PageID, Priority, bool) {
 	for prio := PriorityEvict; prio < numPriorities; prio++ {
 		if len(m.levels[prio]) == 0 {
 			continue
 		}
-		victim := m.levels[prio][0]
+		e := m.levels[prio][0]
 		m.levels[prio] = m.levels[prio][1:]
-		delete(m.frames, victim)
-		m.stats.Evictions++
-		m.stats.EvictionsByPr[prio]++
-		return true
+		return e.pid, e.prio, true
 	}
-	return false
+	return disk.InvalidPage, 0, false
+}
+
+// modelScan is one registered scan in the reference registry.
+type modelScan struct {
+	base               int64
+	start, end, origin int
+	seed               float64
+	processed          int
+	speed              float64
+	active             bool
+}
+
+// modelScanTable mirrors the pool-level scan registry. It is shared by every
+// model shard's predictive policy, like the real scanTable.
+type modelScanTable struct {
+	scans map[int64]*modelScan
+}
+
+func newModelScanTable() *modelScanTable {
+	return &modelScanTable{scans: make(map[int64]*modelScan)}
+}
+
+func (t *modelScanTable) register(id int64, base int64, start, end, origin int, seed float64) {
+	if end <= start || origin < start || origin >= end {
+		return // invalid registrations are advisory no-ops
+	}
+	t.scans[id] = &modelScan{base: base, start: start, end: end, origin: origin, seed: seed, active: true}
+}
+
+func (t *modelScanTable) update(id int64, processed int, speed float64) {
+	s, ok := t.scans[id]
+	if !ok {
+		return
+	}
+	if processed < 0 {
+		processed = 0
+	}
+	if max := s.end - s.start; processed > max {
+		processed = max
+	}
+	s.processed = processed
+	s.speed = speed
+}
+
+func (t *modelScanTable) setActive(id int64, active bool) {
+	if s, ok := t.scans[id]; ok {
+		s.active = active
+	}
+}
+
+func (t *modelScanTable) unregister(id int64) { delete(t.scans, id) }
+
+// modelNextUse is the reference estimator: seconds until some active scan
+// next reads pid under the circular straight-line model, +Inf when no scan
+// will.
+func modelNextUse(t *modelScanTable, pid disk.PageID) float64 {
+	best := math.Inf(1)
+	for _, s := range t.scans {
+		if !s.active {
+			continue
+		}
+		speed := s.speed
+		if speed <= 0 {
+			speed = s.seed
+		}
+		if speed <= 0 {
+			speed = 1.0
+		}
+		pageNo := int(int64(pid) - s.base)
+		if pageNo < s.start || pageNo >= s.end {
+			continue
+		}
+		length := s.end - s.start
+		rank := pageNo - s.origin
+		if rank < 0 {
+			rank += length
+		}
+		if rank < s.processed {
+			continue
+		}
+		if est := float64(rank-s.processed) / speed; est < best {
+			best = est
+		}
+	}
+	return best
+}
+
+// modelPredictive is the reference predictive policy: one release-order
+// list; the victim is the frame with the strictly largest next-use estimate,
+// earliest-released on ties, +Inf winning outright.
+type modelPredictive struct {
+	order []modelEntry
+	scans *modelScanTable
+}
+
+func (m *modelPredictive) insert(pid disk.PageID, prio Priority) {
+	m.order = append(m.order, modelEntry{pid, prio})
+}
+
+func (m *modelPredictive) remove(pid disk.PageID, prio Priority) {
+	for i, e := range m.order {
+		if e.pid == pid {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("model: page %d not on release order", pid))
+}
+
+func (m *modelPredictive) victim() (disk.PageID, Priority, bool) {
+	if len(m.order) == 0 {
+		return disk.InvalidPage, 0, false
+	}
+	best, bestEst := -1, math.Inf(-1)
+	for i, e := range m.order {
+		est := modelNextUse(m.scans, e.pid)
+		if math.IsInf(est, 1) {
+			best = i
+			break
+		}
+		if best < 0 || est > bestEst {
+			best, bestEst = i, est
+		}
+	}
+	e := m.order[best]
+	m.order = append(m.order[:best], m.order[best+1:]...)
+	return e.pid, e.prio, true
+}
+
+// modelShard is a single-lock reference implementation of one pool shard
+// with the full operation surface — pending frames, Abort, ReleaseRetain,
+// multi-pin — written against the documented semantics rather than the
+// implementation. (The simpler refPool in model_test.go predates Abort and
+// models only the single-pin hit/miss/evict core.) The differential test
+// instantiates one modelShard per pool shard and routes operations with the
+// pool's own shardIndex, so every Acquire outcome and every counter must
+// match exactly, for any shard count and either replacement policy.
+type modelShard struct {
+	capacity int
+	frames   map[disk.PageID]*modelFrame
+	policy   modelPolicy
+	pending  int
+	stats    Stats
+}
+
+func newModelShard(capacity int, policy modelPolicy) *modelShard {
+	return &modelShard{capacity: capacity, frames: make(map[disk.PageID]*modelFrame), policy: policy}
+}
+
+func (m *modelShard) evict() bool {
+	pid, prio, ok := m.policy.victim()
+	if !ok {
+		return false
+	}
+	delete(m.frames, pid)
+	m.stats.Evictions++
+	m.stats.EvictionsByPr[prio]++
+	return true
 }
 
 func (m *modelShard) acquire(pid disk.PageID) Status {
@@ -71,7 +233,7 @@ func (m *modelShard) acquire(pid disk.PageID) Status {
 			return Busy
 		}
 		if f.pins == 0 {
-			m.removeFromLevel(pid, f.prio)
+			m.policy.remove(pid, f.prio)
 		}
 		f.pins++
 		m.stats.LogicalReads++
@@ -111,7 +273,7 @@ func (m *modelShard) release(pid disk.PageID, prio Priority) {
 	f.pins--
 	f.prio = prio
 	if f.pins == 0 {
-		m.levels[prio] = append(m.levels[prio], pid)
+		m.policy.insert(pid, prio)
 	}
 }
 
@@ -119,7 +281,7 @@ func (m *modelShard) releaseRetain(pid disk.PageID) {
 	f := m.frames[pid]
 	f.pins--
 	if f.pins == 0 {
-		m.levels[f.prio] = append(m.levels[f.prio], pid)
+		m.policy.insert(pid, f.prio)
 	}
 }
 
@@ -132,22 +294,26 @@ func (m *modelShard) contains(pid disk.PageID) bool {
 // TestShardedPoolMatchesModel is the model-based differential test: the real
 // pool and the per-shard reference models are driven through the same
 // randomized operation sequence — acquires, fills, aborts, releases at every
-// priority, priority-retaining releases, multi-pins — and every Acquire
-// status, every counter, and the final residency set must agree exactly.
-// With one shard this pins down the classic single-mutex semantics the replay
-// harness depends on; with several it proves striping changed the locking,
-// not the per-shard replacement behavior.
+// priority, priority-retaining releases, multi-pins, and (for the predictive
+// policy) scan registration traffic — and every Acquire status, every
+// counter, and the final residency set must agree exactly. With one shard
+// this pins down the classic single-mutex semantics the replay harness
+// depends on; with several it proves striping changed the locking, not the
+// per-shard replacement behavior; across policies it proves the policy
+// interface, not the shard plumbing, decides the victims.
 func TestShardedPoolMatchesModel(t *testing.T) {
-	for _, shards := range []int{1, 2, 4, 7} {
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			for seed := int64(0); seed < 8; seed++ {
-				runShardedModelSeq(t, shards, seed)
-			}
-		})
+	for _, policy := range Policies() {
+		for _, shards := range []int{1, 2, 4, 7} {
+			t.Run(fmt.Sprintf("%s/shards=%d", policy, shards), func(t *testing.T) {
+				for seed := int64(0); seed < 8; seed++ {
+					runShardedModelSeq(t, policy, shards, seed)
+				}
+			})
+		}
 	}
 }
 
-func runShardedModelSeq(t *testing.T, shards int, seed int64) {
+func runShardedModelSeq(t *testing.T, policy string, shards int, seed int64) {
 	t.Helper()
 	const (
 		capacity  = 13
@@ -155,9 +321,18 @@ func runShardedModelSeq(t *testing.T, shards int, seed int64) {
 		steps     = 1500
 	)
 	rng := rand.New(rand.NewSource(seed))
-	pool := MustNewPoolShards(capacity, shards)
+	pool := MustNewPoolPolicy(capacity, shards, policy)
 
 	// One reference model per shard, with the pool's exact capacity split.
+	// The predictive models share one scan registry, like the real shards
+	// share the pool-level scan table.
+	scanTbl := newModelScanTable()
+	newPolicyModel := func() modelPolicy {
+		if policy == PolicyPredictive {
+			return &modelPredictive{scans: scanTbl}
+		}
+		return &modelLRU{}
+	}
 	refs := make([]*modelShard, shards)
 	base, extra := capacity/shards, capacity%shards
 	for i := range refs {
@@ -165,7 +340,7 @@ func runShardedModelSeq(t *testing.T, shards int, seed int64) {
 		if i < extra {
 			c++
 		}
-		refs[i] = newModelShard(c)
+		refs[i] = newModelShard(c, newPolicyModel())
 	}
 	ref := func(pid disk.PageID) *modelShard { return refs[pool.shardIndex(pid)] }
 
@@ -197,20 +372,53 @@ func runShardedModelSeq(t *testing.T, shards int, seed int64) {
 			want.Add(m.stats)
 		}
 		if got := pool.Stats(); got != want {
-			t.Fatalf("shards=%d seed=%d step %d: stats diverge\npool:  %+v\nmodel: %+v",
-				shards, seed, step, got, want)
+			t.Fatalf("%s shards=%d seed=%d step %d: stats diverge\npool:  %+v\nmodel: %+v",
+				policy, shards, seed, step, got, want)
+		}
+	}
+
+	// scanEvent drives the pool's scan-registration API and mirrors it into
+	// the model registry. On the LRU pool the calls must be no-ops; the model
+	// registry is simply never consulted there, so any effect they had on
+	// eviction would show up as a divergence.
+	speeds := []float64{0, -3, 0.25, 1, 4, 50}
+	scanEvent := func() {
+		id := int64(rng.Intn(2))
+		switch rng.Intn(5) {
+		case 0: // register, sometimes with an invalid footprint
+			start := rng.Intn(pageRange - 1)
+			end := start + 1 + rng.Intn(pageRange-start)
+			origin := start + rng.Intn(end-start)
+			if rng.Intn(5) == 0 {
+				end = start // invalid: must be ignored by both sides
+			}
+			seedSpeed := speeds[rng.Intn(len(speeds))]
+			pool.RegisterScan(id, ScanFootprint{Base: 0, Start: start, End: end, Origin: origin}, seedSpeed)
+			scanTbl.register(id, 0, start, end, origin, seedSpeed)
+		case 1, 2: // progress report, possibly out of range
+			processed := rng.Intn(pageRange+10) - 5
+			sp := speeds[rng.Intn(len(speeds))]
+			pool.UpdateScan(id, processed, sp)
+			scanTbl.update(id, processed, sp)
+		case 3:
+			active := rng.Intn(2) == 0
+			pool.SetScanActive(id, active)
+			scanTbl.setActive(id, active)
+		default:
+			pool.UnregisterScan(id)
+			scanTbl.unregister(id)
 		}
 	}
 
 	for step := 0; step < steps; step++ {
-		switch r := rng.Intn(10); {
+		switch r := rng.Intn(12); {
 		case r < 4: // acquire a page, possibly one we already hold
 			pid := disk.PageID(rng.Intn(pageRange))
 			got, _ := pool.Acquire(pid)
 			want := ref(pid).acquire(pid)
 			if got != want {
-				t.Fatalf("shards=%d seed=%d step %d: Acquire(%d) = %v, model says %v",
-					shards, seed, step, pid, got, want)
+				t.Fatalf("%s shards=%d seed=%d step %d: Acquire(%d) = %v, model says %v",
+					policy, shards, seed, step, pid, got, want)
 			}
 			switch got {
 			case Hit:
@@ -227,12 +435,12 @@ func runShardedModelSeq(t *testing.T, shards int, seed int64) {
 			delete(pendingOwned, pid)
 			if rng.Intn(4) == 0 {
 				if err := pool.Abort(pid); err != nil {
-					t.Fatalf("shards=%d seed=%d step %d: Abort(%d): %v", shards, seed, step, pid, err)
+					t.Fatalf("%s shards=%d seed=%d step %d: Abort(%d): %v", policy, shards, seed, step, pid, err)
 				}
 				ref(pid).abort(pid)
 			} else {
 				if err := pool.Fill(pid, []byte{byte(pid)}); err != nil {
-					t.Fatalf("shards=%d seed=%d step %d: Fill(%d): %v", shards, seed, step, pid, err)
+					t.Fatalf("%s shards=%d seed=%d step %d: Fill(%d): %v", policy, shards, seed, step, pid, err)
 				}
 				ref(pid).fill(pid)
 				pins[pid]++
@@ -245,30 +453,39 @@ func runShardedModelSeq(t *testing.T, shards int, seed int64) {
 			pid := held[rng.Intn(len(held))]
 			prio := Priority(rng.Intn(NumPriorities))
 			if err := pool.Release(pid, prio); err != nil {
-				t.Fatalf("shards=%d seed=%d step %d: Release(%d, %v): %v", shards, seed, step, pid, prio, err)
+				t.Fatalf("%s shards=%d seed=%d step %d: Release(%d, %v): %v", policy, shards, seed, step, pid, prio, err)
 			}
 			ref(pid).release(pid, prio)
 			if pins[pid]--; pins[pid] == 0 {
 				delete(pins, pid)
 			}
-		default: // priority-retaining release
+		case r < 10: // priority-retaining release
 			held := sortedKeys(pins)
 			if len(held) == 0 {
 				continue
 			}
 			pid := held[rng.Intn(len(held))]
 			if err := pool.ReleaseRetain(pid); err != nil {
-				t.Fatalf("shards=%d seed=%d step %d: ReleaseRetain(%d): %v", shards, seed, step, pid, err)
+				t.Fatalf("%s shards=%d seed=%d step %d: ReleaseRetain(%d): %v", policy, shards, seed, step, pid, err)
 			}
 			ref(pid).releaseRetain(pid)
 			if pins[pid]--; pins[pid] == 0 {
 				delete(pins, pid)
 			}
+		default: // scan registration traffic
+			scanEvent()
 		}
 
 		if step%100 == 99 {
 			checkStats(step)
 			pool.CheckInvariants()
+			for p := 0; p < pageRange; p++ {
+				pid := disk.PageID(p)
+				if got, want := pool.Contains(pid), ref(pid).contains(pid); got != want {
+					t.Fatalf("%s shards=%d seed=%d step %d: Contains(%d) = %v, model says %v",
+						policy, shards, seed, step, pid, got, want)
+				}
+			}
 		}
 	}
 
@@ -281,20 +498,20 @@ func runShardedModelSeq(t *testing.T, shards int, seed int64) {
 		wantLen += len(m.frames)
 	}
 	if got := pool.Len(); got != wantLen {
-		t.Fatalf("shards=%d seed=%d: Len() = %d, model has %d resident", shards, seed, got, wantLen)
+		t.Fatalf("%s shards=%d seed=%d: Len() = %d, model has %d resident", policy, shards, seed, got, wantLen)
 	}
 	for p := 0; p < pageRange; p++ {
 		pid := disk.PageID(p)
 		if got, want := pool.Contains(pid), ref(pid).contains(pid); got != want {
-			t.Fatalf("shards=%d seed=%d: Contains(%d) = %v, model says %v", shards, seed, pid, got, want)
+			t.Fatalf("%s shards=%d seed=%d: Contains(%d) = %v, model says %v", policy, shards, seed, pid, got, want)
 		}
 	}
 	st := pool.Stats()
 	if st.PagesDelivered() != st.Hits+st.Misses-st.Aborts {
-		t.Fatalf("shards=%d seed=%d: delivered identity broken: %+v", shards, seed, st)
+		t.Fatalf("%s shards=%d seed=%d: delivered identity broken: %+v", policy, shards, seed, st)
 	}
 	if want := st.Fills + st.Aborts + int64(len(pendingOwned)); st.Misses != want {
-		t.Fatalf("shards=%d seed=%d: misses %d != fills %d + aborts %d + %d still pending",
-			shards, seed, st.Misses, st.Fills, st.Aborts, len(pendingOwned))
+		t.Fatalf("%s shards=%d seed=%d: misses %d != fills %d + aborts %d + %d still pending",
+			policy, shards, seed, st.Misses, st.Fills, st.Aborts, len(pendingOwned))
 	}
 }

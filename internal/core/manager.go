@@ -583,6 +583,43 @@ func (m *Manager) Stats() Stats {
 	return m.stats
 }
 
+// ScanFeed is the position/speed sample a scan-aware buffer pool consumes:
+// the predictive replacement policy (buffer.PolicyPredictive) estimates page
+// time-to-next-use from these values. Speeds are derived from the manager's
+// clocked progress reports, so under the virtual-time harness they are fully
+// deterministic.
+type ScanFeed struct {
+	// Processed is how many pages the scan has consumed, in circular
+	// visit order from its placement origin.
+	Processed int
+	// SpeedPagesSec is the manager's current speed estimate, falling back
+	// to the a-priori estimate while no measured speed exists. It can be
+	// zero if neither is known.
+	SpeedPagesSec float64
+	// Detached reports whether the scan is currently excluded from group
+	// coordination (its progress reports may be stale).
+	Detached bool
+}
+
+// ScanFeed returns the feed sample for scan id, or ok=false if the scan is
+// not registered. It is deliberately separate from Advice: advice is part of
+// the deterministic decision trace that the sim/realtime parity suite
+// compares, while the feed carries timing-derived state that only the buffer
+// pool consumes.
+func (m *Manager) ScanFeed(id ScanID) (ScanFeed, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.scans[id]
+	if !ok {
+		return ScanFeed{}, false
+	}
+	speed := s.speed
+	if speed <= 0 {
+		speed = s.initialSpeed
+	}
+	return ScanFeed{Processed: s.processed, SpeedPagesSec: speed, Detached: s.detached}, true
+}
+
 // groupOf returns the group containing scan id, or nil. Groups must be
 // current (regroupLocked) when called.
 func (m *Manager) groupOf(id ScanID) *group {

@@ -174,6 +174,8 @@ func All() []Spec {
 			Run: func(p Params) (Result, error) { return PlacementPolicies(p) }},
 		{ID: "A7", Title: "scaling: sharing benefit vs stream count",
 			Run: func(p Params) (Result, error) { return StreamSweep(p) }},
+		{ID: "A8", Title: "extension: predictive buffer management vs grouping+throttling",
+			Run: func(p Params) (Result, error) { return PredictivePolicyAB(p) }},
 	}
 }
 

@@ -39,6 +39,11 @@ type Collector struct {
 	readsCoalesced    atomic.Int64
 	coalescedFailures atomic.Int64
 
+	// Per-policy scan feed: registrations of scan footprints with a
+	// scan-aware buffer pool and the position/speed updates that follow.
+	feedRegistrations atomic.Int64
+	feedUpdates       atomic.Int64
+
 	// Latency distributions for the three waits a scan can experience:
 	// the physical read of a missed page, an SSM-inserted throttle, and
 	// the queueing delay of a prefetch request before a worker picks it up.
@@ -77,6 +82,9 @@ type CollectorStats struct {
 
 	ReadsCoalesced    int64 // misses that joined another caller's in-flight read instead of duplicating the I/O
 	CoalescedFailures int64 // coalesced waits that ended in the leader's read error
+
+	FeedRegistrations int64 // scan footprints registered with a scan-aware (predictive) pool
+	FeedUpdates       int64 // position/speed samples fed to a scan-aware pool
 
 	PageReadLatency    HistogramStats // physical read time of missed pages
 	ThrottleWaitDist   HistogramStats // SSM-inserted leader waits
@@ -225,6 +233,13 @@ func (c *Collector) ReadCoalesced() { c.readsCoalesced.Add(1) }
 // read's error propagated to the waiter.
 func (c *Collector) CoalescedFailure() { c.coalescedFailures.Add(1) }
 
+// ScanFeedRegistered records a scan footprint registered with a scan-aware
+// buffer pool (the predictive replacement policy).
+func (c *Collector) ScanFeedRegistered() { c.feedRegistrations.Add(1) }
+
+// ScanFeedUpdated records one position/speed sample fed to a scan-aware pool.
+func (c *Collector) ScanFeedUpdated() { c.feedUpdates.Add(1) }
+
 // Reset zeroes every counter and histogram, so back-to-back runs in one
 // process report from a clean slate. Like Histogram.Reset it clears field
 // by field: call it between runs, not while scan workers are writing.
@@ -241,6 +256,7 @@ func (c *Collector) Reset() {
 		&c.readRetries, &c.readTimeouts, &c.pagesFailed,
 		&c.scanDetaches, &c.scanRejoins,
 		&c.readsCoalesced, &c.coalescedFailures,
+		&c.feedRegistrations, &c.feedUpdates,
 	} {
 		v.Store(0)
 	}
@@ -276,6 +292,8 @@ func (c *Collector) Snapshot() CollectorStats {
 		ScanRejoins:        c.scanRejoins.Load(),
 		ReadsCoalesced:     c.readsCoalesced.Load(),
 		CoalescedFailures:  c.coalescedFailures.Load(),
+		FeedRegistrations:  c.feedRegistrations.Load(),
+		FeedUpdates:        c.feedUpdates.Load(),
 		PageReadLatency:    c.pageRead.Snapshot(),
 		ThrottleWaitDist:   c.throttleWait.Snapshot(),
 		PrefetchQueueDelay: c.prefetchDelay.Snapshot(),

@@ -25,6 +25,13 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files with the cur
 // artifact is byte-identical across runs, machines, and -race: any diff is a
 // real behavior change.
 func goldenChaosScript(t *testing.T) string {
+	return chaosScript(t, buffer.PolicyLRU)
+}
+
+// chaosScript is the golden script parameterized over the pool's replacement
+// policy; the replay-determinism test runs it for every policy, the golden
+// test pins the priority-LRU rendering byte-for-byte.
+func chaosScript(t *testing.T, policy string) string {
 	t.Helper()
 	const (
 		tablePages = 100
@@ -42,7 +49,7 @@ func goldenChaosScript(t *testing.T) string {
 	}
 	store := fault.MustNewStore(testStore{pageBytes: 16}, plan)
 
-	pool := buffer.MustNewPool(poolPages)
+	pool := buffer.MustNewPoolPolicy(poolPages, 1, policy)
 	mgr := core.MustNewManager(testManagerConfig(poolPages))
 	var events []core.Event
 	mgr.SetOnEvent(func(ev core.Event) { events = append(events, ev) })

@@ -1,0 +1,45 @@
+package realtime
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scanshare/internal/buffer"
+)
+
+// TestPolicyReplayDeterminism is the replay-determinism regression test for
+// the replacement policies: two runs of the seeded chaos script must render
+// byte-identical trace journals under every policy. Priority-LRU is fully
+// deterministic by construction; the predictive policy must be too, because
+// its only nondeterministic ingredient — scan-table map iteration — is
+// neutralized by an order-independent estimator and a strict-max victim
+// walk. A diff here means a policy let scheduling or map order leak into
+// eviction decisions.
+func TestPolicyReplayDeterminism(t *testing.T) {
+	for _, policy := range buffer.Policies() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			first := chaosScript(t, policy)
+			second := chaosScript(t, policy)
+			if first != second {
+				t.Errorf("two seeded runs under %s diverged:\n--- first ---\n%s\n--- second ---\n%s",
+					policy, first, second)
+			}
+		})
+	}
+}
+
+// TestPolicyReplayClassicMatchesGolden pins the refactor seam: the
+// policy-parameterized script under priority-LRU must still produce the
+// exact bytes of the pre-refactor golden artifact — the policy interface
+// must not have changed classic eviction order at all.
+func TestPolicyReplayClassicMatchesGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "chaos_trace.golden"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	if got := chaosScript(t, buffer.PolicyLRU); got != string(want) {
+		t.Error("priority-LRU chaos script diverged from the golden artifact")
+	}
+}

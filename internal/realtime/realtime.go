@@ -180,6 +180,13 @@ type Config struct {
 	// (see CONCURRENCY.md).
 	CoalesceReads bool
 
+	// DisablePoolFeed stops the runner from feeding scan footprints and
+	// position/speed samples to a scan-aware pool (buffer.PolicyPredictive).
+	// The feed is on by default whenever the pool consumes it and is a
+	// no-op otherwise; disabling it isolates the predictive policy's
+	// LRU-degenerate behavior in experiments.
+	DisablePoolFeed bool
+
 	// Sleep waits for d or until ctx is done. Defaults to a timer-based
 	// wait; perturbation harnesses substitute a virtual-clock advance.
 	Sleep func(ctx context.Context, d time.Duration)

@@ -74,6 +74,12 @@ func (r *Runner) Run(ctx context.Context, specs []ScanSpec) ([]ScanResult, error
 	return results, errors.Join(errs...)
 }
 
+// feedsPool reports whether the runner feeds scan registrations to the pool:
+// the pool's policy must consume them and the feed must not be disabled.
+func (r *Runner) feedsPool() bool {
+	return r.cfg.Pool.ScanAware() && !r.cfg.DisablePoolFeed
+}
+
 // runScan is the body of one scan worker.
 func (r *Runner) runScan(ctx context.Context, idx int, spec ScanSpec, pf *prefetcher, res *ScanResult) {
 	cfg := &r.cfg
@@ -120,10 +126,28 @@ func (r *Runner) runScan(ctx context.Context, idx int, spec ScanSpec, pf *prefet
 	res.Placement = pl
 	res.Started = cfg.Clock.Now()
 
+	// A scan-aware pool (predictive policy) learns this scan's footprint
+	// and initial speed estimate; progress reports below keep it current.
+	// Every store in the engine lays table pages out contiguously, so the
+	// device page of table-relative page 0 anchors the footprint.
+	feedPool := r.feedsPool()
+	if feedPool {
+		base := spec.PageID(spec.StartPage) - disk.PageID(spec.StartPage)
+		var seed float64
+		if f, ok := cfg.Manager.ScanFeed(id); ok {
+			seed = f.SpeedPagesSec
+		}
+		cfg.Pool.RegisterScan(int64(id), buffer.ScanFootprint{
+			Base: base, Start: spec.StartPage, End: end, Origin: pl.Origin,
+		}, seed)
+		cfg.Collector.ScanFeedRegistered()
+	}
+
 	// The scan always deregisters, whatever path it leaves on: leaked
 	// registrations would pin group structure and placement decisions for
 	// every later scan of the table.
 	defer func() {
+		cfg.Pool.UnregisterScan(int64(id))
 		hook(SiteEndScan)
 		if err := cfg.Manager.EndScan(id, cfg.Clock.Now()); err != nil && res.Err == nil {
 			res.Err = err
@@ -192,6 +216,12 @@ func (r *Runner) runScan(ctx context.Context, idx int, spec ScanSpec, pf *prefet
 			}
 			if cfg.OnAdvice != nil {
 				cfg.OnAdvice(idx, done, adv)
+			}
+			if feedPool {
+				if f, ok := cfg.Manager.ScanFeed(id); ok {
+					cfg.Pool.UpdateScan(int64(id), f.Processed, f.SpeedPagesSec)
+					cfg.Collector.ScanFeedUpdated()
+				}
 			}
 			prio = adv.Priority
 			next := adv.NextReportPages
@@ -392,6 +422,9 @@ func (r *Runner) readPage(ctx context.Context, id core.ScanID, pid disk.PageID, 
 				if rerr != nil && res.Err == nil {
 					res.Err = rerr
 				}
+				if r.feedsPool() {
+					cfg.Pool.SetScanActive(int64(id), true)
+				}
 				cfg.Collector.ScanRejoined()
 				res.Rejoins++
 			}
@@ -413,6 +446,11 @@ func (r *Runner) readPage(ctx context.Context, id core.ScanID, pid disk.PageID, 
 			hook(SiteDetached)
 			if derr != nil && res.Err == nil {
 				res.Err = derr
+			}
+			if r.feedsPool() {
+				// A detached scan's reports stop; its stale position
+				// must not keep protecting pages.
+				cfg.Pool.SetScanActive(int64(id), false)
 			}
 			cfg.Collector.ScanDetached()
 			res.Detaches++

@@ -25,6 +25,7 @@ type BenchParams struct {
 	Workers    int           `json:"workers"`
 	PoolPages  int           `json:"pool_pages"`
 	Shards     int           `json:"shards"`
+	Policy     string        `json:"policy,omitempty"` // pool replacement policy; "" means priority-lru
 	PageDelay  time.Duration `json:"page_delay_ns"`
 	ReadDelay  time.Duration `json:"read_delay_ns"`
 	Coalescing bool          `json:"coalescing"`

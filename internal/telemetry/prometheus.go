@@ -71,6 +71,8 @@ func WriteMetrics(w io.Writer, src Sources) {
 	counter("scanshare_pages_failed_total", "Pages declared failed after exhausting retries.", cs.PagesFailed)
 	counter("scanshare_scan_detaches_total", "Scans detached from group coordination.", cs.ScanDetaches)
 	counter("scanshare_scan_rejoins_total", "Detached scans re-admitted.", cs.ScanRejoins)
+	counter("scanshare_scan_feed_registrations_total", "Scan footprints registered with a scan-aware (predictive) pool.", cs.FeedRegistrations)
+	counter("scanshare_scan_feed_updates_total", "Position/speed samples fed to a scan-aware pool.", cs.FeedUpdates)
 	gauge("scanshare_prefetch_queue_depth", "Extents currently waiting in the prefetch queue.", cs.PrefetchQueueDepth())
 
 	// Latency distributions as summaries.
@@ -112,14 +114,19 @@ func writePools(w io.Writer, pools []PoolSource) {
 		return
 	}
 	type poolState struct {
-		name string
-		agg  buffer.Stats
-		occ  []int
-		cap  int
+		name   string
+		policy string
+		agg    buffer.Stats
+		occ    []int
+		cap    int
 	}
 	states := make([]poolState, 0, len(pools))
 	for _, p := range pools {
-		st := poolState{name: poolLabel(p.Name), cap: p.Capacity}
+		policy := p.Policy
+		if policy == "" {
+			policy = buffer.PolicyLRU
+		}
+		st := poolState{name: poolLabel(p.Name), policy: policy, cap: p.Capacity}
 		if p.Shards != nil {
 			for _, sh := range p.Shards() {
 				st.agg.Add(sh)
@@ -150,6 +157,11 @@ func writePools(w io.Writer, pools []PoolSource) {
 			fmt.Fprintf(w, "scanshare_pool_evictions_total{pool=%q,priority=%q} %d\n",
 				st.name, buffer.Priority(pr).String(), n)
 		}
+	}
+
+	fmt.Fprintf(w, "# HELP scanshare_pool_policy_info Replacement policy of each pool; the value is always 1.\n# TYPE scanshare_pool_policy_info gauge\n")
+	for _, st := range states {
+		fmt.Fprintf(w, "scanshare_pool_policy_info{pool=%q,policy=%q} 1\n", st.name, st.policy)
 	}
 
 	fmt.Fprintf(w, "# HELP scanshare_pool_capacity_pages Pool frame capacity.\n# TYPE scanshare_pool_capacity_pages gauge\n")

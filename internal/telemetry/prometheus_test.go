@@ -45,6 +45,9 @@ func goldenSources() Sources {
 	col.ReadCoalesced()
 	col.ScanDetached()
 	col.ScanRejoined()
+	col.ScanFeedRegistered()
+	col.ScanFeedUpdated()
+	col.ScanFeedUpdated()
 
 	mainStats := buffer.Stats{LogicalReads: 100, Hits: 60, Misses: 40, Evictions: 12}
 	mainStats.EvictionsByPr[buffer.PriorityEvict] = 9
@@ -86,6 +89,7 @@ func goldenSources() Sources {
 			{
 				Name:      "side",
 				Capacity:  32,
+				Policy:    buffer.PolicyPredictive,
 				Shards:    func() []buffer.Stats { return []buffer.Stats{sideStats} },
 				Occupancy: func() []int { return []int{10} },
 			},

@@ -41,6 +41,7 @@ import (
 type PoolSource struct {
 	Name      string
 	Capacity  int
+	Policy    string // replacement policy name; "" means the default priority-LRU
 	Shards    func() []buffer.Stats
 	Occupancy func() []int
 }
@@ -62,6 +63,7 @@ type Sources struct {
 type PoolSample struct {
 	Name      string       `json:"name"`
 	Capacity  int          `json:"capacity"`
+	Policy    string       `json:"policy,omitempty"`    // replacement policy name
 	Stats     buffer.Stats `json:"stats"`               // aggregate over shards
 	Occupancy []int        `json:"occupancy,omitempty"` // resident pages per shard
 }
@@ -306,7 +308,7 @@ func (s *Sampler) read() Sample {
 		smp.PrefetchQueueDepth = smp.Counters.PrefetchQueueDepth()
 	}
 	for _, ps := range s.src.Pools {
-		sample := PoolSample{Name: ps.Name, Capacity: ps.Capacity}
+		sample := PoolSample{Name: ps.Name, Capacity: ps.Capacity, Policy: ps.Policy}
 		if ps.Shards != nil {
 			for _, st := range ps.Shards() {
 				sample.Stats.Add(st)

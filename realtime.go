@@ -138,6 +138,13 @@ type RealtimeOptions struct {
 	// reproduce the pre-coalescing busy-poll behavior in comparisons.
 	DisableReadCoalescing bool
 
+	// DisablePredictiveFeed stops scans from feeding their footprint,
+	// position, and speed to a scan-aware buffer pool (Config.PoolPolicy
+	// PoolPolicyPredictive). The feed is on by default whenever the pool
+	// consumes it and a no-op otherwise; disabling it isolates the
+	// predictive policy's LRU-degenerate behavior in experiments.
+	DisablePredictiveFeed bool
+
 	// Collector, when non-nil, receives the run's activity counters
 	// instead of an internal throwaway one, so live observers — the
 	// telemetry sampler, the Prometheus exporter, expvar — can watch the
@@ -365,6 +372,7 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 			DetachAfterFailures:   opts.DetachAfterFailures,
 			ContinueOnPageFailure: opts.ContinueOnPageFailure,
 			CoalesceReads:         !opts.DisableReadCoalescing,
+			DisablePoolFeed:       opts.DisablePredictiveFeed,
 			Tracer:                opts.Tracer,
 		})
 		if err != nil {

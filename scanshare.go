@@ -33,9 +33,21 @@ package scanshare
 import (
 	"time"
 
+	"scanshare/internal/buffer"
 	"scanshare/internal/core"
 	"scanshare/internal/exec"
 	"scanshare/internal/record"
+)
+
+// Buffer pool replacement policy names, for Config.PoolPolicy and
+// PoolConfig.Policy.
+const (
+	// PoolPolicyLRU is the paper's priority-LRU replacement (default).
+	PoolPolicyLRU = buffer.PolicyLRU
+	// PoolPolicyPredictive is predictive buffer management: the victim is
+	// the frame with the largest estimated time to next use, computed
+	// from registered scan positions and speeds.
+	PoolPolicyPredictive = buffer.PolicyPredictive
 )
 
 // Re-exported schema and value types. These aliases are the package's data
@@ -229,6 +241,8 @@ type PoolConfig struct {
 	Pages int
 	// Shards overrides Config.PoolShards for this pool; 0 inherits it.
 	Shards int
+	// Policy overrides Config.PoolPolicy for this pool; "" inherits it.
+	Policy string
 }
 
 // Config configures an Engine.
@@ -248,6 +262,14 @@ type Config struct {
 	// contention between concurrent scan workers. Shards cannot exceed
 	// the pool's page count.
 	PoolShards int
+	// PoolPolicy selects the buffer pools' replacement policy:
+	// PoolPolicyLRU (the paper's priority-LRU, the default when empty) or
+	// PoolPolicyPredictive (predictive buffer management: realtime scans
+	// register position and speed with the pool and the victim is the
+	// frame with the largest estimated time to next use). The predictive
+	// policy only receives scan registrations under RunRealtime; in
+	// virtual-time Run it degenerates to plain LRU on release order.
+	PoolPolicy string
 	// Disk, CPU and Sharing tune the cost models and the SSM.
 	Disk    DiskConfig
 	CPU     CPUConfig

@@ -3,9 +3,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint build test race fuzz test-policies bench bench-pool bench-smoke bench-smoke-baseline bench-record
+.PHONY: check vet lint build test race fuzz test-policies test-translation bench bench-pool bench-smoke bench-smoke-baseline bench-record
 
-check: vet lint build test race fuzz test-policies bench-smoke
+check: vet lint build test race fuzz test-policies test-translation bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,12 +37,15 @@ race:
 	$(GO) test -race -count=2 ./internal/...
 	$(GO) test -race -cpu 2,8 ./internal/buffer ./internal/realtime ./internal/telemetry
 
-# Short coverage-guided fuzz passes: the SQL parser and the buffer pool's
-# operation-sequence fuzzer (which also covers the replacement-policy choice
-# and scan-registration events); a longer session is one FUZZTIME=5m away.
+# Short coverage-guided fuzz passes: the SQL parser, the buffer pool's
+# operation-sequence fuzzer (which also covers the replacement-policy and
+# translation-table choices plus scan-registration events), and the
+# translation-directory fuzzer (chunked COW growth, range discipline,
+# overflow ids); a longer session is one FUZZTIME=5m away.
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sql
 	$(GO) test -fuzz FuzzPoolOps -fuzztime $(FUZZTIME) ./internal/buffer
+	$(GO) test -fuzz FuzzTranslation -fuzztime $(FUZZTIME) ./internal/buffer
 
 # The differential policy harness: reference-model equivalence for every
 # replacement policy across shard counts, the estimator edge cases, the
@@ -53,13 +56,24 @@ test-policies:
 	$(GO) test -run 'TestPolicyReplay|TestGoldenChaosTrace' ./internal/realtime
 	$(GO) test -race -run 'TestShardedPoolMatchesModel|TestPolicyReplayDeterminism' ./internal/buffer ./internal/realtime
 
+# The optimistic-translation proof obligations (see CONCURRENCY.md): the
+# translation edge cases and differential matrix, the torn-read detector and
+# linearizability harness under the race detector at constrained and
+# oversubscribed GOMAXPROCS, and the array-translation replay-determinism
+# regression against the cooperative scheduler.
+test-translation:
+	$(GO) test -run 'TestTranslation|TestOptimistic|TestEvictionRacesValidatingReader|TestVersionWraparound|TestErrAllPinnedParity|TestMapTranslationNoOptimisticPath' ./internal/buffer
+	$(GO) test -race -cpu 2,8 -run 'TestOptimisticTornReads|TestOptimisticLinearizability' ./internal/buffer
+	$(GO) test -run 'TestTranslationReplayDeterminism' ./internal/realtime
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Pool lock-contention surface: the acquire/release hot path across shard
-# counts and GOMAXPROCS (see EXPERIMENTS.md for interpreting the matrix).
+# counts and GOMAXPROCS, plus the translation A/B on read-mostly hits
+# (see EXPERIMENTS.md and DESIGN.md for interpreting the matrices).
 bench-pool:
-	$(GO) test -run '^$$' -bench BenchmarkPoolAcquireRelease -benchmem -cpu 1,4,8 ./internal/buffer
+	$(GO) test -run '^$$' -bench 'BenchmarkPoolAcquireRelease|BenchmarkPoolAcquireHitParallel' -benchmem -cpu 1,4,8 ./internal/buffer
 
 # Tiny deterministic realtime bench compared against the checked-in
 # baseline. The workload is sleep-dominated (page/read delays dwarf CPU
@@ -81,11 +95,12 @@ bench-smoke-baseline:
 
 # Record the full realtime benchmark as the repo's persisted trajectory
 # point (BENCH_<n>.json at the repo root, one per PR; see EXPERIMENTS.md).
-# This PR's point also records a predictive-policy run of the same workload
-# and cross-checks the two with the comparator: the policies must agree on
-# pages_read (same workload) and predictive must not collapse throughput or
-# hit ratio relative to classic.
+# This PR's point runs the workload under array translation (the optimistic
+# lock-free hit path live) next to a map-translation baseline of the same
+# workload, and cross-checks the two with the comparator: the translations
+# must agree on pages_read (same workload) and the array table must not
+# collapse throughput or hit ratio relative to the classic map.
 bench-record:
-	$(GO) run ./cmd/scanshare-bench -realtime 16 -pool-shards 4 -bench-name realtime-16x4 -bench-json BENCH_6.json
-	$(GO) run ./cmd/scanshare-bench -realtime 16 -pool-shards 4 -pool-policy predictive -bench-name realtime-16x4-predictive -bench-json BENCH_6_predictive.json
-	$(GO) run ./cmd/scanshare-bench -compare BENCH_6.json -compare-tolerance 0.5 BENCH_6_predictive.json
+	$(GO) run ./cmd/scanshare-bench -realtime 16 -pool-shards 4 -pool-translation array -bench-name realtime-16x4-array -bench-json BENCH_7.json
+	$(GO) run ./cmd/scanshare-bench -realtime 16 -pool-shards 4 -bench-name realtime-16x4-map -bench-json BENCH_7_map.json
+	$(GO) run ./cmd/scanshare-bench -compare BENCH_7_map.json -compare-tolerance 0.5 BENCH_7.json

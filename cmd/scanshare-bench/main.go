@@ -32,6 +32,7 @@ func main() {
 	rtWorkers := flag.Int("rt-workers", 4, "realtime mode: prefetch worker count")
 	rtShards := flag.Int("pool-shards", 1, "realtime mode: lock-striped buffer pool shard count (1 = classic single-mutex pool)")
 	rtPolicy := flag.String("pool-policy", "", "buffer pool replacement policy: priority-lru (default) or predictive")
+	rtTranslation := flag.String("pool-translation", "", "buffer pool page translation: map (default) or array (lock-free optimistic hit path)")
 	rtNoCoalesce := flag.Bool("rt-no-coalesce", false, "realtime mode: disable singleflight read coalescing (reproduce busy-poll behavior)")
 	rtPageDelay := flag.Duration("rt-pagedelay", 50*time.Microsecond, "realtime mode: per-page processing delay")
 	rtReadDelay := flag.Duration("rt-readdelay", 200*time.Microsecond, "realtime mode: per-physical-read device delay")
@@ -91,7 +92,7 @@ func main() {
 	}
 
 	if *rtScans > 0 {
-		if err := runRealtime(p, *rtScans, *rtWorkers, *rtShards, *rtPolicy, *rtNoCoalesce, *rtPageDelay, *rtReadDelay, rtFaults, rtObs); err != nil {
+		if err := runRealtime(p, *rtScans, *rtWorkers, *rtShards, *rtPolicy, *rtTranslation, *rtNoCoalesce, *rtPageDelay, *rtReadDelay, rtFaults, rtObs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -149,7 +149,7 @@ func gitRev() string {
 // Unlike the virtual-time experiments, the printed timings depend on the
 // machine; the structural counters (placements, hit ratio, throttles) are
 // what to look at.
-func runRealtime(p experiments.Params, n, workers, shards int, policy string, noCoalesce bool, pageDelay, readDelay time.Duration, faults rtFaultFlags, obs rtObsFlags) error {
+func runRealtime(p experiments.Params, n, workers, shards int, policy, translation string, noCoalesce bool, pageDelay, readDelay time.Duration, faults rtFaultFlags, obs rtObsFlags) error {
 	rows := int(30000 * p.Scale)
 	poolPages := poolPagesFor(rows, p.BufferFrac)
 	eng, err := scanshare.New(scanshare.Config{
@@ -158,6 +158,7 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy string, no
 		BufferPoolPages: poolPages,
 		PoolShards:      shards,
 		PoolPolicy:      policy,
+		PoolTranslation: translation,
 		Sharing:         scanshare.SharingConfig{PrefetchExtentPages: p.ExtentPages},
 	})
 	if err != nil {
@@ -165,6 +166,9 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy string, no
 	}
 	if policy == "" {
 		policy = scanshare.PoolPolicyLRU
+	}
+	if translation == "" {
+		translation = scanshare.PoolTranslationMap
 	}
 	schema := scanshare.MustSchema(
 		scanshare.Field{Name: "id", Kind: scanshare.KindInt64},
@@ -334,8 +338,8 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy string, no
 		}()
 	}
 
-	fmt.Printf("realtime: %d goroutine scans of %d pages, pool %d pages (%d shards, %s policy), %d prefetch workers\n",
-		n, tbl.NumPages(), poolPages, shards, policy, workers)
+	fmt.Printf("realtime: %d goroutine scans of %d pages, pool %d pages (%d shards, %s policy, %s translation), %d prefetch workers\n",
+		n, tbl.NumPages(), poolPages, shards, policy, translation, workers)
 	if faults.scenario != "" {
 		fmt.Printf("faults: scenario %q, prob %.3f, seed %d; timeout %v, %d retries, detach after %d\n",
 			faults.scenario, faults.prob, faults.seed, faults.readTimeout, faults.retries, faults.detachAfter)
@@ -397,6 +401,10 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy string, no
 		if rep.Counters.CoalescedFailures > 0 {
 			line += fmt.Sprintf(" (%d failed)", rep.Counters.CoalescedFailures)
 		}
+		if def.OptimisticHits > 0 || def.OptimisticFallbacks > 0 {
+			line += fmt.Sprintf("; optimistic: %d lock-free hits, %d retries, %d fallbacks",
+				def.OptimisticHits, def.OptimisticRetries, def.OptimisticFallbacks)
+		}
 		if len(def.PerShard) > 1 {
 			line += "; per-shard reads:"
 			for _, sh := range def.PerShard {
@@ -434,15 +442,16 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy string, no
 
 	if obs.benchJSON != "" {
 		res := rep.BenchResult(telemetry.BenchParams{
-			Pages:      tbl.NumPages(),
-			Scans:      n,
-			Workers:    workers,
-			PoolPages:  poolPages,
-			Shards:     shards,
-			Policy:     policy,
-			PageDelay:  pageDelay,
-			ReadDelay:  readDelay,
-			Coalescing: !noCoalesce,
+			Pages:       tbl.NumPages(),
+			Scans:       n,
+			Workers:     workers,
+			PoolPages:   poolPages,
+			Shards:      shards,
+			Policy:      policy,
+			Translation: translation,
+			PageDelay:   pageDelay,
+			ReadDelay:   readDelay,
+			Coalescing:  !noCoalesce,
 		})
 		res.Name = obs.benchName
 		res.GitRev = gitRev()

@@ -125,7 +125,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.PoolShards < 0 {
 		return nil, fmt.Errorf("scanshare: negative PoolShards %d", cfg.PoolShards)
 	}
-	def, err := newPoolRT("", cfg.BufferPoolPages, cfg.PoolShards, cfg.PoolPolicy, cfg.Sharing)
+	def, err := newPoolRT("", cfg.BufferPoolPages, cfg.PoolShards, cfg.PoolPolicy, cfg.PoolTranslation, cfg.Sharing)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +146,11 @@ func New(cfg Config) (*Engine, error) {
 		if policy == "" {
 			policy = cfg.PoolPolicy
 		}
-		rt, err := newPoolRT(pc.Name, pc.Pages, shards, policy, cfg.Sharing)
+		translation := pc.Translation
+		if translation == "" {
+			translation = cfg.PoolTranslation
+		}
+		rt, err := newPoolRT(pc.Name, pc.Pages, shards, policy, translation, cfg.Sharing)
 		if err != nil {
 			return nil, fmt.Errorf("scanshare: pool %q: %w", pc.Name, err)
 		}
@@ -157,12 +161,20 @@ func New(cfg Config) (*Engine, error) {
 
 // newPoolRT creates one buffer pool and its scan sharing manager. The SSM's
 // grouping budget is the pool's own size. shards <= 1 builds the classic
-// single-shard pool; policy "" selects the default priority-LRU replacement.
-func newPoolRT(name string, pages, shards int, policy string, s SharingConfig) (*poolRT, error) {
+// single-shard pool; policy "" selects the default priority-LRU replacement;
+// translation "" selects the classic map page table. Array translation
+// coverage grows on demand as tables load, since pools are created before
+// the catalog is populated.
+func newPoolRT(name string, pages, shards int, policy, translation string, s SharingConfig) (*poolRT, error) {
 	if shards <= 0 {
 		shards = 1
 	}
-	pool, err := buffer.NewPoolPolicy(pages, shards, policy)
+	pool, err := buffer.NewPoolOpts(buffer.PoolOptions{
+		Capacity:    pages,
+		Shards:      shards,
+		Policy:      policy,
+		Translation: translation,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -324,11 +336,12 @@ func (e *Engine) TelemetrySources(col *metrics.Collector) telemetry.Sources {
 	for _, name := range names {
 		rt := e.pools[name]
 		src.Pools = append(src.Pools, telemetry.PoolSource{
-			Name:      name,
-			Capacity:  rt.pool.Capacity(),
-			Policy:    rt.pool.Policy(),
-			Shards:    rt.pool.ShardStats,
-			Occupancy: rt.pool.ShardOccupancy,
+			Name:        name,
+			Capacity:    rt.pool.Capacity(),
+			Policy:      rt.pool.Policy(),
+			Translation: rt.pool.Translation(),
+			Shards:      rt.pool.ShardStats,
+			Occupancy:   rt.pool.ShardOccupancy,
 		})
 	}
 	return src

@@ -24,17 +24,7 @@ func BenchmarkPoolAcquireRelease(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			pool := MustNewPoolShards(capacity, shards)
-			for pid := disk.PageID(0); pid < workingSet; pid++ {
-				if st, _ := pool.Acquire(pid); st != Miss {
-					b.Fatalf("warmup acquire(%d) = %v", pid, st)
-				}
-				if err := pool.Fill(pid, nil); err != nil {
-					b.Fatal(err)
-				}
-				if err := pool.Release(pid, PriorityNormal); err != nil {
-					b.Fatal(err)
-				}
-			}
+			warmPool(b, pool, workingSet)
 			var nextGoroutine atomic.Int64
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
@@ -57,5 +47,70 @@ func BenchmarkPoolAcquireRelease(b *testing.B) {
 			b.StopTimer()
 			pool.CheckInvariants()
 		})
+	}
+}
+
+// warmPool fills pages 0..workingSet-1 and leaves them unpinned at normal
+// priority, so a benchmark's steady state is all hits.
+func warmPool(b *testing.B, pool *Pool, workingSet disk.PageID) {
+	b.Helper()
+	for pid := disk.PageID(0); pid < workingSet; pid++ {
+		if st, _ := pool.Acquire(pid); st != Miss {
+			b.Fatalf("warmup acquire(%d) = %v", pid, st)
+		}
+		if err := pool.Fill(pid, []byte{byte(pid)}); err != nil {
+			b.Fatal(err)
+		}
+		if err := pool.Release(pid, PriorityNormal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolAcquireHitParallel is the translation A/B on the read-mostly
+// hit path: every goroutine runs the runner's fetch discipline — try
+// ReadOptimistic, fall back to Acquire/Release — against a fully warm pool,
+// so every operation is a hit and the two translations differ only in how
+// the hit is served. Map translation declines the optimistic call in one
+// branch and takes the shard mutex both ways; array translation serves the
+// hit with three atomic loads and a validation load, no mutex, no pin
+// bookkeeping. Run with -cpu 1,4,8 (make bench-pool): the single-CPU
+// numbers bound the fast path's raw overhead, the multi-CPU numbers show
+// the mutex convoy the optimistic path sidesteps.
+func BenchmarkPoolAcquireHitParallel(b *testing.B) {
+	const (
+		capacity   = 4096
+		workingSet = 2048
+	)
+	for _, translation := range Translations() {
+		for _, shards := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/shards=%d", translation, shards), func(b *testing.B) {
+				pool := MustNewPoolOpts(PoolOptions{
+					Capacity: capacity, Shards: shards, Translation: translation,
+				})
+				warmPool(b, pool, workingSet)
+				var nextGoroutine atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := int(nextGoroutine.Add(1)) * 7919
+					for pb.Next() {
+						pid := disk.PageID(i % workingSet)
+						i++
+						if _, ok := pool.ReadOptimistic(pid); ok {
+							continue
+						}
+						if st, _ := pool.Acquire(pid); st == Hit {
+							_ = pool.Release(pid, PriorityNormal)
+						}
+					}
+				})
+				b.StopTimer()
+				pool.CheckInvariants()
+				st := pool.Stats()
+				if translation == TranslationArray && st.OptHits == 0 {
+					b.Fatal("array benchmark never took the optimistic path")
+				}
+			})
+		}
 	}
 }

@@ -129,7 +129,7 @@ func (p *lruPolicy) check(s *shard, idx int) {
 			if f.prio != Priority(i) {
 				panic(fmt.Sprintf("buffer: page %d on level %d but prio %d", f.pid, i, f.prio))
 			}
-			if s.frames[f.pid] != f {
+			if s.lookupLocked(f.pid) != f {
 				panic(fmt.Sprintf("buffer: page %d level-list entry not in frame table", f.pid))
 			}
 		}

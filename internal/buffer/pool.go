@@ -139,8 +139,8 @@ func (s Status) Err() error {
 // of exact per-shard snapshots (each shard's counters are mutated under that
 // shard's mutex, so every summand is internally consistent).
 type Stats struct {
-	LogicalReads  int64 // Acquire calls that returned Hit or Miss
-	Hits          int64
+	LogicalReads  int64 // Acquire calls that returned Hit or Miss, plus optimistic hits
+	Hits          int64 // includes OptHits: every hit, locked or lock-free
 	Misses        int64
 	Aborts        int64 // misses whose physical read failed (Abort), never delivered
 	Fills         int64 // misses completed by Fill
@@ -148,6 +148,13 @@ type Stats struct {
 	AllPinned     int64 // Acquire calls that returned AllPinned
 	Evictions     int64
 	EvictionsByPr [numPriorities]int64
+	// Optimistic read-path counters (always zero under map translation).
+	// OptHits is the lock-free subset of Hits; OptRetries counts validation
+	// failures that re-ran the optimistic loop; OptFallbacks counts
+	// ReadOptimistic calls that gave up and sent the caller to Acquire.
+	OptHits      int64
+	OptRetries   int64
+	OptFallbacks int64
 }
 
 // Add accumulates o into s, for aggregating per-shard snapshots.
@@ -163,6 +170,9 @@ func (s *Stats) Add(o Stats) {
 	for i := range s.EvictionsByPr {
 		s.EvictionsByPr[i] += o.EvictionsByPr[i]
 	}
+	s.OptHits += o.OptHits
+	s.OptRetries += o.OptRetries
+	s.OptFallbacks += o.OptFallbacks
 }
 
 // PagesDelivered returns the number of Acquire calls that actually put page
@@ -199,6 +209,10 @@ type frameState int
 const (
 	framePending frameState = iota // reserved; disk read in flight
 	frameValid
+	// frameFree marks an array-translation frame sitting on its shard's
+	// freelist between occupants; map-translation frames are garbage
+	// collected instead and never carry this state.
+	frameFree
 )
 
 type frame struct {
@@ -210,6 +224,15 @@ type frame struct {
 	// elem is the frame's node in its priority level's LRU list while the
 	// frame is unpinned; nil while pinned or pending.
 	elem *list.Element
+
+	// version and content implement the optimistic latch under array
+	// translation (see translation.go). version is even while the frame is
+	// settled and odd while in transition; every identity change is fenced
+	// by bumps on both sides, under the shard mutex. content is the
+	// immutable (pid, data) cell optimistic readers validate against. Both
+	// stay zero under map translation.
+	version atomic.Uint64
+	content atomic.Pointer[pageContent]
 }
 
 // shard is one lock-striped partition of the pool: a fixed slice of the
@@ -219,7 +242,34 @@ type frame struct {
 type shard struct {
 	mu       sync.Mutex
 	capacity int
-	frames   map[disk.PageID]*frame
+	// frames is the classic map translation table; nil under array
+	// translation, where the shared xlate array plus the overflow map play
+	// its role. Every mode branch in this file keys off `s.frames != nil`
+	// so the map path stays operation-for-operation identical to the
+	// pre-array code (the replay goldens pin that).
+	frames map[disk.PageID]*frame
+	// xlate is the pool-wide array translation table (nil under map
+	// translation). Stores to entries owned by this shard happen under mu;
+	// loads are lock-free (ReadOptimistic).
+	xlate *translation
+	// overflow tracks resident pages whose ids the flat array rejects
+	// (negative, or past MaxTranslationPages); normally empty. Array mode
+	// only.
+	overflow map[disk.PageID]*frame
+	// all/free preallocate the shard's frames under array translation so
+	// eviction recycles real frame memory (the version protocol needs
+	// stable frame identities to fence). free is a LIFO stack.
+	all  []*frame
+	free []*frame
+	// Optimistic read-path counters, updated without mu (the fast path
+	// holds no lock); folded into Stats snapshots.
+	optHits      atomic.Int64
+	optRetries   atomic.Int64
+	optFallbacks atomic.Int64
+	// evictHook, when set (tests only, before any concurrency starts), runs
+	// under mu after a victim is fully unlinked and recycled; the
+	// linearizability harness uses it to timestamp retirements.
+	evictHook func(pid disk.PageID)
 	// policy orders the unpinned frames and picks eviction victims; every
 	// call into it happens under mu. The default is the priority-LRU of
 	// the paper, preserved operation-for-operation by lruPolicy.
@@ -240,9 +290,13 @@ type shard struct {
 // Pool is a fixed-capacity page cache with priority-aware replacement,
 // lock-striped across one or more shards. It is safe for concurrent use.
 type Pool struct {
-	capacity int
-	policy   string // canonical replacement policy name
-	shards   []*shard
+	capacity    int
+	policy      string // canonical replacement policy name
+	translation string // canonical translation kind name
+	shards      []*shard
+	// xlate is the shared array translation table; nil under map
+	// translation (which also disables the optimistic read path).
+	xlate *translation
 	// scans is the predictive policy's scan registry, shared by all
 	// shards; nil under policies that ignore scan registrations.
 	scans *scanTable
@@ -280,6 +334,44 @@ func NewPoolShards(capacity, shards int) (*Pool, error) {
 // replacement policy name ("" selects the default priority-LRU; see
 // Policies). Capacity and shard constraints are those of NewPoolShards.
 func NewPoolPolicy(capacity, shards int, policy string) (*Pool, error) {
+	if shards <= 0 {
+		// PoolOptions treats a zero shard count as "default to one"; the
+		// positional constructors keep their stricter contract.
+		return nil, fmt.Errorf("buffer: non-positive shard count %d", shards)
+	}
+	return NewPoolOpts(PoolOptions{Capacity: capacity, Shards: shards, Policy: policy})
+}
+
+// PoolOptions configures NewPoolOpts. The zero value of every field except
+// Capacity selects the default: one shard, priority-LRU replacement, map
+// translation.
+type PoolOptions struct {
+	// Capacity is the total frame count, split across shards; required.
+	Capacity int
+	// Shards is the lock-stripe count (0 means 1); must not exceed
+	// Capacity.
+	Shards int
+	// Policy is the replacement policy name ("" means priority-LRU; see
+	// Policies).
+	Policy string
+	// Translation selects the page-translation structure ("" means the
+	// classic per-shard map; see Translations). TranslationArray enables
+	// the optimistic lock-free read path (ReadOptimistic).
+	Translation string
+	// TranslationPages pre-grows array-translation coverage to this many
+	// page ids (e.g. the table catalog's total page count) so steady-state
+	// misses never take the growth lock; coverage still grows on demand
+	// beyond it. Ignored under map translation.
+	TranslationPages int
+}
+
+// NewPoolOpts creates a pool from o; it is the full-width constructor the
+// NewPool/NewPoolShards/NewPoolPolicy wrappers delegate to.
+func NewPoolOpts(o PoolOptions) (*Pool, error) {
+	capacity, shards := o.Capacity, o.Shards
+	if shards == 0 {
+		shards = 1
+	}
 	if capacity <= 0 {
 		return nil, fmt.Errorf("buffer: non-positive capacity %d", capacity)
 	}
@@ -289,13 +381,23 @@ func NewPoolPolicy(capacity, shards int, policy string) (*Pool, error) {
 	if shards > capacity {
 		return nil, fmt.Errorf("buffer: %d shards exceed capacity %d (every shard needs a frame)", shards, capacity)
 	}
-	canonical, err := NormalizePolicy(policy)
+	canonical, err := NormalizePolicy(o.Policy)
 	if err != nil {
 		return nil, err
 	}
-	p := &Pool{capacity: capacity, policy: canonical, shards: make([]*shard, shards)}
+	xkind, err := NormalizeTranslation(o.Translation)
+	if err != nil {
+		return nil, err
+	}
+	if o.TranslationPages < 0 {
+		return nil, fmt.Errorf("buffer: negative translation pre-size %d", o.TranslationPages)
+	}
+	p := &Pool{capacity: capacity, policy: canonical, translation: xkind, shards: make([]*shard, shards)}
 	if canonical == PolicyPredictive {
 		p.scans = newScanTable()
+	}
+	if xkind == TranslationArray {
+		p.xlate = newTranslation(o.TranslationPages)
 	}
 	base, extra := capacity/shards, capacity%shards
 	for i := range p.shards {
@@ -303,14 +405,37 @@ func NewPoolPolicy(capacity, shards int, policy string) (*Pool, error) {
 		if i < extra {
 			c++
 		}
-		p.shards[i] = &shard{
+		s := &shard{
 			capacity: c,
-			frames:   make(map[disk.PageID]*frame, c),
 			policy:   newPolicy(canonical, p.scans),
 			tracer:   &p.tracer,
 		}
+		if p.xlate == nil {
+			s.frames = make(map[disk.PageID]*frame, c)
+		} else {
+			s.xlate = p.xlate
+			s.overflow = make(map[disk.PageID]*frame)
+			s.all = make([]*frame, c)
+			s.free = make([]*frame, 0, c)
+			for j := range s.all {
+				f := &frame{state: frameFree}
+				s.all[j] = f
+				s.free = append(s.free, f)
+			}
+		}
+		p.shards[i] = s
 	}
 	return p, nil
+}
+
+// MustNewPoolOpts is NewPoolOpts for known-good parameters; it panics on
+// error.
+func MustNewPoolOpts(o PoolOptions) *Pool {
+	p, err := NewPoolOpts(o)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // MustNewPool is NewPool for known-good parameters; it panics on error.
@@ -395,14 +520,103 @@ func (p *Pool) ShardOccupancy() []int {
 	return out
 }
 
+// lookupLocked resolves pid to its resident frame, or nil. Under map
+// translation it is the classic map probe; under array translation it loads
+// the flat-array entry (or, for out-of-range ids, the overflow map).
+func (s *shard) lookupLocked(pid disk.PageID) *frame {
+	if s.frames != nil {
+		return s.frames[pid]
+	}
+	if e := s.xlate.entry(pid); e != nil {
+		return e.Load()
+	}
+	if len(s.overflow) != 0 {
+		return s.overflow[pid]
+	}
+	return nil
+}
+
+// occupiedLocked returns the number of resident (valid or pending) frames.
+func (s *shard) occupiedLocked() int {
+	if s.frames != nil {
+		return len(s.frames)
+	}
+	return len(s.all) - len(s.free)
+}
+
+// reserveLocked creates and links a pending, pinned frame for pid; the
+// caller has verified a frame is available. Map translation allocates a
+// fresh frame exactly as the classic pool did. Array translation recycles
+// one from the freelist, moves its version even→odd (in transition) BEFORE
+// publishing it in the translation entry, and grows array coverage on
+// demand — out-of-range ids land in the overflow map and are simply never
+// optimistically readable.
+func (s *shard) reserveLocked(pid disk.PageID) *frame {
+	if s.frames != nil {
+		f := &frame{pid: pid, pins: 1, state: framePending}
+		s.frames[pid] = f
+		return f
+	}
+	n := len(s.free) - 1
+	f := s.free[n]
+	s.free[n] = nil
+	s.free = s.free[:n]
+	f.pid = pid
+	f.pins = 1
+	f.state = framePending
+	f.prio = 0
+	f.version.Add(1) // even→odd: in transition until Fill or Abort settles it
+	if e := s.xlate.ensure(pid); e != nil {
+		e.Store(f)
+	} else {
+		s.overflow[pid] = f
+	}
+	return f
+}
+
+// unlinkLocked removes f from the translation structure (frame map, array
+// entry, or overflow map). Array mode: the caller must have made f's
+// version odd first, so an optimistic reader holding a stale entry load
+// fails validation rather than trusting a dangling frame.
+func (s *shard) unlinkLocked(f *frame) {
+	if s.frames != nil {
+		delete(s.frames, f.pid)
+		return
+	}
+	if e := s.xlate.entry(f.pid); e != nil && e.Load() == f {
+		e.Store(nil)
+	} else {
+		delete(s.overflow, f.pid)
+	}
+}
+
+// recycleLocked returns an unlinked array-mode frame to the freelist. If
+// the frame was settled (even version: an evicted valid page) the first
+// bump moves it odd before content is cleared; an aborted pending frame is
+// already odd. The final bump settles the version even for the next
+// occupant — net effect: every occupancy changes the version, so equality
+// validation is ABA-proof even across wraparound.
+func (s *shard) recycleLocked(f *frame) {
+	if f.version.Load()&1 == 0 {
+		f.version.Add(1)
+	}
+	f.content.Store(nil)
+	f.data = nil
+	f.pid = 0
+	f.prio = 0
+	f.state = frameFree
+	f.version.Add(1)
+	s.free = append(s.free, f)
+}
+
 // Contains reports whether pid is resident and valid (useful in tests; a
 // pending frame does not count). Only the owning shard is locked.
 func (p *Pool) Contains(pid disk.PageID) bool {
 	s := p.shardFor(pid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	f, ok := s.frames[pid]
-	return ok && f.state == frameValid
+	f := s.lookupLocked(pid)
+	return f != nil && f.state == frameValid
 }
 
 // Acquire pins page pid if resident, or reserves a frame for it.
@@ -416,7 +630,7 @@ func (p *Pool) Acquire(pid disk.PageID) (Status, []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	if f, ok := s.frames[pid]; ok {
+	if f := s.lookupLocked(pid); f != nil {
 		if f.state == framePending {
 			s.stats.BusyRetries++
 			return Busy, nil
@@ -430,7 +644,7 @@ func (p *Pool) Acquire(pid disk.PageID) (Status, []byte) {
 		return Hit, f.data
 	}
 
-	if len(s.frames) >= s.capacity && !s.evictLocked() {
+	if s.occupiedLocked() >= s.capacity && !s.evictLocked() {
 		if s.pending > 0 {
 			// An in-flight read holds at least one frame that will be
 			// filled and released shortly; waiting on an I/O timescale
@@ -444,8 +658,7 @@ func (p *Pool) Acquire(pid disk.PageID) (Status, []byte) {
 		return AllPinned, nil
 	}
 
-	f := &frame{pid: pid, pins: 1, state: framePending}
-	s.frames[pid] = f
+	s.reserveLocked(pid)
 	s.resident.Add(1)
 	s.pending++
 	s.stats.LogicalReads++
@@ -462,14 +675,29 @@ func (s *shard) evictLocked() bool {
 	if victim == nil {
 		return false
 	}
-	delete(s.frames, victim.pid)
+	pid := victim.pid
+	// Array translation: make the version odd BEFORE the entry and content
+	// change, so an optimistic reader that already loaded the frame pointer
+	// cannot validate against the dying occupancy (the second bump happens
+	// in recycleLocked once the frame is scrubbed).
+	if s.frames == nil {
+		victim.version.Add(1)
+	}
+	s.unlinkLocked(victim)
 	s.resident.Add(-1)
 	s.stats.Evictions++
 	s.stats.EvictionsByPr[victim.prio]++
 	s.tracer.Load().Emit(trace.Event{
-		Kind: trace.KindEvict, Page: int64(victim.pid), Prio: int8(victim.prio),
+		Kind: trace.KindEvict, Page: int64(pid), Prio: int8(victim.prio),
 		Scan: trace.NoID, Peer: trace.NoID, Table: trace.NoID,
 	})
+	if s.frames == nil {
+		// The version is already odd; recycle clears content and settles it.
+		s.recycleLocked(victim)
+	}
+	if s.evictHook != nil {
+		s.evictHook(pid)
+	}
 	return true
 }
 
@@ -479,8 +707,8 @@ func (p *Pool) Fill(pid disk.PageID, data []byte) error {
 	s := p.shardFor(pid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	f, ok := s.frames[pid]
-	if !ok {
+	f := s.lookupLocked(pid)
+	if f == nil {
 		return fmt.Errorf("buffer: Fill of non-resident page %d", pid)
 	}
 	if f.state != framePending {
@@ -490,6 +718,15 @@ func (p *Pool) Fill(pid disk.PageID, data []byte) error {
 	f.state = frameValid
 	s.pending--
 	s.stats.Fills++
+	if s.frames == nil {
+		// Publish the immutable content cell, then settle the version
+		// odd→even; only after this store can an optimistic read validate.
+		// Coalesced misses go through here too, and the runner's flight
+		// table only wakes waiters after Fill returns, so versions are
+		// always settled before waiters retry.
+		f.content.Store(&pageContent{pid: pid, data: data})
+		f.version.Add(1)
+	}
 	return nil
 }
 
@@ -499,11 +736,16 @@ func (p *Pool) Abort(pid disk.PageID) error {
 	s := p.shardFor(pid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	f, ok := s.frames[pid]
-	if !ok || f.state != framePending {
+	f := s.lookupLocked(pid)
+	if f == nil || f.state != framePending {
 		return fmt.Errorf("buffer: Abort of page %d that is not pending", pid)
 	}
-	delete(s.frames, pid)
+	s.unlinkLocked(f)
+	if s.frames == nil {
+		// The frame's version has been odd since reserveLocked; recycling
+		// settles it even with no occupant.
+		s.recycleLocked(f)
+	}
 	s.resident.Add(-1)
 	s.pending--
 	// The reserving Acquire counted a Miss, but the page was never
@@ -522,8 +764,8 @@ func (p *Pool) Release(pid disk.PageID, prio Priority) error {
 	s := p.shardFor(pid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	f, ok := s.frames[pid]
-	if !ok {
+	f := s.lookupLocked(pid)
+	if f == nil {
 		return fmt.Errorf("buffer: Release of non-resident page %d", pid)
 	}
 	if f.state != frameValid {
@@ -549,8 +791,8 @@ func (p *Pool) ReleaseRetain(pid disk.PageID) error {
 	s := p.shardFor(pid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	f, ok := s.frames[pid]
-	if !ok {
+	f := s.lookupLocked(pid)
+	if f == nil {
 		return fmt.Errorf("buffer: ReleaseRetain of non-resident page %d", pid)
 	}
 	if f.state != frameValid {
@@ -575,10 +817,26 @@ func (p *Pool) Stats() Stats {
 	var total Stats
 	for _, s := range p.shards {
 		s.mu.Lock()
-		total.Add(s.stats)
+		total.Add(s.snapshotLocked())
 		s.mu.Unlock()
 	}
 	return total
+}
+
+// snapshotLocked folds the lock-free optimistic counters into the shard's
+// mutex-guarded counters: optimistic hits are hits (and logical reads) like
+// any other, they just never took the lock. With no concurrent optimistic
+// readers (every deterministic test) the fold is exact; mid-flight it is
+// the usual striped-counter approximation.
+func (s *shard) snapshotLocked() Stats {
+	out := s.stats
+	oh := s.optHits.Load()
+	out.OptHits = oh
+	out.OptRetries = s.optRetries.Load()
+	out.OptFallbacks = s.optFallbacks.Load()
+	out.Hits += oh
+	out.LogicalReads += oh
+	return out
 }
 
 // ShardStats returns one exact counter snapshot per shard, in shard order.
@@ -587,7 +845,7 @@ func (p *Pool) ShardStats() []Stats {
 	out := make([]Stats, len(p.shards))
 	for i, s := range p.shards {
 		s.mu.Lock()
-		out[i] = s.stats
+		out[i] = s.snapshotLocked()
 		s.mu.Unlock()
 	}
 	return out
@@ -598,6 +856,9 @@ func (p *Pool) ResetStats() {
 	for _, s := range p.shards {
 		s.mu.Lock()
 		s.stats = Stats{}
+		s.optHits.Store(0)
+		s.optRetries.Store(0)
+		s.optFallbacks.Store(0)
 		s.mu.Unlock()
 	}
 }
@@ -611,7 +872,7 @@ func (p *Pool) CheckInvariants() {
 	for i, s := range p.shards {
 		s.mu.Lock()
 		s.checkInvariantsLocked(i)
-		agg.Add(s.stats)
+		agg.Add(s.snapshotLocked())
 		s.mu.Unlock()
 	}
 	if delivered := agg.Hits + agg.Misses - agg.Aborts; delivered < 0 {
@@ -621,17 +882,21 @@ func (p *Pool) CheckInvariants() {
 }
 
 func (s *shard) checkInvariantsLocked(idx int) {
-	if len(s.frames) > s.capacity {
-		panic(fmt.Sprintf("buffer: shard %d has %d frames resident, capacity %d", idx, len(s.frames), s.capacity))
+	occupied := s.occupiedLocked()
+	if occupied > s.capacity {
+		panic(fmt.Sprintf("buffer: shard %d has %d frames resident, capacity %d", idx, occupied, s.capacity))
 	}
-	if got := s.resident.Load(); got != int64(len(s.frames)) {
-		panic(fmt.Sprintf("buffer: shard %d resident counter %d but %d frames in table", idx, got, len(s.frames)))
+	if got := s.resident.Load(); got != int64(occupied) {
+		panic(fmt.Sprintf("buffer: shard %d resident counter %d but %d frames in table", idx, got, occupied))
 	}
 	s.policy.check(s, idx)
 	pending := 0
-	for pid, f := range s.frames {
+	s.forEachFrameLocked(func(pid disk.PageID, f *frame) {
 		if f.pid != pid {
 			panic("buffer: frame table key mismatch")
+		}
+		if s.lookupLocked(pid) != f {
+			panic(fmt.Sprintf("buffer: page %d frame not reachable through translation", pid))
 		}
 		if f.pins == 0 && f.state == frameValid && f.elem == nil {
 			panic(fmt.Sprintf("buffer: unpinned valid page %d not on any level list", pid))
@@ -639,8 +904,54 @@ func (s *shard) checkInvariantsLocked(idx int) {
 		if f.state == framePending {
 			pending++
 		}
-	}
+		if s.frames == nil {
+			// The optimistic-latch protocol: version parity must track
+			// settledness, and a settled valid frame's content cell must
+			// agree with its identity.
+			odd := f.version.Load()&1 == 1
+			if (f.state == framePending) != odd {
+				panic(fmt.Sprintf("buffer: page %d state %d with version parity %v", pid, f.state, odd))
+			}
+			if f.state == frameValid {
+				c := f.content.Load()
+				if c == nil || c.pid != pid {
+					panic(fmt.Sprintf("buffer: valid page %d with stale or missing content cell", pid))
+				}
+			}
+		}
+	})
 	if pending != s.pending {
 		panic(fmt.Sprintf("buffer: shard %d has %d pending frames resident but pending counter is %d", idx, pending, s.pending))
+	}
+	if s.frames == nil {
+		nonFree := 0
+		for _, f := range s.all {
+			if f.state != frameFree {
+				nonFree++
+			}
+		}
+		if nonFree != occupied {
+			panic(fmt.Sprintf("buffer: shard %d has %d non-free frames but occupancy %d", idx, nonFree, occupied))
+		}
+		for _, f := range s.free {
+			if f.state != frameFree || f.version.Load()&1 != 0 || f.content.Load() != nil {
+				panic(fmt.Sprintf("buffer: shard %d freelist holds an unsettled frame", idx))
+			}
+		}
+	}
+}
+
+// forEachFrameLocked visits every resident frame with its page id.
+func (s *shard) forEachFrameLocked(fn func(pid disk.PageID, f *frame)) {
+	if s.frames != nil {
+		for pid, f := range s.frames {
+			fn(pid, f)
+		}
+		return
+	}
+	for _, f := range s.all {
+		if f.state != frameFree {
+			fn(f.pid, f)
+		}
 	}
 }

@@ -206,7 +206,7 @@ func (p *predictivePolicy) check(s *shard, idx int) {
 		if f.pins != 0 {
 			panicf("buffer: pinned page %d on predictive release list (shard %d)", f.pid, idx)
 		}
-		if s.frames[f.pid] != f {
+		if s.lookupLocked(f.pid) != f {
 			panicf("buffer: page %d on predictive release list but not in frame table (shard %d)", f.pid, idx)
 		}
 	}

@@ -291,37 +291,116 @@ func (m *modelShard) contains(pid disk.PageID) bool {
 	return ok && !f.pending
 }
 
+// modelXlate mirrors the array translation table's observable state: how
+// many page ids the flat array currently covers. Coverage grows in whole
+// chunks when a miss reserves a frame for an in-range pid; out-of-range
+// pids (negative, or past the cap) never touch it.
+type modelXlate struct {
+	covered int
+}
+
+func modelInRange(pid disk.PageID) bool {
+	return pid >= 0 && pid < MaxTranslationPages
+}
+
+// reserve records the coverage growth a miss-reserve of pid causes.
+func (x *modelXlate) reserve(pid disk.PageID) {
+	if x == nil || !modelInRange(pid) {
+		return
+	}
+	if want := (int(pid)/xlateChunkPages + 1) * xlateChunkPages; want > x.covered {
+		x.covered = want
+	}
+}
+
+// readOptimistic predicts ReadOptimistic for a single-threaded array pool
+// and mutates the model counters exactly as the real fast path does: a hit
+// iff pid is in array coverage, resident, and valid; every declined call is
+// exactly one fallback; no retries can occur without concurrency. Hits fold
+// into Hits and LogicalReads the way snapshotLocked folds the atomic
+// counters.
+func (m *modelShard) readOptimistic(pid disk.PageID, x *modelXlate) bool {
+	if !modelInRange(pid) || int(pid) >= x.covered {
+		m.stats.OptFallbacks++
+		return false
+	}
+	f, ok := m.frames[pid]
+	if !ok || f.pending {
+		m.stats.OptFallbacks++
+		return false
+	}
+	m.stats.OptHits++
+	m.stats.Hits++
+	m.stats.LogicalReads++
+	return true
+}
+
 // TestShardedPoolMatchesModel is the model-based differential test: the real
 // pool and the per-shard reference models are driven through the same
 // randomized operation sequence — acquires, fills, aborts, releases at every
-// priority, priority-retaining releases, multi-pins, and (for the predictive
-// policy) scan registration traffic — and every Acquire status, every
-// counter, and the final residency set must agree exactly. With one shard
-// this pins down the classic single-mutex semantics the replay harness
-// depends on; with several it proves striping changed the locking, not the
-// per-shard replacement behavior; across policies it proves the policy
-// interface, not the shard plumbing, decides the victims.
+// priority, priority-retaining releases, multi-pins, optimistic reads, and
+// (for the predictive policy) scan registration traffic — and every Acquire
+// status, every ReadOptimistic outcome, every counter, and the final
+// residency set must agree exactly, per shard and in aggregate. The matrix
+// crosses both translation tables with both policies and 1/4/16 shards:
+// with one shard this pins down the classic single-mutex semantics the
+// replay harness depends on; with several it proves striping changed the
+// locking, not the per-shard replacement behavior; across policies it
+// proves the policy interface, not the shard plumbing, decides the victims;
+// across translations it proves the array table and its overflow map change
+// how frames are found, never which outcomes callers see. The pid stream
+// occasionally strays outside the array's hard cap (negative ids, ids past
+// MaxTranslationPages) so the overflow path faces the same differential
+// scrutiny.
 func TestShardedPoolMatchesModel(t *testing.T) {
-	for _, policy := range Policies() {
-		for _, shards := range []int{1, 2, 4, 7} {
-			t.Run(fmt.Sprintf("%s/shards=%d", policy, shards), func(t *testing.T) {
-				for seed := int64(0); seed < 8; seed++ {
-					runShardedModelSeq(t, policy, shards, seed)
-				}
-			})
+	for _, translation := range Translations() {
+		for _, policy := range Policies() {
+			for _, shards := range []int{1, 4, 16} {
+				t.Run(fmt.Sprintf("%s/%s/shards=%d", translation, policy, shards), func(t *testing.T) {
+					for seed := int64(0); seed < 8; seed++ {
+						runShardedModelSeq(t, translation, policy, shards, seed)
+					}
+				})
+			}
 		}
 	}
 }
 
-func runShardedModelSeq(t *testing.T, policy string, shards int, seed int64) {
+func runShardedModelSeq(t *testing.T, translation, policy string, shards int, seed int64) {
 	t.Helper()
 	const (
-		capacity  = 13
+		capacity  = 17 // >= the largest shard count in the matrix
 		pageRange = 40
 		steps     = 1500
 	)
 	rng := rand.New(rand.NewSource(seed))
-	pool := MustNewPoolPolicy(capacity, shards, policy)
+	pool := MustNewPoolOpts(PoolOptions{
+		Capacity: capacity, Shards: shards, Policy: policy, Translation: translation,
+	})
+
+	// The model's view of array-translation coverage; nil under map
+	// translation, where ReadOptimistic declines without counting anything.
+	var xlate *modelXlate
+	if translation == TranslationArray {
+		xlate = &modelXlate{}
+	}
+
+	// Mostly in-universe page ids, with an occasional excursion outside the
+	// flat array's representable range to exercise the overflow map.
+	outliers := []disk.PageID{-2, -1, MaxTranslationPages, MaxTranslationPages + 1}
+	randPid := func() disk.PageID {
+		if rng.Intn(12) == 0 {
+			return outliers[rng.Intn(len(outliers))]
+		}
+		return disk.PageID(rng.Intn(pageRange))
+	}
+	allPids := func() []disk.PageID {
+		out := make([]disk.PageID, 0, pageRange+len(outliers))
+		for p := 0; p < pageRange; p++ {
+			out = append(out, disk.PageID(p))
+		}
+		return append(out, outliers...)
+	}()
 
 	// One reference model per shard, with the pool's exact capacity split.
 	// The predictive models share one scan registry, like the real shards
@@ -375,6 +454,15 @@ func runShardedModelSeq(t *testing.T, policy string, shards int, seed int64) {
 			t.Fatalf("%s shards=%d seed=%d step %d: stats diverge\npool:  %+v\nmodel: %+v",
 				policy, shards, seed, step, got, want)
 		}
+		// The per-shard breakdown must match exactly too: the fold of the
+		// lock-free optimistic counters into each shard's snapshot is part
+		// of the contract the report plumbing builds on.
+		for i, got := range pool.ShardStats() {
+			if got != refs[i].stats {
+				t.Fatalf("%s shards=%d seed=%d step %d: shard %d stats diverge\npool:  %+v\nmodel: %+v",
+					policy, shards, seed, step, i, got, refs[i].stats)
+			}
+		}
 	}
 
 	// scanEvent drives the pool's scan-registration API and mirrors it into
@@ -411,9 +499,9 @@ func runShardedModelSeq(t *testing.T, policy string, shards int, seed int64) {
 	}
 
 	for step := 0; step < steps; step++ {
-		switch r := rng.Intn(12); {
+		switch r := rng.Intn(14); {
 		case r < 4: // acquire a page, possibly one we already hold
-			pid := disk.PageID(rng.Intn(pageRange))
+			pid := randPid()
 			got, _ := pool.Acquire(pid)
 			want := ref(pid).acquire(pid)
 			if got != want {
@@ -425,6 +513,7 @@ func runShardedModelSeq(t *testing.T, policy string, shards int, seed int64) {
 				pins[pid]++
 			case Miss:
 				pendingOwned[pid] = true
+				xlate.reserve(pid)
 			}
 		case r < 6: // settle a pending frame we own: usually Fill, sometimes Abort
 			owned := sortedPending()
@@ -472,6 +561,21 @@ func runShardedModelSeq(t *testing.T, policy string, shards int, seed int64) {
 			if pins[pid]--; pins[pid] == 0 {
 				delete(pins, pid)
 			}
+		case r < 12: // optimistic lock-free read attempt
+			pid := randPid()
+			data, ok := pool.ReadOptimistic(pid)
+			want := false
+			if xlate != nil {
+				want = ref(pid).readOptimistic(pid, xlate)
+			}
+			if ok != want {
+				t.Fatalf("%s shards=%d seed=%d step %d: ReadOptimistic(%d) = %v, model says %v",
+					policy, shards, seed, step, pid, ok, want)
+			}
+			if ok && (len(data) != 1 || data[0] != byte(pid)) {
+				t.Fatalf("%s shards=%d seed=%d step %d: ReadOptimistic(%d) returned %v",
+					policy, shards, seed, step, pid, data)
+			}
 		default: // scan registration traffic
 			scanEvent()
 		}
@@ -479,8 +583,7 @@ func runShardedModelSeq(t *testing.T, policy string, shards int, seed int64) {
 		if step%100 == 99 {
 			checkStats(step)
 			pool.CheckInvariants()
-			for p := 0; p < pageRange; p++ {
-				pid := disk.PageID(p)
+			for _, pid := range allPids {
 				if got, want := pool.Contains(pid), ref(pid).contains(pid); got != want {
 					t.Fatalf("%s shards=%d seed=%d step %d: Contains(%d) = %v, model says %v",
 						policy, shards, seed, step, pid, got, want)
@@ -500,10 +603,15 @@ func runShardedModelSeq(t *testing.T, policy string, shards int, seed int64) {
 	if got := pool.Len(); got != wantLen {
 		t.Fatalf("%s shards=%d seed=%d: Len() = %d, model has %d resident", policy, shards, seed, got, wantLen)
 	}
-	for p := 0; p < pageRange; p++ {
-		pid := disk.PageID(p)
+	for _, pid := range allPids {
 		if got, want := pool.Contains(pid), ref(pid).contains(pid); got != want {
 			t.Fatalf("%s shards=%d seed=%d: Contains(%d) = %v, model says %v", policy, shards, seed, pid, got, want)
+		}
+	}
+	if xlate != nil {
+		if got := pool.xlate.covered(); got != xlate.covered {
+			t.Fatalf("%s shards=%d seed=%d: array covers %d pages, model says %d",
+				policy, shards, seed, got, xlate.covered)
 		}
 	}
 	st := pool.Stats()

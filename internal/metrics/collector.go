@@ -12,10 +12,11 @@ import (
 // the realtime execution mode, so it uses plain atomics and never blocks.
 // The zero value is ready to use.
 type Collector struct {
-	pagesRead   atomic.Int64
-	hits        atomic.Int64
-	misses      atomic.Int64
-	busyRetries atomic.Int64
+	pagesRead      atomic.Int64
+	hits           atomic.Int64
+	optimisticHits atomic.Int64
+	misses         atomic.Int64
+	busyRetries    atomic.Int64
 
 	scansStarted atomic.Int64
 	scansEnded   atomic.Int64
@@ -56,10 +57,11 @@ type Collector struct {
 // is read atomically, but the set is not sampled at one instant. Counters
 // only grow, so sums and ratios derived from a snapshot are conservative.
 type CollectorStats struct {
-	PagesRead   int64 // pages fetched and processed by scan workers
-	Hits        int64
-	Misses      int64
-	BusyRetries int64
+	PagesRead      int64 // pages fetched and processed by scan workers
+	Hits           int64
+	OptimisticHits int64 // subset of Hits served by the pool's lock-free read path
+	Misses         int64
+	BusyRetries    int64
 
 	ScansStarted int64
 	ScansEnded   int64
@@ -143,6 +145,9 @@ func (s CollectorStats) String() string {
 	if s.ReadsCoalesced != 0 {
 		out += fmt.Sprintf(", %d reads coalesced", s.ReadsCoalesced)
 	}
+	if s.OptimisticHits != 0 {
+		out += fmt.Sprintf(", %d optimistic hits", s.OptimisticHits)
+	}
 	if s.ReadRetries != 0 || s.ReadTimeouts != 0 || s.PagesFailed != 0 ||
 		s.ScanDetaches != 0 || s.ScanRejoins != 0 || s.PrefetchFailed != 0 {
 		out += fmt.Sprintf(", failures: %d retries (%d timeouts), %d degraded pages, %d detaches/%d rejoins, %d prefetch fails",
@@ -156,6 +161,10 @@ func (c *Collector) PageHit() {
 	c.pagesRead.Add(1)
 	c.hits.Add(1)
 }
+
+// OptimisticHit records a hit served by the pool's lock-free read path
+// (array translation); the hit itself is still counted via PageHit.
+func (c *Collector) OptimisticHit() { c.optimisticHits.Add(1) }
 
 // PageMiss records a pool miss that the scan worker filled itself.
 func (c *Collector) PageMiss() {
@@ -248,7 +257,7 @@ func (c *Collector) Reset() {
 		return
 	}
 	for _, v := range []*atomic.Int64{
-		&c.pagesRead, &c.hits, &c.misses, &c.busyRetries,
+		&c.pagesRead, &c.hits, &c.optimisticHits, &c.misses, &c.busyRetries,
 		&c.scansStarted, &c.scansEnded, &c.scansStopped,
 		&c.throttleEvents, &c.throttleNanos,
 		&c.prefetchEnqueued, &c.prefetchPicked, &c.prefetchDropped,
@@ -273,6 +282,7 @@ func (c *Collector) Snapshot() CollectorStats {
 	return CollectorStats{
 		PagesRead:          c.pagesRead.Load(),
 		Hits:               c.hits.Load(),
+		OptimisticHits:     c.optimisticHits.Load(),
 		Misses:             c.misses.Load(),
 		BusyRetries:        c.busyRetries.Load(),
 		ScansStarted:       c.scansStarted.Load(),

@@ -85,8 +85,18 @@ func checkGroupInvariants(t *testing.T, snap core.Snapshot, tablePages, budget i
 // it: transient faults vanish into retries, stalls are cut by the per-read
 // timeout, the bad band degrades deterministically, and scans crossing it
 // detach from — and later rejoin — group coordination while a concurrent
-// poller verifies the grouping invariants never break.
+// poller verifies the grouping invariants never break. The whole scenario
+// runs under both translation tables: the array variant routes read-mostly
+// hits through the lock-free optimistic path while evictions recycle frames
+// underneath it, which is exactly the interleaving the race pass exists to
+// interrogate.
 func TestChaosStress(t *testing.T) {
+	for _, translation := range buffer.Translations() {
+		t.Run(translation, func(t *testing.T) { runChaosStress(t, translation) })
+	}
+}
+
+func runChaosStress(t *testing.T, translation string) {
 	const (
 		tablePages = 400
 		poolPages  = 200
@@ -107,7 +117,7 @@ func TestChaosStress(t *testing.T) {
 	}
 	store := fault.MustNewStore(testStore{pageBytes: pageBytes}, plan)
 
-	pool := buffer.MustNewPool(poolPages)
+	pool := buffer.MustNewPoolOpts(buffer.PoolOptions{Capacity: poolPages, Translation: translation})
 	mgr := core.MustNewManager(testManagerConfig(poolPages))
 	col := new(metrics.Collector)
 	r, err := NewRunner(Config{
@@ -264,6 +274,37 @@ func TestChaosStress(t *testing.T) {
 	fc := store.Counters()
 	if fc.InjectedErrors == 0 || fc.Stalls == 0 || fc.LatencyEvents == 0 {
 		t.Errorf("fault plan barely fired: %+v", fc)
+	}
+
+	// Translation-specific accounting: per-scan optimistic hits, the pool's
+	// lock-free counters, and the collector must tell one story — and the
+	// array variant must actually have driven traffic through the fast path,
+	// or this whole subtest proved nothing about it.
+	var optSum int64
+	for _, res := range results {
+		optSum += res.OptimisticHits
+	}
+	if translation == buffer.TranslationMap {
+		if optSum != 0 || ps.OptHits != 0 || cs.OptimisticHits != 0 {
+			t.Errorf("map translation recorded optimistic hits: scans %d, pool %d, collector %d",
+				optSum, ps.OptHits, cs.OptimisticHits)
+		}
+		return
+	}
+	if optSum == 0 {
+		t.Error("array-translation chaos run never hit the optimistic path")
+	}
+	if cs.OptimisticHits != optSum {
+		t.Errorf("collector optimistic hits %d, per-scan sum %d", cs.OptimisticHits, optSum)
+	}
+	// Scan workers are the only ReadOptimistic callers (prefetch stages
+	// pages through Acquire), so the pool's count must match the per-scan
+	// sum exactly, and every optimistic hit is also a hit.
+	if ps.OptHits != optSum {
+		t.Errorf("pool optimistic hits %d, per-scan sum %d", ps.OptHits, optSum)
+	}
+	if ps.OptHits > ps.Hits {
+		t.Errorf("optimistic hits %d exceed total hits %d", ps.OptHits, ps.Hits)
 	}
 }
 

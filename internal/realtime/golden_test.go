@@ -32,6 +32,16 @@ func goldenChaosScript(t *testing.T) string {
 // policy; the replay-determinism test runs it for every policy, the golden
 // test pins the priority-LRU rendering byte-for-byte.
 func chaosScript(t *testing.T, policy string) string {
+	return chaosScriptXlate(t, policy, buffer.TranslationMap)
+}
+
+// chaosScriptXlate additionally parameterizes the translation table. Map
+// translation renders the exact bytes the pre-array goldens pinned (the
+// optimistic path is structurally absent there); array translation adds an
+// "opt N" field per scan, which the translation-replay test uses to prove
+// the lock-free path both fired and replayed deterministically under the
+// cooperative scheduler.
+func chaosScriptXlate(t *testing.T, policy, translation string) string {
 	t.Helper()
 	const (
 		tablePages = 100
@@ -49,7 +59,9 @@ func chaosScript(t *testing.T, policy string) string {
 	}
 	store := fault.MustNewStore(testStore{pageBytes: 16}, plan)
 
-	pool := buffer.MustNewPoolPolicy(poolPages, 1, policy)
+	pool := buffer.MustNewPoolOpts(buffer.PoolOptions{
+		Capacity: poolPages, Shards: 1, Policy: policy, Translation: translation,
+	})
 	mgr := core.MustNewManager(testManagerConfig(poolPages))
 	var events []core.Event
 	mgr.SetOnEvent(func(ev core.Event) { events = append(events, ev) })
@@ -102,9 +114,15 @@ func chaosScript(t *testing.T, policy string) string {
 	}
 	b.WriteString("\n[results]\n")
 	for i, res := range results {
-		fmt.Fprintf(&b, "scan %d: pages %d hits %d misses %d degraded %d retries %d timeouts %d detaches %d rejoins %d checksum %d\n",
+		fmt.Fprintf(&b, "scan %d: pages %d hits %d misses %d degraded %d retries %d timeouts %d detaches %d rejoins %d checksum %d",
 			i, res.PagesRead, res.Hits, res.Misses, res.DegradedPages,
 			res.ReadRetries, res.ReadTimeouts, res.Detaches, res.Rejoins, res.Checksum)
+		if res.OptimisticHits > 0 {
+			// Only array translation can make this nonzero; under map the
+			// line stays byte-identical to the pre-array goldens.
+			fmt.Fprintf(&b, " opt %d", res.OptimisticHits)
+		}
+		b.WriteByte('\n')
 	}
 	fc := store.Counters()
 	fmt.Fprintf(&b, "\n[faults]\n%s\n", fc)

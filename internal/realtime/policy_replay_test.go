@@ -3,6 +3,7 @@ package realtime
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"scanshare/internal/buffer"
@@ -27,6 +28,36 @@ func TestPolicyReplayDeterminism(t *testing.T) {
 					policy, first, second)
 			}
 		})
+	}
+}
+
+// TestTranslationReplayDeterminism extends the replay guarantee to the
+// array translation table: under the cooperative scheduler exactly one
+// goroutine runs at a time, so the optimistic read path — atomics and all —
+// must behave as a pure function of the schedule, and two seeded runs must
+// render byte-identical artifacts for every policy × translation cell. The
+// array artifacts must also show the lock-free path actually fired ("opt"
+// fields in the per-scan results); a deterministic replay of a path that
+// never ran would prove nothing.
+func TestTranslationReplayDeterminism(t *testing.T) {
+	for _, translation := range buffer.Translations() {
+		for _, policy := range buffer.Policies() {
+			t.Run(translation+"/"+policy, func(t *testing.T) {
+				first := chaosScriptXlate(t, policy, translation)
+				second := chaosScriptXlate(t, policy, translation)
+				if first != second {
+					t.Errorf("two seeded runs under %s/%s diverged:\n--- first ---\n%s\n--- second ---\n%s",
+						translation, policy, first, second)
+				}
+				hasOpt := strings.Contains(first, " opt ")
+				if translation == buffer.TranslationArray && !hasOpt {
+					t.Error("array-translation replay recorded no optimistic hits; the fast path went unexercised")
+				}
+				if translation == buffer.TranslationMap && hasOpt {
+					t.Error("map-translation replay recorded optimistic hits; the goldens cannot hold")
+				}
+			})
+		}
 	}
 }
 

@@ -234,6 +234,10 @@ type ScanResult struct {
 	Hits        int64
 	Misses      int64
 	BusyRetries int64
+	// OptimisticHits is the subset of Hits served by the pool's lock-free
+	// read path (array translation only): the page was delivered without
+	// pinning, so no Release follows. Always zero under map translation.
+	OptimisticHits int64
 	// ReadRetries counts store read attempts that were retried after an
 	// error or timeout; ReadTimeouts counts the timed-out subset.
 	ReadRetries  int64

@@ -20,15 +20,16 @@ const BenchSchema = "scanshare-bench/1"
 // a human reading the trajectory) can tell a regression from a changed
 // workload.
 type BenchParams struct {
-	Pages      int           `json:"pages"`
-	Scans      int           `json:"scans"`
-	Workers    int           `json:"workers"`
-	PoolPages  int           `json:"pool_pages"`
-	Shards     int           `json:"shards"`
-	Policy     string        `json:"policy,omitempty"` // pool replacement policy; "" means priority-lru
-	PageDelay  time.Duration `json:"page_delay_ns"`
-	ReadDelay  time.Duration `json:"read_delay_ns"`
-	Coalescing bool          `json:"coalescing"`
+	Pages       int           `json:"pages"`
+	Scans       int           `json:"scans"`
+	Workers     int           `json:"workers"`
+	PoolPages   int           `json:"pool_pages"`
+	Shards      int           `json:"shards"`
+	Policy      string        `json:"policy,omitempty"`      // pool replacement policy; "" means priority-lru
+	Translation string        `json:"translation,omitempty"` // pool page translation; "" means map
+	PageDelay   time.Duration `json:"page_delay_ns"`
+	ReadDelay   time.Duration `json:"read_delay_ns"`
+	Coalescing  bool          `json:"coalescing"`
 }
 
 // HistSummary is a latency distribution flattened for JSON: integer
@@ -71,6 +72,11 @@ type BenchResult struct {
 	ThrottleWaitSeconds float64 `json:"throttle_wait_seconds"`
 	ReadsCoalesced      int64   `json:"reads_coalesced"`
 	Evictions           int64   `json:"evictions"`
+	// Optimistic read-path counters; zero (and omitted) under map
+	// translation.
+	OptimisticHits      int64 `json:"optimistic_hits,omitempty"`
+	OptimisticRetries   int64 `json:"optimistic_retries,omitempty"`
+	OptimisticFallbacks int64 `json:"optimistic_fallbacks,omitempty"`
 
 	Histograms map[string]HistSummary `json:"histograms,omitempty"`
 }

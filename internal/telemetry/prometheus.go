@@ -52,6 +52,7 @@ func WriteMetrics(w io.Writer, src Sources) {
 	// Scan worker activity (the realtime collector).
 	counter("scanshare_pages_read_total", "Pages fetched and processed by scan workers.", cs.PagesRead)
 	counter("scanshare_page_hits_total", "Buffer pool hits observed by scan workers.", cs.Hits)
+	counter("scanshare_optimistic_hits_total", "Hits scan workers took over the pool's lock-free read path.", cs.OptimisticHits)
 	counter("scanshare_page_misses_total", "Buffer pool misses filled by scan workers.", cs.Misses)
 	counter("scanshare_busy_retries_total", "Acquire backoffs on in-flight reads or full shards.", cs.BusyRetries)
 	counter("scanshare_scans_started_total", "Scans registered with the sharing manager.", cs.ScansStarted)
@@ -114,11 +115,12 @@ func writePools(w io.Writer, pools []PoolSource) {
 		return
 	}
 	type poolState struct {
-		name   string
-		policy string
-		agg    buffer.Stats
-		occ    []int
-		cap    int
+		name        string
+		policy      string
+		translation string
+		agg         buffer.Stats
+		occ         []int
+		cap         int
 	}
 	states := make([]poolState, 0, len(pools))
 	for _, p := range pools {
@@ -126,7 +128,11 @@ func writePools(w io.Writer, pools []PoolSource) {
 		if policy == "" {
 			policy = buffer.PolicyLRU
 		}
-		st := poolState{name: poolLabel(p.Name), policy: policy, cap: p.Capacity}
+		translation := p.Translation
+		if translation == "" {
+			translation = buffer.TranslationMap
+		}
+		st := poolState{name: poolLabel(p.Name), policy: policy, translation: translation, cap: p.Capacity}
 		if p.Shards != nil {
 			for _, sh := range p.Shards() {
 				st.agg.Add(sh)
@@ -150,6 +156,9 @@ func writePools(w io.Writer, pools []PoolSource) {
 	poolCounter("scanshare_pool_aborts_total", "Misses whose physical read failed.", func(s buffer.Stats) int64 { return s.Aborts })
 	poolCounter("scanshare_pool_busy_retries_total", "Pool acquires that returned busy.", func(s buffer.Stats) int64 { return s.BusyRetries })
 	poolCounter("scanshare_pool_all_pinned_total", "Pool acquires that found every frame pinned.", func(s buffer.Stats) int64 { return s.AllPinned })
+	poolCounter("scanshare_pool_optimistic_hits_total", "Hits served by the lock-free optimistic read path (array translation).", func(s buffer.Stats) int64 { return s.OptHits })
+	poolCounter("scanshare_pool_optimistic_retries_total", "Optimistic read validations that failed and retried.", func(s buffer.Stats) int64 { return s.OptRetries })
+	poolCounter("scanshare_pool_optimistic_fallbacks_total", "Optimistic reads that fell back to the locked path.", func(s buffer.Stats) int64 { return s.OptFallbacks })
 
 	fmt.Fprintf(w, "# HELP scanshare_pool_evictions_total Frames victimized, by the priority the page was released at.\n# TYPE scanshare_pool_evictions_total counter\n")
 	for _, st := range states {
@@ -162,6 +171,11 @@ func writePools(w io.Writer, pools []PoolSource) {
 	fmt.Fprintf(w, "# HELP scanshare_pool_policy_info Replacement policy of each pool; the value is always 1.\n# TYPE scanshare_pool_policy_info gauge\n")
 	for _, st := range states {
 		fmt.Fprintf(w, "scanshare_pool_policy_info{pool=%q,policy=%q} 1\n", st.name, st.policy)
+	}
+
+	fmt.Fprintf(w, "# HELP scanshare_pool_translation_info Page translation structure of each pool; the value is always 1.\n# TYPE scanshare_pool_translation_info gauge\n")
+	for _, st := range states {
+		fmt.Fprintf(w, "scanshare_pool_translation_info{pool=%q,translation=%q} 1\n", st.name, st.translation)
 	}
 
 	fmt.Fprintf(w, "# HELP scanshare_pool_capacity_pages Pool frame capacity.\n# TYPE scanshare_pool_capacity_pages gauge\n")

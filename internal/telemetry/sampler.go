@@ -39,11 +39,12 @@ import (
 // Occupancy the per-shard resident page counts (buffer.Pool.ShardOccupancy);
 // either may be nil, which samples as empty.
 type PoolSource struct {
-	Name      string
-	Capacity  int
-	Policy    string // replacement policy name; "" means the default priority-LRU
-	Shards    func() []buffer.Stats
-	Occupancy func() []int
+	Name        string
+	Capacity    int
+	Policy      string // replacement policy name; "" means the default priority-LRU
+	Translation string // page translation kind; "" means the default map
+	Shards      func() []buffer.Stats
+	Occupancy   func() []int
 }
 
 // Sources bundles the live inputs one Sampler (and the Prometheus exporter)
@@ -61,11 +62,12 @@ type Sources struct {
 
 // PoolSample is one pool's state in one sample.
 type PoolSample struct {
-	Name      string       `json:"name"`
-	Capacity  int          `json:"capacity"`
-	Policy    string       `json:"policy,omitempty"`    // replacement policy name
-	Stats     buffer.Stats `json:"stats"`               // aggregate over shards
-	Occupancy []int        `json:"occupancy,omitempty"` // resident pages per shard
+	Name        string       `json:"name"`
+	Capacity    int          `json:"capacity"`
+	Policy      string       `json:"policy,omitempty"`      // replacement policy name
+	Translation string       `json:"translation,omitempty"` // page translation kind
+	Stats       buffer.Stats `json:"stats"`                 // aggregate over shards
+	Occupancy   []int        `json:"occupancy,omitempty"`   // resident pages per shard
 }
 
 // OccupancySkew measures how unevenly pages are spread over the shards:
@@ -308,7 +310,7 @@ func (s *Sampler) read() Sample {
 		smp.PrefetchQueueDepth = smp.Counters.PrefetchQueueDepth()
 	}
 	for _, ps := range s.src.Pools {
-		sample := PoolSample{Name: ps.Name, Capacity: ps.Capacity, Policy: ps.Policy}
+		sample := PoolSample{Name: ps.Name, Capacity: ps.Capacity, Policy: ps.Policy, Translation: ps.Translation}
 		if ps.Shards != nil {
 			for _, st := range ps.Shards() {
 				sample.Stats.Add(st)

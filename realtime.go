@@ -207,6 +207,9 @@ func (r *RealtimeReport) BenchResult(params telemetry.BenchParams) telemetry.Ben
 	}
 	for _, p := range r.Pools {
 		out.Evictions += p.Evictions
+		out.OptimisticHits += p.OptimisticHits
+		out.OptimisticRetries += p.OptimisticRetries
+		out.OptimisticFallbacks += p.OptimisticFallbacks
 	}
 	return out
 }

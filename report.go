@@ -65,6 +65,13 @@ type PoolStats struct {
 	BusyRetries int64
 	AllPinned   int64
 	Evictions   int64
+	// OptimisticHits is the subset of Hits served by the lock-free read
+	// path (array translation); OptimisticRetries counts validation
+	// failures inside that path and OptimisticFallbacks the attempts that
+	// gave up and took the locked path. All zero under map translation.
+	OptimisticHits      int64
+	OptimisticRetries   int64
+	OptimisticFallbacks int64
 	// EvictionsByPriority breaks Evictions down by the priority the victim
 	// was released at, indexed by buffer.Priority (evict, low, normal,
 	// high). A healthy grouped run victimizes the trailer's evict/low
@@ -260,6 +267,10 @@ func poolDelta(after, before buffer.Stats) PoolStats {
 		BusyRetries:  after.BusyRetries - before.BusyRetries,
 		AllPinned:    after.AllPinned - before.AllPinned,
 		Evictions:    after.Evictions - before.Evictions,
+
+		OptimisticHits:      after.OptHits - before.OptHits,
+		OptimisticRetries:   after.OptRetries - before.OptRetries,
+		OptimisticFallbacks: after.OptFallbacks - before.OptFallbacks,
 	}
 	for i := range out.EvictionsByPriority {
 		out.EvictionsByPriority[i] = after.EvictionsByPr[i] - before.EvictionsByPr[i]
@@ -276,6 +287,9 @@ func (p *PoolStats) add(o PoolStats) {
 	p.BusyRetries += o.BusyRetries
 	p.AllPinned += o.AllPinned
 	p.Evictions += o.Evictions
+	p.OptimisticHits += o.OptimisticHits
+	p.OptimisticRetries += o.OptimisticRetries
+	p.OptimisticFallbacks += o.OptimisticFallbacks
 	for i := range p.EvictionsByPriority {
 		p.EvictionsByPriority[i] += o.EvictionsByPriority[i]
 	}

@@ -50,6 +50,19 @@ const (
 	PoolPolicyPredictive = buffer.PolicyPredictive
 )
 
+// Buffer pool page-translation kinds, for Config.PoolTranslation and
+// PoolConfig.Translation.
+const (
+	// PoolTranslationMap is the classic mutex-guarded per-shard page map
+	// (default).
+	PoolTranslationMap = buffer.TranslationMap
+	// PoolTranslationArray is the flat array translation table with
+	// versioned frames: read-mostly hits are served lock-free via an
+	// optimistic validation protocol, falling back to the locked path on
+	// contention.
+	PoolTranslationArray = buffer.TranslationArray
+)
+
 // Re-exported schema and value types. These aliases are the package's data
 // model; see internal/record for the encoding.
 type (
@@ -243,6 +256,9 @@ type PoolConfig struct {
 	Shards int
 	// Policy overrides Config.PoolPolicy for this pool; "" inherits it.
 	Policy string
+	// Translation overrides Config.PoolTranslation for this pool; ""
+	// inherits it.
+	Translation string
 }
 
 // Config configures an Engine.
@@ -270,6 +286,14 @@ type Config struct {
 	// policy only receives scan registrations under RunRealtime; in
 	// virtual-time Run it degenerates to plain LRU on release order.
 	PoolPolicy string
+	// PoolTranslation selects the buffer pools' page-translation
+	// structure: PoolTranslationMap (the classic mutex-guarded per-shard
+	// map, the default when empty) or PoolTranslationArray (a flat page-id
+	// → frame array with versioned optimistic latches, giving read-mostly
+	// hits a lock-free fast path under RunRealtime). Deterministic replay
+	// goldens assume map translation; array translation stays
+	// deterministic run-to-run but takes a different (lock-free) hit path.
+	PoolTranslation string
 	// Disk, CPU and Sharing tune the cost models and the SSM.
 	Disk    DiskConfig
 	CPU     CPUConfig

@@ -3,9 +3,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint build test race fuzz test-policies test-translation bench bench-pool bench-smoke bench-smoke-baseline bench-record
+.PHONY: check vet lint build test race fuzz test-policies test-translation test-serve bench bench-pool bench-smoke bench-smoke-baseline bench-record
 
-check: vet lint build test race fuzz test-policies test-translation bench-smoke
+check: vet lint build test race fuzz test-policies test-translation test-serve bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -66,6 +66,14 @@ test-translation:
 	$(GO) test -race -cpu 2,8 -run 'TestOptimisticTornReads|TestOptimisticLinearizability' ./internal/buffer
 	$(GO) test -run 'TestTranslationReplayDeterminism' ./internal/realtime
 
+# The multi-tenant scan service suite under the race detector: wire protocol
+# edge cases, admission fast/queue/shed paths, deterministic weighted
+# round-robin dispatch, the 64-client x 4-tenant overload acceptance run
+# (shed > 0, per-tenant fairness within 10%), and the detach/rejoin chaos
+# run proving admission slots are released exactly once.
+test-serve:
+	$(GO) test -race -cpu 2,8 ./internal/server
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
@@ -93,14 +101,11 @@ bench-smoke-baseline:
 	$(GO) run ./cmd/scanshare-bench $(SMOKE_FLAGS) -bench-name smoke -bench-json $(SMOKE_BASELINE) >/dev/null
 	@echo wrote $(SMOKE_BASELINE)
 
-# Record the full realtime benchmark as the repo's persisted trajectory
-# point (BENCH_<n>.json at the repo root, one per PR; see EXPERIMENTS.md).
-# This PR's point runs the workload under array translation (the optimistic
-# lock-free hit path live) next to a map-translation baseline of the same
-# workload, and cross-checks the two with the comparator: the translations
-# must agree on pages_read (same workload) and the array table must not
-# collapse throughput or hit ratio relative to the classic map.
+# Record the full benchmark as the repo's persisted trajectory point
+# (BENCH_<n>.json at the repo root, one per PR; see EXPERIMENTS.md). This
+# PR's point is the serve mode: 64 seeded clients across 4 tenants pushing
+# the multi-tenant scan service into overload, recording throughput, shed
+# rate, and the queue-wait distribution (p99 included) alongside the usual
+# buffer counters.
 bench-record:
-	$(GO) run ./cmd/scanshare-bench -realtime 16 -pool-shards 4 -pool-translation array -bench-name realtime-16x4-array -bench-json BENCH_7.json
-	$(GO) run ./cmd/scanshare-bench -realtime 16 -pool-shards 4 -bench-name realtime-16x4-map -bench-json BENCH_7_map.json
-	$(GO) run ./cmd/scanshare-bench -compare BENCH_7_map.json -compare-tolerance 0.5 BENCH_7.json
+	$(GO) run ./cmd/scanshare-bench -serve-clients 64 -serve-tenants 4 -serve-requests 4 -pool-shards 4 -rt-pagedelay 100us -bench-name serve-64x4 -bench-json BENCH_8.json

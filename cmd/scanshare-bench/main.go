@@ -45,6 +45,10 @@ func main() {
 	flag.StringVar(&rtObs.flightDir, "flight-dir", "", "realtime mode: arm the flight recorder; dumps land in this directory on SIGQUIT or run failure")
 	flag.StringVar(&rtObs.benchJSON, "bench-json", "", "realtime mode: write a schema-versioned benchmark result JSON to this file")
 	flag.StringVar(&rtObs.benchName, "bench-name", "realtime", "realtime mode: name recorded in the -bench-json result")
+	var sv rtServeFlags
+	flag.IntVar(&sv.clients, "serve-clients", 0, "instead of experiments, run the multi-tenant scan service in-process and drive it with N seeded concurrent clients")
+	flag.IntVar(&sv.tenants, "serve-tenants", 4, "serve mode: tenant count (clients are assigned round-robin)")
+	flag.IntVar(&sv.requests, "serve-requests", 4, "serve mode: successful requests each client must complete")
 	comparePath := flag.String("compare", "", "compare mode: baseline benchmark JSON; the positional argument is the new result (exits 1 on regression)")
 	compareTol := flag.Float64("compare-tolerance", 0.10, "compare mode: allowed fractional throughput drop")
 	var rtFaults rtFaultFlags
@@ -85,6 +89,14 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runCompare(*comparePath, flag.Arg(0), *compareTol); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if sv.clients > 0 {
+		if err := runServe(p, sv, *rtShards, *rtPolicy, *rtTranslation, *rtPageDelay, rtObs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

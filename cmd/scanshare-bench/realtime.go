@@ -2,18 +2,13 @@ package main
 
 import (
 	"context"
-	"expvar"
 	"fmt"
 	"math/rand"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/exec"
 	"os/signal"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -90,42 +85,19 @@ func (f rtFaultFlags) apply(opts *scanshare.RealtimeOptions, tbl *scanshare.Tabl
 	return nil
 }
 
-// Expvar names are registered once per process (Publish panics on
-// duplicates), but runRealtime can be reached more than once (tests drive
-// it directly). The published Funcs therefore forward through an atomic
-// pointer to the current run's state: re-running swaps the pointer,
-// never re-publishes.
-type rtExpvarState struct {
-	eng    *scanshare.Engine
-	tracer *trace.Tracer
-}
-
-var (
-	rtExpvarOnce sync.Once
-	rtExpvar     atomic.Pointer[rtExpvarState]
-)
-
-func publishRealtimeExpvars(st *rtExpvarState) {
-	rtExpvar.Store(st)
-	rtExpvarOnce.Do(func() {
-		expvar.Publish("scanshare_pools", expvar.Func(func() any {
-			if st := rtExpvar.Load(); st != nil {
-				return st.eng.PoolStats()
-			}
-			return nil
-		}))
-		expvar.Publish("scanshare_sharing", expvar.Func(func() any {
-			if st := rtExpvar.Load(); st != nil {
-				return st.eng.SharingSnapshot()
-			}
-			return nil
-		}))
-		expvar.Publish("scanshare_trace_dropped", expvar.Func(func() any {
-			if st := rtExpvar.Load(); st != nil && st.tracer != nil {
-				return st.tracer.Dropped()
-			}
+// publishRealtimeExpvars hooks this run's engine and tracer into the
+// process-wide expvar names. telemetry.PublishExpvar publishes each name at
+// most once per process and swaps the provider on later calls, so re-running
+// runRealtime (tests drive it directly) never hits the duplicate-Publish
+// panic.
+func publishRealtimeExpvars(eng *scanshare.Engine, tracer *trace.Tracer) {
+	telemetry.PublishExpvar("scanshare_pools", func() any { return eng.PoolStats() })
+	telemetry.PublishExpvar("scanshare_sharing", func() any { return eng.SharingSnapshot() })
+	telemetry.PublishExpvar("scanshare_trace_dropped", func() any {
+		if tracer == nil {
 			return 0
-		}))
+		}
+		return tracer.Dropped()
 	})
 }
 
@@ -150,45 +122,7 @@ func gitRev() string {
 // machine; the structural counters (placements, hit ratio, throttles) are
 // what to look at.
 func runRealtime(p experiments.Params, n, workers, shards int, policy, translation string, noCoalesce bool, pageDelay, readDelay time.Duration, faults rtFaultFlags, obs rtObsFlags) error {
-	rows := int(30000 * p.Scale)
-	poolPages := poolPagesFor(rows, p.BufferFrac)
-	eng, err := scanshare.New(scanshare.Config{
-		// Sized after load below would be circular; ~100 bytes/row on
-		// 8 KiB pages gives the page count up front.
-		BufferPoolPages: poolPages,
-		PoolShards:      shards,
-		PoolPolicy:      policy,
-		PoolTranslation: translation,
-		Sharing:         scanshare.SharingConfig{PrefetchExtentPages: p.ExtentPages},
-	})
-	if err != nil {
-		return err
-	}
-	if policy == "" {
-		policy = scanshare.PoolPolicyLRU
-	}
-	if translation == "" {
-		translation = scanshare.PoolTranslationMap
-	}
-	schema := scanshare.MustSchema(
-		scanshare.Field{Name: "id", Kind: scanshare.KindInt64},
-		scanshare.Field{Name: "v", Kind: scanshare.KindFloat64},
-		scanshare.Field{Name: "tag", Kind: scanshare.KindString},
-	)
-	rng := rand.New(rand.NewSource(p.Seed))
-	tbl, err := eng.LoadTable("rt", schema, func(add func(scanshare.Tuple) error) error {
-		for i := 0; i < rows; i++ {
-			err := add(scanshare.Tuple{
-				scanshare.Int64(int64(i)),
-				scanshare.Float64(rng.Float64()),
-				scanshare.String(fmt.Sprintf("tag-%02d", rng.Intn(40))),
-			})
-			if err != nil {
-				return err
-			}
-		}
-		return nil
-	})
+	eng, tbl, poolPages, err := buildRTEngine(p, shards, &policy, &translation)
 	if err != nil {
 		return err
 	}
@@ -272,32 +206,19 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy, translati
 	}()
 	defer func() { signal.Stop(quitCh); close(quitCh); <-quitDone }()
 
-	var srv *http.Server
 	if obs.httpAddr != "" {
-		// A dedicated mux (not http.DefaultServeMux) keeps the handler set
-		// explicit, and a retained http.Server makes shutdown graceful
-		// instead of leaking the listener past the run.
-		mux := http.NewServeMux()
-		publishRealtimeExpvars(&rtExpvarState{eng: eng, tracer: tracer})
-		mux.Handle("/debug/vars", expvar.Handler())
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mux.Handle("/metrics", telemetry.Handler(sources))
-		ln, err := net.Listen("tcp", obs.httpAddr)
+		// The shared telemetry plumbing builds a fresh mux per start and
+		// publishes expvar names through the process-wide guard, so a second
+		// run in the same process (tests, or serve mode cycling) cannot
+		// panic on duplicate registration.
+		publishRealtimeExpvars(eng, tracer)
+		srv, err := telemetry.StartIntrospection(obs.httpAddr, telemetry.NewDebugMux(&sources))
 		if err != nil {
 			return fmt.Errorf("introspection server: %w", err)
 		}
-		srv = &http.Server{Handler: mux}
-		go func() {
-			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "introspection server:", err)
-			}
-		}()
+		addr := srv.Addr()
 		fmt.Printf("introspection: http://%s/debug/vars http://%s/debug/pprof/ http://%s/metrics\n",
-			ln.Addr(), ln.Addr(), ln.Addr())
+			addr, addr, addr)
 		defer func() {
 			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
@@ -462,6 +383,56 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy, translati
 		fmt.Printf("bench result: wrote %s\n", obs.benchJSON)
 	}
 	return nil
+}
+
+// buildRTEngine constructs the wall-clock benchmark engine with its seeded
+// synthetic table "rt", shared by the realtime and serve modes so their
+// workloads are directly comparable. policy and translation are normalized
+// in place to the names the engine resolved the defaults to.
+func buildRTEngine(p experiments.Params, shards int, policy, translation *string) (*scanshare.Engine, *scanshare.Table, int, error) {
+	rows := int(30000 * p.Scale)
+	poolPages := poolPagesFor(rows, p.BufferFrac)
+	eng, err := scanshare.New(scanshare.Config{
+		// Sized after load below would be circular; ~100 bytes/row on
+		// 8 KiB pages gives the page count up front.
+		BufferPoolPages: poolPages,
+		PoolShards:      shards,
+		PoolPolicy:      *policy,
+		PoolTranslation: *translation,
+		Sharing:         scanshare.SharingConfig{PrefetchExtentPages: p.ExtentPages},
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if *policy == "" {
+		*policy = scanshare.PoolPolicyLRU
+	}
+	if *translation == "" {
+		*translation = scanshare.PoolTranslationMap
+	}
+	schema := scanshare.MustSchema(
+		scanshare.Field{Name: "id", Kind: scanshare.KindInt64},
+		scanshare.Field{Name: "v", Kind: scanshare.KindFloat64},
+		scanshare.Field{Name: "tag", Kind: scanshare.KindString},
+	)
+	rng := rand.New(rand.NewSource(p.Seed))
+	tbl, err := eng.LoadTable("rt", schema, func(add func(scanshare.Tuple) error) error {
+		for i := 0; i < rows; i++ {
+			err := add(scanshare.Tuple{
+				scanshare.Int64(int64(i)),
+				scanshare.Float64(rng.Float64()),
+				scanshare.String(fmt.Sprintf("tag-%02d", rng.Intn(40))),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return eng, tbl, poolPages, nil
 }
 
 // poolPagesFor sizes the pool as frac of the estimated table pages (about

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"scanshare"
+	"scanshare/internal/experiments"
+	"scanshare/internal/metrics"
+	"scanshare/internal/server"
+	"scanshare/internal/telemetry"
+)
+
+// rtServeFlags are the serve-mode knobs (-serve-clients and friends).
+type rtServeFlags struct {
+	clients  int
+	tenants  int
+	requests int
+}
+
+// runServe benchmarks the multi-tenant scan service end to end: it starts an
+// in-process server on a loopback port, drives it with the deterministic
+// seeded client fleet, and reports throughput, shed rate, and queue-wait
+// latency alongside the usual buffer counters. The workload table and pool
+// sizing match the plain realtime mode, so the two result files compare
+// apples to apples.
+func runServe(p experiments.Params, sv rtServeFlags, shards int, policy, translation string, pageDelay time.Duration, obs rtObsFlags) error {
+	if sv.tenants <= 0 || sv.clients < sv.tenants {
+		return fmt.Errorf("serve mode needs at least one client per tenant (%d clients, %d tenants)", sv.clients, sv.tenants)
+	}
+	eng, tbl, poolPages, err := buildRTEngine(p, shards, &policy, &translation)
+	if err != nil {
+		return err
+	}
+
+	// Admission limits sized to bite: roughly a quarter of each tenant's
+	// client population runs at once, an equal backlog queues, the rest
+	// of a burst sheds and retries.
+	perTenant := sv.clients / sv.tenants
+	cap := max(1, perTenant/4)
+	names := make([]string, sv.tenants)
+	tenants := make([]server.TenantConfig, sv.tenants)
+	for i := range tenants {
+		names[i] = fmt.Sprintf("tenant-%d", i)
+		tenants[i] = server.TenantConfig{
+			Name:          names[i],
+			MaxConcurrent: cap,
+			MaxQueueDepth: cap,
+		}
+	}
+
+	col := new(metrics.Collector)
+	srv, err := server.New(server.Config{
+		Engine:    eng,
+		Tenants:   tenants,
+		PageDelay: pageDelay,
+		Realtime:  scanshare.RealtimeOptions{Collector: col},
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		srv.Shutdown(sctx)
+	}()
+
+	// Observability mirrors realtime mode, with the per-tenant admission
+	// counters plugged into the sampler and Prometheus families.
+	sources := eng.TelemetrySources(col)
+	sources.Tenants = srv.TenantStats
+	sampler := telemetry.NewSampler(sources, obs.sampleEvery, 0)
+	if obs.sampleEvery > 0 {
+		sampler.Start()
+		defer sampler.Stop()
+	}
+	if obs.httpAddr != "" {
+		telemetry.PublishExpvar("scanshare_pools", func() any { return eng.PoolStats() })
+		telemetry.PublishExpvar("scanshare_tenants", func() any { return srv.TenantStats() })
+		isrv, err := telemetry.StartIntrospection(obs.httpAddr, telemetry.NewDebugMux(&sources))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("introspection: expvar, pprof, and /metrics on http://%s\n", isrv.Addr())
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			isrv.Shutdown(sctx)
+		}()
+	}
+
+	rows := int(30000 * p.Scale)
+	queries := []string{
+		"SELECT count(*) FROM rt",
+		"SELECT id, v FROM rt LIMIT 50",
+		fmt.Sprintf("SELECT count(*) FROM rt WHERE id >= %d", rows/2),
+		fmt.Sprintf("SELECT count(*) FROM rt WHERE id >= %d AND id <= %d", rows/4, rows/2),
+	}
+	fmt.Printf("serve bench: %d clients x %d requests over %d tenants (cap %d, depth %d) against %d pages, pool %d pages, %d shards, policy %s, translation %s\n",
+		sv.clients, sv.requests, sv.tenants, cap, cap, tbl.NumPages(), poolPages, shards, policy, translation)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	stats, err := server.RunDriver(ctx, server.DriverConfig{
+		Addr:              srv.Addr(),
+		Clients:           sv.clients,
+		Tenants:           names,
+		Queries:           queries,
+		RequestsPerClient: sv.requests,
+		Seed:              p.Seed,
+		RetryOnShed:       true,
+	})
+	if err != nil {
+		return err
+	}
+
+	cs := col.Snapshot()
+	all := srv.AllStats()
+	fmt.Printf("driver: %s\n", stats)
+	for _, st := range srv.TenantStats() {
+		fmt.Printf("  %s\n", st)
+	}
+	fmt.Printf("admission: %d admitted, %d shed (%.1f%% shed rate), p99 queue wait %s\n",
+		all.Admitted, all.Shed, 100*all.ShedRate(), all.QueueWait.P99)
+	fmt.Printf("buffer: %d pages read, %.1f%% hit ratio, %d reads coalesced\n",
+		cs.PagesRead, 100*cs.HitRatio(), cs.ReadsCoalesced)
+
+	if obs.benchJSON != "" {
+		res := telemetry.BenchResult{
+			Params: telemetry.BenchParams{
+				Pages:       tbl.NumPages(),
+				Scans:       sv.clients * sv.requests,
+				PoolPages:   poolPages,
+				Shards:      shards,
+				Policy:      policy,
+				Translation: translation,
+				PageDelay:   pageDelay,
+				Coalescing:  true,
+			},
+			Name:                obs.benchName,
+			GitRev:              gitRev(),
+			RecordedAt:          time.Now().UTC().Format(time.RFC3339),
+			WallSeconds:         stats.Wall.Seconds(),
+			PagesRead:           cs.PagesRead,
+			HitRatio:            cs.HitRatio(),
+			ThrottleEvents:      cs.ThrottleEvents,
+			ThrottleWaitSeconds: cs.ThrottleWait.Seconds(),
+			ReadsCoalesced:      cs.ReadsCoalesced,
+			RequestsAdmitted:    all.Admitted,
+			RequestsShed:        all.Shed,
+			ShedRate:            all.ShedRate(),
+			Histograms: map[string]telemetry.HistSummary{
+				"page_read":     telemetry.SummarizeHist(cs.PageReadLatency),
+				"throttle_wait": telemetry.SummarizeHist(cs.ThrottleWaitDist),
+				"queue_wait":    telemetry.SummarizeHist(all.QueueWait),
+			},
+		}
+		if stats.Wall > 0 {
+			res.PagesPerSec = float64(cs.PagesRead) / stats.Wall.Seconds()
+		}
+		for _, ps := range eng.PoolStats() {
+			res.Evictions += ps.Evictions
+			res.OptimisticHits += ps.OptimisticHits
+			res.OptimisticRetries += ps.OptimisticRetries
+			res.OptimisticFallbacks += ps.OptimisticFallbacks
+		}
+		if err := telemetry.WriteBench(obs.benchJSON, res); err != nil {
+			return err
+		}
+		fmt.Printf("bench result: wrote %s\n", obs.benchJSON)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+// Command scanshare-serve runs the multi-tenant scan service: a long-lived
+// TCP server that accepts SQL requests over a length-prefixed JSON protocol,
+// admits them through per-tenant bounded queues with concurrency caps and
+// weighted round-robin dispatch, and executes admitted scans through the
+// shared buffer pools so concurrent clients benefit from the paper's scan
+// grouping and throttling.
+//
+//	scanshare-serve -addr :7070 -tenants 'acme:4:8:2,beta:2:4:1' -scale 1
+//
+// Each -tenants entry is name:concurrency:queue-depth:weight (later fields
+// optional). The workload table "rt" is generated from -seed at startup,
+// matching scanshare-bench's realtime and serve modes. With -http the server
+// also exposes expvar, pprof, and Prometheus /metrics with per-tenant
+// admission families.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"scanshare"
+	"scanshare/internal/experiments"
+	"scanshare/internal/metrics"
+	"scanshare/internal/server"
+	"scanshare/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	p := experiments.DefaultParams()
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address for the scan service")
+	httpAddr := flag.String("http", "", "serve expvar, pprof, and /metrics introspection on this address")
+	tenantSpec := flag.String("tenants", "alpha:2:4:1,beta:2:4:1", "comma-separated tenant specs name:concurrency[:queue-depth[:weight]]")
+	globalCap := flag.Int("max-concurrent", 0, "global concurrent request cap (0 = sum of tenant caps)")
+	shards := flag.Int("pool-shards", 4, "lock-striped buffer pool shard count")
+	policy := flag.String("pool-policy", "", "buffer pool replacement policy: priority-lru (default) or predictive")
+	translation := flag.String("pool-translation", "", "buffer pool page translation: map (default) or array")
+	pageDelay := flag.Duration("pagedelay", 50*time.Microsecond, "per-page processing delay charged to every scan")
+	readDelay := flag.Duration("readdelay", 200*time.Microsecond, "per-physical-read device delay")
+	sampleEvery := flag.Duration("sample-every", time.Second, "telemetry sampling interval (0 = off)")
+	flag.Float64Var(&p.Scale, "scale", p.Scale, "workload table scale factor")
+	flag.Int64Var(&p.Seed, "seed", p.Seed, "workload table generation seed")
+	flag.Float64Var(&p.BufferFrac, "buffer", p.BufferFrac, "buffer pool as a fraction of the table")
+	flag.Parse()
+
+	tenants, err := parseTenants(*tenantSpec)
+	if err != nil {
+		return err
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	eng, tbl, poolPages, err := buildEngine(p, *shards, *policy, *translation)
+	if err != nil {
+		return err
+	}
+
+	col := new(metrics.Collector)
+	srv, err := server.New(server.Config{
+		Engine:        eng,
+		Tenants:       tenants,
+		MaxConcurrent: *globalCap,
+		PageDelay:     *pageDelay,
+		Realtime: scanshare.RealtimeOptions{
+			PageReadDelay: *readDelay,
+			Collector:     col,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Serve(*addr); err != nil {
+		return err
+	}
+	fmt.Printf("scanshare-serve: listening on %s — table rt (%d pages), pool %d pages, %d tenants\n",
+		srv.Addr(), tbl.NumPages(), poolPages, len(tenants))
+	for _, t := range tenants {
+		fmt.Printf("  tenant %s: concurrency %d, queue depth %d, weight %d\n",
+			t.Name, t.MaxConcurrent, t.MaxQueueDepth, t.Weight)
+	}
+
+	sources := eng.TelemetrySources(col)
+	sources.Tenants = srv.TenantStats
+	sampler := telemetry.NewSampler(sources, *sampleEvery, 0)
+	if *sampleEvery > 0 {
+		sampler.Start()
+		defer sampler.Stop()
+	}
+	if *httpAddr != "" {
+		telemetry.PublishExpvar("scanshare_pools", func() any { return eng.PoolStats() })
+		telemetry.PublishExpvar("scanshare_tenants", func() any { return srv.TenantStats() })
+		isrv, err := telemetry.StartIntrospection(*httpAddr, telemetry.NewDebugMux(&sources))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("introspection: expvar, pprof, and /metrics on http://%s\n", isrv.Addr())
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			isrv.Shutdown(sctx)
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("\nscanshare-serve: shutting down")
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	for _, st := range srv.TenantStats() {
+		fmt.Printf("  %s\n", st)
+	}
+	return nil
+}
+
+// parseTenants decodes "name:concurrency[:queue-depth[:weight]]" specs.
+func parseTenants(spec string) ([]server.TenantConfig, error) {
+	var out []server.TenantConfig
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) > 4 || parts[0] == "" {
+			return nil, fmt.Errorf("bad tenant spec %q (want name:concurrency[:queue-depth[:weight]])", entry)
+		}
+		cfg := server.TenantConfig{Name: parts[0], MaxConcurrent: 2, MaxQueueDepth: 4, Weight: 1}
+		for i, dst := range []*int{&cfg.MaxConcurrent, &cfg.MaxQueueDepth, &cfg.Weight} {
+			if len(parts) <= i+1 {
+				break
+			}
+			n, err := strconv.Atoi(parts[i+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad tenant spec %q: %v", entry, err)
+			}
+			*dst = n
+		}
+		out = append(out, cfg)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenants in spec %q", spec)
+	}
+	return out, nil
+}
+
+// buildEngine mirrors scanshare-bench's workload: one seeded synthetic table
+// "rt" sized by the scale factor, so queries written against the bench work
+// here unchanged.
+func buildEngine(p experiments.Params, shards int, policy, translation string) (*scanshare.Engine, *scanshare.Table, int, error) {
+	rows := int(30000 * p.Scale)
+	estPages := rows / 80
+	poolPages := int(float64(estPages) * p.BufferFrac)
+	if poolPages < 32 {
+		poolPages = 32
+	}
+	eng, err := scanshare.New(scanshare.Config{
+		BufferPoolPages: poolPages,
+		PoolShards:      shards,
+		PoolPolicy:      policy,
+		PoolTranslation: translation,
+		Sharing:         scanshare.SharingConfig{PrefetchExtentPages: p.ExtentPages},
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	schema := scanshare.MustSchema(
+		scanshare.Field{Name: "id", Kind: scanshare.KindInt64},
+		scanshare.Field{Name: "v", Kind: scanshare.KindFloat64},
+		scanshare.Field{Name: "tag", Kind: scanshare.KindString},
+	)
+	rng := rand.New(rand.NewSource(p.Seed))
+	tbl, err := eng.LoadTable("rt", schema, func(add func(scanshare.Tuple) error) error {
+		for i := 0; i < rows; i++ {
+			err := add(scanshare.Tuple{
+				scanshare.Int64(int64(i)),
+				scanshare.Float64(rng.Float64()),
+				scanshare.String(fmt.Sprintf("tag-%02d", rng.Intn(40))),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return eng, tbl, poolPages, nil
+}

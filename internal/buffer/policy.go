@@ -112,6 +112,25 @@ func (p *lruPolicy) victim() *frame {
 		if lvl.Len() == 0 {
 			continue
 		}
+		// Second-chance walk: a frame whose touched bit was set by a
+		// validated optimistic read (array translation only; see
+		// ReadOptimistic) gets one reprieve — bit cleared, moved to the back
+		// of its level — before it can be victimized. The walk is bounded by
+		// the level's length, so when every frame was touched the pass
+		// degrades to clearing all bits and evicting the original front:
+		// exactly CLOCK on top of the paper's priority-LRU. Under map
+		// translation no bit is ever set and this is the classic front-pop.
+		for n := lvl.Len(); n > 0; n-- {
+			e := lvl.Front()
+			f := e.Value.(*frame)
+			if f.touched.CompareAndSwap(true, false) {
+				lvl.MoveToBack(e)
+				continue
+			}
+			lvl.Remove(e)
+			f.elem = nil
+			return f
+		}
 		f := lvl.Remove(lvl.Front()).(*frame)
 		f.elem = nil
 		return f

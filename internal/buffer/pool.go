@@ -233,6 +233,15 @@ type frame struct {
 	// stay zero under map translation.
 	version atomic.Uint64
 	content atomic.Pointer[pageContent]
+	// touched is the optimistic read path's recency feedback: a validated
+	// ReadOptimistic sets it (one uncontended atomic store, no lock, no
+	// policy churn) and the priority-LRU victim walk consumes it as a CLOCK
+	// second chance, so a hot set served entirely lock-free is not the first
+	// thing evicted. Release clears it (a release refreshes recency by
+	// itself) and reserve clears any stale bit a racing reader stored on a
+	// recycled frame. Never set under map translation, which keeps the
+	// classic replay goldens byte-identical.
+	touched atomic.Bool
 }
 
 // shard is one lock-striped partition of the pool: a fixed slice of the
@@ -565,6 +574,7 @@ func (s *shard) reserveLocked(pid disk.PageID) *frame {
 	f.pins = 1
 	f.state = framePending
 	f.prio = 0
+	f.touched.Store(false)
 	f.version.Add(1) // even→odd: in transition until Fill or Abort settles it
 	if e := s.xlate.ensure(pid); e != nil {
 		e.Store(f)
@@ -777,6 +787,9 @@ func (p *Pool) Release(pid disk.PageID, prio Priority) error {
 	f.pins--
 	f.prio = prio
 	if f.pins == 0 {
+		// The release itself is the recency signal (insert goes to the back
+		// of its level), so any pending second chance is consumed here.
+		f.touched.Store(false)
 		s.policy.insert(f)
 	}
 	return nil
@@ -803,6 +816,7 @@ func (p *Pool) ReleaseRetain(pid disk.PageID) error {
 	}
 	f.pins--
 	if f.pins == 0 {
+		f.touched.Store(false)
 		s.policy.insert(f)
 	}
 	return nil

@@ -36,9 +36,14 @@ type modelPolicy interface {
 }
 
 // modelLRU is the paper's priority-LRU: per-priority FIFOs, victim from the
-// front of the lowest occupied level.
+// front of the lowest occupied level, with the optimistic read path's CLOCK
+// second chance — a touched page at the front is skipped once (bit cleared,
+// moved to the back) before it can be victimized. touched is the shard's
+// per-page view of the frame bit; under map translation it stays empty and
+// the walk is the classic front-pop.
 type modelLRU struct {
-	levels [numPriorities][]modelEntry
+	levels  [numPriorities][]modelEntry
+	touched map[disk.PageID]bool
 }
 
 func (m *modelLRU) insert(pid disk.PageID, prio Priority) {
@@ -60,6 +65,20 @@ func (m *modelLRU) victim() (disk.PageID, Priority, bool) {
 	for prio := PriorityEvict; prio < numPriorities; prio++ {
 		if len(m.levels[prio]) == 0 {
 			continue
+		}
+		// Bounded second-chance walk, mirroring lruPolicy.victim: each
+		// touched front entry is cleared and rotated to the back once; if
+		// the whole level was touched, the original front (now cleared)
+		// is evicted anyway.
+		for n := len(m.levels[prio]); n > 0; n-- {
+			e := m.levels[prio][0]
+			if m.touched[e.pid] {
+				delete(m.touched, e.pid)
+				m.levels[prio] = append(m.levels[prio][1:], e)
+				continue
+			}
+			m.levels[prio] = m.levels[prio][1:]
+			return e.pid, e.prio, true
 		}
 		e := m.levels[prio][0]
 		m.levels[prio] = m.levels[prio][1:]
@@ -209,10 +228,18 @@ type modelShard struct {
 	policy   modelPolicy
 	pending  int
 	stats    Stats
+	// touched mirrors the per-frame optimistic-read bit: set by a modeled
+	// ReadOptimistic hit, consumed by the LRU second-chance walk, cleared
+	// when a page is released (recency refreshed) or leaves the shard.
+	touched map[disk.PageID]bool
 }
 
 func newModelShard(capacity int, policy modelPolicy) *modelShard {
-	return &modelShard{capacity: capacity, frames: make(map[disk.PageID]*modelFrame), policy: policy}
+	m := &modelShard{capacity: capacity, frames: make(map[disk.PageID]*modelFrame), policy: policy, touched: map[disk.PageID]bool{}}
+	if lru, ok := policy.(*modelLRU); ok {
+		lru.touched = m.touched
+	}
+	return m
 }
 
 func (m *modelShard) evict() bool {
@@ -221,6 +248,7 @@ func (m *modelShard) evict() bool {
 		return false
 	}
 	delete(m.frames, pid)
+	delete(m.touched, pid)
 	m.stats.Evictions++
 	m.stats.EvictionsByPr[prio]++
 	return true
@@ -264,6 +292,7 @@ func (m *modelShard) fill(pid disk.PageID) {
 
 func (m *modelShard) abort(pid disk.PageID) {
 	delete(m.frames, pid)
+	delete(m.touched, pid)
 	m.pending--
 	m.stats.Aborts++
 }
@@ -273,6 +302,7 @@ func (m *modelShard) release(pid disk.PageID, prio Priority) {
 	f.pins--
 	f.prio = prio
 	if f.pins == 0 {
+		delete(m.touched, pid)
 		m.policy.insert(pid, prio)
 	}
 }
@@ -281,6 +311,7 @@ func (m *modelShard) releaseRetain(pid disk.PageID) {
 	f := m.frames[pid]
 	f.pins--
 	if f.pins == 0 {
+		delete(m.touched, pid)
 		m.policy.insert(pid, f.prio)
 	}
 }
@@ -332,6 +363,7 @@ func (m *modelShard) readOptimistic(pid disk.PageID, x *modelXlate) bool {
 	m.stats.OptHits++
 	m.stats.Hits++
 	m.stats.LogicalReads++
+	m.touched[pid] = true // recency feedback the LRU second chance consumes
 	return true
 }
 

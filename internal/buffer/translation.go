@@ -238,6 +238,14 @@ func (p *Pool) ReadOptimistic(pid disk.PageID) ([]byte, bool) {
 			s.optRetries.Add(1)
 			continue
 		}
+		// Feed the hit back to replacement: one relaxed store the
+		// priority-LRU victim walk reads as a CLOCK second chance. A racing
+		// eviction may recycle the frame between validation and this store,
+		// granting the next occupant one undeserved reprieve — benign, and
+		// reserveLocked clears the bit anyway. The predictive policy ignores
+		// it: its relevance estimates are refreshed by the scan feed
+		// (UpdateScan runs per page processed, optimistic or not).
+		f.touched.Store(true)
 		s.optHits.Add(1)
 		return c.data, true
 	}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// TenantCollector aggregates one tenant's admission-control activity in the
+// serve front end. Like Collector it is written from hot paths — every
+// request the server accepts or sheds touches it — so it uses plain atomics
+// and never blocks. The zero value is ready to use.
+type TenantCollector struct {
+	admitted atomic.Int64
+	queued   atomic.Int64
+	shed     atomic.Int64
+	running  atomic.Int64
+	// queueWait is the admission-queue latency distribution: time from a
+	// request entering its tenant's FIFO to the dispatcher granting it a
+	// slot. Requests admitted on a free slot observe ~0.
+	queueWait Histogram
+}
+
+// TenantStats is an atomically-read (field by field, not instantaneous)
+// snapshot of one tenant's admission counters, tagged with the tenant name.
+type TenantStats struct {
+	Name     string
+	Admitted int64 // requests granted an execution slot
+	Queued   int64 // requests that waited in the FIFO before admission
+	Shed     int64 // requests rejected because the queue was at depth limit
+	Running  int64 // requests currently holding a slot (gauge)
+
+	QueueWait HistogramStats // FIFO wait of admitted requests
+}
+
+// ShedRate returns Shed / (Admitted + Shed): the fraction of concluded
+// admission decisions that turned the request away. Zero when nothing was
+// decided yet.
+func (s TenantStats) ShedRate() float64 {
+	total := s.Admitted + s.Shed
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Shed) / float64(total)
+}
+
+// String renders the snapshot as one compact log line.
+func (s TenantStats) String() string {
+	out := fmt.Sprintf("tenant %s: %d admitted (%d queued first), %d shed, %d running",
+		s.Name, s.Admitted, s.Queued, s.Shed, s.Running)
+	if s.QueueWait.Count > 0 {
+		out += fmt.Sprintf(", queue wait %s", s.QueueWait)
+	}
+	return out
+}
+
+// Admitted records a request granted an execution slot after waiting wait in
+// the admission queue (zero when a slot was free immediately), and moves the
+// running gauge up; the caller must pair it with Released.
+func (c *TenantCollector) Admitted(wait time.Duration) {
+	c.admitted.Add(1)
+	c.running.Add(1)
+	c.queueWait.Observe(wait)
+}
+
+// Queued records a request that could not run immediately and entered the
+// tenant's FIFO.
+func (c *TenantCollector) Queued() { c.queued.Add(1) }
+
+// Shed records a request rejected because the tenant's queue was at its
+// depth limit.
+func (c *TenantCollector) Shed() { c.shed.Add(1) }
+
+// Released moves the running gauge down when an admitted request's slot is
+// returned.
+func (c *TenantCollector) Released() { c.running.Add(-1) }
+
+// Snapshot returns the current counters under name.
+func (c *TenantCollector) Snapshot(name string) TenantStats {
+	if c == nil {
+		return TenantStats{Name: name}
+	}
+	return TenantStats{
+		Name:      name,
+		Admitted:  c.admitted.Load(),
+		Queued:    c.queued.Load(),
+		Shed:      c.shed.Load(),
+		Running:   c.running.Load(),
+		QueueWait: c.queueWait.Snapshot(),
+	}
+}
+
+// Reset zeroes the counters and the wait histogram. Like Collector.Reset it
+// clears field by field: call it between runs, not mid-traffic.
+func (c *TenantCollector) Reset() {
+	if c == nil {
+		return
+	}
+	c.admitted.Store(0)
+	c.queued.Store(0)
+	c.shed.Store(0)
+	c.running.Store(0)
+	c.queueWait.Reset()
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTenantCollectorCounters(t *testing.T) {
+	var c TenantCollector
+	c.Queued()
+	c.Admitted(2 * time.Millisecond)
+	c.Admitted(0)
+	c.Shed()
+	st := c.Snapshot("acme")
+	if st.Name != "acme" || st.Admitted != 2 || st.Queued != 1 || st.Shed != 1 || st.Running != 2 {
+		t.Fatalf("snapshot = %+v", st)
+	}
+	if got := st.ShedRate(); got <= 0.33 || got >= 0.34 {
+		t.Errorf("ShedRate() = %v, want 1/3", got)
+	}
+	if st.QueueWait.Count != 2 {
+		t.Errorf("queue wait observed %d times, want 2", st.QueueWait.Count)
+	}
+	c.Released()
+	if got := c.Snapshot("acme").Running; got != 1 {
+		t.Errorf("running = %d after one release, want 1", got)
+	}
+	if s := st.String(); !strings.Contains(s, "tenant acme") || !strings.Contains(s, "1 shed") {
+		t.Errorf("String() = %q", s)
+	}
+
+	c.Reset()
+	if got := c.Snapshot("acme"); got.Admitted != 0 || got.Running != 0 || got.QueueWait.Count != 0 {
+		t.Errorf("Reset left %+v", got)
+	}
+}
+
+func TestTenantCollectorNilAndZero(t *testing.T) {
+	var nilC *TenantCollector
+	if st := nilC.Snapshot("x"); st.Name != "x" || st.Admitted != 0 {
+		t.Errorf("nil snapshot = %+v", st)
+	}
+	nilC.Reset() // must not panic
+	if got := (TenantStats{}).ShedRate(); got != 0 {
+		t.Errorf("zero ShedRate() = %v", got)
+	}
+}
+
+// TestTenantCollectorConcurrent hammers the collector from many goroutines;
+// the totals must balance exactly (atomics, no lost updates) and the race
+// detector must stay quiet.
+func TestTenantCollectorConcurrent(t *testing.T) {
+	var c TenantCollector
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Queued()
+				c.Admitted(time.Microsecond)
+				c.Released()
+				c.Shed()
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Snapshot("load")
+	want := int64(workers * per)
+	if st.Admitted != want || st.Queued != want || st.Shed != want || st.Running != 0 {
+		t.Fatalf("totals off: %+v, want %d each and running 0", st, want)
+	}
+}

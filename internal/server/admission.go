@@ -1,0 +1,294 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"scanshare/internal/metrics"
+)
+
+// TenantConfig declares one tenant's admission limits and dispatch share.
+type TenantConfig struct {
+	// Name identifies the tenant; requests carry it verbatim.
+	Name string
+	// MaxConcurrent caps the tenant's simultaneously executing requests.
+	// Values below 1 mean 1.
+	MaxConcurrent int
+	// MaxQueueDepth bounds the tenant's admission FIFO. A request arriving
+	// with the queue full is shed. Values below 0 mean 0 — no queueing,
+	// shed as soon as the tenant is at its concurrency cap.
+	MaxQueueDepth int
+	// Weight is the tenant's share in cross-tenant dispatch when a global
+	// execution slot frees up and several tenants have queued requests.
+	// Values below 1 mean 1.
+	Weight int
+}
+
+func (c TenantConfig) cap() int {
+	if c.MaxConcurrent < 1 {
+		return 1
+	}
+	return c.MaxConcurrent
+}
+
+func (c TenantConfig) depth() int {
+	if c.MaxQueueDepth < 0 {
+		return 0
+	}
+	return c.MaxQueueDepth
+}
+
+func (c TenantConfig) weight() int {
+	if c.Weight < 1 {
+		return 1
+	}
+	return c.Weight
+}
+
+// ShedError reports an admission rejection: the tenant's queue was at its
+// depth limit. RetryAfter is the server's backoff hint, derived from the
+// tenant's smoothed service time and current backlog.
+type ShedError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("server: tenant %q overloaded, retry after %s", e.Tenant, e.RetryAfter)
+}
+
+// waiter is one request parked in a tenant's admission FIFO. All fields are
+// guarded by the admission mutex except grant, which the dispatcher closes
+// (under the mutex) and Acquire receives on (outside it).
+type waiter struct {
+	grant    chan struct{}
+	granted  bool
+	canceled bool
+	enqueued time.Time
+}
+
+// tenantState is one tenant's live admission bookkeeping.
+type tenantState struct {
+	cfg   TenantConfig
+	col   *metrics.TenantCollector
+	queue []*waiter
+	// running counts requests holding a slot; mirrored in col's gauge but
+	// kept here as the authoritative value the caps compare against.
+	running int
+	// wrr is the smooth weighted-round-robin accumulator: every dispatch
+	// round each eligible tenant gains its weight, the max wins and pays
+	// back the round's total, so over time grants converge to the weight
+	// ratio without bursts.
+	wrr int
+	// ewma is the smoothed request service time feeding retry-after hints.
+	ewma time.Duration
+}
+
+// admission is the server's admission controller. One mutex guards all
+// tenants: admission decisions are a few comparisons and never block under
+// the lock (request execution happens outside it), so a single lock keeps
+// the cross-tenant invariants — the global cap and fair dispatch — trivially
+// consistent.
+type admission struct {
+	mu        sync.Mutex
+	globalCap int
+	running   int // total executing, all tenants
+	tenants   map[string]*tenantState
+	order     []string // sorted tenant names: deterministic dispatch scans
+	all       *metrics.TenantCollector
+}
+
+// newAdmission builds the controller. globalCap <= 0 means the sum of the
+// tenant caps (tenants then only compete with themselves).
+func newAdmission(cfgs []TenantConfig, globalCap int, all *metrics.TenantCollector) (*admission, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("server: no tenants configured")
+	}
+	if all == nil {
+		all = new(metrics.TenantCollector)
+	}
+	a := &admission{tenants: make(map[string]*tenantState, len(cfgs)), all: all}
+	capSum := 0
+	for _, c := range cfgs {
+		if c.Name == "" {
+			return nil, fmt.Errorf("server: tenant with empty name")
+		}
+		if _, dup := a.tenants[c.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate tenant %q", c.Name)
+		}
+		a.tenants[c.Name] = &tenantState{cfg: c, col: new(metrics.TenantCollector)}
+		a.order = append(a.order, c.Name)
+		capSum += c.cap()
+	}
+	sort.Strings(a.order)
+	a.globalCap = globalCap
+	if a.globalCap <= 0 {
+		a.globalCap = capSum
+	}
+	return a, nil
+}
+
+// Acquire admits one request for tenant, blocking in the tenant's FIFO when
+// it is at its concurrency cap (or the server at its global cap). It returns
+// the release ticket and how long the request waited queued. The ticket is
+// idempotent — calling it more than once releases the slot exactly once — so
+// callers may defer it and also call it early on error paths.
+//
+// When the tenant's queue is at its depth limit the request is shed with a
+// *ShedError. When ctx is done first the request leaves the queue and
+// reports ctx's error; if a grant raced the cancellation the slot is
+// returned before reporting it.
+func (a *admission) Acquire(ctx context.Context, tenant string) (release func(), wait time.Duration, err error) {
+	a.mu.Lock()
+	ts := a.tenants[tenant]
+	if ts == nil {
+		a.mu.Unlock()
+		return nil, 0, fmt.Errorf("server: unknown tenant %q", tenant)
+	}
+	// Fast path: a free slot and no one queued ahead (FIFO order holds
+	// even against the dispatcher, which drains the queue before slots
+	// reach new arrivals).
+	if len(ts.queue) == 0 && ts.running < ts.cfg.cap() && a.running < a.globalCap {
+		a.admitLocked(ts, 0)
+		a.mu.Unlock()
+		return a.ticket(ts, time.Now()), 0, nil
+	}
+	if len(ts.queue) >= ts.cfg.depth() {
+		retry := a.retryAfterLocked(ts)
+		ts.col.Shed()
+		a.all.Shed()
+		a.mu.Unlock()
+		return nil, 0, &ShedError{Tenant: tenant, RetryAfter: retry}
+	}
+	w := &waiter{grant: make(chan struct{}), enqueued: time.Now()}
+	ts.queue = append(ts.queue, w)
+	ts.col.Queued()
+	a.all.Queued()
+	a.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return a.ticket(ts, time.Now()), time.Since(w.enqueued), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The dispatcher granted us concurrently; give the slot
+			// straight back (which may grant the next waiter).
+			a.mu.Unlock()
+			a.ticket(ts, time.Now())()
+			return nil, 0, ctx.Err()
+		}
+		w.canceled = true
+		a.mu.Unlock()
+		return nil, 0, ctx.Err()
+	}
+}
+
+// admitLocked moves one request into the running state and records the
+// admission with its queue wait.
+func (a *admission) admitLocked(ts *tenantState, wait time.Duration) {
+	ts.running++
+	a.running++
+	ts.col.Admitted(wait)
+	a.all.Admitted(wait)
+}
+
+// ticket builds the idempotent release closure for one admitted request.
+// The sync.Once is what makes detach/rejoin and error unwinding safe: no
+// matter how many paths call release, the slot returns exactly once.
+func (a *admission) ticket(ts *tenantState, start time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			served := time.Since(start)
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			ts.running--
+			a.running--
+			ts.col.Released()
+			a.all.Released()
+			// EWMA with α=1/4: stable enough for a hint, fresh enough
+			// to track load shifts within a few requests.
+			if ts.ewma == 0 {
+				ts.ewma = served
+			} else {
+				ts.ewma += (served - ts.ewma) / 4
+			}
+			a.dispatchLocked()
+		})
+	}
+}
+
+// dispatchLocked grants freed slots to queued requests, choosing among
+// tenants by smooth weighted round robin. Canceled waiters are dropped as
+// they surface.
+func (a *admission) dispatchLocked() {
+	for a.running < a.globalCap {
+		var best *tenantState
+		total := 0
+		for _, name := range a.order {
+			ts := a.tenants[name]
+			a.pruneLocked(ts)
+			if len(ts.queue) == 0 || ts.running >= ts.cfg.cap() {
+				continue
+			}
+			total += ts.cfg.weight()
+			ts.wrr += ts.cfg.weight()
+			if best == nil || ts.wrr > best.wrr {
+				best = ts
+			}
+		}
+		if best == nil {
+			return
+		}
+		best.wrr -= total
+		w := best.queue[0]
+		best.queue = best.queue[1:]
+		w.granted = true
+		close(w.grant)
+		a.admitLocked(best, time.Since(w.enqueued))
+	}
+}
+
+// pruneLocked drops canceled waiters from the front of the queue. Canceled
+// entries deeper in the queue are left for later passes — they block no one
+// until they reach the front.
+func (a *admission) pruneLocked(ts *tenantState) {
+	for len(ts.queue) > 0 && ts.queue[0].canceled {
+		ts.queue = ts.queue[1:]
+	}
+}
+
+// retryAfterLocked estimates when the tenant's backlog will have drained
+// enough to be worth retrying: the smoothed per-request service time scaled
+// by the backlog ahead of a new arrival, divided by the tenant's concurrency,
+// clamped to [1ms, 1s].
+func (a *admission) retryAfterLocked(ts *tenantState) time.Duration {
+	est := ts.ewma
+	if est == 0 {
+		est = 10 * time.Millisecond
+	}
+	backlog := len(ts.queue) + ts.running
+	retry := est * time.Duration(backlog+1) / time.Duration(ts.cfg.cap())
+	if retry < time.Millisecond {
+		retry = time.Millisecond
+	}
+	if retry > time.Second {
+		retry = time.Second
+	}
+	return retry
+}
+
+// TenantStats snapshots every tenant's counters, sorted by tenant name.
+func (a *admission) TenantStats() []metrics.TenantStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]metrics.TenantStats, 0, len(a.order))
+	for _, name := range a.order {
+		out = append(out, a.tenants[name].col.Snapshot(name))
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestAdmission(t *testing.T, globalCap int, cfgs ...TenantConfig) *admission {
+	t.Helper()
+	a, err := newAdmission(cfgs, globalCap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// waitQueued polls until the tenant reports n queued requests; the grant
+// machinery is asynchronous, so tests order their phases through counters.
+func waitQueued(t *testing.T, a *admission, tenant string, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, st := range a.TenantStats() {
+			if st.Name == tenant && st.Queued >= n {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant %q never reached %d queued: %v", tenant, n, a.TenantStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionFastQueueShed(t *testing.T) {
+	a := newTestAdmission(t, 0, TenantConfig{Name: "t", MaxConcurrent: 1, MaxQueueDepth: 1})
+
+	rel1, wait, err := a.Acquire(context.Background(), "t")
+	if err != nil || wait != 0 {
+		t.Fatalf("fast-path Acquire = wait %v, err %v", wait, err)
+	}
+
+	// Second request must queue (cap 1); run it in a goroutine.
+	got := make(chan error, 1)
+	go func() {
+		rel2, w, err := a.Acquire(context.Background(), "t")
+		if err == nil {
+			if w <= 0 {
+				err = errors.New("queued admission reported zero wait")
+			}
+			rel2()
+		}
+		got <- err
+	}()
+	waitQueued(t, a, "t", 1)
+
+	// Third request finds the queue full and is shed with a hint.
+	_, _, err = a.Acquire(context.Background(), "t")
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("overflow Acquire error = %v, want *ShedError", err)
+	}
+	if shed.Tenant != "t" || shed.RetryAfter < time.Millisecond || shed.RetryAfter > time.Second {
+		t.Errorf("shed = %+v", shed)
+	}
+
+	rel1()
+	if err := <-got; err != nil {
+		t.Fatalf("queued request: %v", err)
+	}
+
+	st := a.TenantStats()[0]
+	if st.Admitted != 2 || st.Queued != 1 || st.Shed != 1 || st.Running != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.QueueWait.Count != 2 { // every admission observes its wait, fast path as 0
+		t.Errorf("queue wait count = %d, want 2", st.QueueWait.Count)
+	}
+	if all := a.all.Snapshot("all"); all.Admitted != 2 || all.Shed != 1 {
+		t.Errorf("aggregate stats = %+v", all)
+	}
+}
+
+// TestAdmissionReleaseIdempotent hammers one ticket from many goroutines:
+// the slot must come back exactly once, which is what keeps detach/rejoin
+// and error-path double-releases harmless.
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := newTestAdmission(t, 0, TenantConfig{Name: "t", MaxConcurrent: 1})
+	rel, _, err := a.Acquire(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); rel() }()
+	}
+	wg.Wait()
+	st := a.TenantStats()[0]
+	if st.Running != 0 {
+		t.Fatalf("running = %d after concurrent releases, want 0", st.Running)
+	}
+	// The slot is usable again, and counters moved exactly one step.
+	rel2, _, err := a.Acquire(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+	if st := a.TenantStats()[0]; st.Admitted != 2 || st.Running != 0 {
+		t.Errorf("stats after reacquire = %+v", st)
+	}
+}
+
+// TestAdmissionWeightedRoundRobin checks the smooth-WRR dispatch ratio: with
+// weights 3:1 competing for one global slot, grants interleave a,a,b,a per
+// cycle instead of starving b or bursting a.
+func TestAdmissionWeightedRoundRobin(t *testing.T) {
+	a := newTestAdmission(t, 1,
+		TenantConfig{Name: "a", MaxConcurrent: 8, MaxQueueDepth: 16, Weight: 3},
+		TenantConfig{Name: "b", MaxConcurrent: 8, MaxQueueDepth: 16, Weight: 1},
+	)
+	hold, _, err := a.Acquire(context.Background(), "a") // occupy the global slot
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(tenant string, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rel, _, err := a.Acquire(context.Background(), tenant)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				order = append(order, tenant)
+				mu.Unlock()
+				rel()
+			}()
+		}
+	}
+	enqueue("a", 6)
+	enqueue("b", 2)
+	waitQueued(t, a, "a", 6)
+	waitQueued(t, a, "b", 2)
+
+	hold() // start the dispatch chain: each grant's release grants the next
+	wg.Wait()
+
+	if len(order) != 8 {
+		t.Fatalf("granted %d, want 8: %v", len(order), order)
+	}
+	want := []string{"a", "a", "b", "a", "a", "a", "b", "a"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newTestAdmission(t, 0, TenantConfig{Name: "t", MaxConcurrent: 1, MaxQueueDepth: 4})
+	hold, _, err := a.Acquire(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, _, err := a.Acquire(ctx, "t")
+		got <- err
+	}()
+	waitQueued(t, a, "t", 1)
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Acquire error = %v", err)
+	}
+	hold()
+	// The canceled waiter must not absorb the freed slot.
+	rel, _, err := a.Acquire(context.Background(), "t")
+	if err != nil {
+		t.Fatalf("Acquire after cancel: %v", err)
+	}
+	rel()
+	if st := a.TenantStats()[0]; st.Running != 0 || st.Admitted != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionConfigErrors(t *testing.T) {
+	if _, err := newAdmission(nil, 0, nil); err == nil {
+		t.Error("empty tenant list accepted")
+	}
+	if _, err := newAdmission([]TenantConfig{{Name: ""}}, 0, nil); err == nil {
+		t.Error("empty tenant name accepted")
+	}
+	if _, err := newAdmission([]TenantConfig{{Name: "x"}, {Name: "x"}}, 0, nil); err == nil {
+		t.Error("duplicate tenant accepted")
+	}
+	a := newTestAdmission(t, 0, TenantConfig{Name: "t"})
+	if _, _, err := a.Acquire(context.Background(), "ghost"); err == nil {
+		t.Error("unknown tenant admitted")
+	}
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"scanshare"
+)
+
+// TestServeChaosReleasesSlotsExactlyOnce drives the server with a fault plan
+// that forces scans to fail reads, detach from their group, and rejoin —
+// while admission keeps granting and releasing slots around them. Whatever
+// path a request takes out of RunRealtime (success after retries, degraded
+// pages, detach/rejoin churn), its admission ticket must fire exactly once:
+// afterwards every running gauge is back to zero and the freed slots kept
+// flowing (all requests completed). Run under -race this also shakes out
+// ordering bugs between the dispatcher and the release path.
+func TestServeChaosReleasesSlotsExactlyOnce(t *testing.T) {
+	eng := testEngine(t, 32, 2000)
+	tbl, err := eng.Lookup("rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, Config{
+		Engine: eng,
+		Tenants: []TenantConfig{
+			{Name: "t0", MaxConcurrent: 2, MaxQueueDepth: 3},
+			{Name: "t1", MaxConcurrent: 2, MaxQueueDepth: 3},
+		},
+		PageDelay: 50 * time.Microsecond,
+		Realtime: scanshare.RealtimeOptions{
+			Faults: &scanshare.FaultPlan{
+				Seed: 7,
+				Rules: []scanshare.FaultRule{
+					// Fail hard on first attempts across the whole
+					// table; retries recover, so scans detach on the
+					// failure streaks and rejoin on the retry.
+					{Kind: scanshare.FaultError, Table: tbl, Prob: 0.3, UntilAttempt: 2},
+					{Kind: scanshare.FaultLatency, Table: tbl, Prob: 0.1, Latency: 200 * time.Microsecond},
+				},
+			},
+			MaxReadRetries:        4,
+			RetryBackoff:          100 * time.Microsecond,
+			ReadTimeout:           time.Second,
+			DetachAfterFailures:   1,
+			ContinueOnPageFailure: true,
+		},
+	})
+
+	stats, err := RunDriver(context.Background(), DriverConfig{
+		Addr:              srv.Addr(),
+		Clients:           16,
+		Tenants:           []string{"t0", "t1"},
+		Queries:           []string{"SELECT count(*) FROM rt"},
+		RequestsPerClient: 2,
+		Seed:              7,
+		RetryOnShed:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("driver: %s", stats)
+
+	if stats.Completed != 32 || stats.Errors != 0 {
+		t.Fatalf("completed %d, errors %d: %s", stats.Completed, stats.Errors, stats)
+	}
+	cs := srv.Collector().Snapshot()
+	if cs.ScanDetaches == 0 || cs.ScanRejoins == 0 {
+		t.Fatalf("fault plan injected no detach/rejoin churn: detaches=%d rejoins=%d retries=%d",
+			cs.ScanDetaches, cs.ScanRejoins, cs.ReadRetries)
+	}
+	var admitted int64
+	for _, st := range srv.TenantStats() {
+		t.Logf("%s", st)
+		if st.Running != 0 {
+			t.Errorf("tenant %s: %d slots still held — a release was lost or doubled", st.Name, st.Running)
+		}
+		admitted += st.Admitted
+	}
+	if admitted != 32 {
+		t.Errorf("admitted %d, want 32 (one per completed request)", admitted)
+	}
+	// The shared controller mirrors the same invariant.
+	if all := srv.AllStats(); all.Running != 0 || all.Admitted != 32 {
+		t.Errorf("aggregate = %+v", all)
+	}
+	// And the admission's own slot count must have drained: re-admitting
+	// up to both tenants' full caps immediately proves no slot leaked.
+	for i := 0; i < 2; i++ {
+		for _, tenant := range []string{"t0", "t1"} {
+			rel, wait, err := srv.adm.Acquire(context.Background(), tenant)
+			if err != nil || wait != 0 {
+				t.Fatalf("post-run Acquire(%s) #%d = wait %v, err %v — slots leaked", tenant, i, wait, err)
+			}
+			defer rel()
+		}
+	}
+}

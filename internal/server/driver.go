@@ -1,0 +1,195 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DriverConfig describes a deterministic multi-client load run against a
+// serve endpoint. Client i uses rand.NewSource(Seed+i) for every choice it
+// makes — query selection and think-time jitter — so a run is reproducible
+// given the same config, in the same spirit as the realtime scheduler
+// harness's seeded workloads.
+type DriverConfig struct {
+	// Addr is the server's "host:port".
+	Addr string
+	// Clients is the number of concurrent connections.
+	Clients int
+	// Tenants assigns client i to Tenants[i%len(Tenants)].
+	Tenants []string
+	// Queries is the statement pool each client draws from.
+	Queries []string
+	// RequestsPerClient is how many successful requests each client must
+	// complete (shed responses don't count; see RetryOnShed).
+	RequestsPerClient int
+	// Seed is the base RNG seed.
+	Seed int64
+	// RetryOnShed makes clients honor the server's retry-after hint and
+	// resend until admitted. When false a shed response consumes the
+	// request slot.
+	RetryOnShed bool
+	// ThinkTime, when positive, sleeps a uniform random duration in
+	// [0, ThinkTime) between a client's requests.
+	ThinkTime time.Duration
+}
+
+// DriverStats aggregates one driver run.
+type DriverStats struct {
+	// Completed counts requests answered OK.
+	Completed int64
+	// ShedResponses counts shed answers observed by clients (each may be
+	// followed by a retry of the same request).
+	ShedResponses int64
+	// Errors counts non-shed failures.
+	Errors int64
+	// PagesRead sums the per-response page counts.
+	PagesRead int64
+	// PerTenantCompleted breaks Completed down by tenant.
+	PerTenantCompleted map[string]int64
+	// Wall is the whole run's duration, connection setup included.
+	Wall time.Duration
+}
+
+// TenantSpread returns max/min of PerTenantCompleted — 1.0 is perfectly
+// balanced. Infinity when some tenant completed nothing.
+func (s DriverStats) TenantSpread() float64 {
+	var lo, hi int64 = -1, 0
+	for _, n := range s.PerTenantCompleted {
+		if lo < 0 || n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if lo <= 0 {
+		if hi == 0 {
+			return 1
+		}
+		return float64(int64(^uint64(0) >> 1)) // effectively infinite spread
+	}
+	return float64(hi) / float64(lo)
+}
+
+// String renders the stats as one log line with tenants in name order.
+func (s DriverStats) String() string {
+	names := make([]string, 0, len(s.PerTenantCompleted))
+	for n := range s.PerTenantCompleted {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("%d completed, %d shed responses, %d errors, %d pages in %s",
+		s.Completed, s.ShedResponses, s.Errors, s.PagesRead, s.Wall.Round(time.Millisecond))
+	for _, n := range names {
+		out += fmt.Sprintf(" %s=%d", n, s.PerTenantCompleted[n])
+	}
+	return out
+}
+
+// RunDriver executes the configured client fleet and returns the aggregate
+// stats. It fails fast on config errors and reports the first connection
+// error; per-request failures are counted, not fatal. Cancelling ctx stops
+// every client after its current request.
+func RunDriver(ctx context.Context, cfg DriverConfig) (DriverStats, error) {
+	if cfg.Clients <= 0 || cfg.RequestsPerClient <= 0 {
+		return DriverStats{}, errors.New("server: driver needs Clients and RequestsPerClient > 0")
+	}
+	if len(cfg.Tenants) == 0 || len(cfg.Queries) == 0 {
+		return DriverStats{}, errors.New("server: driver needs Tenants and Queries")
+	}
+
+	stats := DriverStats{PerTenantCompleted: make(map[string]int64, len(cfg.Tenants))}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Clients)
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			local, err := runClient(ctx, cfg, i)
+			mu.Lock()
+			defer mu.Unlock()
+			errs[i] = err
+			stats.Completed += local.Completed
+			stats.ShedResponses += local.ShedResponses
+			stats.Errors += local.Errors
+			stats.PagesRead += local.PagesRead
+			for t, n := range local.PerTenantCompleted {
+				stats.PerTenantCompleted[t] += n
+			}
+		}(i)
+	}
+	wg.Wait()
+	stats.Wall = time.Since(start)
+	return stats, errors.Join(errs...)
+}
+
+// runClient is one connection's request loop.
+func runClient(ctx context.Context, cfg DriverConfig, idx int) (DriverStats, error) {
+	tenant := cfg.Tenants[idx%len(cfg.Tenants)]
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)))
+	local := DriverStats{PerTenantCompleted: map[string]int64{tenant: 0}}
+
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return local, fmt.Errorf("client %d: %w", idx, err)
+	}
+	defer conn.Close()
+
+	for r := 0; r < cfg.RequestsPerClient; r++ {
+		if ctx.Err() != nil {
+			return local, nil
+		}
+		req := Request{Tenant: tenant, Query: cfg.Queries[rng.Intn(len(cfg.Queries))]}
+		for {
+			if err := WriteFrame(conn, &req); err != nil {
+				return local, fmt.Errorf("client %d: %w", idx, err)
+			}
+			var resp Response
+			if err := ReadFrame(conn, &resp); err != nil {
+				return local, fmt.Errorf("client %d: %w", idx, err)
+			}
+			if resp.Shed {
+				local.ShedResponses++
+				if !cfg.RetryOnShed {
+					break
+				}
+				// Honor the hint, bounded so a pessimistic estimate
+				// can't stall the run.
+				pause := time.Duration(resp.RetryAfterMs) * time.Millisecond
+				if pause > 50*time.Millisecond {
+					pause = 50 * time.Millisecond
+				}
+				select {
+				case <-time.After(pause):
+				case <-ctx.Done():
+					return local, nil
+				}
+				continue
+			}
+			if !resp.OK {
+				local.Errors++
+			} else {
+				local.Completed++
+				local.PerTenantCompleted[tenant]++
+				local.PagesRead += int64(resp.PagesRead)
+			}
+			break
+		}
+		if cfg.ThinkTime > 0 {
+			select {
+			case <-time.After(time.Duration(rng.Int63n(int64(cfg.ThinkTime)))):
+			case <-ctx.Done():
+				return local, nil
+			}
+		}
+	}
+	return local, nil
+}

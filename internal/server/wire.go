@@ -1,0 +1,86 @@
+// Package server is the multi-tenant scan front end: a long-lived TCP
+// service that accepts SQL requests over a length-prefixed JSON protocol,
+// admits them through per-tenant bounded queues with concurrency caps, and
+// executes admitted scans through the engine's realtime path so concurrent
+// clients share buffer pool contents and scan groups exactly as the paper's
+// grouping/throttling machinery intends.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds one wire frame's JSON payload. Requests are a tenant name
+// plus a SQL string and responses a handful of counters, so a megabyte is
+// generous; anything larger is a corrupt or hostile length prefix and kills
+// the connection before it allocates.
+const MaxFrame = 1 << 20
+
+// Request is one client→server message: run query on behalf of tenant.
+type Request struct {
+	Tenant string `json:"tenant"`
+	Query  string `json:"query"`
+}
+
+// Response is the server's answer to one Request. Exactly one of three
+// shapes comes back: success (OK true, counters filled), shed (Shed true,
+// RetryAfterMs set — the request never ran and retrying after the hint is
+// expected), or failure (Error set, Shed false — compile or execution error;
+// retrying the same statement will fail again).
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// Shed reports an admission rejection: the tenant's queue was full.
+	Shed bool `json:"shed,omitempty"`
+	// RetryAfterMs is the server's backoff hint for shed requests, from
+	// the tenant's recent service times and backlog.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+
+	// PagesRead and WallMicros describe the executed scan.
+	PagesRead  int   `json:"pages_read,omitempty"`
+	WallMicros int64 `json:"wall_us,omitempty"`
+	// QueueWaitMicros is how long the request sat in its tenant's
+	// admission FIFO before running (0 when a slot was free).
+	QueueWaitMicros int64 `json:"queue_wait_us,omitempty"`
+}
+
+// WriteFrame marshals v and writes it as one frame: a 4-byte big-endian
+// payload length followed by the JSON payload, in a single Write so a frame
+// is never interleaved with another writer's bytes.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("server: frame payload %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r into v. A clean connection close before
+// the first header byte surfaces as io.EOF; a close mid-frame as
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return fmt.Errorf("server: frame length %d out of range (0,%d]", n, MaxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}

@@ -78,6 +78,13 @@ type BenchResult struct {
 	OptimisticRetries   int64 `json:"optimistic_retries,omitempty"`
 	OptimisticFallbacks int64 `json:"optimistic_fallbacks,omitempty"`
 
+	// Serve-mode admission counters (scanshare-serve / bench -serve-clients);
+	// zero and omitted for plain realtime runs. ShedRate is
+	// Shed / (Admitted + Shed): the fraction of requests turned away.
+	RequestsAdmitted int64   `json:"requests_admitted,omitempty"`
+	RequestsShed     int64   `json:"requests_shed,omitempty"`
+	ShedRate         float64 `json:"shed_rate,omitempty"`
+
 	Histograms map[string]HistSummary `json:"histograms,omitempty"`
 }
 
@@ -122,7 +129,16 @@ func (r Regression) String() string { return r.Detail }
 // empty when new is acceptable. tolerance is the allowed fractional
 // throughput drop (0.10 = new may be up to 10% slower).
 //
-// Three checks, in decreasing order of "this is definitely wrong":
+// Malformed inputs are findings, not silent passes: a schema mismatch, a
+// NaN/Inf rate (the fingerprint of a zero-duration run), or a baseline with
+// zero throughput each produce an explicit diagnostic — every float
+// comparison against NaN is false, so without these gates a corrupt result
+// would sail through the tripwire looking healthy. When either side's rates
+// are unusable the rate comparisons are skipped (their outcome would be
+// noise), but the diagnostics still make the overall comparison fail.
+//
+// For well-formed inputs, three checks in decreasing order of "this is
+// definitely wrong":
 //
 //   - pages_read must match to within 1%: it is deterministic for a fixed
 //     workload, so a drift means the two results ran different workloads
@@ -133,6 +149,48 @@ func (r Regression) String() string { return r.Detail }
 //     happens to survive it.
 func CompareBench(old, new BenchResult, tolerance float64) []Regression {
 	var regs []Regression
+
+	if old.Schema != new.Schema {
+		regs = append(regs, Regression{
+			Metric: "schema",
+			Detail: fmt.Sprintf("schema mismatch: baseline %q vs current %q — results are not comparable",
+				old.Schema, new.Schema),
+		})
+	}
+
+	rates := []struct {
+		side  string
+		which string
+		v     float64
+	}{
+		{"baseline", "pages_per_sec", old.PagesPerSec},
+		{"current", "pages_per_sec", new.PagesPerSec},
+		{"baseline", "hit_ratio", old.HitRatio},
+		{"current", "hit_ratio", new.HitRatio},
+	}
+	ratesOK := true
+	for _, r := range rates {
+		if math.IsNaN(r.v) || math.IsInf(r.v, 0) {
+			ratesOK = false
+			regs = append(regs, Regression{
+				Metric: r.which,
+				Old:    old.PagesPerSec,
+				New:    new.PagesPerSec,
+				Detail: fmt.Sprintf("%s %s is %v — zero-duration or corrupt run; rate comparison skipped",
+					r.side, r.which, r.v),
+			})
+		}
+	}
+	if ratesOK && old.PagesPerSec <= 0 {
+		ratesOK = false
+		regs = append(regs, Regression{
+			Metric: "pages_per_sec",
+			Old:    old.PagesPerSec,
+			New:    new.PagesPerSec,
+			Detail: fmt.Sprintf("baseline throughput is %.0f pages/s — nothing to compare against (empty or failed baseline run?)",
+				old.PagesPerSec),
+		})
+	}
 
 	if old.PagesRead > 0 {
 		drift := math.Abs(float64(new.PagesRead-old.PagesRead)) / float64(old.PagesRead)
@@ -147,7 +205,7 @@ func CompareBench(old, new BenchResult, tolerance float64) []Regression {
 		}
 	}
 
-	if old.PagesPerSec > 0 && new.PagesPerSec < old.PagesPerSec*(1-tolerance) {
+	if ratesOK && new.PagesPerSec < old.PagesPerSec*(1-tolerance) {
 		drop := 1 - new.PagesPerSec/old.PagesPerSec
 		regs = append(regs, Regression{
 			Metric: "pages_per_sec",
@@ -158,7 +216,7 @@ func CompareBench(old, new BenchResult, tolerance float64) []Regression {
 		})
 	}
 
-	if old.HitRatio-new.HitRatio > 0.10 {
+	if ratesOK && old.HitRatio-new.HitRatio > 0.10 {
 		regs = append(regs, Regression{
 			Metric: "hit_ratio",
 			Old:    old.HitRatio,

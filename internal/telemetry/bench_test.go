@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -65,6 +66,97 @@ func TestCompareBenchRegression(t *testing.T) {
 	regs = CompareBench(old, drifted, 0.10)
 	if len(regs) != 1 || regs[0].Metric != "pages_read" {
 		t.Fatalf("workload drift: got %v", regs)
+	}
+}
+
+// TestCompareBenchMalformedInputs is the table test for the comparator's
+// defensive gates: zero-throughput baselines, NaN/Inf rates from
+// zero-duration runs, and schema mismatches must each produce an explicit
+// named finding (so runCompare exits non-zero deterministically) instead of
+// a silent pass through NaN comparisons.
+func TestCompareBenchMalformedInputs(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	mutate := func(f func(r *BenchResult)) BenchResult {
+		r := baselineResult()
+		f(&r)
+		return r
+	}
+	cases := []struct {
+		name       string
+		old, new   BenchResult
+		metric     string // metric of the finding that must appear
+		detailFrag string // substring the diagnostic must carry
+	}{
+		{
+			name:       "zero baseline throughput",
+			old:        mutate(func(r *BenchResult) { r.PagesPerSec = 0 }),
+			new:        baselineResult(),
+			metric:     "pages_per_sec",
+			detailFrag: "nothing to compare against",
+		},
+		{
+			name:       "NaN baseline rate",
+			old:        mutate(func(r *BenchResult) { r.PagesPerSec = nan }),
+			new:        baselineResult(),
+			metric:     "pages_per_sec",
+			detailFrag: "zero-duration or corrupt",
+		},
+		{
+			name:       "Inf current rate",
+			old:        baselineResult(),
+			new:        mutate(func(r *BenchResult) { r.PagesPerSec = inf }),
+			metric:     "pages_per_sec",
+			detailFrag: "current pages_per_sec",
+		},
+		{
+			name:       "NaN hit ratio hides a collapse",
+			old:        baselineResult(),
+			new:        mutate(func(r *BenchResult) { r.HitRatio = nan }),
+			metric:     "hit_ratio",
+			detailFrag: "hit_ratio",
+		},
+		{
+			name:       "schema mismatch",
+			old:        mutate(func(r *BenchResult) { r.Schema = BenchSchema }),
+			new:        mutate(func(r *BenchResult) { r.Schema = "scanshare-bench/999" }),
+			metric:     "schema",
+			detailFrag: "not comparable",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs := CompareBench(tc.old, tc.new, 0.10)
+			if len(regs) == 0 {
+				t.Fatal("malformed input passed the comparator")
+			}
+			found := false
+			for _, r := range regs {
+				if r.Metric == tc.metric && strings.Contains(r.Detail, tc.detailFrag) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no %q finding containing %q in %v", tc.metric, tc.detailFrag, regs)
+			}
+			// Determinism: the same inputs must yield the same findings.
+			again := CompareBench(tc.old, tc.new, 0.10)
+			if len(again) != len(regs) {
+				t.Fatalf("comparator nondeterministic: %d then %d findings", len(regs), len(again))
+			}
+		})
+	}
+
+	// A NaN rate must not double-report: the plain throughput/hit-ratio
+	// comparisons are skipped when the rates are unusable.
+	old := baselineResult()
+	bad := baselineResult()
+	bad.PagesPerSec = nan
+	bad.HitRatio = 0 // would trip the hit-ratio check if it ran
+	for _, r := range CompareBench(old, bad, 0.10) {
+		if r.Metric == "hit_ratio" && !strings.Contains(r.Detail, "skipped") {
+			t.Fatalf("rate comparison ran on unusable inputs: %v", r)
+		}
 	}
 }
 

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestIntrospectionRestart is the regression test for the -http / serve-mode
+// lifecycle bug: a second server start after Shutdown — or a second engine
+// publishing the same expvar names in one process — used to panic on
+// duplicate expvar.Publish or duplicate mux patterns. Two full
+// start-scrape-shutdown cycles must work, and the second cycle must see the
+// second provider's values.
+func TestIntrospectionRestart(t *testing.T) {
+	get := func(url string) string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", url, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	for cycle := 1; cycle <= 2; cycle++ {
+		cycle := cycle
+		// Re-publishing the same name each cycle must swap the provider,
+		// never re-Publish.
+		PublishExpvar("test_restart_value", func() any { return cycle * 100 })
+		src := Sources{}
+		srv, err := StartIntrospection("127.0.0.1:0", NewDebugMux(&src))
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		base := "http://" + srv.Addr()
+
+		vars := get(base + "/debug/vars")
+		var decoded map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(vars), &decoded); err != nil {
+			t.Fatalf("cycle %d: /debug/vars is not JSON: %v", cycle, err)
+		}
+		if got := strings.TrimSpace(string(decoded["test_restart_value"])); got != fmt.Sprint(cycle*100) {
+			t.Errorf("cycle %d: test_restart_value = %s, want %d", cycle, got, cycle*100)
+		}
+		if metrics := get(base + "/metrics"); !strings.Contains(metrics, "scanshare_") {
+			t.Errorf("cycle %d: /metrics has no scanshare families:\n%s", cycle, metrics)
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("cycle %d shutdown: %v", cycle, err)
+		}
+		cancel()
+	}
+}
+
+// TestPublishExpvarNilProvider checks that unhooking a provider leaves the
+// name published but inert — the pattern a shutting-down server uses so a
+// late scrape cannot reach engine state that is being torn down.
+func TestPublishExpvarNilProvider(t *testing.T) {
+	PublishExpvar("test_nil_provider", func() any { return 7 })
+	PublishExpvar("test_nil_provider", nil)
+	srv, err := StartIntrospection("127.0.0.1:0", NewDebugMux(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if got := strings.TrimSpace(string(decoded["test_nil_provider"])); got != "null" {
+		t.Errorf("unhooked provider rendered %s, want null", got)
+	}
+}

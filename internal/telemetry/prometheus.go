@@ -87,6 +87,13 @@ func WriteMetrics(w io.Writer, src Sources) {
 	sort.Slice(pools, func(i, j int) bool { return pools[i].Name < pools[j].Name })
 	writePools(w, pools)
 
+	// Per-tenant admission control (serve mode): families appear only when a
+	// tenant source is wired, so the pre-serve exposition — and its golden —
+	// is byte-identical.
+	if src.Tenants != nil {
+		writeTenants(w, src.Tenants())
+	}
+
 	// Scan sharing state: live gauges from one consistent snapshot.
 	if src.Sharing != nil {
 		snap := src.Sharing()
@@ -95,6 +102,44 @@ func WriteMetrics(w io.Writer, src Sources) {
 		gauge("scanshare_scan_groups", "Scan groups currently formed.", int64(len(snap.Groups)))
 		gauge("scanshare_grouped_scans", "Scans currently members of some group.", int64(snap.GroupedScans()))
 		gauge("scanshare_group_max_gap_pages", "Largest leader-trailer distance across groups, in pages.", int64(snap.MaxGroupGap()))
+	}
+}
+
+// writeTenants renders the per-tenant admission families: counters for the
+// admitted/queued/shed decisions, a running gauge, and the queue-wait
+// summary. Tenant order is the source's (sorted by name upstream), so the
+// exposition is deterministic.
+func writeTenants(w io.Writer, tenants []metrics.TenantStats) {
+	if len(tenants) == 0 {
+		return
+	}
+	tenantCounter := func(name, help string, field func(metrics.TenantStats) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, t := range tenants {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, t.Name, field(t))
+		}
+	}
+	tenantCounter("scanshare_tenant_admitted_total", "Requests granted an execution slot.", func(t metrics.TenantStats) int64 { return t.Admitted })
+	tenantCounter("scanshare_tenant_queued_total", "Requests that waited in the admission FIFO before a slot freed.", func(t metrics.TenantStats) int64 { return t.Queued })
+	tenantCounter("scanshare_tenant_shed_total", "Requests rejected because the admission queue was at its depth limit.", func(t metrics.TenantStats) int64 { return t.Shed })
+
+	fmt.Fprintf(w, "# HELP scanshare_tenant_running Requests currently holding an execution slot.\n# TYPE scanshare_tenant_running gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "scanshare_tenant_running{tenant=%q} %d\n", t.Name, t.Running)
+	}
+
+	fmt.Fprintf(w, "# HELP scanshare_tenant_queue_wait_seconds Admission-queue wait of admitted requests.\n# TYPE scanshare_tenant_queue_wait_seconds summary\n")
+	for _, t := range tenants {
+		for _, q := range []struct {
+			label string
+			v     time.Duration
+		}{
+			{"0.5", t.QueueWait.P50}, {"0.9", t.QueueWait.P90}, {"0.99", t.QueueWait.P99}, {"1", t.QueueWait.Max},
+		} {
+			fmt.Fprintf(w, "scanshare_tenant_queue_wait_seconds{tenant=%q,quantile=%q} %s\n", t.Name, q.label, formatFloat(q.v.Seconds()))
+		}
+		fmt.Fprintf(w, "scanshare_tenant_queue_wait_seconds_sum{tenant=%q} %s\n", t.Name, formatFloat(t.QueueWait.Sum.Seconds()))
+		fmt.Fprintf(w, "scanshare_tenant_queue_wait_seconds_count{tenant=%q} %d\n", t.Name, t.QueueWait.Count)
 	}
 }
 

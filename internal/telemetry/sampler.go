@@ -58,6 +58,11 @@ type Sources struct {
 	// Sharing returns a consistent scan/group snapshot (Engine.SharingSnapshot
 	// or Manager.Snapshot).
 	Sharing func() core.Snapshot
+	// Tenants returns one admission snapshot per tenant, sorted by name
+	// (server.Server.TenantStats). Nil outside serve mode, which keeps every
+	// pre-serve sample, Prometheus exposition, and flight record shape
+	// unchanged.
+	Tenants func() []metrics.TenantStats
 }
 
 // PoolSample is one pool's state in one sample.
@@ -118,6 +123,10 @@ type Sample struct {
 
 	// PrefetchQueueDepth is the live extent backlog (enqueued − picked).
 	PrefetchQueueDepth int64 `json:"prefetch_queue_depth"`
+
+	// Tenants holds one admission snapshot per tenant in serve mode, sorted
+	// by name; empty (and omitted) otherwise.
+	Tenants []metrics.TenantStats `json:"tenants,omitempty"`
 }
 
 // MaxGroupGap returns the largest leader–trailer distance across the
@@ -320,6 +329,9 @@ func (s *Sampler) read() Sample {
 			sample.Occupancy = ps.Occupancy()
 		}
 		smp.Pools = append(smp.Pools, sample)
+	}
+	if s.src.Tenants != nil {
+		smp.Tenants = s.src.Tenants()
 	}
 	if s.src.Sharing != nil {
 		snap := s.src.Sharing()

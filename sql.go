@@ -1,6 +1,8 @@
 package scanshare
 
 import (
+	"fmt"
+
 	"scanshare/internal/sql"
 )
 
@@ -77,6 +79,49 @@ func (e *Engine) SQL(query string) (*Query, error) {
 		q.Limit(spec.Limit)
 	}
 	return q, nil
+}
+
+// CompileRealtimeScan compiles a SQL SELECT into a RealtimeScan for
+// RunRealtime: the statement's table becomes the scan's table, and range
+// predicates on the clustering column become the scan's page bounds, exactly
+// as in SQL. The per-tuple clauses — WHERE on non-clustered columns,
+// projection, grouping, aggregates, ORDER BY, LIMIT — do not change which
+// pages a sequential scan touches, so they are accepted and folded away;
+// realtime mode measures buffer and sharing behavior, not query results.
+// Joins are rejected: a realtime scan is one sequential stream over one
+// table.
+func (e *Engine) CompileRealtimeScan(query string) (RealtimeScan, error) {
+	sel, err := sql.Parse(query)
+	if err != nil {
+		return RealtimeScan{}, err
+	}
+	spec, err := sql.Compile(sel, func(name string) (sql.Meta, error) { return e.Lookup(name) })
+	if err != nil {
+		return RealtimeScan{}, err
+	}
+	if spec.Join != nil {
+		return RealtimeScan{}, fmt.Errorf("scanshare: realtime scans are single-table; %q joins %q", sel.From, spec.Join.RightFrom)
+	}
+	tbl, err := e.Lookup(sel.From)
+	if err != nil {
+		return RealtimeScan{}, err
+	}
+	sc := RealtimeScan{Table: tbl}
+	n := tbl.NumPages()
+	sc.StartPage = int(spec.StartFrac * float64(n))
+	if spec.EndFrac < 1 {
+		// Same rounding as Query.pageRange; a full-range scan keeps
+		// EndPage 0 ("to the end"), the RealtimeScan idiom.
+		end := int(spec.EndFrac*float64(n) + 0.5)
+		if end > n {
+			end = n
+		}
+		if end <= sc.StartPage {
+			end = sc.StartPage + 1
+		}
+		sc.EndPage = end
+	}
+	return sc, nil
 }
 
 // MustSQL is SQL panicking on error, for tests and examples with known-good

@@ -289,3 +289,63 @@ func TestSQLJoinRejectsCollidingColumns(t *testing.T) {
 		t.Error("colliding join schemas accepted")
 	}
 }
+
+func TestCompileRealtimeScan(t *testing.T) {
+	eng, tbl := sqlEngine(t, 100, 3000)
+	pages := tbl.NumPages()
+
+	full, err := eng.CompileRealtimeScan("SELECT count(*) FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Table.Name() != tbl.Name() || full.StartPage != 0 || full.EndPage != 0 {
+		t.Errorf("full scan = table %q [%d,%d), want whole events table",
+			full.Table.Name(), full.StartPage, full.EndPage)
+	}
+
+	// Per-tuple clauses fold away; the clustered-range predicate narrows
+	// the page window. Days 650..700 are the last ~7% of the table.
+	tail, err := eng.CompileRealtimeScan(
+		"SELECT tag, count(*) FROM events WHERE day >= DATE '1993-10-12' GROUP BY tag LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.Table.Name() != tbl.Name() {
+		t.Errorf("tail scan table = %q", tail.Table.Name())
+	}
+	if tail.StartPage == 0 || tail.StartPage < pages*3/4 {
+		t.Errorf("tail StartPage = %d of %d pages; range pushdown lost", tail.StartPage, pages)
+	}
+	if tail.EndPage != 0 {
+		t.Errorf("tail EndPage = %d, want 0 (to end of table)", tail.EndPage)
+	}
+
+	// A bounded range sets an explicit EndPage inside the table.
+	mid, err := eng.CompileRealtimeScan(
+		"SELECT count(*) FROM events WHERE day BETWEEN DATE '1992-06-01' AND DATE '1993-01-01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.StartPage <= 0 || mid.EndPage <= mid.StartPage || mid.EndPage >= pages {
+		t.Errorf("mid scan = [%d,%d) of %d pages, want interior window", mid.StartPage, mid.EndPage, pages)
+	}
+
+	_, err = eng.LoadTable("tags", scanshare.MustSchema(
+		scanshare.Field{Name: "t_name", Kind: scanshare.KindString},
+		scanshare.Field{Name: "t_desc", Kind: scanshare.KindString},
+	), func(add func(scanshare.Tuple) error) error {
+		return add(scanshare.Tuple{scanshare.String("a"), scanshare.String("alpha")})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for stmt, wantSub := range map[string]string{
+		"SELECT count(*) FROM ghosts": "ghosts",
+		"SELECT x FROM":               "",
+		"SELECT t_desc FROM events JOIN tags ON tag = t_name": "single-table",
+	} {
+		if _, err := eng.CompileRealtimeScan(stmt); err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("CompileRealtimeScan(%q) error = %v, want %q", stmt, err, wantSub)
+		}
+	}
+}

@@ -3,9 +3,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint build test race fuzz test-policies test-translation test-serve bench bench-pool bench-smoke bench-smoke-baseline bench-record
+.PHONY: check vet lint build test race fuzz test-policies test-translation test-serve test-push bench bench-pool bench-smoke bench-smoke-baseline bench-record
 
-check: vet lint build test race fuzz test-policies test-translation test-serve bench-smoke
+check: vet lint build test race fuzz test-policies test-translation test-serve test-push bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +74,18 @@ test-translation:
 test-serve:
 	$(GO) test -race -cpu 2,8 ./internal/server
 
+# The push-delivery proof obligations (see CONCURRENCY.md): the push-vs-pull
+# differential parity harness (byte-identical results, order-normalized page
+# visit equivalence, trace-journal exactly-once footprint tiling), the
+# backpressure starvation bound, the seeded chaos suite with same-seed
+# replay, the engine-level aggregation parity (pull/private vs push/private
+# vs push/shared, one physical scan), and the shared-state unit suite — all
+# under the race detector at constrained and oversubscribed GOMAXPROCS.
+test-push:
+	$(GO) test -race -cpu 2,8 -run 'TestPush|FuzzPushSubscribe' ./internal/realtime
+	$(GO) test -race -cpu 2,8 -run 'TestShared|TestGroupByConsumer' ./internal/exec
+	$(GO) test -race -run 'TestRunRealtimeAggregates|TestServePushDelivery|TestDriverShedRetry' . ./internal/server
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
@@ -103,9 +115,14 @@ bench-smoke-baseline:
 
 # Record the full benchmark as the repo's persisted trajectory point
 # (BENCH_<n>.json at the repo root, one per PR; see EXPERIMENTS.md). This
-# PR's point is the serve mode: 64 seeded clients across 4 tenants pushing
-# the multi-tenant scan service into overload, recording throughput, shed
-# rate, and the queue-wait distribution (p99 included) alongside the usual
-# buffer counters.
+# PR's point is the A9 push-vs-pull pair: the same 16-scan workload in
+# pull mode (BENCH_9_pull.json) and push mode (BENCH_9.json), followed by
+# the comparator gate — push more than 10% slower than pull fails the
+# recording. TestBenchTrajectory re-checks the committed pair (and the
+# schema against BENCH_8.json) on every `make test`.
+RECORD_FLAGS = -realtime 16 -pool-shards 4 -rt-pagedelay 100us
+
 bench-record:
-	$(GO) run ./cmd/scanshare-bench -serve-clients 64 -serve-tenants 4 -serve-requests 4 -pool-shards 4 -rt-pagedelay 100us -bench-name serve-64x4 -bench-json BENCH_8.json
+	$(GO) run ./cmd/scanshare-bench $(RECORD_FLAGS) -bench-name rt16-pull -bench-json BENCH_9_pull.json
+	$(GO) run ./cmd/scanshare-bench $(RECORD_FLAGS) -rt-push -bench-name rt16-push -bench-json BENCH_9.json
+	$(GO) run ./cmd/scanshare-bench -compare BENCH_9_pull.json -compare-tolerance 0.10 BENCH_9.json

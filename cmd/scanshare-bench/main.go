@@ -30,6 +30,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
 	rtScans := flag.Int("realtime", 0, "instead of experiments, run N concurrent goroutine scans in wall-clock time")
 	rtWorkers := flag.Int("rt-workers", 4, "realtime mode: prefetch worker count")
+	rtPush := flag.Bool("rt-push", false, "realtime mode: push-based delivery (one reader per scan group feeds subscriber channels; -rt-workers is ignored)")
 	rtShards := flag.Int("pool-shards", 1, "realtime mode: lock-striped buffer pool shard count (1 = classic single-mutex pool)")
 	rtPolicy := flag.String("pool-policy", "", "buffer pool replacement policy: priority-lru (default) or predictive")
 	rtTranslation := flag.String("pool-translation", "", "buffer pool page translation: map (default) or array (lock-free optimistic hit path)")
@@ -104,7 +105,7 @@ func main() {
 	}
 
 	if *rtScans > 0 {
-		if err := runRealtime(p, *rtScans, *rtWorkers, *rtShards, *rtPolicy, *rtTranslation, *rtNoCoalesce, *rtPageDelay, *rtReadDelay, rtFaults, rtObs); err != nil {
+		if err := runRealtime(p, *rtScans, *rtWorkers, *rtShards, *rtPolicy, *rtTranslation, *rtNoCoalesce, *rtPush, *rtPageDelay, *rtReadDelay, rtFaults, rtObs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

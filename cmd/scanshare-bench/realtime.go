@@ -121,7 +121,7 @@ func gitRev() string {
 // Unlike the virtual-time experiments, the printed timings depend on the
 // machine; the structural counters (placements, hit ratio, throttles) are
 // what to look at.
-func runRealtime(p experiments.Params, n, workers, shards int, policy, translation string, noCoalesce bool, pageDelay, readDelay time.Duration, faults rtFaultFlags, obs rtObsFlags) error {
+func runRealtime(p experiments.Params, n, workers, shards int, policy, translation string, noCoalesce, push bool, pageDelay, readDelay time.Duration, faults rtFaultFlags, obs rtObsFlags) error {
 	eng, tbl, poolPages, err := buildRTEngine(p, shards, &policy, &translation)
 	if err != nil {
 		return err
@@ -144,6 +144,7 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy, translati
 		PrefetchWorkers:       workers,
 		PageReadDelay:         readDelay,
 		DisableReadCoalescing: noCoalesce,
+		PushDelivery:          push,
 		Collector:             col,
 	}
 	if err := faults.apply(&opts, tbl); err != nil {
@@ -259,8 +260,12 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy, translati
 		}()
 	}
 
-	fmt.Printf("realtime: %d goroutine scans of %d pages, pool %d pages (%d shards, %s policy, %s translation), %d prefetch workers\n",
-		n, tbl.NumPages(), poolPages, shards, policy, translation, workers)
+	delivery := fmt.Sprintf("%d prefetch workers", workers)
+	if push {
+		delivery = "push delivery"
+	}
+	fmt.Printf("realtime: %d goroutine scans of %d pages, pool %d pages (%d shards, %s policy, %s translation), %s\n",
+		n, tbl.NumPages(), poolPages, shards, policy, translation, delivery)
 	if faults.scenario != "" {
 		fmt.Printf("faults: scenario %q, prob %.3f, seed %d; timeout %v, %d retries, detach after %d\n",
 			faults.scenario, faults.prob, faults.seed, faults.readTimeout, faults.retries, faults.detachAfter)
@@ -295,6 +300,12 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy, translati
 		if res.ReadRetries > 0 || res.DegradedPages > 0 || res.Detaches > 0 {
 			suffix = fmt.Sprintf(", %d retries (%d timeouts), %d degraded, %d detach/%d rejoin",
 				res.ReadRetries, res.ReadTimeouts, res.DegradedPages, res.Detaches, res.Rejoins)
+		}
+		if res.PushBatches > 0 || res.PushSelfPulled > 0 {
+			suffix += fmt.Sprintf(", %d batches", res.PushBatches)
+			if res.PushDemoted {
+				suffix += fmt.Sprintf(" (demoted, %d self-pulled)", res.PushSelfPulled)
+			}
 		}
 		fmt.Printf("  scan %2d: %5d pages (%5d hit / %5d miss), throttled %8v, %s%s\n",
 			res.Scan, res.PagesRead, res.Hits, res.Misses, res.ThrottleWait.Round(time.Microsecond), status, suffix)
@@ -373,6 +384,7 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy, translati
 			PageDelay:   pageDelay,
 			ReadDelay:   readDelay,
 			Coalescing:  !noCoalesce,
+			Push:        push,
 		})
 		res.Name = obs.benchName
 		res.GitRev = gitRev()

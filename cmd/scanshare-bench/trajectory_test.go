@@ -1,0 +1,58 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"scanshare/internal/telemetry"
+)
+
+// TestBenchTrajectory is the trajectory tripwire over the committed
+// BENCH_*.json points at the repo root: every file must carry the current
+// schema (ReadBench rejects anything else, so a format change that forgets
+// to migrate the trajectory fails here, cross-checking this PR's BENCH_9
+// pair against the BENCH_8 baseline), and the push-mode point must hold its
+// headline claim — the same 16-scan workload at least as fast pushed as
+// pulled, within the 10% gate `make bench-record` enforces at recording
+// time.
+func TestBenchTrajectory(t *testing.T) {
+	root := "../.." // repo root from cmd/scanshare-bench
+	read := func(name string) telemetry.BenchResult {
+		t.Helper()
+		r, err := telemetry.ReadBench(filepath.Join(root, name))
+		if err != nil {
+			t.Fatalf("trajectory point %s: %v", name, err)
+		}
+		return r
+	}
+
+	prev := read("BENCH_8.json")
+	pull := read("BENCH_9_pull.json")
+	push := read("BENCH_9.json")
+
+	if prev.Schema != push.Schema || pull.Schema != push.Schema {
+		t.Fatalf("schema drift across the trajectory: BENCH_8 %q, BENCH_9_pull %q, BENCH_9 %q",
+			prev.Schema, pull.Schema, push.Schema)
+	}
+	if !push.Params.Push || pull.Params.Push {
+		t.Fatalf("delivery-mode params swapped: BENCH_9 push=%v, BENCH_9_pull push=%v",
+			push.Params.Push, pull.Params.Push)
+	}
+
+	// The pair ran the same workload, so the comparator's full gate
+	// applies: matching pages_read, throughput within 10%, hit ratio not
+	// collapsed. Push regressing against pull is this PR's failure mode.
+	for _, reg := range telemetry.CompareBench(pull, push, 0.10) {
+		t.Errorf("push vs pull: %s", reg)
+	}
+	if push.PagesPerSec < pull.PagesPerSec {
+		t.Logf("note: push %.0f pages/s below pull %.0f pages/s (within tolerance)",
+			push.PagesPerSec, pull.PagesPerSec)
+	}
+	if push.BatchesPushed == 0 {
+		t.Error("BENCH_9.json recorded no pushed batches; was it recorded with -rt-push?")
+	}
+	if pull.BatchesPushed != 0 {
+		t.Errorf("BENCH_9_pull.json recorded %d pushed batches; expected a pull run", pull.BatchesPushed)
+	}
+}

@@ -206,8 +206,7 @@ func (a *Aggregate) Next() (record.Tuple, bool, error) {
 }
 
 func (a *Aggregate) run() error {
-	groups := make(map[string]*aggState)
-	var keyBuf []byte
+	tb := newAggTable(a.GroupBy, a.Aggs)
 	for {
 		t, ok, err := a.Input.Next()
 		if err != nil {
@@ -216,65 +215,100 @@ func (a *Aggregate) run() error {
 		if !ok {
 			break
 		}
-		keyBuf = keyBuf[:0]
-		var key record.Tuple
-		for _, ord := range a.GroupBy {
-			if ord < 0 || ord >= len(t) {
-				return fmt.Errorf("exec: group-by ordinal %d out of range", ord)
-			}
-			key = append(key, t[ord])
-			keyBuf = appendKey(keyBuf, t[ord])
-		}
-		st := groups[string(keyBuf)]
-		if st == nil {
-			st = &aggState{
-				key:    key,
-				counts: make([]int64, len(a.Aggs)),
-				sums:   make([]float64, len(a.Aggs)),
-				mins:   make([]record.Value, len(a.Aggs)),
-				maxs:   make([]record.Value, len(a.Aggs)),
-				seen:   make([]bool, len(a.Aggs)),
-			}
-			groups[string(keyBuf)] = st
-		}
-		for i, spec := range a.Aggs {
-			if spec.Kind == AggCount {
-				st.counts[i]++
-				continue
-			}
-			if spec.Ordinal < 0 || spec.Ordinal >= len(t) {
-				return fmt.Errorf("exec: aggregate ordinal %d out of range", spec.Ordinal)
-			}
-			v := t[spec.Ordinal]
-			st.counts[i]++
-			switch spec.Kind {
-			case AggSum, AggAvg:
-				st.sums[i] += numeric(v)
-			case AggMin:
-				if !st.seen[i] || record.Compare(v, st.mins[i]) < 0 {
-					st.mins[i] = v
-				}
-			case AggMax:
-				if !st.seen[i] || record.Compare(v, st.maxs[i]) > 0 {
-					st.maxs[i] = v
-				}
-			default:
-				return fmt.Errorf("exec: unknown aggregate %v", spec.Kind)
-			}
-			st.seen[i] = true
+		if err := tb.fold(t); err != nil {
+			return err
 		}
 	}
+	a.results = tb.rows()
+	return nil
+}
 
+// aggTable is the hash-aggregation core shared by the Aggregate operator and
+// the push-mode GroupByConsumer: fold tuples in, take deterministic sorted
+// rows out. Not safe for concurrent folds — SharedAggState stripes these.
+type aggTable struct {
+	groupBy []int
+	aggs    []AggSpec
+	groups  map[string]*aggState
+	keyBuf  []byte
+}
+
+func newAggTable(groupBy []int, aggs []AggSpec) *aggTable {
+	return &aggTable{groupBy: groupBy, aggs: aggs, groups: make(map[string]*aggState)}
+}
+
+// fold accumulates one input tuple into its group.
+func (tb *aggTable) fold(t record.Tuple) error {
+	tb.keyBuf = tb.keyBuf[:0]
+	var key record.Tuple
+	for _, ord := range tb.groupBy {
+		if ord < 0 || ord >= len(t) {
+			return fmt.Errorf("exec: group-by ordinal %d out of range", ord)
+		}
+		key = append(key, t[ord])
+		tb.keyBuf = appendKey(tb.keyBuf, t[ord])
+	}
+	st := tb.groups[string(tb.keyBuf)]
+	if st == nil {
+		st = &aggState{
+			key:    key,
+			counts: make([]int64, len(tb.aggs)),
+			sums:   make([]float64, len(tb.aggs)),
+			mins:   make([]record.Value, len(tb.aggs)),
+			maxs:   make([]record.Value, len(tb.aggs)),
+			seen:   make([]bool, len(tb.aggs)),
+		}
+		tb.groups[string(tb.keyBuf)] = st
+	}
+	for i, spec := range tb.aggs {
+		if spec.Kind == AggCount {
+			st.counts[i]++
+			continue
+		}
+		if spec.Ordinal < 0 || spec.Ordinal >= len(t) {
+			return fmt.Errorf("exec: aggregate ordinal %d out of range", spec.Ordinal)
+		}
+		v := t[spec.Ordinal]
+		st.counts[i]++
+		switch spec.Kind {
+		case AggSum, AggAvg:
+			st.sums[i] += numeric(v)
+		case AggMin:
+			if !st.seen[i] || record.Compare(v, st.mins[i]) < 0 {
+				st.mins[i] = v
+			}
+		case AggMax:
+			if !st.seen[i] || record.Compare(v, st.maxs[i]) > 0 {
+				st.maxs[i] = v
+			}
+		default:
+			return fmt.Errorf("exec: unknown aggregate %v", spec.Kind)
+		}
+		st.seen[i] = true
+	}
+	return nil
+}
+
+// rows finalizes the table: one row per group, sorted by key encoding, with
+// the SQL empty-ungrouped special case.
+func (tb *aggTable) rows() []record.Tuple {
+	return finalizeGroups(tb.groups, tb.groupBy, tb.aggs)
+}
+
+// finalizeGroups renders group states as sorted result rows; shared between
+// aggTable and the striped SharedAggState (whose key spaces are disjoint and
+// merge into one map).
+func finalizeGroups(groups map[string]*aggState, groupBy []int, aggs []AggSpec) []record.Tuple {
 	keys := make([]string, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	a.results = make([]record.Tuple, 0, len(keys))
+	results := make([]record.Tuple, 0, len(keys))
 	for _, k := range keys {
 		st := groups[k]
 		row := append(record.Tuple(nil), st.key...)
-		for i, spec := range a.Aggs {
+		for i, spec := range aggs {
 			switch spec.Kind {
 			case AggCount:
 				row = append(row, record.Int64(st.counts[i]))
@@ -292,22 +326,22 @@ func (a *Aggregate) run() error {
 				row = append(row, st.maxs[i])
 			}
 		}
-		a.results = append(a.results, row)
+		results = append(results, row)
 	}
-	if len(a.results) == 0 && len(a.GroupBy) == 0 {
+	if len(results) == 0 && len(groupBy) == 0 {
 		// SQL semantics: an ungrouped aggregate over an empty input
 		// still yields one row.
 		row := record.Tuple{}
-		for _, spec := range a.Aggs {
+		for _, spec := range aggs {
 			if spec.Kind == AggCount {
 				row = append(row, record.Int64(0))
 			} else {
 				row = append(row, record.Float64(0))
 			}
 		}
-		a.results = append(a.results, row)
+		results = append(results, row)
 	}
-	return nil
+	return results
 }
 
 // numeric widens a value for summation.

@@ -45,6 +45,15 @@ type Collector struct {
 	feedRegistrations atomic.Int64
 	feedUpdates       atomic.Int64
 
+	// Push-delivery mode: batches accepted by subscribers, reader stalls
+	// on full subscriber channels, subscribers demoted to self-pulling
+	// after exhausting their stall budget, and folds into a shared
+	// aggregation table.
+	batchesPushed    atomic.Int64
+	subscriberStalls atomic.Int64
+	pushDemotions    atomic.Int64
+	sharedAggFolds   atomic.Int64
+
 	// Latency distributions for the three waits a scan can experience:
 	// the physical read of a missed page, an SSM-inserted throttle, and
 	// the queueing delay of a prefetch request before a worker picks it up.
@@ -87,6 +96,11 @@ type CollectorStats struct {
 
 	FeedRegistrations int64 // scan footprints registered with a scan-aware (predictive) pool
 	FeedUpdates       int64 // position/speed samples fed to a scan-aware pool
+
+	BatchesPushed    int64 // page batches accepted by push-delivery subscribers
+	SubscriberStalls int64 // push reader blocks on a full subscriber channel
+	PushDemotions    int64 // subscribers demoted to self-pulling after exhausting the stall budget
+	SharedAggFolds   int64 // tuple folds into a shared (cross-consumer) aggregation table
 
 	PageReadLatency    HistogramStats // physical read time of missed pages
 	ThrottleWaitDist   HistogramStats // SSM-inserted leader waits
@@ -147,6 +161,13 @@ func (s CollectorStats) String() string {
 	}
 	if s.OptimisticHits != 0 {
 		out += fmt.Sprintf(", %d optimistic hits", s.OptimisticHits)
+	}
+	if s.BatchesPushed != 0 {
+		out += fmt.Sprintf(", %d batches pushed (%d stalls, %d demotions)",
+			s.BatchesPushed, s.SubscriberStalls, s.PushDemotions)
+	}
+	if s.SharedAggFolds != 0 {
+		out += fmt.Sprintf(", %d shared-agg folds", s.SharedAggFolds)
 	}
 	if s.ReadRetries != 0 || s.ReadTimeouts != 0 || s.PagesFailed != 0 ||
 		s.ScanDetaches != 0 || s.ScanRejoins != 0 || s.PrefetchFailed != 0 {
@@ -249,6 +270,20 @@ func (c *Collector) ScanFeedRegistered() { c.feedRegistrations.Add(1) }
 // ScanFeedUpdated records one position/speed sample fed to a scan-aware pool.
 func (c *Collector) ScanFeedUpdated() { c.feedUpdates.Add(1) }
 
+// BatchPushed records one page batch accepted by a push-delivery subscriber.
+func (c *Collector) BatchPushed() { c.batchesPushed.Add(1) }
+
+// SubscriberStalled records the push reader blocking on a subscriber whose
+// channel is full — push mode's flow-control analogue of a throttle event.
+func (c *Collector) SubscriberStalled() { c.subscriberStalls.Add(1) }
+
+// PushDemoted records a subscriber removed from push delivery after
+// exhausting its stall budget; it finishes its footprint by pulling.
+func (c *Collector) PushDemoted() { c.pushDemotions.Add(1) }
+
+// SharedAggFolded records n tuple folds into a shared aggregation table.
+func (c *Collector) SharedAggFolded(n int64) { c.sharedAggFolds.Add(n) }
+
 // Reset zeroes every counter and histogram, so back-to-back runs in one
 // process report from a clean slate. Like Histogram.Reset it clears field
 // by field: call it between runs, not while scan workers are writing.
@@ -266,6 +301,7 @@ func (c *Collector) Reset() {
 		&c.scanDetaches, &c.scanRejoins,
 		&c.readsCoalesced, &c.coalescedFailures,
 		&c.feedRegistrations, &c.feedUpdates,
+		&c.batchesPushed, &c.subscriberStalls, &c.pushDemotions, &c.sharedAggFolds,
 	} {
 		v.Store(0)
 	}
@@ -304,6 +340,10 @@ func (c *Collector) Snapshot() CollectorStats {
 		CoalescedFailures:  c.coalescedFailures.Load(),
 		FeedRegistrations:  c.feedRegistrations.Load(),
 		FeedUpdates:        c.feedUpdates.Load(),
+		BatchesPushed:      c.batchesPushed.Load(),
+		SubscriberStalls:   c.subscriberStalls.Load(),
+		PushDemotions:      c.pushDemotions.Load(),
+		SharedAggFolds:     c.sharedAggFolds.Load(),
 		PageReadLatency:    c.pageRead.Snapshot(),
 		ThrottleWaitDist:   c.throttleWait.Snapshot(),
 		PrefetchQueueDelay: c.prefetchDelay.Snapshot(),

@@ -1,0 +1,252 @@
+package realtime
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"scanshare/internal/buffer"
+	"scanshare/internal/core"
+	"scanshare/internal/disk"
+	"scanshare/internal/fault"
+	"scanshare/internal/metrics"
+)
+
+// Chaos suite for push delivery (satellite of the push-vs-pull harness):
+// seeded faults — errors, stalls, and torn reads — are injected under the
+// group reader. The reader must detach the owning subscription, promote
+// another subscriber to re-issue the read, and never deliver a torn batch;
+// two replays of the same seed must agree byte for byte.
+
+// pushChaosOutcome is the deterministic slice of one chaos run, for
+// replay-identical comparison.
+type pushChaosOutcome struct {
+	PagesRead     int
+	DegradedPages int
+	Checksum      uint64
+	Stopped       bool
+	Failed        bool
+}
+
+func runPushChaos(t *testing.T, seed int64, continueOnFailure bool) ([]pushChaosOutcome, []ScanResult, fault.Counters) {
+	t.Helper()
+	const (
+		tablePages = 300
+		poolPages  = 360
+		pageBytes  = 64
+		scans      = 8
+		base       = disk.PageID(2000)
+
+		badFirst, badLast = 200, 207 // permanent failures: every owner's retries exhaust
+	)
+	plan := fault.Plan{
+		Seed: seed,
+		Rules: []fault.Rule{
+			// The bad band fails every attempt by every promoted owner.
+			{Kind: fault.KindError, FirstPage: base + badFirst, LastPage: base + badLast, Prob: 1},
+			// Torn band: the first attempt of each page returns truncated
+			// bytes with ErrTorn; the retry reads clean. No torn data may
+			// ever reach a consumer.
+			{Kind: fault.KindTorn, FirstPage: base + 50, LastPage: base + 90, Prob: 1, UntilAttempt: 1},
+			// Stall band recovers on retry; the read timeout cuts it.
+			{Kind: fault.KindStall, FirstPage: base + 120, LastPage: base + 140, Prob: 0.5, UntilAttempt: 1},
+			// Transient error burst on early attempts anywhere.
+			{Kind: fault.KindError, Prob: 0.1, UntilAttempt: 2},
+		},
+	}
+	store := fault.MustNewStore(testStore{pageBytes: pageBytes}, plan)
+
+	pool := buffer.MustNewPool(poolPages)
+	mgr := core.MustNewManager(testManagerConfig(poolPages))
+	col := new(metrics.Collector)
+	r, err := NewRunner(Config{
+		Pool:                  pool,
+		Manager:               mgr,
+		Store:                 store,
+		Collector:             col,
+		PushDelivery:          true,
+		PushBatchPages:        8,
+		ReadTimeout:           2 * time.Millisecond,
+		MaxReadRetries:        3,
+		RetryBackoff:          50 * time.Microsecond,
+		MaxRetryBackoff:       200 * time.Microsecond,
+		DetachAfterFailures:   2,
+		ContinueOnPageFailure: continueOnFailure,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pageID := func(pageNo int) disk.PageID { return base + disk.PageID(pageNo) }
+	var mu sync.Mutex
+	torn := 0
+	specs := make([]ScanSpec, scans)
+	for i := range specs {
+		specs[i] = ScanSpec{
+			Table:      1,
+			TablePages: tablePages,
+			PageID:     pageID,
+			StartDelay: time.Duration(i) * 300 * time.Microsecond,
+			OnPage: func(pageNo int, data []byte) {
+				if len(data) != pageBytes {
+					mu.Lock()
+					torn++
+					mu.Unlock()
+				}
+			},
+		}
+	}
+	// A partial range dodging the bad band, and a mid-flight stop.
+	specs[5].StartPage, specs[5].EndPage = 0, 150
+	specs[6].StopAfterPages = 40
+
+	results, _ := r.Run(context.Background(), specs)
+	pool.CheckInvariants()
+	if n := mgr.ActiveScans(); n != 0 {
+		t.Errorf("%d scans still registered after the run", n)
+	}
+	if torn != 0 {
+		t.Fatalf("%d torn pages were delivered to consumers", torn)
+	}
+
+	out := make([]pushChaosOutcome, len(results))
+	for i, res := range results {
+		out[i] = pushChaosOutcome{
+			PagesRead:     res.PagesRead,
+			DegradedPages: res.DegradedPages,
+			Checksum:      res.Checksum,
+			Stopped:       res.Stopped,
+			Failed:        res.Err != nil,
+		}
+	}
+	return out, results, store.Counters()
+}
+
+// TestPushChaos: under the full fault plan with degraded-page continuation,
+// coverage stays exact outside the bad band, torn reads are absorbed by
+// retries, owners detach and hand the read to promoted subscribers, and the
+// whole run replays byte-identically from the same seed.
+func TestPushChaos(t *testing.T) {
+	const (
+		tablePages        = 300
+		pageBytes         = 64
+		base              = disk.PageID(2000)
+		badFirst, badLast = 200, 207
+		badBand           = badLast - badFirst + 1
+	)
+	out, results, fc := runPushChaos(t, 11, true)
+
+	if fc.TornReads == 0 {
+		t.Error("fault plan injected no torn reads")
+	}
+	fullSum := wantChecksum(base, 0, tablePages, pageBytes) - wantChecksum(base, badFirst, badLast+1, pageBytes)
+	partialSum := wantChecksum(base, 0, 150, pageBytes)
+	var detaches, rejoins, retries, timeouts int
+	for i, res := range results {
+		if res.Err != nil {
+			t.Errorf("scan %d: %v", i, res.Err)
+		}
+		detaches += res.Detaches
+		rejoins += res.Rejoins
+		retries += int(res.ReadRetries)
+		timeouts += int(res.ReadTimeouts)
+		switch i {
+		case 5: // partial range misses the bad band
+			if res.DegradedPages != 0 || res.Checksum != partialSum || res.PagesRead != 150 {
+				t.Errorf("scan 5: pages %d degraded %d checksum %#x, want 150/0/%#x",
+					res.PagesRead, res.DegradedPages, res.Checksum, partialSum)
+			}
+		case 6: // stopped before a full lap
+			if !res.Stopped || res.PagesRead+res.DegradedPages > 40 {
+				t.Errorf("scan 6: stopped=%v pages=%d degraded=%d",
+					res.Stopped, res.PagesRead, res.DegradedPages)
+			}
+		default: // full lap: exactly the bad band degrades
+			if res.DegradedPages != badBand {
+				t.Errorf("scan %d: %d degraded pages, want the %d-page bad band",
+					i, res.DegradedPages, badBand)
+			}
+			if res.PagesRead != tablePages-badBand {
+				t.Errorf("scan %d: read %d pages, want %d", i, res.PagesRead, tablePages-badBand)
+			}
+			if res.Checksum != fullSum {
+				t.Errorf("scan %d: checksum %#x, want %#x", i, res.Checksum, fullSum)
+			}
+		}
+	}
+	// Permanent failures must have exhausted owners into detaching, and the
+	// hub must have promoted other subscribers to re-issue those reads:
+	// more read retries than one owner alone could account for.
+	if detaches == 0 {
+		t.Error("no owner detached across the permanently bad band")
+	}
+	if retries == 0 || timeouts == 0 {
+		t.Errorf("retries %d, timeouts %d: the retry/timeout machinery went unexercised", retries, timeouts)
+	}
+
+	// Replay determinism: the same seed reproduces the same coverage,
+	// degradation, and checksums, byte for byte.
+	out2, _, _ := runPushChaos(t, 11, true)
+	for i := range out {
+		a, b := out[i], out2[i]
+		if a.Stopped && b.Stopped {
+			// A stopped scan's page budget is exact, but which pages it
+			// saw depends on its admission cursor — timing, not seed.
+			a.Checksum, b.Checksum = 0, 0
+		}
+		if a != b {
+			t.Errorf("scan %d diverged between same-seed replays: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestPushChaosAbort: without degraded-page continuation a permanently bad
+// page is a hard stream failure — every live subscriber observes the error
+// instead of hanging or receiving partial batches.
+func TestPushChaosAbort(t *testing.T) {
+	const (
+		tablePages = 120
+		pageBytes  = 64
+		base       = disk.PageID(4000)
+	)
+	plan := fault.Plan{
+		Seed:  3,
+		Rules: []fault.Rule{{Kind: fault.KindError, FirstPage: base + 60, LastPage: base + 60, Prob: 1}},
+	}
+	store := fault.MustNewStore(testStore{pageBytes: pageBytes}, plan)
+	pool := buffer.MustNewPool(160)
+	mgr := core.MustNewManager(testManagerConfig(160))
+	r, err := NewRunner(Config{
+		Pool:                pool,
+		Manager:             mgr,
+		Store:               store,
+		PushDelivery:        true,
+		ReadTimeout:         2 * time.Millisecond,
+		MaxReadRetries:      1,
+		RetryBackoff:        50 * time.Microsecond,
+		DetachAfterFailures: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageID := func(pageNo int) disk.PageID { return base + disk.PageID(pageNo) }
+	specs := []ScanSpec{
+		{Table: 1, TablePages: tablePages, PageID: pageID},
+		{Table: 1, TablePages: tablePages, PageID: pageID},
+		{Table: 1, TablePages: tablePages, PageID: pageID},
+	}
+	results, err := r.Run(context.Background(), specs)
+	if err == nil {
+		t.Fatal("permanent failure without continuation did not fail the run")
+	}
+	for i, res := range results {
+		if res.Err == nil && !res.Stopped && res.PagesRead != tablePages {
+			t.Errorf("scan %d: no error yet incomplete (%d pages)", i, res.PagesRead)
+		}
+	}
+	if n := mgr.ActiveScans(); n != 0 {
+		t.Errorf("%d scans leaked after stream abort", n)
+	}
+	pool.CheckInvariants()
+}

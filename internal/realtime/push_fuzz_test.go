@@ -1,0 +1,169 @@
+package realtime
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"scanshare/internal/buffer"
+	"scanshare/internal/core"
+	"scanshare/internal/disk"
+	"scanshare/internal/fault"
+)
+
+// FuzzPushSubscribe drives randomized attach/detach/rejoin/EOF interleavings
+// through the push hub — staggered subscriptions, partial footprints,
+// mid-stream stops, consumer pacing, tiny queues, and recoverable fault
+// bands — and checks every outcome against the reference model: a scan that
+// neither stopped nor failed was delivered exactly the pages of its
+// footprint, each exactly once, with the content checksum to prove it.
+func FuzzPushSubscribe(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x10, 0x22, 0x33})
+	f.Add([]byte{0xff, 0x01, 0x80, 0x40, 0x20, 0x10})
+	f.Add([]byte{0x07, 0x9a, 0x55, 0xaa, 0x00, 0xff, 0x13, 0x37})
+	f.Add([]byte{0x42, 0x42, 0x42, 0x42, 0x42, 0x42, 0x42, 0x42, 0x42, 0x42, 0x42, 0x42})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		next := func() byte {
+			if len(in) == 0 {
+				return 0
+			}
+			b := in[0]
+			in = in[1:]
+			return b
+		}
+
+		const pageBytes = 32
+		base := disk.PageID(1000)
+		tablePages := 16 + int(next())%48
+		poolPages := tablePages + 16
+		batch := 1 + int(next())%8
+		queue := 1 + int(next())%4
+		faultMode := next() % 3
+
+		var store PageStore = testStore{pageBytes: pageBytes}
+		switch faultMode {
+		case 1: // transient errors: always recover within the retry budget
+			store = fault.MustNewStore(store, fault.Plan{
+				Seed: int64(next()) + 1,
+				Rules: []fault.Rule{
+					{Kind: fault.KindError, Prob: 0.3, UntilAttempt: 1},
+				},
+			})
+		case 2: // torn first reads: the retry must absorb every one
+			store = fault.MustNewStore(store, fault.Plan{
+				Seed: int64(next()) + 1,
+				Rules: []fault.Rule{
+					{Kind: fault.KindTorn, FirstPage: base, LastPage: base + disk.PageID(tablePages/2), Prob: 1, UntilAttempt: 1},
+				},
+			})
+		}
+
+		scans := 1 + int(next())%6
+		specs := make([]ScanSpec, scans)
+		visits := make([]map[int]int, scans)
+		var mu sync.Mutex
+		pageID := func(pageNo int) disk.PageID { return base + disk.PageID(pageNo) }
+		for i := range specs {
+			i := i
+			visits[i] = make(map[int]int)
+			start := int(next()) % tablePages
+			length := 1 + int(next())%(tablePages-start)
+			spec := ScanSpec{
+				Table:      1,
+				TablePages: tablePages,
+				PageID:     pageID,
+				StartPage:  start,
+				EndPage:    start + length,
+				StartDelay: time.Duration(next()%8) * 100 * time.Microsecond,
+				PageDelay:  time.Duration(next()%2) * 50 * time.Microsecond,
+				OnPage: func(pageNo int, data []byte) {
+					if len(data) != pageBytes {
+						t.Errorf("scan %d: page %d delivered with %d bytes, want %d",
+							i, pageNo, len(data), pageBytes)
+					}
+					mu.Lock()
+					visits[i][pageNo]++
+					mu.Unlock()
+				},
+			}
+			if next()%4 == 0 { // EOF mid-stream: detach by stopping early
+				spec.StopAfterPages = 1 + int(next())%length
+			}
+			specs[i] = spec
+		}
+
+		pool := buffer.MustNewPool(poolPages)
+		mgr := core.MustNewManager(testManagerConfig(poolPages))
+		r, err := NewRunner(Config{
+			Pool:                   pool,
+			Manager:                mgr,
+			Store:                  store,
+			PushDelivery:           true,
+			PushBatchPages:         batch,
+			SubscriberQueueBatches: queue,
+			ReadTimeout:            2 * time.Millisecond,
+			MaxReadRetries:         3,
+			RetryBackoff:           20 * time.Microsecond,
+			MaxRetryBackoff:        100 * time.Microsecond,
+			DetachAfterFailures:    2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The run must terminate on its own; the deadline only converts a
+		// hang into a diagnosable failure instead of a fuzzer timeout.
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		results, err := r.Run(ctx, specs)
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		if ctx.Err() != nil {
+			t.Fatal("push run hit the hang deadline")
+		}
+
+		for i, res := range results {
+			spec := specs[i]
+			footprint := spec.EndPage - spec.StartPage
+			if res.Stopped {
+				if spec.StopAfterPages == 0 {
+					t.Errorf("scan %d stopped without a stop budget", i)
+				} else if res.PagesRead != spec.StopAfterPages {
+					t.Errorf("scan %d: stopped at %d pages, budget %d",
+						i, res.PagesRead, spec.StopAfterPages)
+				}
+				continue
+			}
+			// Model: full footprint, every page once, exact content.
+			if res.PagesRead != footprint || res.DegradedPages != 0 {
+				t.Errorf("scan %d: read %d pages (%d degraded), footprint is %d",
+					i, res.PagesRead, res.DegradedPages, footprint)
+			}
+			if want := wantChecksum(base, spec.StartPage, spec.EndPage, pageBytes); res.Checksum != want {
+				t.Errorf("scan %d: checksum %#x, want %#x", i, res.Checksum, want)
+			}
+			mu.Lock()
+			if len(visits[i]) != footprint {
+				t.Errorf("scan %d: %d distinct pages visited, want %d", i, len(visits[i]), footprint)
+			}
+			for p, n := range visits[i] {
+				if n != 1 {
+					t.Errorf("scan %d: page %d delivered %d times", i, p, n)
+				}
+				if p < spec.StartPage || p >= spec.EndPage {
+					t.Errorf("scan %d: page %d outside footprint [%d,%d)",
+						i, p, spec.StartPage, spec.EndPage)
+				}
+			}
+			mu.Unlock()
+		}
+		if n := mgr.ActiveScans(); n != 0 {
+			t.Errorf("%d scans still registered", n)
+		}
+		pool.CheckInvariants()
+	})
+}

@@ -1,0 +1,304 @@
+package realtime
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"scanshare/internal/buffer"
+	"scanshare/internal/core"
+	"scanshare/internal/disk"
+	"scanshare/internal/metrics"
+	"scanshare/internal/trace"
+	"scanshare/internal/vclock"
+)
+
+// The push-vs-pull differential parity harness: the same seeded scan
+// workloads run through pull-mode group scanning and push-mode delivery,
+// and the two must be observationally equivalent — byte-identical per-scan
+// page content digests, identical checksums, exact footprint coverage —
+// while the push run's trace journal proves exactly-once delivery and its
+// pool proves the workload collapsed to one physical scan.
+
+// paritySpec is the mode-independent description of one scan in a workload.
+type paritySpec struct {
+	start, end     int
+	startDelay     time.Duration
+	pageDelay      time.Duration
+	stopAfterPages int
+}
+
+// parityWorkload is one generated differential test case.
+type parityWorkload struct {
+	tablePages int
+	poolPages  int
+	base       disk.PageID
+	scans      []paritySpec
+}
+
+func genParityWorkload(seed int64) parityWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	w := parityWorkload{
+		tablePages: 96 + rng.Intn(64),
+		base:       disk.PageID(rng.Intn(1000)),
+	}
+	w.poolPages = w.tablePages + 32 // resident lap: misses count physical reads
+	n := 4 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		s := paritySpec{
+			startDelay: time.Duration(rng.Intn(2000)) * time.Microsecond,
+			pageDelay:  time.Duration(rng.Intn(3)) * 100 * time.Microsecond,
+		}
+		if rng.Intn(3) == 0 { // partial footprint
+			s.start = rng.Intn(w.tablePages - 1)
+			s.end = s.start + 1 + rng.Intn(w.tablePages-s.start-1)
+		} else {
+			s.end = w.tablePages
+		}
+		w.scans = append(w.scans, s)
+	}
+	return w
+}
+
+// pageDigest is an order-normalized digest of every page a scan processed:
+// (pageNo, fnv of content) pairs sorted by page number, serialized. Two
+// runs that delivered the same bytes for the same footprint — in any order
+// — produce equal digests.
+type pageDigest struct {
+	mu     sync.Mutex
+	visits map[int]uint64
+	dups   int
+}
+
+func (d *pageDigest) onPage(pageNo int, data []byte) {
+	h := uint64(14695981039346656037)
+	for _, c := range data {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	d.mu.Lock()
+	if _, ok := d.visits[pageNo]; ok {
+		d.dups++
+	}
+	d.visits[pageNo] = h
+	d.mu.Unlock()
+}
+
+func (d *pageDigest) bytes() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages := make([]int, 0, len(d.visits))
+	for p := range d.visits {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	var out bytes.Buffer
+	for _, p := range pages {
+		fmt.Fprintf(&out, "%d:%016x\n", p, d.visits[p])
+	}
+	return out.Bytes()
+}
+
+// parityRun executes the workload in one delivery mode on a fresh stack.
+type parityRun struct {
+	results []ScanResult
+	digests []*pageDigest
+	pool    buffer.Stats
+	col     metrics.CollectorStats
+	events  []trace.Event
+}
+
+func runParity(t *testing.T, w parityWorkload, push bool) parityRun {
+	t.Helper()
+	pool := buffer.MustNewPool(w.poolPages)
+	mgr := core.MustNewManager(testManagerConfig(w.poolPages))
+	col := new(metrics.Collector)
+	tracer := trace.NewTracerSize(new(vclock.Wall), 1<<16)
+	rec := new(trace.Recorder)
+	tracer.Attach(rec)
+	r, err := NewRunner(Config{
+		Pool:         pool,
+		Manager:      mgr,
+		Store:        testStore{pageBytes: 64},
+		Collector:    col,
+		Tracer:       tracer,
+		PushDelivery: push,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageID := func(pageNo int) disk.PageID { return w.base + disk.PageID(pageNo) }
+	digests := make([]*pageDigest, len(w.scans))
+	specs := make([]ScanSpec, len(w.scans))
+	for i, ps := range w.scans {
+		d := &pageDigest{visits: make(map[int]uint64)}
+		digests[i] = d
+		specs[i] = ScanSpec{
+			Table:          1,
+			TablePages:     w.tablePages,
+			PageID:         pageID,
+			StartPage:      ps.start,
+			EndPage:        ps.end,
+			StartDelay:     ps.startDelay,
+			PageDelay:      ps.pageDelay,
+			StopAfterPages: ps.stopAfterPages,
+			OnPage:         d.onPage,
+		}
+	}
+	results, err := r.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("push=%v: %v", push, err)
+	}
+	tracer.Close()
+	return parityRun{
+		results: results,
+		digests: digests,
+		pool:    pool.Stats(),
+		col:     col.Snapshot(),
+		events:  rec.Events(),
+	}
+}
+
+// checkExactlyOnce replays the push run's trace journal and proves every
+// subscriber was delivered each page of its footprint exactly once: the
+// batch-push runs recorded for its scan ID must tile its footprint — full
+// coverage, no overlap, nothing outside.
+func checkExactlyOnce(t *testing.T, w parityWorkload, run parityRun) {
+	t.Helper()
+	byScan := make(map[int64][][2]int)
+	for _, ev := range run.events {
+		if ev.Kind == trace.KindBatchPush {
+			byScan[ev.Scan] = append(byScan[ev.Scan], [2]int{int(ev.Page), int(ev.Page + ev.Gap)})
+		}
+	}
+	for i, res := range run.results {
+		spec := w.scans[i]
+		end := spec.end
+		if end == 0 {
+			end = w.tablePages
+		}
+		runs := byScan[int64(res.ID)]
+		sort.Slice(runs, func(a, b int) bool { return runs[a][0] < runs[b][0] })
+		covered := 0
+		next := spec.start
+		for _, rg := range runs {
+			if rg[0] < next {
+				t.Errorf("scan %d (id %d): run [%d,%d) overlaps earlier delivery ending at %d",
+					i, res.ID, rg[0], rg[1], next)
+			}
+			if rg[0] < spec.start || rg[1] > end {
+				t.Errorf("scan %d (id %d): run [%d,%d) outside footprint [%d,%d)",
+					i, res.ID, rg[0], rg[1], spec.start, end)
+			}
+			covered += rg[1] - rg[0]
+			next = rg[1]
+		}
+		if spec.stopAfterPages == 0 && covered != end-spec.start {
+			t.Errorf("scan %d (id %d): journal shows %d pages delivered, footprint is %d",
+				i, res.ID, covered, end-spec.start)
+		}
+	}
+}
+
+// TestPushPullParity is the headline differential harness over a spread of
+// seeded workloads.
+func TestPushPullParity(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			w := genParityWorkload(seed)
+			pull := runParity(t, w, false)
+			push := runParity(t, w, true)
+
+			for i := range w.scans {
+				pr, sr := pull.results[i], push.results[i]
+				if pr.Err != nil || sr.Err != nil {
+					t.Fatalf("scan %d: pull err %v, push err %v", i, pr.Err, sr.Err)
+				}
+				if pr.PagesRead != sr.PagesRead {
+					t.Errorf("scan %d: pages pull %d != push %d", i, pr.PagesRead, sr.PagesRead)
+				}
+				if pr.Checksum != sr.Checksum {
+					t.Errorf("scan %d: checksum pull %#x != push %#x", i, pr.Checksum, sr.Checksum)
+				}
+				if d := pull.digests[i].dups + push.digests[i].dups; d != 0 {
+					t.Errorf("scan %d: %d duplicate page deliveries", i, d)
+				}
+				if !bytes.Equal(pull.digests[i].bytes(), push.digests[i].bytes()) {
+					t.Errorf("scan %d: page content digests differ between modes", i)
+				}
+			}
+
+			// Result sets byte-identical -> collector page accounting must
+			// agree too (the reader's own acquires are not double-counted).
+			if pull.col.PagesRead != push.col.PagesRead {
+				t.Errorf("collector pages_read: pull %d != push %d",
+					pull.col.PagesRead, push.col.PagesRead)
+			}
+
+			// One physical scan: the push run reads each needed page from
+			// the store at most once, and never more than pull did.
+			if push.pool.Misses > int64(w.tablePages) {
+				t.Errorf("push misses %d exceed table size %d: more than one physical lap",
+					push.pool.Misses, w.tablePages)
+			}
+			if push.pool.Misses > pull.pool.Misses {
+				t.Errorf("push misses %d exceed pull misses %d", push.pool.Misses, pull.pool.Misses)
+			}
+
+			checkExactlyOnce(t, w, push)
+
+			if n := push.col.BatchesPushed; n == 0 {
+				t.Error("push run recorded no pushed batches")
+			}
+			if n := pull.col.BatchesPushed; n != 0 {
+				t.Errorf("pull run recorded %d pushed batches", n)
+			}
+		})
+	}
+}
+
+// TestPushParityWithStops extends the harness with StopAfterPages scans:
+// stopped subscribers stop at the same page budget in both modes and the
+// journal shows no delivery outside any footprint.
+func TestPushParityWithStops(t *testing.T) {
+	w := parityWorkload{tablePages: 120, poolPages: 150, base: 300}
+	w.scans = []paritySpec{
+		{end: 120},
+		{end: 120, stopAfterPages: 30},
+		{start: 40, end: 100, stopAfterPages: 20, startDelay: time.Millisecond},
+		{start: 10, end: 110},
+	}
+	pull := runParity(t, w, false)
+	push := runParity(t, w, true)
+	for i := range w.scans {
+		pr, sr := pull.results[i], push.results[i]
+		if pr.Err != nil || sr.Err != nil {
+			t.Fatalf("scan %d: pull err %v, push err %v", i, pr.Err, sr.Err)
+		}
+		if w.scans[i].stopAfterPages != 0 {
+			if !pr.Stopped || !sr.Stopped {
+				t.Errorf("scan %d: stopped pull=%v push=%v", i, pr.Stopped, sr.Stopped)
+			}
+			if pr.PagesRead != w.scans[i].stopAfterPages || sr.PagesRead != w.scans[i].stopAfterPages {
+				t.Errorf("scan %d: pages pull %d push %d, want %d",
+					i, pr.PagesRead, sr.PagesRead, w.scans[i].stopAfterPages)
+			}
+			continue
+		}
+		if pr.Checksum != sr.Checksum || pr.PagesRead != sr.PagesRead {
+			t.Errorf("scan %d: pull (%d, %#x) != push (%d, %#x)",
+				i, pr.PagesRead, pr.Checksum, sr.PagesRead, sr.Checksum)
+		}
+		if !bytes.Equal(pull.digests[i].bytes(), push.digests[i].bytes()) {
+			t.Errorf("scan %d: digests differ", i)
+		}
+	}
+	checkExactlyOnce(t, w, push)
+}

@@ -187,6 +187,35 @@ type Config struct {
 	// LRU-degenerate behavior in experiments.
 	DisablePoolFeed bool
 
+	// PushDelivery switches the runner from pull to push mode: one reader
+	// goroutine per scanned table drains the table's page range, pushing
+	// immutable page-batch references through bounded per-subscriber
+	// channels. Scans become subscribers — they attach mid-stream with a
+	// catch-up cursor and complete after exactly one lap over their
+	// footprint — and throttling becomes flow control: the reader blocks
+	// on the slowest subscriber's full channel, bounded per subscriber by
+	// the manager's fairness cap, past which the subscriber is demoted to
+	// pulling its remainder itself. Prefetching is redundant in this mode
+	// (the reader is the read-ahead stream) and is not started. See
+	// CONCURRENCY.md for the hub's locking and promotion protocol.
+	PushDelivery bool
+
+	// PushBatchPages is the page count of one pushed batch. Defaults to
+	// the manager's PrefetchExtentPages.
+	PushBatchPages int
+
+	// SubscriberQueueBatches bounds each subscriber's batch channel;
+	// defaults to 4. Smaller values couple the reader more tightly to the
+	// slowest subscriber; larger ones let speeds diverge further before
+	// flow control engages.
+	SubscriberQueueBatches int
+
+	// PushStallBudget overrides the per-subscriber bound on reader stall
+	// time before the subscriber is demoted. Zero derives the bound from
+	// the manager's fairness cap (MaxThrottleFraction of the scan's
+	// estimated duration), exactly as pull-mode throttling does.
+	PushStallBudget time.Duration
+
 	// Sleep waits for d or until ctx is done. Defaults to a timer-based
 	// wait; perturbation harnesses substitute a virtual-clock advance.
 	Sleep func(ctx context.Context, d time.Duration)
@@ -222,6 +251,14 @@ type ScanSpec struct {
 	// per-page processing cost; it creates the speed differentials that
 	// make grouping and throttling interesting.
 	PageDelay time.Duration
+	// OnPage, when set, observes every page the scan processes, in visit
+	// order, from the scan's own goroutine: pull-mode workers call it
+	// before releasing the frame, push-mode subscribers as they accept
+	// pages from a batch. data is an immutable pool frame reference —
+	// consumers must not mutate or grow it, but may retain it (pool page
+	// content cells are never rewritten in place). Degraded pages are
+	// skipped, exactly like checksumming.
+	OnPage func(pageNo int, data []byte)
 }
 
 // ScanResult reports one scan's outcome.
@@ -262,10 +299,19 @@ type ScanResult struct {
 	// assert all workers observed identical table contents.
 	Checksum uint64
 
-	ThrottleWait   time.Duration
-	Started, Done  time.Duration // Config.Clock times
-	Stopped        bool          // terminated before covering its range
-	Err            error
+	// PushBatches counts batches this subscriber accepted from the push
+	// stream; PushSelfPulled counts footprint pages it fetched itself
+	// after demotion (or zero). Both are zero in pull mode.
+	PushBatches    int
+	PushSelfPulled int
+	// PushDemoted marks a subscriber that exhausted its stall budget and
+	// finished by pulling.
+	PushDemoted bool
+
+	ThrottleWait  time.Duration
+	Started, Done time.Duration // Config.Clock times
+	Stopped       bool          // terminated before covering its range
+	Err           error
 }
 
 // Runner executes batches of scans against one pool/manager pair.
@@ -277,6 +323,11 @@ type Runner struct {
 	// flights is the singleflight registry for physical reads, shared by
 	// scan workers and prefetch workers; nil when CoalesceReads is off.
 	flights *flightTable
+	// skipPageCount suppresses the collector's per-page hit/miss counting
+	// in fetchPage. Set only on the push hub's reader-side Runner copy:
+	// subscribers account the pages they are delivered, so the reader's
+	// own acquires would double-count every page against pull mode.
+	skipPageCount bool
 }
 
 // NewRunner validates cfg, applies defaults, and returns a Runner.
@@ -305,6 +356,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.DetachAfterFailures < 0 {
 		return nil, fmt.Errorf("realtime: negative DetachAfterFailures %d", cfg.DetachAfterFailures)
 	}
+	if cfg.PushBatchPages < 0 || cfg.SubscriberQueueBatches < 0 || cfg.PushStallBudget < 0 {
+		return nil, fmt.Errorf("realtime: negative push-delivery knob")
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = &vclock.Wall{}
 	}
@@ -325,6 +379,12 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	if cfg.MaxRetryBackoff < cfg.RetryBackoff {
 		cfg.MaxRetryBackoff = cfg.RetryBackoff
+	}
+	if cfg.PushBatchPages == 0 {
+		cfg.PushBatchPages = cfg.Manager.Config().PrefetchExtentPages
+	}
+	if cfg.SubscriberQueueBatches == 0 {
+		cfg.SubscriberQueueBatches = 4
 	}
 	if cfg.Sleep == nil {
 		cfg.Sleep = ctxSleep

@@ -39,6 +39,10 @@ func (r *Runner) Run(ctx context.Context, specs []ScanSpec) ([]ScanResult, error
 		}
 	}
 
+	if r.cfg.PushDelivery {
+		return r.runPush(ctx, specs)
+	}
+
 	var pf *prefetcher
 	if r.cfg.PrefetchWorkers > 0 {
 		// Prefetch reads share the scans' timeout discipline (one
@@ -193,6 +197,9 @@ func (r *Runner) runScan(ctx context.Context, idx int, spec ScanSpec, pf *prefet
 			if len(data) > 0 {
 				res.Checksum += uint64(data[0]) + uint64(data[len(data)-1])<<8
 			}
+			if spec.OnPage != nil && data != nil {
+				spec.OnPage(pageNo(v), data)
+			}
 			res.PagesRead++
 		}
 		if spec.PageDelay > 0 {
@@ -285,8 +292,10 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 		// a Busy waiter catch the page the moment a coalesced Fill settles
 		// its version.
 		if data, ok := cfg.Pool.ReadOptimistic(pid); ok {
-			cfg.Collector.PageHit()
-			cfg.Collector.OptimisticHit()
+			if !r.skipPageCount {
+				cfg.Collector.PageHit()
+				cfg.Collector.OptimisticHit()
+			}
 			res.Hits++
 			res.OptimisticHits++
 			return data, fetchOKOpt
@@ -294,11 +303,15 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 		st, data := cfg.Pool.Acquire(pid)
 		switch st {
 		case buffer.Hit:
-			cfg.Collector.PageHit()
+			if !r.skipPageCount {
+				cfg.Collector.PageHit()
+			}
 			res.Hits++
 			return data, fetchOK
 		case buffer.Miss:
-			cfg.Collector.PageMiss()
+			if !r.skipPageCount {
+				cfg.Collector.PageMiss()
+			}
 			res.Misses++
 			// This caller won the pool's pending frame and leads the
 			// physical read; with coalescing on, register the flight so

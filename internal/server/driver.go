@@ -34,6 +34,11 @@ type DriverConfig struct {
 	// resend until admitted. When false a shed response consumes the
 	// request slot.
 	RetryOnShed bool
+	// MaxRetryPause caps how long a client honors one retry-after hint, so
+	// a pessimistic server estimate can't stall the run; 0 means 50ms. The
+	// pause always aborts immediately on context cancellation regardless
+	// of the cap.
+	MaxRetryPause time.Duration
 	// ThinkTime, when positive, sleeps a uniform random duration in
 	// [0, ThinkTime) between a client's requests.
 	ThinkTime time.Duration
@@ -163,13 +168,19 @@ func runClient(ctx context.Context, cfg DriverConfig, idx int) (DriverStats, err
 				}
 				// Honor the hint, bounded so a pessimistic estimate
 				// can't stall the run.
-				pause := time.Duration(resp.RetryAfterMs) * time.Millisecond
-				if pause > 50*time.Millisecond {
-					pause = 50 * time.Millisecond
+				maxPause := cfg.MaxRetryPause
+				if maxPause <= 0 {
+					maxPause = 50 * time.Millisecond
 				}
+				pause := time.Duration(resp.RetryAfterMs) * time.Millisecond
+				if pause > maxPause {
+					pause = maxPause
+				}
+				timer := time.NewTimer(pause)
 				select {
-				case <-time.After(pause):
+				case <-timer.C:
 				case <-ctx.Done():
+					timer.Stop()
 					return local, nil
 				}
 				continue

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedOnlyServer answers every request with a shed response carrying the
+// given retry-after hint, counting the requests it sees.
+func shedOnlyServer(t *testing.T, retryAfterMs int64) (addr string, requests *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	requests = new(atomic.Int64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					var req Request
+					if err := ReadFrame(conn, &req); err != nil {
+						return
+					}
+					requests.Add(1)
+					resp := Response{Shed: true, RetryAfterMs: retryAfterMs}
+					if err := WriteFrame(conn, &resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), requests
+}
+
+// TestDriverShedRetryHonorsCancel is the regression test for the shed-retry
+// pause: even with a huge server retry-after hint and a huge MaxRetryPause,
+// cancelling the run context must end the driver promptly — the pause
+// selects on the context rather than sleeping out the hint.
+func TestDriverShedRetryHonorsCancel(t *testing.T) {
+	addr, _ := shedOnlyServer(t, time.Hour.Milliseconds())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	stats, err := RunDriver(ctx, DriverConfig{
+		Addr:              addr,
+		Clients:           4,
+		Tenants:           []string{"t0"},
+		Queries:           []string{"select count(*) from t"},
+		RequestsPerClient: 1,
+		RetryOnShed:       true,
+		MaxRetryPause:     time.Hour,
+	})
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatalf("cancelled driver run errored: %v", err)
+	}
+	if wall > 5*time.Second {
+		t.Fatalf("driver took %v to notice cancellation; the retry pause is not context-aware", wall)
+	}
+	if stats.ShedResponses == 0 {
+		t.Error("no shed responses observed; the retry path went unexercised")
+	}
+	if stats.Completed != 0 {
+		t.Errorf("%d requests completed against a shed-only server", stats.Completed)
+	}
+}
+
+// TestDriverShedRetryPauseCap: with no explicit MaxRetryPause the hint is
+// clipped to the 50ms default, so a pessimistic hint cannot slow the retry
+// loop to its face value.
+func TestDriverShedRetryPauseCap(t *testing.T) {
+	addr, requests := shedOnlyServer(t, time.Hour.Milliseconds())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	_, err := RunDriver(ctx, DriverConfig{
+		Addr:              addr,
+		Clients:           1,
+		Tenants:           []string{"t0"},
+		Queries:           []string{"q"},
+		RequestsPerClient: 1,
+		RetryOnShed:       true,
+	})
+	if err != nil {
+		t.Fatalf("driver run errored: %v", err)
+	}
+	// At a 50ms cap the single client retries ~8 times in 400ms; at the
+	// hinted pause (an hour) it would have sent exactly one request.
+	if n := requests.Load(); n < 3 {
+		t.Errorf("server saw %d requests in 400ms; hint cap is not applied (want >= 3)", n)
+	}
+}

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"scanshare"
+)
+
+// TestServePushDelivery proves the Realtime options template carries
+// PushDelivery through to compiled requests: the same workload the pull-mode
+// acceptance test runs completes over the push hubs, and the server's
+// collector records pushed batches.
+func TestServePushDelivery(t *testing.T) {
+	eng := testEngine(t, 256, 4000)
+	srv := startServer(t, Config{
+		Engine: eng,
+		Tenants: []TenantConfig{
+			{Name: "t0", MaxConcurrent: 4, MaxQueueDepth: 4},
+			{Name: "t1", MaxConcurrent: 4, MaxQueueDepth: 4},
+		},
+		Realtime: scanshare.RealtimeOptions{PushDelivery: true},
+	})
+
+	stats, err := RunDriver(context.Background(), DriverConfig{
+		Addr:    srv.Addr(),
+		Clients: 16,
+		Tenants: []string{"t0", "t1"},
+		Queries: []string{
+			"SELECT count(*) FROM rt",
+			"SELECT count(*) FROM rt WHERE v > 100",
+		},
+		RequestsPerClient: 2,
+		Seed:              7,
+		RetryOnShed:       true,
+		MaxRetryPause:     20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 16 * 2
+	if stats.Completed != want || stats.Errors != 0 {
+		t.Fatalf("completed %d (want %d), errors %d: %s", stats.Completed, want, stats.Errors, stats)
+	}
+	if stats.PagesRead == 0 {
+		t.Error("no pages read")
+	}
+
+	snap := srv.Collector().Snapshot()
+	if snap.BatchesPushed == 0 {
+		t.Error("push-mode server recorded no pushed batches")
+	}
+	if snap.PagesRead == 0 {
+		t.Error("engine collector saw no reads")
+	}
+}

@@ -30,6 +30,10 @@ type BenchParams struct {
 	PageDelay   time.Duration `json:"page_delay_ns"`
 	ReadDelay   time.Duration `json:"read_delay_ns"`
 	Coalescing  bool          `json:"coalescing"`
+	// Push records that the run used push-based delivery (one reader per
+	// scan group feeding subscriber channels) instead of pull-mode group
+	// scans; false and omitted for pull runs.
+	Push bool `json:"push,omitempty"`
 }
 
 // HistSummary is a latency distribution flattened for JSON: integer
@@ -77,6 +81,12 @@ type BenchResult struct {
 	OptimisticHits      int64 `json:"optimistic_hits,omitempty"`
 	OptimisticRetries   int64 `json:"optimistic_retries,omitempty"`
 	OptimisticFallbacks int64 `json:"optimistic_fallbacks,omitempty"`
+
+	// Push-delivery counters; zero and omitted for pull-mode runs.
+	BatchesPushed    int64 `json:"batches_pushed,omitempty"`
+	SubscriberStalls int64 `json:"subscriber_stalls,omitempty"`
+	PushDemotions    int64 `json:"push_demotions,omitempty"`
+	SharedAggFolds   int64 `json:"shared_agg_folds,omitempty"`
 
 	// Serve-mode admission counters (scanshare-serve / bench -serve-clients);
 	// zero and omitted for plain realtime runs. ShedRate is

@@ -154,6 +154,9 @@ type Rates struct {
 	MissesPerSec    float64 `json:"misses_per_sec"`
 	EvictionsPerSec float64 `json:"evictions_per_sec"`
 	CoalescedPerSec float64 `json:"coalesced_per_sec"`
+	// BatchesPerSec is the push-delivery batch acceptance rate; zero (and
+	// omitted) for pull-mode runs.
+	BatchesPerSec float64 `json:"batches_per_sec,omitempty"`
 
 	// HitRate is the interval's pool hit fraction (delta hits over delta
 	// pages), NaN-free: 0 when no page was read in the interval.
@@ -189,6 +192,7 @@ func (s Sample) Delta(prev Sample) Rates {
 		MissesPerSec:    per(s.Counters.Misses, prev.Counters.Misses),
 		EvictionsPerSec: per(evNow, evThen),
 		CoalescedPerSec: per(s.Counters.ReadsCoalesced, prev.Counters.ReadsCoalesced),
+		BatchesPerSec:   per(s.Counters.BatchesPushed, prev.Counters.BatchesPushed),
 		ThrottleDuty:    (s.Counters.ThrottleWait - prev.Counters.ThrottleWait).Seconds() / secs,
 	}
 	if dp := s.Counters.PagesRead - prev.Counters.PagesRead; dp > 0 {

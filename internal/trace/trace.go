@@ -84,6 +84,19 @@ const (
 	// duplicate I/O. This is the singleflight layer's direct evidence that
 	// grouped scans share reads, not just frames.
 	KindReadCoalesced
+	// KindSubscribe: Scan attached to a push-delivery stream on Table;
+	// Page is the catch-up cursor (the stream position of its first
+	// batch), Count the number of live subscribers after admission.
+	KindSubscribe
+	// KindBatchPush: push-delivery accepted a contiguous page run into
+	// Scan's footprint; Page is the first table-relative page of the run,
+	// Gap its length in pages. The union of a subscriber's batch-push runs
+	// is its delivered coverage — the parity harness's exactly-once input.
+	KindBatchPush
+	// KindBackpressureStall: the push reader blocked Wait on Scan's full
+	// subscriber channel before delivering the batch starting at Page.
+	// This is flow control standing in for the paper's throttle waits.
+	KindBackpressureStall
 
 	numKinds
 )
@@ -119,6 +132,12 @@ func (k Kind) String() string {
 		return "page-failed"
 	case KindReadCoalesced:
 		return "read-coalesced"
+	case KindSubscribe:
+		return "subscribe"
+	case KindBatchPush:
+		return "batch-push"
+	case KindBackpressureStall:
+		return "backpressure-stall"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -189,6 +208,13 @@ func (e Event) String() string {
 		return fmt.Sprintf("scan %d gave up on page %d (degraded)", e.Scan, e.Page)
 	case KindReadCoalesced:
 		return fmt.Sprintf("scan %d joined in-flight read of page %d", e.Scan, e.Page)
+	case KindSubscribe:
+		return fmt.Sprintf("scan %d subscribed to push stream on table %d at page %d (%d live)",
+			e.Scan, e.Table, e.Page, e.Count)
+	case KindBatchPush:
+		return fmt.Sprintf("scan %d accepted pushed pages [%d,%d)", e.Scan, e.Page, e.Page+e.Gap)
+	case KindBackpressureStall:
+		return fmt.Sprintf("push reader stalled %v on scan %d (batch at page %d)", e.Wait, e.Scan, e.Page)
 	default:
 		return fmt.Sprintf("scan %d: %s", e.Scan, e.Kind)
 	}

@@ -35,6 +35,12 @@ type RealtimeScan struct {
 	StopAfterPages int
 	// PageDelay models per-page processing cost as a wall-clock sleep.
 	PageDelay time.Duration
+	// OnPage, when set, receives every page the scan processes — in
+	// footprint order, from the scan's own goroutine (pull mode) or as
+	// pushed batches arrive (RealtimeOptions.PushDelivery). data is an
+	// immutable buffer frame reference: consumers must not mutate it but
+	// may retain it. Degraded pages are skipped.
+	OnPage func(pageNo int, data []byte)
 }
 
 // FaultKind classifies an injected read failure. The kinds mirror
@@ -106,6 +112,25 @@ type RealtimeOptions struct {
 	// standing in for device transfer time (the virtual-time disk cost
 	// model does not apply in this mode).
 	PageReadDelay time.Duration
+
+	// PushDelivery switches scan execution from pull to push: one reader
+	// goroutine per scanned table drains the page range once per demand
+	// lap and fans immutable page-batch references out to the scans, which
+	// become subscribers (group membership by subscription, throttling by
+	// flow control). Results are observationally identical to pull mode;
+	// PrefetchWorkers is ignored since the reader is the read-ahead.
+	PushDelivery bool
+	// PushBatchPages is the push-mode delivery batch size in pages; 0
+	// picks the sharing config's prefetch extent.
+	PushBatchPages int
+	// SubscriberQueueBatches bounds each subscriber's delivery channel in
+	// batches; 0 picks a default. Smaller values couple the group tighter.
+	SubscriberQueueBatches int
+	// PushStallBudget caps the total time the push reader may spend
+	// blocked on one subscriber's full channel before demoting it to
+	// pulling its remainder itself; 0 derives the cap from the fairness
+	// throttle fraction and the scan's estimated duration.
+	PushStallBudget time.Duration
 
 	// Faults, when non-nil, injects the plan's deterministic read failures
 	// underneath the page store.
@@ -196,6 +221,10 @@ func (r *RealtimeReport) BenchResult(params telemetry.BenchParams) telemetry.Ben
 		ThrottleEvents:      r.Counters.ThrottleEvents,
 		ThrottleWaitSeconds: r.Counters.ThrottleWait.Seconds(),
 		ReadsCoalesced:      r.Counters.ReadsCoalesced,
+		BatchesPushed:       r.Counters.BatchesPushed,
+		SubscriberStalls:    r.Counters.SubscriberStalls,
+		PushDemotions:       r.Counters.PushDemotions,
+		SharedAggFolds:      r.Counters.SharedAggFolds,
 		Histograms: map[string]telemetry.HistSummary{
 			"page_read":      telemetry.SummarizeHist(r.Counters.PageReadLatency),
 			"throttle_wait":  telemetry.SummarizeHist(r.Counters.ThrottleWaitDist),
@@ -347,6 +376,7 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 			StartDelay:        sc.StartDelay,
 			StopAfterPages:    sc.StopAfterPages,
 			PageDelay:         sc.PageDelay,
+			OnPage:            sc.OnPage,
 		})
 		b.indices = append(b.indices, i)
 	}
@@ -362,21 +392,25 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 	for _, b := range batches {
 		b, bi := b, bi
 		runner, err := realtime.NewRunner(realtime.Config{
-			Pool:                  b.rt.pool,
-			Manager:               b.rt.ssm,
-			Store:                 store,
-			Collector:             col,
-			PrefetchWorkers:       opts.PrefetchWorkers,
-			PrefetchQueueExtents:  opts.PrefetchQueueExtents,
-			ReadTimeout:           opts.ReadTimeout,
-			MaxReadRetries:        opts.MaxReadRetries,
-			RetryBackoff:          opts.RetryBackoff,
-			MaxRetryBackoff:       opts.MaxRetryBackoff,
-			DetachAfterFailures:   opts.DetachAfterFailures,
-			ContinueOnPageFailure: opts.ContinueOnPageFailure,
-			CoalesceReads:         !opts.DisableReadCoalescing,
-			DisablePoolFeed:       opts.DisablePredictiveFeed,
-			Tracer:                opts.Tracer,
+			Pool:                   b.rt.pool,
+			Manager:                b.rt.ssm,
+			Store:                  store,
+			Collector:              col,
+			PrefetchWorkers:        opts.PrefetchWorkers,
+			PrefetchQueueExtents:   opts.PrefetchQueueExtents,
+			ReadTimeout:            opts.ReadTimeout,
+			MaxReadRetries:         opts.MaxReadRetries,
+			RetryBackoff:           opts.RetryBackoff,
+			MaxRetryBackoff:        opts.MaxRetryBackoff,
+			DetachAfterFailures:    opts.DetachAfterFailures,
+			ContinueOnPageFailure:  opts.ContinueOnPageFailure,
+			CoalesceReads:          !opts.DisableReadCoalescing,
+			DisablePoolFeed:        opts.DisablePredictiveFeed,
+			Tracer:                 opts.Tracer,
+			PushDelivery:           opts.PushDelivery,
+			PushBatchPages:         opts.PushBatchPages,
+			SubscriberQueueBatches: opts.SubscriberQueueBatches,
+			PushStallBudget:        opts.PushStallBudget,
 		})
 		if err != nil {
 			return nil, err

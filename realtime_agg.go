@@ -1,0 +1,186 @@
+package scanshare
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"scanshare/internal/exec"
+	"scanshare/internal/metrics"
+)
+
+// RealtimeAggSpec is one aggregate column of a realtime GROUP BY consumer:
+// a function over a named table column (the column is ignored for Count).
+type RealtimeAggSpec struct {
+	Kind   AggKind
+	Column string
+}
+
+// RealtimeAggQuery is one GROUP BY query executed as a realtime scan
+// consumer: the scan delivers pages, the query folds their tuples into
+// aggregation state as they arrive.
+type RealtimeAggQuery struct {
+	// Scan is the underlying table scan. Scan.OnPage may be set and is
+	// chained before the aggregation fold.
+	Scan RealtimeScan
+	// GroupBy names the grouping columns (may be empty for a plain
+	// aggregate).
+	GroupBy []string
+	// Aggs are the aggregate output columns.
+	Aggs []RealtimeAggSpec
+	// Filter, when set, drops tuples before aggregation.
+	Filter func(Tuple) bool
+}
+
+// RealtimeAggReport is the outcome of RunRealtimeAggregates.
+type RealtimeAggReport struct {
+	*RealtimeReport
+	// Rows holds each query's result rows, index-aligned with the input
+	// queries, sorted deterministically by group key encoding.
+	Rows [][]Tuple
+	// SharedAggFolds is how many tuple folds went into shared (cross-
+	// query) aggregation state; zero when sharing was off or no query
+	// shape repeated.
+	SharedAggFolds int64
+}
+
+// aggShapeKey identifies queries that may share aggregation state: same
+// table, same grouping, same aggregates, and no private filter.
+func aggShapeKey(q *RealtimeAggQuery, groupBy []int, aggs []exec.AggSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t%d|s%d..%d|", q.Scan.Table.coreTableID(), q.Scan.StartPage, q.Scan.EndPage)
+	for _, o := range groupBy {
+		fmt.Fprintf(&b, "g%d,", o)
+	}
+	for _, a := range aggs {
+		fmt.Fprintf(&b, "a%d:%d,", a.Kind, a.Ordinal)
+	}
+	return b.String()
+}
+
+// RunRealtimeAggregates executes N GROUP BY queries as consumers of
+// realtime scans: each query's tuples are folded into aggregation state
+// directly from the pages its scan delivers. With opts.PushDelivery the N
+// scans of one table collapse into one physical push stream, and with
+// shareState the aggregation state collapses too — queries of identical
+// shape (same table, footprint, grouping, aggregates, and no filter) fold
+// into one mutex-striped shared hash table instead of N private ones, so
+// both the page stream and the group state exist once per table.
+//
+// Result rows are deterministic (sorted by group key encoding) and
+// identical across delivery modes and sharing settings.
+func (e *Engine) RunRealtimeAggregates(ctx context.Context, opts RealtimeOptions, queries []RealtimeAggQuery, shareState bool) (*RealtimeAggReport, error) {
+	if len(queries) == 0 {
+		return nil, errors.New("scanshare: RunRealtimeAggregates with no queries")
+	}
+	if opts.Collector == nil {
+		opts.Collector = new(metrics.Collector)
+	}
+
+	consumers := make([]*exec.GroupByConsumer, len(queries))
+	states := make(map[string]*exec.SharedAggState)
+	scans := make([]RealtimeScan, len(queries))
+	for i := range queries {
+		q := &queries[i]
+		if q.Scan.Table == nil {
+			return nil, fmt.Errorf("scanshare: aggregate query %d has no table", i)
+		}
+		schema := q.Scan.Table.Schema()
+		groupBy := make([]int, len(q.GroupBy))
+		for j, name := range q.GroupBy {
+			ord, err := schema.Ordinal(name)
+			if err != nil {
+				return nil, fmt.Errorf("scanshare: aggregate query %d: %w", i, err)
+			}
+			groupBy[j] = ord
+		}
+		aggs := make([]exec.AggSpec, len(q.Aggs))
+		for j, a := range q.Aggs {
+			spec := exec.AggSpec{Kind: a.Kind}
+			if a.Kind != exec.AggCount {
+				ord, err := schema.Ordinal(a.Column)
+				if err != nil {
+					return nil, fmt.Errorf("scanshare: aggregate query %d: %w", i, err)
+				}
+				spec.Ordinal = ord
+			}
+			aggs[j] = spec
+		}
+		if len(groupBy) == 0 && len(aggs) == 0 {
+			return nil, fmt.Errorf("scanshare: aggregate query %d computes nothing", i)
+		}
+
+		c := &exec.GroupByConsumer{Schema: schema, Pred: q.Filter, GroupBy: groupBy, Aggs: aggs}
+		// Sharing needs identical work per tuple: a private filter or an
+		// early stop would make the shared rows diverge from what this
+		// query would have computed alone.
+		if shareState && q.Filter == nil && q.Scan.StopAfterPages == 0 {
+			key := aggShapeKey(q, groupBy, aggs)
+			st := states[key]
+			if st == nil {
+				var err error
+				st, err = exec.NewSharedAggState(groupBy, aggs, 0)
+				if err != nil {
+					return nil, fmt.Errorf("scanshare: aggregate query %d: %w", i, err)
+				}
+				states[key] = st
+			}
+			c.Shared = st
+		}
+		consumers[i] = c
+
+		scan := q.Scan
+		if user := scan.OnPage; user != nil {
+			scan.OnPage = func(pageNo int, data []byte) {
+				user(pageNo, data)
+				c.OnPage(pageNo, data)
+			}
+		} else {
+			scan.OnPage = c.OnPage
+		}
+		scans[i] = scan
+	}
+
+	report, err := e.RunRealtime(ctx, opts, scans)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &RealtimeAggReport{RealtimeReport: report, Rows: make([][]Tuple, len(queries))}
+	sharedRows := make(map[*exec.SharedAggState][]Tuple)
+	var errs []error
+	for i, c := range consumers {
+		if _, err := c.Results(); err != nil {
+			errs = append(errs, fmt.Errorf("scanshare: aggregate query %d: %w", i, err))
+			continue
+		}
+		if st := c.Shared; st != nil {
+			rows, ok := sharedRows[st]
+			if !ok {
+				rows = st.Rows()
+				sharedRows[st] = rows
+			}
+			out.Rows[i] = rows
+			continue
+		}
+		rows, _ := c.Results()
+		out.Rows[i] = rows
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	for st := range sharedRows {
+		out.SharedAggFolds += st.Folds()
+	}
+	if out.SharedAggFolds > 0 {
+		opts.Collector.SharedAggFolded(out.SharedAggFolds)
+		out.Counters = opts.Collector.Snapshot()
+	}
+	return out, nil
+}
+
+// EncodeAggRows renders aggregation result rows as deterministic bytes for
+// byte-identical comparison across delivery modes and sharing settings.
+func EncodeAggRows(rows []Tuple) []byte { return exec.EncodeRows(rows) }

@@ -46,6 +46,7 @@ func main() {
 	flag.StringVar(&rtObs.flightDir, "flight-dir", "", "realtime mode: arm the flight recorder; dumps land in this directory on SIGQUIT or run failure")
 	flag.StringVar(&rtObs.benchJSON, "bench-json", "", "realtime mode: write a schema-versioned benchmark result JSON to this file")
 	flag.StringVar(&rtObs.benchName, "bench-name", "realtime", "realtime mode: name recorded in the -bench-json result")
+	flag.BoolVar(&rtObs.spans, "rt-spans", false, "realtime mode: enable span emission even without -rt-trace/-rt-timeline (for measuring tracing overhead)")
 	var sv rtServeFlags
 	flag.IntVar(&sv.clients, "serve-clients", 0, "instead of experiments, run the multi-tenant scan service in-process and drive it with N seeded concurrent clients")
 	flag.IntVar(&sv.tenants, "serve-tenants", 4, "serve mode: tenant count (clients are assigned round-robin)")

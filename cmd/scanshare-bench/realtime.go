@@ -32,6 +32,11 @@ type rtObsFlags struct {
 	flightDir   string
 	benchJSON   string
 	benchName   string
+	// spans forces a tracer (with an in-memory ring-bounded recorder sink)
+	// even when no journal or timeline was requested, so the tracing-
+	// overhead benchmark can compare spans-on vs spans-off runs of the
+	// same workload.
+	spans bool
 }
 
 // rtFaultFlags bundles the -rt-fault* command-line knobs.
@@ -158,9 +163,9 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy, translati
 	var tracer *trace.Tracer
 	var rec *trace.Recorder
 	var traceFile *os.File
-	if obs.tracePath != "" || obs.timeline || obs.flightDir != "" {
+	if obs.tracePath != "" || obs.timeline || obs.flightDir != "" || obs.spans {
 		tracer = trace.NewTracer(nil)
-		if obs.timeline || obs.flightDir != "" {
+		if obs.timeline || obs.flightDir != "" || (obs.spans && obs.tracePath == "") {
 			rec = &trace.Recorder{Cap: 1 << 16}
 			tracer.Attach(rec)
 		}
@@ -366,6 +371,13 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy, translati
 	if obs.tracePath != "" {
 		fmt.Printf("trace: wrote %s (%d events dropped)\n", obs.tracePath, tracer.Dropped())
 	}
+	if rec != nil {
+		if asm := trace.Assemble(rec.Events()); len(asm.Trees) > 0 {
+			fmt.Printf("\nspans: %d query trees (%d unclosed, %d orphans); scanshare-trace renders them from -rt-trace output\n",
+				len(asm.Trees), asm.Unclosed, asm.Orphans)
+			fmt.Print(trace.RenderBreakdown(asm.Aggregate(), len(asm.Trees)))
+		}
+	}
 	if rec != nil && obs.timeline {
 		evs := rec.Events()
 		fmt.Printf("\ntimeline (%d events; %s):\n", len(evs), trace.SummarizeKinds(evs))
@@ -385,6 +397,7 @@ func runRealtime(p experiments.Params, n, workers, shards int, policy, translati
 			ReadDelay:   readDelay,
 			Coalescing:  !noCoalesce,
 			Push:        push,
+			Spans:       tracer != nil,
 		})
 		res.Name = obs.benchName
 		res.GitRev = gitRev()

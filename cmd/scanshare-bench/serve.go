@@ -12,6 +12,7 @@ import (
 	"scanshare/internal/metrics"
 	"scanshare/internal/server"
 	"scanshare/internal/telemetry"
+	"scanshare/internal/trace"
 )
 
 // rtServeFlags are the serve-mode knobs (-serve-clients and friends).
@@ -52,12 +53,35 @@ func runServe(p experiments.Params, sv rtServeFlags, shards int, policy, transla
 		}
 	}
 
+	// Tracing: -rt-trace journals every request's span tree to JSONL (the
+	// scanshare-trace CLI renders them); -rt-spans keeps the spans in an
+	// in-memory recorder for the end-of-run breakdown only.
+	var tracer *trace.Tracer
+	var rec *trace.Recorder
+	var traceFile *os.File
+	if obs.tracePath != "" || obs.spans {
+		tracer = trace.NewTracer(nil)
+		if obs.tracePath != "" {
+			f, err := os.Create(obs.tracePath)
+			if err != nil {
+				return err
+			}
+			traceFile = f
+			tracer.Attach(trace.NewJSONLSink(f))
+		} else {
+			rec = &trace.Recorder{Cap: 1 << 16}
+			tracer.Attach(rec)
+		}
+		tracer.Start(20 * time.Millisecond)
+	}
+
 	col := new(metrics.Collector)
 	srv, err := server.New(server.Config{
 		Engine:    eng,
 		Tenants:   tenants,
 		PageDelay: pageDelay,
 		Realtime:  scanshare.RealtimeOptions{Collector: col},
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return err
@@ -120,6 +144,17 @@ func runServe(p experiments.Params, sv rtServeFlags, shards int, policy, transla
 		return err
 	}
 
+	if tracer != nil {
+		tracer.Close()
+		col.SetTraceDropped(int64(tracer.Dropped()))
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace: wrote %s\n", obs.tracePath)
+		}
+	}
+
 	cs := col.Snapshot()
 	all := srv.AllStats()
 	fmt.Printf("driver: %s\n", stats)
@@ -130,6 +165,13 @@ func runServe(p experiments.Params, sv rtServeFlags, shards int, policy, transla
 		all.Admitted, all.Shed, 100*all.ShedRate(), all.QueueWait.P99)
 	fmt.Printf("buffer: %d pages read, %.1f%% hit ratio, %d reads coalesced\n",
 		cs.PagesRead, 100*cs.HitRatio(), cs.ReadsCoalesced)
+	if rec != nil {
+		if asm := trace.Assemble(rec.Events()); len(asm.Trees) > 0 {
+			fmt.Printf("\nspans: %d query trees (%d unclosed, %d orphans)\n",
+				len(asm.Trees), asm.Unclosed, asm.Orphans)
+			fmt.Print(trace.RenderBreakdown(asm.Aggregate(), len(asm.Trees)))
+		}
+	}
 
 	if obs.benchJSON != "" {
 		res := telemetry.BenchResult{
@@ -142,6 +184,7 @@ func runServe(p experiments.Params, sv rtServeFlags, shards int, policy, transla
 				Translation: translation,
 				PageDelay:   pageDelay,
 				Coalescing:  true,
+				Spans:       tracer != nil,
 			},
 			Name:                obs.benchName,
 			GitRev:              gitRev(),
@@ -164,6 +207,29 @@ func runServe(p experiments.Params, sv rtServeFlags, shards int, policy, transla
 		if stats.Wall > 0 {
 			res.PagesPerSec = float64(cs.PagesRead) / stats.Wall.Seconds()
 		}
+		// Latency attribution over all completed requests, keyed like the
+		// span assembler's components so result files and scanshare-trace
+		// output line up.
+		bd := map[string]float64{}
+		for _, c := range []struct {
+			name string
+			d    time.Duration
+		}{
+			{"queue", all.QueueWait.Sum},
+			{"compile", all.CompileWait},
+			{"throttle", all.ThrottleWait},
+			{"pool-wait", all.PoolWait},
+			{"read", all.ReadWait},
+			{"delivery", all.DeliveryWait},
+		} {
+			if c.d > 0 {
+				bd[c.name] = c.d.Seconds()
+			}
+		}
+		if len(bd) > 0 {
+			res.BreakdownSeconds = bd
+		}
+		res.TraceDropped = cs.TraceDropped
 		for _, ps := range eng.PoolStats() {
 			res.Evictions += ps.Evictions
 			res.OptimisticHits += ps.OptimisticHits

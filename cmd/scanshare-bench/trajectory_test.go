@@ -10,11 +10,12 @@ import (
 // TestBenchTrajectory is the trajectory tripwire over the committed
 // BENCH_*.json points at the repo root: every file must carry the current
 // schema (ReadBench rejects anything else, so a format change that forgets
-// to migrate the trajectory fails here, cross-checking this PR's BENCH_9
-// pair against the BENCH_8 baseline), and the push-mode point must hold its
+// to migrate the trajectory fails here, cross-checking this PR's BENCH_10
+// pair against the BENCH_9 pair), the push-mode point must hold its
 // headline claim — the same 16-scan workload at least as fast pushed as
-// pulled, within the 10% gate `make bench-record` enforces at recording
-// time.
+// pulled within the 10% gate — and the tracing-overhead point must hold
+// this PR's claim: span emission costs at most the 5% throughput delta
+// `make bench-record` enforces at recording time.
 func TestBenchTrajectory(t *testing.T) {
 	root := "../.." // repo root from cmd/scanshare-bench
 	read := func(name string) telemetry.BenchResult {
@@ -26,33 +27,48 @@ func TestBenchTrajectory(t *testing.T) {
 		return r
 	}
 
-	prev := read("BENCH_8.json")
 	pull := read("BENCH_9_pull.json")
 	push := read("BENCH_9.json")
+	nospans := read("BENCH_10_nospans.json")
+	spans := read("BENCH_10.json")
 
-	if prev.Schema != push.Schema || pull.Schema != push.Schema {
-		t.Fatalf("schema drift across the trajectory: BENCH_8 %q, BENCH_9_pull %q, BENCH_9 %q",
-			prev.Schema, pull.Schema, push.Schema)
+	if pull.Schema != push.Schema || nospans.Schema != push.Schema || spans.Schema != push.Schema {
+		t.Fatalf("schema drift across the trajectory: BENCH_9_pull %q, BENCH_9 %q, BENCH_10_nospans %q, BENCH_10 %q",
+			pull.Schema, push.Schema, nospans.Schema, spans.Schema)
 	}
 	if !push.Params.Push || pull.Params.Push {
 		t.Fatalf("delivery-mode params swapped: BENCH_9 push=%v, BENCH_9_pull push=%v",
 			push.Params.Push, pull.Params.Push)
 	}
 
-	// The pair ran the same workload, so the comparator's full gate
+	// The push pair ran the same workload, so the comparator's full gate
 	// applies: matching pages_read, throughput within 10%, hit ratio not
-	// collapsed. Push regressing against pull is this PR's failure mode.
+	// collapsed.
 	for _, reg := range telemetry.CompareBench(pull, push, 0.10) {
 		t.Errorf("push vs pull: %s", reg)
-	}
-	if push.PagesPerSec < pull.PagesPerSec {
-		t.Logf("note: push %.0f pages/s below pull %.0f pages/s (within tolerance)",
-			push.PagesPerSec, pull.PagesPerSec)
 	}
 	if push.BatchesPushed == 0 {
 		t.Error("BENCH_9.json recorded no pushed batches; was it recorded with -rt-push?")
 	}
 	if pull.BatchesPushed != 0 {
 		t.Errorf("BENCH_9_pull.json recorded %d pushed batches; expected a pull run", pull.BatchesPushed)
+	}
+
+	// The tracing-overhead pair: identical workload, spans off vs on,
+	// throughput within the 5% overhead budget.
+	if !spans.Params.Spans || nospans.Params.Spans {
+		t.Fatalf("span params swapped: BENCH_10 spans=%v, BENCH_10_nospans spans=%v",
+			spans.Params.Spans, nospans.Params.Spans)
+	}
+	for _, reg := range telemetry.CompareBench(nospans, spans, 0.05) {
+		t.Errorf("spans-on vs spans-off: %s", reg)
+	}
+	if spans.PagesPerSec < nospans.PagesPerSec {
+		t.Logf("note: tracing overhead %.1f%% (%.0f -> %.0f pages/s, within 5%% budget)",
+			100*(nospans.PagesPerSec-spans.PagesPerSec)/nospans.PagesPerSec,
+			nospans.PagesPerSec, spans.PagesPerSec)
+	}
+	if spans.TraceDropped != 0 {
+		t.Errorf("BENCH_10.json dropped %d trace events; the overhead number is an undercount", spans.TraceDropped)
 	}
 }

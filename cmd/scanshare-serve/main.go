@@ -31,6 +31,7 @@ import (
 	"scanshare/internal/metrics"
 	"scanshare/internal/server"
 	"scanshare/internal/telemetry"
+	"scanshare/internal/trace"
 )
 
 func main() {
@@ -52,6 +53,9 @@ func run() error {
 	pageDelay := flag.Duration("pagedelay", 50*time.Microsecond, "per-page processing delay charged to every scan")
 	readDelay := flag.Duration("readdelay", 200*time.Microsecond, "per-physical-read device delay")
 	sampleEvery := flag.Duration("sample-every", time.Second, "telemetry sampling interval (0 = off)")
+	tracePath := flag.String("trace", "", "write every request's span tree as a JSONL trace journal to this file (render with scanshare-trace)")
+	flightDir := flag.String("flight-dir", "", "arm the flight recorder; dumps land in this directory on SIGQUIT or SLO breach")
+	sloQueueP99 := flag.Duration("slo-queue-p99", 0, "dump the flight record when any tenant's p99 queue wait reaches this (0 = off; needs -flight-dir)")
 	flag.Float64Var(&p.Scale, "scale", p.Scale, "workload table scale factor")
 	flag.Int64Var(&p.Seed, "seed", p.Seed, "workload table generation seed")
 	flag.Float64Var(&p.BufferFrac, "buffer", p.BufferFrac, "buffer pool as a fraction of the table")
@@ -65,9 +69,35 @@ func run() error {
 		return err
 	}
 
+	if *sloQueueP99 > 0 && *flightDir == "" {
+		return fmt.Errorf("-slo-queue-p99 needs -flight-dir for somewhere to dump")
+	}
+
 	eng, tbl, poolPages, err := buildEngine(p, *shards, *policy, *translation)
 	if err != nil {
 		return err
+	}
+
+	// Tracing: the JSONL journal is what scanshare-trace renders; the
+	// bounded in-memory recorder gives flight dumps their event tail.
+	var tracer *trace.Tracer
+	var rec *trace.Recorder
+	var traceFile *os.File
+	if *tracePath != "" || *flightDir != "" {
+		tracer = trace.NewTracer(nil)
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			traceFile = f
+			tracer.Attach(trace.NewJSONLSink(f))
+		}
+		if *flightDir != "" {
+			rec = &trace.Recorder{Cap: 1 << 14}
+			tracer.Attach(rec)
+		}
+		tracer.Start(20 * time.Millisecond)
 	}
 
 	col := new(metrics.Collector)
@@ -76,6 +106,7 @@ func run() error {
 		Tenants:       tenants,
 		MaxConcurrent: *globalCap,
 		PageDelay:     *pageDelay,
+		Tracer:        tracer,
 		Realtime: scanshare.RealtimeOptions{
 			PageReadDelay: *readDelay,
 			Collector:     col,
@@ -101,6 +132,60 @@ func run() error {
 		sampler.Start()
 		defer sampler.Stop()
 	}
+
+	sloDone := make(chan struct{})
+	if *flightDir != "" {
+		flight := &telemetry.FlightRecorder{
+			Sampler:      sampler,
+			Dir:          *flightDir,
+			QueueWaitSLO: *sloQueueP99,
+			Tenants:      srv.TenantStats,
+		}
+		if rec != nil {
+			flight.Events = rec.Tail
+		}
+		dumpFlight := func(reason string) {
+			path, err := flight.DumpFile(reason)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flight recorder:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "flight record (%s): %s\n", reason, path)
+		}
+		// SIGQUIT dumps on demand; the SLO poller dumps automatically the
+		// first time a tenant's p99 queue wait crosses the threshold.
+		quitCh := make(chan os.Signal, 1)
+		signal.Notify(quitCh, syscall.SIGQUIT)
+		stopSLO := make(chan struct{})
+		go func() {
+			defer close(sloDone)
+			every := *sampleEvery
+			if every <= 0 {
+				every = time.Second
+			}
+			ticker := time.NewTicker(every)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-quitCh:
+					dumpFlight("sigquit")
+				case <-ticker.C:
+					paths, err := flight.CheckSLO()
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "flight recorder:", err)
+					}
+					for _, p := range paths {
+						fmt.Fprintf(os.Stderr, "flight record (slo breach): %s\n", p)
+					}
+				case <-stopSLO:
+					return
+				}
+			}
+		}()
+		defer func() { signal.Stop(quitCh); close(stopSLO); <-sloDone }()
+	} else {
+		close(sloDone)
+	}
 	if *httpAddr != "" {
 		telemetry.PublishExpvar("scanshare_pools", func() any { return eng.PoolStats() })
 		telemetry.PublishExpvar("scanshare_tenants", func() any { return srv.TenantStats() })
@@ -124,6 +209,17 @@ func run() error {
 	defer scancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("trace sink: %w", err)
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace: wrote %s (%d events dropped)\n", *tracePath, tracer.Dropped())
+		}
 	}
 	for _, st := range srv.TenantStats() {
 		fmt.Printf("  %s\n", st)

@@ -1,0 +1,125 @@
+// Command scanshare-trace answers "where did this query's time go?" from a
+// trace journal. It reads JSONL journals written by -rt-trace (scanshare-bench,
+// scanshare-serve) or a flight-recorder dump, reconstructs every query's span
+// tree from the span open/close events, and prints per-query trees plus an
+// aggregate critical-path breakdown: queue, compile, throttle, pool-wait,
+// physical read, push delivery, fold, and residual processing time.
+//
+// Usage:
+//
+//	scanshare-trace [flags] journal.jsonl [more.jsonl ...]
+//	scanshare-trace [flags] < journal.jsonl
+//
+// Multiple journals concatenate (span IDs are process-wide, so files from one
+// process compose; files from different processes may collide and should be
+// inspected separately).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"scanshare/internal/trace"
+)
+
+func main() {
+	trees := flag.Int("trees", 5, "print the N slowest query trees (-1 = all, 0 = none)")
+	traceID := flag.Int64("trace", 0, "print only this trace ID's tree (0 = no filter)")
+	perQuery := flag.Bool("per-query", false, "print one breakdown table per query instead of trees")
+	aggregate := flag.Bool("aggregate", true, "print the aggregate breakdown over all queries")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: scanshare-trace [flags] [journal.jsonl ...]\n\nReads JSONL trace journals (or stdin) and prints span trees and\ncritical-path latency breakdowns.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var evs []trace.Event
+	skipped := 0
+	if flag.NArg() == 0 {
+		var err error
+		evs, skipped, err = trace.DecodeJSONL(os.Stdin)
+		if err != nil {
+			fatalf("stdin: %v", err)
+		}
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fe, fs, err := trace.DecodeJSONL(f)
+		f.Close()
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		evs = append(evs, fe...)
+		skipped += fs
+	}
+
+	asm := trace.Assemble(evs)
+	if len(asm.Trees) == 0 {
+		fmt.Printf("no span trees in %d events (%d non-event lines skipped)\n", len(evs), skipped)
+		fmt.Println("hint: spans are emitted only when the run had a tracer (-rt-trace / serve -trace)")
+		os.Exit(1)
+	}
+
+	if *traceID != 0 {
+		var match *trace.SpanTree
+		for _, t := range asm.Trees {
+			if t.Trace == *traceID {
+				match = t
+				break
+			}
+		}
+		if match == nil {
+			fatalf("trace %d not found (%d trees in journal)", *traceID, len(asm.Trees))
+		}
+		fmt.Print(trace.RenderTree(match))
+		fmt.Println()
+		fmt.Print(trace.RenderBreakdown(match.Breakdown(), 1))
+		return
+	}
+
+	fmt.Printf("%d events (%d skipped lines), %d query trees", len(evs), skipped, len(asm.Trees))
+	if asm.Unclosed > 0 || asm.Orphans > 0 || asm.ExtraRoots > 0 {
+		fmt.Printf(" — %d unclosed, %d orphaned, %d extra roots", asm.Unclosed, asm.Orphans, asm.ExtraRoots)
+	}
+	fmt.Println()
+	fmt.Println()
+
+	// Slowest queries first: the trees a latency investigation wants on top.
+	byDur := make([]*trace.SpanTree, len(asm.Trees))
+	copy(byDur, asm.Trees)
+	sort.SliceStable(byDur, func(i, j int) bool {
+		return byDur[i].Root.Dur() > byDur[j].Root.Dur()
+	})
+
+	n := *trees
+	if n < 0 || n > len(byDur) {
+		n = len(byDur)
+	}
+	if *perQuery {
+		for _, t := range byDur[:n] {
+			fmt.Printf("trace %d:\n", t.Trace)
+			fmt.Print(trace.RenderBreakdown(t.Breakdown(), 1))
+			fmt.Println()
+		}
+	} else {
+		for _, t := range byDur[:n] {
+			fmt.Print(trace.RenderTree(t))
+			fmt.Println()
+		}
+	}
+
+	if *aggregate {
+		fmt.Print(trace.RenderBreakdown(asm.Aggregate(), len(asm.Trees)))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scanshare-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -54,6 +54,12 @@ type Collector struct {
 	pushDemotions    atomic.Int64
 	sharedAggFolds   atomic.Int64
 
+	// traceDropped mirrors the trace ring's cumulative dropped-event count,
+	// synced by whoever owns the tracer (RunRealtime, the serve loop) so the
+	// exporter and sampler can surface journal loss without holding a tracer
+	// reference.
+	traceDropped atomic.Int64
+
 	// Latency distributions for the three waits a scan can experience:
 	// the physical read of a missed page, an SSM-inserted throttle, and
 	// the queueing delay of a prefetch request before a worker picks it up.
@@ -101,6 +107,8 @@ type CollectorStats struct {
 	SubscriberStalls int64 // push reader blocks on a full subscriber channel
 	PushDemotions    int64 // subscribers demoted to self-pulling after exhausting the stall budget
 	SharedAggFolds   int64 // tuple folds into a shared (cross-consumer) aggregation table
+
+	TraceDropped int64 // events the trace ring discarded because it was full
 
 	PageReadLatency    HistogramStats // physical read time of missed pages
 	ThrottleWaitDist   HistogramStats // SSM-inserted leader waits
@@ -284,6 +292,18 @@ func (c *Collector) PushDemoted() { c.pushDemotions.Add(1) }
 // SharedAggFolded records n tuple folds into a shared aggregation table.
 func (c *Collector) SharedAggFolded(n int64) { c.sharedAggFolds.Add(n) }
 
+// SetTraceDropped syncs the trace ring's cumulative dropped-event count.
+// The ring's counter only grows, so the max keeps the collector monotonic
+// even when several runs sync the same tracer concurrently.
+func (c *Collector) SetTraceDropped(n int64) {
+	for {
+		cur := c.traceDropped.Load()
+		if n <= cur || c.traceDropped.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Reset zeroes every counter and histogram, so back-to-back runs in one
 // process report from a clean slate. Like Histogram.Reset it clears field
 // by field: call it between runs, not while scan workers are writing.
@@ -302,6 +322,7 @@ func (c *Collector) Reset() {
 		&c.readsCoalesced, &c.coalescedFailures,
 		&c.feedRegistrations, &c.feedUpdates,
 		&c.batchesPushed, &c.subscriberStalls, &c.pushDemotions, &c.sharedAggFolds,
+		&c.traceDropped,
 	} {
 		v.Store(0)
 	}
@@ -344,6 +365,7 @@ func (c *Collector) Snapshot() CollectorStats {
 		SubscriberStalls:   c.subscriberStalls.Load(),
 		PushDemotions:      c.pushDemotions.Load(),
 		SharedAggFolds:     c.sharedAggFolds.Load(),
+		TraceDropped:       c.traceDropped.Load(),
 		PageReadLatency:    c.pageRead.Snapshot(),
 		ThrottleWaitDist:   c.throttleWait.Snapshot(),
 		PrefetchQueueDelay: c.prefetchDelay.Snapshot(),

@@ -19,6 +19,15 @@ type TenantCollector struct {
 	// request entering its tenant's FIFO to the dispatcher granting it a
 	// slot. Requests admitted on a free slot observe ~0.
 	queueWait Histogram
+
+	// Latency-attribution sums over completed requests, synced from each
+	// request's inline wait counters by the server — the always-on live
+	// counterpart of the span assembler's per-query breakdown.
+	compileNanos  atomic.Int64
+	throttleNanos atomic.Int64
+	poolWaitNanos atomic.Int64
+	readNanos     atomic.Int64
+	deliveryNanos atomic.Int64
 }
 
 // TenantStats is an atomically-read (field by field, not instantaneous)
@@ -31,6 +40,16 @@ type TenantStats struct {
 	Running  int64 // requests currently holding a slot (gauge)
 
 	QueueWait HistogramStats // FIFO wait of admitted requests
+
+	// Latency breakdown of completed requests: where the tenant's time
+	// went once admitted. CompileWait is SQL parse+plan; the rest are the
+	// scan-side wait components (throttle sleeps, buffer-pool contention,
+	// physical reads, push-delivery stalls).
+	CompileWait  time.Duration
+	ThrottleWait time.Duration
+	PoolWait     time.Duration
+	ReadWait     time.Duration
+	DeliveryWait time.Duration
 }
 
 // ShedRate returns Shed / (Admitted + Shed): the fraction of concluded
@@ -50,6 +69,10 @@ func (s TenantStats) String() string {
 		s.Name, s.Admitted, s.Queued, s.Shed, s.Running)
 	if s.QueueWait.Count > 0 {
 		out += fmt.Sprintf(", queue wait %s", s.QueueWait)
+	}
+	if s.CompileWait+s.ThrottleWait+s.PoolWait+s.ReadWait+s.DeliveryWait > 0 {
+		out += fmt.Sprintf(", waits compile=%v throttle=%v pool=%v read=%v delivery=%v",
+			s.CompileWait, s.ThrottleWait, s.PoolWait, s.ReadWait, s.DeliveryWait)
 	}
 	return out
 }
@@ -75,18 +98,33 @@ func (c *TenantCollector) Shed() { c.shed.Add(1) }
 // returned.
 func (c *TenantCollector) Released() { c.running.Add(-1) }
 
+// RecordBreakdown adds one completed request's latency attribution: compile
+// time plus the scan's inline wait counters.
+func (c *TenantCollector) RecordBreakdown(compile, throttle, pool, read, delivery time.Duration) {
+	c.compileNanos.Add(int64(compile))
+	c.throttleNanos.Add(int64(throttle))
+	c.poolWaitNanos.Add(int64(pool))
+	c.readNanos.Add(int64(read))
+	c.deliveryNanos.Add(int64(delivery))
+}
+
 // Snapshot returns the current counters under name.
 func (c *TenantCollector) Snapshot(name string) TenantStats {
 	if c == nil {
 		return TenantStats{Name: name}
 	}
 	return TenantStats{
-		Name:      name,
-		Admitted:  c.admitted.Load(),
-		Queued:    c.queued.Load(),
-		Shed:      c.shed.Load(),
-		Running:   c.running.Load(),
-		QueueWait: c.queueWait.Snapshot(),
+		Name:         name,
+		Admitted:     c.admitted.Load(),
+		Queued:       c.queued.Load(),
+		Shed:         c.shed.Load(),
+		Running:      c.running.Load(),
+		QueueWait:    c.queueWait.Snapshot(),
+		CompileWait:  time.Duration(c.compileNanos.Load()),
+		ThrottleWait: time.Duration(c.throttleNanos.Load()),
+		PoolWait:     time.Duration(c.poolWaitNanos.Load()),
+		ReadWait:     time.Duration(c.readNanos.Load()),
+		DeliveryWait: time.Duration(c.deliveryNanos.Load()),
 	}
 }
 
@@ -101,4 +139,9 @@ func (c *TenantCollector) Reset() {
 	c.shed.Store(0)
 	c.running.Store(0)
 	c.queueWait.Reset()
+	c.compileNanos.Store(0)
+	c.throttleNanos.Store(0)
+	c.poolWaitNanos.Store(0)
+	c.readNanos.Store(0)
+	c.deliveryNanos.Store(0)
 }

@@ -91,7 +91,13 @@ type pushSub struct {
 	rejoins     int
 	retries     int64 // reader-side read retries attributed to this owner
 	timeouts    int64
-	done        bool // channel closed
+	// span is the subscriber's scan-span context; reads the sub owns emit
+	// their read/pool-wait spans under it. readWait and poolWait are the
+	// matching reader-side durations, merged by the consumer at close.
+	span     trace.SpanContext
+	readWait time.Duration
+	poolWait time.Duration
+	done     bool // channel closed
 
 	// Published by close(ch).
 	reason subReason
@@ -124,7 +130,7 @@ type pushHub struct {
 
 // subscribe registers a consumer and makes sure a reader serves it. origin
 // seeds the stream position when this subscription (re)starts the reader.
-func (h *pushHub) subscribe(scan int, id core.ScanID, start, end, origin int, stallBudget time.Duration) *pushSub {
+func (h *pushHub) subscribe(scan int, id core.ScanID, span trace.SpanContext, start, end, origin int, stallBudget time.Duration) *pushSub {
 	s := &pushSub{
 		scan: scan, id: id, start: start, end: end,
 		ch:          make(chan pushBatch, h.queue),
@@ -132,6 +138,7 @@ func (h *pushHub) subscribe(scan int, id core.ScanID, start, end, origin int, st
 		streamLeft:  h.pages,
 		remaining:   end - start,
 		stallBudget: stallBudget,
+		span:        span,
 	}
 	h.mu.Lock()
 	h.pending = append(h.pending, s)
@@ -305,11 +312,14 @@ func (h *pushHub) readOne(scratch *ScanResult, pid disk.PageID, live []*pushSub)
 		}
 		d0, r0 := scratch.Detaches, scratch.Rejoins
 		rr0, to0 := scratch.ReadRetries, scratch.ReadTimeouts
-		data, out := h.r.fetchPage(h.ctx, s.id, pid, hook, scratch, &s.deg)
+		rw0, pw0 := scratch.ReadWait, scratch.PoolWait
+		data, out := h.r.fetchPage(h.ctx, s.id, s.span, pid, hook, scratch, &s.deg)
 		s.detaches += scratch.Detaches - d0
 		s.rejoins += scratch.Rejoins - r0
 		s.retries += scratch.ReadRetries - rr0
 		s.timeouts += scratch.ReadTimeouts - to0
+		s.readWait += scratch.ReadWait - rw0
+		s.poolWait += scratch.PoolWait - pw0
 		if scratch.Err != nil && out != fetchStop {
 			// Bookkeeping error (manager rejection) outside the normal
 			// stop path — treat as fatal rather than limp on.
@@ -586,6 +596,11 @@ func (r *Runner) runPushScan(ctx context.Context, idx int, spec ScanSpec, hub *p
 	res.Placement = pl
 	res.Started = cfg.Clock.Now()
 
+	// As in pull mode: the scan span closes after the EndScan defer below.
+	span := cfg.Tracer.OpenSpan(spec.Span, trace.SpanScan, int64(id), int64(spec.Table))
+	defer span.Close()
+	sc := span.Context()
+
 	feedPool := r.feedsPool()
 	if feedPool {
 		base := spec.PageID(spec.StartPage) - disk.PageID(spec.StartPage)
@@ -615,7 +630,7 @@ func (r *Runner) runPushScan(ctx context.Context, idx int, spec ScanSpec, hub *p
 		res.Stopped = true
 	}
 
-	sub := hub.subscribe(idx, id, spec.StartPage, end, pl.Origin, r.pushStallBudget(spec, length))
+	sub := hub.subscribe(idx, id, sc, spec.StartPage, end, pl.Origin, r.pushStallBudget(spec, length))
 	goneOnce := sync.OnceFunc(func() { close(sub.gone) })
 	defer goneOnce()
 
@@ -713,7 +728,7 @@ func (r *Runner) runPushScan(ctx context.Context, idx int, spec ScanSpec, hub *p
 			}
 			pageNo := spec.StartPage + i
 			pid := spec.PageID(pageNo)
-			data, out := r.fetchPage(ctx, id, pid, hook, res, &deg)
+			data, out := r.fetchPage(ctx, id, sc, pid, hook, res, &deg)
 			if out == fetchStop {
 				return
 			}
@@ -742,11 +757,19 @@ func (r *Runner) runPushScan(ctx context.Context, idx int, spec ScanSpec, hub *p
 	}
 
 	for {
+		recvStart := cfg.Clock.Now()
 		select {
 		case <-ctx.Done():
 			res.Stopped = true
 			return
 		case b, ok := <-sub.ch:
+			// Time blocked on the channel is push-mode delivery wait — the
+			// consumer-side view of reader backpressure and read latency.
+			recvWait := cfg.Clock.Now() - recvStart
+			res.DeliveryWait += recvWait
+			if ok {
+				cfg.Tracer.EmitSpan(sc, trace.SpanDelivery, int64(id), int64(spec.Table), recvWait)
+			}
 			if !ok {
 				// Buffered batches are always drained before the close is
 				// observed, so the stream accounting is settled here.
@@ -754,6 +777,8 @@ func (r *Runner) runPushScan(ctx context.Context, idx int, spec ScanSpec, hub *p
 				res.Rejoins += sub.rejoins
 				res.ReadRetries += sub.retries
 				res.ReadTimeouts += sub.timeouts
+				res.ReadWait += sub.readWait
+				res.PoolWait += sub.poolWait
 				switch sub.reason {
 				case subDone:
 					if processed != length && res.Err == nil && !res.Stopped {

@@ -259,6 +259,15 @@ type ScanSpec struct {
 	// content cells are never rewritten in place). Degraded pages are
 	// skipped, exactly like checksumming.
 	OnPage func(pageNo int, data []byte)
+	// Span, when valid, is the pre-allocated identity of this scan's span
+	// (trace.Child of the enclosing request, or trace.Root for a bare
+	// scan). The runner opens it around the scan lifecycle and parents
+	// every throttle/pool-wait/read/delivery span under it; callers that
+	// pre-allocate it can parent their own spans (shared-agg folds) to the
+	// scan. The zero value disables span emission for this scan — which
+	// keeps replay-determinism goldens byte-stable — without touching the
+	// inline wait counters in ScanResult.
+	Span trace.SpanContext
 }
 
 // ScanResult reports one scan's outcome.
@@ -308,7 +317,20 @@ type ScanResult struct {
 	// finished by pulling.
 	PushDemoted bool
 
-	ThrottleWait  time.Duration
+	ThrottleWait time.Duration
+	// PoolWait is time blocked on buffer-pool contention: busy retries,
+	// all-pinned backoff, and coalesced-flight waits. ReadWait is time in
+	// physical page reads this scan led (including retry backoff); in push
+	// mode it is the reader-side read time attributed to this subscriber
+	// while it owned the stream's reads. DeliveryWait is push-mode time
+	// blocked on the subscriber's batch channel. All three are measured
+	// only on their slow paths — the pool-hit fast path records nothing —
+	// and accumulate whether or not tracing is on, so the server's
+	// per-tenant breakdown needs no tracer.
+	PoolWait     time.Duration
+	ReadWait     time.Duration
+	DeliveryWait time.Duration
+
 	Started, Done time.Duration // Config.Clock times
 	Stopped       bool          // terminated before covering its range
 	Err           error

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"scanshare/internal/buffer"
 	"scanshare/internal/core"
@@ -130,6 +131,13 @@ func (r *Runner) runScan(ctx context.Context, idx int, spec ScanSpec, pf *prefet
 	res.Placement = pl
 	res.Started = cfg.Clock.Now()
 
+	// The scan span covers everything from here through EndScan; its close
+	// (registered before the EndScan defer, so it runs after) carries the
+	// scan's duration. With no pre-allocated spec.Span this is all no-ops.
+	span := cfg.Tracer.OpenSpan(spec.Span, trace.SpanScan, int64(id), int64(spec.Table))
+	defer span.Close()
+	sc := span.Context()
+
 	// A scan-aware pool (predictive policy) learns this scan's footprint
 	// and initial speed estimate; progress reports below keep it current.
 	// Every store in the engine lays table pages out contiguously, so the
@@ -188,7 +196,7 @@ func (r *Runner) runScan(ctx context.Context, idx int, spec ScanSpec, pf *prefet
 		}
 
 		pid := spec.PageID(pageNo(v))
-		data, out := r.fetchPage(ctx, id, pid, hook, res, &deg)
+		data, out := r.fetchPage(ctx, id, sc, pid, hook, res, &deg)
 		if out == fetchStop {
 			return
 		}
@@ -241,6 +249,7 @@ func (r *Runner) runScan(ctx context.Context, idx int, spec ScanSpec, pf *prefet
 				res.ThrottleWait += adv.Wait
 				hook(SiteThrottle)
 				cfg.Sleep(ctx, adv.Wait)
+				cfg.Tracer.EmitSpan(sc, trace.SpanThrottle, int64(id), int64(spec.Table), adv.Wait)
 			}
 		}
 		if pinned {
@@ -279,8 +288,10 @@ const (
 
 // fetchPage pins pid, filling it from the store on a miss — with timeouts,
 // retries, and degradation tracking — and backing off while another worker's
-// read is in flight.
-func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID, hook func(Site), res *ScanResult, deg *degradeState) ([]byte, fetchOutcome) {
+// read is in flight. sc is the owning scan's span context: physical reads
+// and pool waits emit child spans under it and accumulate in res, all on
+// the slow paths only — a pool hit measures nothing.
+func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, sc trace.SpanContext, pid disk.PageID, hook func(Site), res *ScanResult, deg *degradeState) ([]byte, fetchOutcome) {
 	cfg := &r.cfg
 	for {
 		// Lock-free fast path first: under array translation a resident,
@@ -319,7 +330,11 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 			// sleep-polling. The frame must be settled (Fill/Abort)
 			// before finish wakes them.
 			fl := r.flights.begin(pid, false)
+			readStart := cfg.Clock.Now()
 			data, err := r.readPage(ctx, id, pid, hook, res, deg)
+			readWait := cfg.Clock.Now() - readStart
+			res.ReadWait += readWait
+			cfg.Tracer.EmitSpan(sc, trace.SpanRead, int64(id), trace.NoID, readWait)
 			if err != nil {
 				cfg.Pool.Abort(pid)
 				r.flights.finish(pid, fl, err)
@@ -348,7 +363,7 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 			return data, fetchOK
 		case buffer.Busy:
 			if fl, ok := r.flights.lookup(pid); ok {
-				out, retry := r.waitFlight(ctx, id, pid, fl, res)
+				out, retry := r.waitFlight(ctx, id, sc, pid, fl, res)
 				if retry {
 					continue
 				}
@@ -357,7 +372,7 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 			cfg.Collector.BusyRetry()
 			res.BusyRetries++
 			hook(SiteBusy)
-			cfg.Sleep(ctx, cfg.BusyRetryDelay)
+			r.poolSleep(ctx, id, sc, cfg.BusyRetryDelay, res)
 			if ctx.Err() != nil {
 				res.Stopped = true
 				return nil, fetchStop
@@ -370,7 +385,7 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 			cfg.Collector.BusyRetry()
 			res.BusyRetries++
 			hook(SiteBusy)
-			cfg.Sleep(ctx, allPinnedBackoff*cfg.BusyRetryDelay)
+			r.poolSleep(ctx, id, sc, allPinnedBackoff*cfg.BusyRetryDelay, res)
 			if ctx.Err() != nil {
 				res.Stopped = true
 				return nil, fetchStop
@@ -380,6 +395,17 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 			return nil, fetchStop
 		}
 	}
+}
+
+// poolSleep is a pool-contention backoff: the sleep is measured, accumulated
+// in res.PoolWait, and emitted as a pool-wait span under the scan.
+func (r *Runner) poolSleep(ctx context.Context, id core.ScanID, sc trace.SpanContext, d time.Duration, res *ScanResult) {
+	cfg := &r.cfg
+	t0 := cfg.Clock.Now()
+	cfg.Sleep(ctx, d)
+	wait := cfg.Clock.Now() - t0
+	res.PoolWait += wait
+	cfg.Tracer.EmitSpan(sc, trace.SpanPoolWait, int64(id), trace.NoID, wait)
 }
 
 // waitFlight blocks the scan on another caller's in-flight read of pid. On a
@@ -392,7 +418,7 @@ func (r *Runner) fetchPage(ctx context.Context, id core.ScanID, pid disk.PageID,
 // records a degraded page (or fails) without duplicating retries, and
 // without touching the pool — exactly one Abort (the leader's) is counted
 // per failed coalesced read.
-func (r *Runner) waitFlight(ctx context.Context, id core.ScanID, pid disk.PageID, fl *flight, res *ScanResult) (out fetchOutcome, retry bool) {
+func (r *Runner) waitFlight(ctx context.Context, id core.ScanID, sc trace.SpanContext, pid disk.PageID, fl *flight, res *ScanResult) (out fetchOutcome, retry bool) {
 	cfg := &r.cfg
 	// Counted before blocking, so tests can gate the leader's store read
 	// on the number of joined waiters.
@@ -402,11 +428,19 @@ func (r *Runner) waitFlight(ctx context.Context, id core.ScanID, pid disk.PageID
 		Kind: trace.KindReadCoalesced, Scan: int64(id), Page: int64(pid),
 		Peer: trace.NoID, Table: trace.NoID, Prio: -1,
 	})
+	t0 := cfg.Clock.Now()
+	stopped := false
 	select {
 	case <-ctx.Done():
+		stopped = true
+	case <-fl.done:
+	}
+	wait := cfg.Clock.Now() - t0
+	res.PoolWait += wait
+	cfg.Tracer.EmitSpan(sc, trace.SpanPoolWait, int64(id), trace.NoID, wait)
+	if stopped {
 		res.Stopped = true
 		return fetchStop, false
-	case <-fl.done:
 	}
 	if fl.err == nil || fl.fallback {
 		return 0, true

@@ -1,0 +1,295 @@
+package realtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"scanshare/internal/buffer"
+	"scanshare/internal/core"
+	"scanshare/internal/disk"
+	"scanshare/internal/fault"
+	"scanshare/internal/metrics"
+	"scanshare/internal/trace"
+)
+
+// Chaos suite for the span layer: fault-injected runs — detaches, rejoins,
+// degraded pages, push demotions — must still produce complete span trees
+// (every span closed, no orphans, no extra roots), and the span-derived wait
+// totals must agree exactly with the always-on inline ScanResult counters,
+// since both sides record the same measured durations.
+
+// spanChaosTracer builds an enabled tracer big enough that a chaos run drops
+// nothing, draining into an unbounded recorder.
+func spanChaosTracer(t *testing.T) (*trace.Tracer, *trace.Recorder) {
+	t.Helper()
+	tr := trace.NewTracerSize(nil, 1<<16)
+	rec := &trace.Recorder{}
+	tr.Attach(rec)
+	tr.Start(time.Millisecond)
+	return tr, rec
+}
+
+// finishSpanRun closes the tracer and assembles its journal, failing the
+// test if the ring dropped anything (the rig is sized so it must not — a
+// drop would make the exact-counter comparisons below meaningless).
+func finishSpanRun(t *testing.T, tr *trace.Tracer, rec *trace.Recorder) *trace.Assembly {
+	t.Helper()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("trace ring dropped %d events; test rig undersized", d)
+	}
+	return trace.Assemble(rec.Events())
+}
+
+// checkSpanTrees asserts the structural contract on an assembled chaos run:
+// one tree per scan, every span closed, no orphans, no extra roots, every
+// root a scan span.
+func checkSpanTrees(t *testing.T, asm *trace.Assembly, scans int) {
+	t.Helper()
+	if len(asm.Trees) != scans {
+		t.Errorf("%d span trees, want one per scan (%d)", len(asm.Trees), scans)
+	}
+	if asm.Unclosed != 0 || asm.Orphans != 0 || asm.ExtraRoots != 0 {
+		t.Errorf("assembly not clean: %d unclosed, %d orphans, %d extra roots",
+			asm.Unclosed, asm.Orphans, asm.ExtraRoots)
+	}
+	for _, tree := range asm.Trees {
+		if tree.Root.Kind != trace.SpanScan {
+			t.Errorf("trace %d root is %v, want scan", tree.Trace, tree.Root.Kind)
+		}
+		if tree.Root.Dur() <= 0 {
+			t.Errorf("trace %d root has non-positive duration %v", tree.Trace, tree.Root.Dur())
+		}
+	}
+}
+
+// TestSpanChaosPullFaults runs the pull-mode fault gauntlet — a permanently
+// bad band forcing detach/rejoin churn, a stall band cut by read timeouts,
+// and a transient error burst — with every scan carrying its own root span.
+// Every tree must close, and the span totals must match the inline counters.
+func TestSpanChaosPullFaults(t *testing.T) {
+	const (
+		tablePages = 200
+		poolPages  = 100
+		pageBytes  = 32
+		scans      = 8
+		base       = disk.PageID(3000)
+
+		badFirst, badLast = 150, 155
+	)
+	plan := fault.Plan{
+		Seed: 11,
+		Rules: []fault.Rule{
+			{Kind: fault.KindError, FirstPage: base + badFirst, LastPage: base + badLast, Prob: 1},
+			{Kind: fault.KindStall, FirstPage: base + 60, LastPage: base + 80, Prob: 0.3, UntilAttempt: 1},
+			{Kind: fault.KindError, Prob: 0.1, UntilAttempt: 2},
+		},
+	}
+	store := fault.MustNewStore(testStore{pageBytes: pageBytes}, plan)
+	pool := buffer.MustNewPool(poolPages)
+	mgr := core.MustNewManager(testManagerConfig(poolPages))
+	col := new(metrics.Collector)
+	tr, rec := spanChaosTracer(t)
+	r, err := NewRunner(Config{
+		Pool:                  pool,
+		Manager:               mgr,
+		Store:                 store,
+		Collector:             col,
+		Tracer:                tr,
+		PrefetchWorkers:       2,
+		ReadTimeout:           2 * time.Millisecond,
+		MaxReadRetries:        3,
+		RetryBackoff:          50 * time.Microsecond,
+		DetachAfterFailures:   2,
+		ContinueOnPageFailure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := make([]ScanSpec, scans)
+	for i := range specs {
+		specs[i] = ScanSpec{
+			Table:      1,
+			TablePages: tablePages,
+			PageID:     func(pageNo int) disk.PageID { return base + disk.PageID(pageNo) },
+			StartDelay: time.Duration(i) * 300 * time.Microsecond,
+			PageDelay:  20 * time.Microsecond,
+			Span:       tr.Root(),
+		}
+	}
+	results, err := r.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asm := finishSpanRun(t, tr, rec)
+	checkSpanTrees(t, asm, scans)
+
+	// The run must actually have churned, or the closed-tree claim is weak.
+	var sum struct{ detaches, degraded int }
+	var throttle, read, pool2 time.Duration
+	for _, res := range results {
+		sum.detaches += res.Detaches
+		sum.degraded += res.DegradedPages
+		throttle += res.ThrottleWait
+		read += res.ReadWait
+		pool2 += res.PoolWait
+	}
+	if sum.detaches == 0 || sum.degraded == 0 {
+		t.Errorf("fault plan injected nothing: %+v", sum)
+	}
+
+	// Exactness: span emission and the ScanResult counters record the same
+	// measured duration at every slow-path site, so the aggregated tree
+	// breakdown equals the summed counters to the nanosecond.
+	agg := asm.Aggregate()
+	if agg.Throttle != throttle {
+		t.Errorf("span throttle total %v, counters say %v", agg.Throttle, throttle)
+	}
+	if agg.Read != read {
+		t.Errorf("span read total %v, counters say %v", agg.Read, read)
+	}
+	if agg.PoolWait != pool2 {
+		t.Errorf("span pool-wait total %v, counters say %v", agg.PoolWait, pool2)
+	}
+	if agg.Read == 0 {
+		t.Error("no read spans; the miss path went unexercised")
+	}
+}
+
+// TestSpanChaosPushDemotion drives the push-delivery fault plan — torn
+// reads, a permanently bad band that exhausts each promoted owner's retries,
+// stalls — and checks span trees survive subscriber demotion and promotion:
+// the reader emits read/pool-wait spans under whichever subscriber owns the
+// moment, and every tree still closes with no orphans.
+func TestSpanChaosPushDemotion(t *testing.T) {
+	const (
+		tablePages = 240
+		poolPages  = 280
+		pageBytes  = 64
+		scans      = 6
+		base       = disk.PageID(4000)
+
+		badFirst, badLast = 180, 185
+	)
+	plan := fault.Plan{
+		Seed: 5,
+		Rules: []fault.Rule{
+			{Kind: fault.KindError, FirstPage: base + badFirst, LastPage: base + badLast, Prob: 1},
+			{Kind: fault.KindTorn, FirstPage: base + 40, LastPage: base + 70, Prob: 1, UntilAttempt: 1},
+			{Kind: fault.KindStall, FirstPage: base + 100, LastPage: base + 115, Prob: 0.5, UntilAttempt: 1},
+		},
+	}
+	store := fault.MustNewStore(testStore{pageBytes: pageBytes}, plan)
+	pool := buffer.MustNewPool(poolPages)
+	mgr := core.MustNewManager(testManagerConfig(poolPages))
+	tr, rec := spanChaosTracer(t)
+	r, err := NewRunner(Config{
+		Pool:                  pool,
+		Manager:               mgr,
+		Store:                 store,
+		Tracer:                tr,
+		PushDelivery:          true,
+		PushBatchPages:        8,
+		ReadTimeout:           2 * time.Millisecond,
+		MaxReadRetries:        3,
+		RetryBackoff:          50 * time.Microsecond,
+		DetachAfterFailures:   2,
+		ContinueOnPageFailure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := make([]ScanSpec, scans)
+	for i := range specs {
+		specs[i] = ScanSpec{
+			Table:      1,
+			TablePages: tablePages,
+			PageID:     func(pageNo int) disk.PageID { return base + disk.PageID(pageNo) },
+			StartDelay: time.Duration(i) * 300 * time.Microsecond,
+			Span:       tr.Root(),
+		}
+	}
+	results, err := r.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asm := finishSpanRun(t, tr, rec)
+	checkSpanTrees(t, asm, scans)
+
+	var detaches int
+	var read, pool2, delivery time.Duration
+	for _, res := range results {
+		detaches += res.Detaches
+		read += res.ReadWait
+		pool2 += res.PoolWait
+		delivery += res.DeliveryWait
+	}
+	if detaches == 0 {
+		t.Error("push chaos run demoted nobody; promotion path unexercised")
+	}
+	agg := asm.Aggregate()
+	// Reader-side reads are attributed to the owning subscriber's span with
+	// the same measured durations the result counters merge at close.
+	if agg.Read != read {
+		t.Errorf("span read total %v, counters say %v", agg.Read, read)
+	}
+	if agg.PoolWait != pool2 {
+		t.Errorf("span pool-wait total %v, counters say %v", agg.PoolWait, pool2)
+	}
+	// The final blocked receive (the one that observes the channel close)
+	// counts toward DeliveryWait but emits no span, so spans lower-bound it.
+	if agg.Delivery > delivery {
+		t.Errorf("span delivery total %v exceeds counter total %v", agg.Delivery, delivery)
+	}
+	if agg.Delivery == 0 && delivery > 0 {
+		t.Error("delivery waits recorded but no delivery spans emitted")
+	}
+}
+
+// TestSpanChaosSilentWithoutSpecSpan pins the opt-in contract the replay and
+// golden-journal tests depend on: a run whose specs carry no span context
+// journals zero span events even with a tracer attached and faults firing.
+func TestSpanChaosSilentWithoutSpecSpan(t *testing.T) {
+	const tablePages = 60
+	store := fault.MustNewStore(testStore{pageBytes: 16},
+		fault.Plan{Seed: 2, Rules: []fault.Rule{{Kind: fault.KindError, Prob: 0.2, UntilAttempt: 2}}})
+	pool := buffer.MustNewPool(48)
+	mgr := core.MustNewManager(testManagerConfig(48))
+	tr, rec := spanChaosTracer(t)
+	r, err := NewRunner(Config{
+		Pool: pool, Manager: mgr, Store: store, Tracer: tr,
+		ReadTimeout: 2 * time.Millisecond, MaxReadRetries: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]ScanSpec, 3)
+	for i := range specs {
+		specs[i] = ScanSpec{
+			Table:      1,
+			TablePages: tablePages,
+			PageID:     func(pageNo int) disk.PageID { return disk.PageID(pageNo) },
+		}
+	}
+	if _, err := r.Run(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KindSpanOpen || ev.Kind == trace.KindSpanClose {
+			t.Fatalf("span event %+v journaled without a spec span context", ev)
+		}
+	}
+	if asm := trace.Assemble(rec.Events()); len(asm.Trees) != 0 {
+		t.Errorf("assembled %d trees from a span-less run", len(asm.Trees))
+	}
+}

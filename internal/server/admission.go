@@ -282,6 +282,19 @@ func (a *admission) retryAfterLocked(ts *tenantState) time.Duration {
 	return retry
 }
 
+// recordBreakdown adds one completed request's latency attribution to its
+// tenant's collector and the all-tenants aggregate.
+func (a *admission) recordBreakdown(tenant string, compile, throttle, pool, read, delivery time.Duration) {
+	a.mu.Lock()
+	ts := a.tenants[tenant]
+	a.mu.Unlock()
+	if ts == nil {
+		return
+	}
+	ts.col.RecordBreakdown(compile, throttle, pool, read, delivery)
+	a.all.RecordBreakdown(compile, throttle, pool, read, delivery)
+}
+
 // TenantStats snapshots every tenant's counters, sorted by tenant name.
 func (a *admission) TenantStats() []metrics.TenantStats {
 	a.mu.Lock()

@@ -42,6 +42,11 @@ type DriverConfig struct {
 	// ThinkTime, when positive, sleeps a uniform random duration in
 	// [0, ThinkTime) between a client's requests.
 	ThinkTime time.Duration
+	// OnResponse, when set, observes every response a client receives
+	// (shed and error responses included) together with the request's
+	// client-measured round trip. Called from the client goroutines
+	// concurrently; the callback must be safe for concurrent use.
+	OnResponse func(tenant string, resp Response, rtt time.Duration)
 }
 
 // DriverStats aggregates one driver run.
@@ -154,12 +159,16 @@ func runClient(ctx context.Context, cfg DriverConfig, idx int) (DriverStats, err
 		}
 		req := Request{Tenant: tenant, Query: cfg.Queries[rng.Intn(len(cfg.Queries))]}
 		for {
+			sent := time.Now()
 			if err := WriteFrame(conn, &req); err != nil {
 				return local, fmt.Errorf("client %d: %w", idx, err)
 			}
 			var resp Response
 			if err := ReadFrame(conn, &resp); err != nil {
 				return local, fmt.Errorf("client %d: %w", idx, err)
+			}
+			if cfg.OnResponse != nil {
+				cfg.OnResponse(tenant, resp, time.Since(sent))
 			}
 			if resp.Shed {
 				local.ShedResponses++

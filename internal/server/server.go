@@ -10,6 +10,7 @@ import (
 
 	"scanshare"
 	"scanshare/internal/metrics"
+	"scanshare/internal/trace"
 )
 
 // Config configures a Server.
@@ -32,6 +33,13 @@ type Config struct {
 	// share a tracer attachment) and installs its own Collector when none
 	// is set, so TelemetrySources observers see the aggregate load.
 	Realtime scanshare.RealtimeOptions
+	// Tracer, when non-nil, gives every request a span tree: a request
+	// root spanning decode-to-response, with compile, admission-queue, and
+	// scan children (the scan subtree comes from the runner). New attaches
+	// it to the Engine once, before any request runs, so concurrent
+	// RunRealtime calls share the attachment instead of racing on it —
+	// which is why Realtime.Tracer stays forcibly nil.
+	Tracer *trace.Tracer
 }
 
 // Server is the multi-tenant scan service: an accept loop feeding
@@ -65,6 +73,9 @@ func New(cfg Config) (*Server, error) {
 	cfg.Realtime.Tracer = nil
 	if cfg.Realtime.Collector == nil {
 		cfg.Realtime.Collector = new(metrics.Collector)
+	}
+	if cfg.Tracer != nil {
+		cfg.Engine.AttachTracer(cfg.Tracer)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
@@ -207,13 +218,25 @@ func (s *Server) handleConn(c net.Conn) {
 
 // handle runs one request end to end: compile, admit, execute. Compilation
 // precedes admission so malformed statements never consume a slot or skew
-// the shed counters.
+// the shed counters. With a tracer configured, the whole request runs under
+// a root span whose children — compile, queue, and the runner's scan
+// subtree — tile its critical path; every response carries the trace ID so
+// clients can find their tree in the journal.
 func (s *Server) handle(ctx context.Context, req *Request) Response {
+	tr := s.cfg.Tracer
+	root := tr.Root()
+	reqSpan := tr.OpenSpan(root, trace.SpanRequest, trace.NoID, trace.NoID)
+	defer reqSpan.Close()
+
+	compileStart := time.Now()
 	sc, err := s.cfg.Engine.CompileRealtimeScan(req.Query)
+	compileWait := time.Since(compileStart)
+	tr.EmitSpan(root, trace.SpanCompile, trace.NoID, trace.NoID, compileWait)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), TraceID: root.Trace}
 	}
 	sc.PageDelay = s.cfg.PageDelay
+	sc.Span = tr.Child(root)
 
 	release, wait, err := s.adm.Acquire(ctx, req.Tenant)
 	if err != nil {
@@ -223,24 +246,34 @@ func (s *Server) handle(ctx context.Context, req *Request) Response {
 				Shed:         true,
 				Error:        err.Error(),
 				RetryAfterMs: max(1, shed.RetryAfter.Milliseconds()),
+				TraceID:      root.Trace,
 			}
 		}
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), TraceID: root.Trace}
 	}
 	defer release()
+	tr.EmitSpan(root, trace.SpanQueue, trace.NoID, trace.NoID, wait)
 
 	rep, err := s.cfg.Engine.RunRealtime(ctx, s.cfg.Realtime, []scanshare.RealtimeScan{sc})
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), TraceID: root.Trace}
 	}
 	res := rep.Results[0]
 	if res.Err != nil {
-		return Response{Error: fmt.Sprintf("server: scan failed: %v", res.Err)}
+		return Response{Error: fmt.Sprintf("server: scan failed: %v", res.Err), TraceID: root.Trace}
 	}
+	s.adm.recordBreakdown(req.Tenant, compileWait,
+		res.ThrottleWait, res.PoolWait, res.ReadWait, res.DeliveryWait)
 	return Response{
-		OK:              true,
-		PagesRead:       res.PagesRead,
-		WallMicros:      rep.Wall.Microseconds(),
-		QueueWaitMicros: wait.Microseconds(),
+		OK:                 true,
+		PagesRead:          res.PagesRead,
+		WallMicros:         rep.Wall.Microseconds(),
+		QueueWaitMicros:    wait.Microseconds(),
+		TraceID:            root.Trace,
+		CompileMicros:      compileWait.Microseconds(),
+		ThrottleWaitMicros: res.ThrottleWait.Microseconds(),
+		PoolWaitMicros:     res.PoolWait.Microseconds(),
+		ReadWaitMicros:     res.ReadWait.Microseconds(),
+		DeliveryWaitMicros: res.DeliveryWait.Microseconds(),
 	}
 }

@@ -46,6 +46,19 @@ type Response struct {
 	// QueueWaitMicros is how long the request sat in its tenant's
 	// admission FIFO before running (0 when a slot was free).
 	QueueWaitMicros int64 `json:"queue_wait_us,omitempty"`
+
+	// TraceID names the request's span tree in the server's trace journal;
+	// 0 when the server runs without a tracer.
+	TraceID int64 `json:"trace_id,omitempty"`
+	// Latency attribution of the request, from the always-on inline wait
+	// counters (present on OK responses whether or not tracing is on):
+	// compile time, then the scan's throttle sleeps, buffer-pool
+	// contention, physical reads, and push-delivery waits.
+	CompileMicros      int64 `json:"compile_us,omitempty"`
+	ThrottleWaitMicros int64 `json:"throttle_wait_us,omitempty"`
+	PoolWaitMicros     int64 `json:"pool_wait_us,omitempty"`
+	ReadWaitMicros     int64 `json:"read_wait_us,omitempty"`
+	DeliveryWaitMicros int64 `json:"delivery_wait_us,omitempty"`
 }
 
 // WriteFrame marshals v and writes it as one frame: a 4-byte big-endian

@@ -34,6 +34,10 @@ type BenchParams struct {
 	// scan group feeding subscriber channels) instead of pull-mode group
 	// scans; false and omitted for pull runs.
 	Push bool `json:"push,omitempty"`
+	// Spans records that the run emitted causal span events into the trace
+	// ring (the tracing-overhead A/B pivots on this); false and omitted
+	// when the span layer was off.
+	Spans bool `json:"spans,omitempty"`
 }
 
 // HistSummary is a latency distribution flattened for JSON: integer
@@ -94,6 +98,17 @@ type BenchResult struct {
 	RequestsAdmitted int64   `json:"requests_admitted,omitempty"`
 	RequestsShed     int64   `json:"requests_shed,omitempty"`
 	ShedRate         float64 `json:"shed_rate,omitempty"`
+
+	// BreakdownSeconds sums the per-scan latency-attribution counters
+	// (throttle, pool-wait, read, delivery, fold) across the run, in
+	// seconds; absent when nothing was measured. The keys match the span
+	// assembler's component names so offline trees and persisted bench
+	// results speak the same vocabulary.
+	BreakdownSeconds map[string]float64 `json:"breakdown_seconds,omitempty"`
+
+	// TraceDropped counts events the trace ring discarded during the run;
+	// zero and omitted when tracing was off or nothing was lost.
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
 
 	Histograms map[string]HistSummary `json:"histograms,omitempty"`
 }

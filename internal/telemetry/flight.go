@@ -6,8 +6,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
+	"scanshare/internal/metrics"
 	"scanshare/internal/trace"
 )
 
@@ -41,6 +43,21 @@ type FlightRecorder struct {
 	Prefix string
 	// Stamp supplies the dump timestamp; time.Now when nil. Tests pin it.
 	Stamp func() time.Time
+
+	// QueueWaitSLO, when nonzero, arms latency-triggered dumps: CheckSLO
+	// writes a flight record the first time a tenant's p99 admission-queue
+	// wait reaches it. Optional.
+	QueueWaitSLO time.Duration
+	// Tenants supplies the per-tenant admission snapshots CheckSLO
+	// evaluates, typically (*server.Server).TenantStats. Optional.
+	Tenants func() []metrics.TenantStats
+
+	// tripped latches tenants that already triggered a dump so a sustained
+	// breach produces one artifact, not one per check interval. The queue
+	// histogram is cumulative, so a tripped tenant's p99 cannot recover
+	// within a run; once per tenant is once per breach.
+	mu      sync.Mutex
+	tripped map[string]bool
 }
 
 // flightHeader is the first JSONL line of a dump.
@@ -96,6 +113,45 @@ func (f *FlightRecorder) Dump(w io.Writer, reason string) error {
 		}
 	}
 	return trace.EncodeJSONL(w, evs)
+}
+
+// CheckSLO compares every tenant's p99 admission-queue wait against
+// QueueWaitSLO and dumps the flight record on each first-time breach. It
+// returns the paths of any dumps written and the last write error. Callers
+// poll it on their sampling cadence; an unarmed recorder (zero SLO or no
+// Tenants source) returns nothing.
+func (f *FlightRecorder) CheckSLO() ([]string, error) {
+	if f.QueueWaitSLO <= 0 || f.Tenants == nil {
+		return nil, nil
+	}
+	var paths []string
+	var lastErr error
+	for _, ts := range f.Tenants() {
+		if ts.QueueWait.P99 < f.QueueWaitSLO {
+			continue
+		}
+		f.mu.Lock()
+		already := f.tripped[ts.Name]
+		if !already {
+			if f.tripped == nil {
+				f.tripped = make(map[string]bool)
+			}
+			f.tripped[ts.Name] = true
+		}
+		f.mu.Unlock()
+		if already {
+			continue
+		}
+		reason := fmt.Sprintf("slo-breach: tenant %s p99 queue wait %v >= %v",
+			ts.Name, ts.QueueWait.P99, f.QueueWaitSLO)
+		path, err := f.DumpFile(reason)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		paths = append(paths, path)
+	}
+	return paths, lastErr
 }
 
 // DumpFile writes the flight record to a timestamped file in Dir and

@@ -78,6 +78,7 @@ func WriteMetrics(w io.Writer, src Sources) {
 	counter("scanshare_subscriber_stalls_total", "Push reader blocks on a full subscriber channel.", cs.SubscriberStalls)
 	counter("scanshare_push_demotions_total", "Subscribers demoted to self-pulling after exhausting the stall budget.", cs.PushDemotions)
 	counter("scanshare_shared_agg_folds_total", "Tuple folds into a shared (cross-consumer) aggregation table.", cs.SharedAggFolds)
+	counter("scanshare_trace_dropped_total", "Events the trace ring discarded because it was full.", cs.TraceDropped)
 	gauge("scanshare_prefetch_queue_depth", "Extents currently waiting in the prefetch queue.", cs.PrefetchQueueDepth())
 
 	// Latency distributions as summaries.
@@ -145,6 +146,20 @@ func writeTenants(w io.Writer, tenants []metrics.TenantStats) {
 		fmt.Fprintf(w, "scanshare_tenant_queue_wait_seconds_sum{tenant=%q} %s\n", t.Name, formatFloat(t.QueueWait.Sum.Seconds()))
 		fmt.Fprintf(w, "scanshare_tenant_queue_wait_seconds_count{tenant=%q} %d\n", t.Name, t.QueueWait.Count)
 	}
+
+	// Per-tenant latency breakdown: cumulative seconds per component, the
+	// live counterpart of the span assembler's per-query attribution.
+	tenantSeconds := func(name, help string, field func(metrics.TenantStats) time.Duration) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, t := range tenants {
+			fmt.Fprintf(w, "%s{tenant=%q} %s\n", name, t.Name, formatFloat(field(t).Seconds()))
+		}
+	}
+	tenantSeconds("scanshare_tenant_compile_seconds_total", "SQL parse and plan time of the tenant's requests.", func(t metrics.TenantStats) time.Duration { return t.CompileWait })
+	tenantSeconds("scanshare_tenant_throttle_wait_seconds_total", "SSM-inserted sleeps inside the tenant's scans.", func(t metrics.TenantStats) time.Duration { return t.ThrottleWait })
+	tenantSeconds("scanshare_tenant_pool_wait_seconds_total", "Buffer-pool contention waits inside the tenant's scans.", func(t metrics.TenantStats) time.Duration { return t.PoolWait })
+	tenantSeconds("scanshare_tenant_read_wait_seconds_total", "Physical page-read time inside the tenant's scans.", func(t metrics.TenantStats) time.Duration { return t.ReadWait })
+	tenantSeconds("scanshare_tenant_delivery_wait_seconds_total", "Push-delivery batch-channel waits inside the tenant's scans.", func(t metrics.TenantStats) time.Duration { return t.DeliveryWait })
 }
 
 // poolLabel renders the pool-name label value; the default pool's empty

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"scanshare/internal/metrics"
+	"scanshare/internal/trace"
+)
+
+// readDump loads one flight dump as text.
+func readDump(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	return string(data), err
+}
+
+// TestSpanRingOverflowDroppedCount is the regression test for the dropped-
+// event accounting chain: overflow the trace ring with span events, then
+// check the count survives into the collector snapshot and the Prometheus
+// exposition as scanshare_trace_dropped_total.
+func TestSpanRingOverflowDroppedCount(t *testing.T) {
+	const ringSize = 64
+	const spans = 1000 // 2000 events against 64 slots
+	tr := trace.NewTracerSize(nil, ringSize)
+	tr.Attach(&trace.Recorder{}) // enable; no Start, so nothing drains
+	root := tr.Root()
+	for i := 0; i < spans; i++ {
+		tr.EmitSpan(root, trace.SpanRead, 1, 1, time.Microsecond)
+	}
+	// Single-threaded with no consumer the arithmetic is exact: every push
+	// past the ring's capacity is dropped.
+	wantDropped := uint64(2*spans - ringSize)
+	if got := tr.Dropped(); got != wantDropped {
+		t.Fatalf("Dropped() = %d, want %d", got, wantDropped)
+	}
+
+	col := new(metrics.Collector)
+	col.SetTraceDropped(int64(tr.Dropped()))
+	if got := col.Snapshot().TraceDropped; got != int64(wantDropped) {
+		t.Fatalf("collector TraceDropped = %d, want %d", got, wantDropped)
+	}
+	// Syncs are monotonic: a stale lower observation must not regress the
+	// counter (concurrent runs sync the same tracer at different times).
+	col.SetTraceDropped(5)
+	if got := col.Snapshot().TraceDropped; got != int64(wantDropped) {
+		t.Fatalf("stale sync regressed TraceDropped to %d", got)
+	}
+
+	var buf bytes.Buffer
+	WriteMetrics(&buf, Sources{Collector: col})
+	want := fmt.Sprintf("scanshare_trace_dropped_total %d", wantDropped)
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("exposition missing %q", want)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanSLOBreachFlightDump checks the latency SLO satellite: the first
+// tenant p99 queue-wait breach dumps one flight record, a sustained breach
+// does not dump again, and a second tenant crossing later gets its own dump.
+func TestSpanSLOBreachFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	fast := new(metrics.TenantCollector)
+	slow := new(metrics.TenantCollector)
+	fast.Admitted(time.Millisecond)
+	breached := false
+	tenants := func() []metrics.TenantStats {
+		out := []metrics.TenantStats{fast.Snapshot("fast")}
+		if breached {
+			out = append(out, slow.Snapshot("slow"))
+		}
+		return out
+	}
+
+	f := &FlightRecorder{
+		Dir:          dir,
+		Prefix:       "slo",
+		Stamp:        fixedStamp,
+		QueueWaitSLO: 100 * time.Millisecond,
+		Tenants:      tenants,
+	}
+	// Below threshold: no dump.
+	paths, err := f.CheckSLO()
+	if err != nil || len(paths) != 0 {
+		t.Fatalf("pre-breach CheckSLO = %v, %v", paths, err)
+	}
+
+	// slow crosses the SLO: exactly one dump, reason naming the tenant.
+	breached = true
+	slow.Admitted(250 * time.Millisecond)
+	paths, err = f.CheckSLO()
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("breach CheckSLO = %v, %v", paths, err)
+	}
+	data, err := readDump(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(data, "slo-breach: tenant slow") || !strings.Contains(data, FlightSchema) {
+		t.Errorf("dump missing breach reason or schema:\n%s", data)
+	}
+
+	// Sustained breach: the latch holds, no second artifact.
+	for i := 0; i < 3; i++ {
+		if paths, _ := f.CheckSLO(); len(paths) != 0 {
+			t.Fatalf("check %d re-dumped %v for a latched tenant", i, paths)
+		}
+	}
+
+	// A different tenant breaching later still triggers its own dump.
+	fast.Admitted(300 * time.Millisecond)
+	paths, err = f.CheckSLO()
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("second-tenant CheckSLO = %v, %v", paths, err)
+	}
+	if data, err := readDump(paths[0]); err != nil || !strings.Contains(data, "tenant fast") {
+		t.Errorf("second dump = %v, %v", data, err)
+	}
+
+	// An unarmed recorder never dumps.
+	idle := &FlightRecorder{Dir: dir, Tenants: tenants}
+	if paths, _ := idle.CheckSLO(); len(paths) != 0 {
+		t.Errorf("unarmed recorder dumped %v", paths)
+	}
+}

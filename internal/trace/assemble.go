@@ -1,0 +1,375 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span assembly: reconstruct per-query span trees from a journal and compute
+// the critical-path latency breakdown the ISSUE's "why was this request
+// slow?" question needs.
+//
+// Assembly is driven by close events, which are self-sufficient (kind,
+// identity, end time, and duration), so a tree is complete as long as every
+// close survived the ring; a dropped open event costs nothing. An open event
+// with no matching close marks a span that never finished (a crashed or
+// still-running query) and is surfaced through Assembly.Unclosed rather than
+// silently dropped.
+
+// SpanNode is one reconstructed span.
+type SpanNode struct {
+	Trace  int64
+	ID     int64
+	Parent int64 // parent span ID, zero for a root
+	Kind   SpanKind
+	Scan   int64
+	Table  int64
+	Start  time.Duration
+	End    time.Duration
+	// Closed is false when only the open event was seen; End then equals
+	// Start and the node contributes nothing to breakdowns.
+	Closed bool
+	// Adopted is true when the parent span never appeared in the journal
+	// and the node was re-attached under the trace's root.
+	Adopted  bool
+	Children []*SpanNode
+}
+
+// Dur returns the span's duration (zero while unclosed).
+func (n *SpanNode) Dur() time.Duration { return n.End - n.Start }
+
+// SpanTree is the reconstructed span tree of one trace (one query).
+type SpanTree struct {
+	Trace int64
+	Root  *SpanNode
+	Nodes int
+}
+
+// Assembly is the result of reconstructing a journal's span trees.
+type Assembly struct {
+	// Trees holds one tree per trace ID, sorted by root start time (trace
+	// ID breaking ties).
+	Trees []*SpanTree
+	// Unclosed counts spans whose close event never appeared.
+	Unclosed int
+	// Orphans counts spans whose parent never appeared; they were adopted
+	// under their trace's root (or promoted to roots when none existed).
+	Orphans int
+	// ExtraRoots counts traces that reconstructed more than one root span;
+	// the extras are adopted under the earliest root.
+	ExtraRoots int
+}
+
+// Assemble reconstructs span trees from a journal. Non-span events are
+// ignored, so the full mixed journal (scan lifecycle, evictions, spans) can
+// be passed as-is.
+func Assemble(evs []Event) *Assembly {
+	nodes := make(map[int64]*SpanNode)
+	var order []int64 // first-seen order for deterministic iteration
+	node := func(ev Event) *SpanNode {
+		n, ok := nodes[ev.Span]
+		if !ok {
+			n = &SpanNode{Trace: ev.Trace, ID: ev.Span, Parent: ev.Parent,
+				Kind: ev.SpanKind, Scan: ev.Scan, Table: ev.Table}
+			nodes[ev.Span] = n
+			order = append(order, ev.Span)
+		}
+		return n
+	}
+	for _, ev := range evs {
+		switch ev.Kind {
+		case KindSpanOpen:
+			n := node(ev)
+			if !n.Closed {
+				n.Start, n.End = ev.Time, ev.Time
+			}
+		case KindSpanClose:
+			n := node(ev)
+			n.Start, n.End = ev.Time-ev.Wait, ev.Time
+			n.Closed = true
+		}
+	}
+
+	a := &Assembly{}
+	byTrace := make(map[int64][]*SpanNode)
+	var traceOrder []int64
+	for _, id := range order {
+		n := nodes[id]
+		if !n.Closed {
+			a.Unclosed++
+		}
+		if _, ok := byTrace[n.Trace]; !ok {
+			traceOrder = append(traceOrder, n.Trace)
+		}
+		byTrace[n.Trace] = append(byTrace[n.Trace], n)
+	}
+
+	for _, tid := range traceOrder {
+		ns := byTrace[tid]
+		var roots, orphans []*SpanNode
+		for _, n := range ns {
+			switch {
+			case n.Parent == 0:
+				roots = append(roots, n)
+			default:
+				p, ok := nodes[n.Parent]
+				if !ok || p.Trace != n.Trace {
+					orphans = append(orphans, n)
+					continue
+				}
+				p.Children = append(p.Children, n)
+			}
+		}
+		sort.SliceStable(roots, func(i, j int) bool { return roots[i].Start < roots[j].Start })
+		if len(roots) == 0 {
+			// No root survived at all; promote the orphans so the trace
+			// still renders.
+			if len(orphans) == 0 {
+				continue
+			}
+			roots, orphans = orphans[:1], orphans[1:]
+			roots[0].Adopted = true
+			a.Orphans++
+		}
+		root := roots[0]
+		for _, extra := range roots[1:] {
+			extra.Adopted = true
+			root.Children = append(root.Children, extra)
+			a.ExtraRoots++
+		}
+		for _, o := range orphans {
+			o.Adopted = true
+			root.Children = append(root.Children, o)
+			a.Orphans++
+		}
+		for _, n := range ns {
+			sort.SliceStable(n.Children, func(i, j int) bool {
+				return n.Children[i].Start < n.Children[j].Start
+			})
+		}
+		a.Trees = append(a.Trees, &SpanTree{Trace: tid, Root: root, Nodes: len(ns)})
+	}
+	sort.SliceStable(a.Trees, func(i, j int) bool {
+		ri, rj := a.Trees[i].Root, a.Trees[j].Root
+		if ri.Start != rj.Start {
+			return ri.Start < rj.Start
+		}
+		return a.Trees[i].Trace < a.Trees[j].Trace
+	})
+	return a
+}
+
+// Breakdown is the critical-path attribution of one query (or an aggregate
+// over many): where its wall-clock time went, by component. Process is scan
+// time not attributed to any wait (page decode, OnPage work, configured page
+// delays); Gap is root time not attributed at all (wire framing, goroutine
+// startup). Queue + Compile + Scan + Gap = Total, and Throttle + PoolWait +
+// Read + Delivery + Fold + Process = Scan, up to the clamps documented on
+// each field's computation.
+type Breakdown struct {
+	Total    time.Duration
+	Queue    time.Duration
+	Compile  time.Duration
+	Scan     time.Duration
+	Throttle time.Duration
+	PoolWait time.Duration
+	Read     time.Duration
+	Delivery time.Duration
+	Fold     time.Duration
+	Process  time.Duration
+	Gap      time.Duration
+}
+
+// Breakdown computes the tree's critical-path attribution. The pull-mode
+// runner executes one scan's spans sequentially on the scan goroutine, so
+// child durations do not overlap and subtraction is exact; in push mode a
+// promoted owner's read spans cover pages delivered to its peers, so Process
+// and Gap clamp at zero instead of going negative.
+func (t *SpanTree) Breakdown() Breakdown {
+	var b Breakdown
+	if t == nil || t.Root == nil {
+		return b
+	}
+	b.Total = t.Root.Dur()
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		if n != t.Root && n.Closed {
+			switch n.Kind {
+			case SpanQueue:
+				b.Queue += n.Dur()
+			case SpanCompile:
+				b.Compile += n.Dur()
+			case SpanScan:
+				b.Scan += n.Dur()
+			case SpanThrottle:
+				b.Throttle += n.Dur()
+			case SpanPoolWait:
+				b.PoolWait += n.Dur()
+			case SpanRead:
+				b.Read += n.Dur()
+			case SpanDelivery:
+				b.Delivery += n.Dur()
+			case SpanFold:
+				b.Fold += n.Dur()
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	if t.Root.Kind == SpanScan {
+		// A bench/realtime scan is its own root: everything ran inside it.
+		b.Scan = b.Total
+	}
+	waits := b.Throttle + b.PoolWait + b.Read + b.Delivery + b.Fold
+	if b.Process = b.Scan - waits; b.Process < 0 {
+		b.Process = 0
+	}
+	if b.Gap = b.Total - b.Queue - b.Compile - b.Scan; b.Gap < 0 {
+		b.Gap = 0
+	}
+	if t.Root.Kind == SpanScan {
+		b.Gap = 0
+	}
+	return b
+}
+
+// Add accumulates o into b, for aggregating across trees.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Total += o.Total
+	b.Queue += o.Queue
+	b.Compile += o.Compile
+	b.Scan += o.Scan
+	b.Throttle += o.Throttle
+	b.PoolWait += o.PoolWait
+	b.Read += o.Read
+	b.Delivery += o.Delivery
+	b.Fold += o.Fold
+	b.Process += o.Process
+	b.Gap += o.Gap
+}
+
+// Components returns the breakdown's leaf components — the parts that tile
+// Total — in presentation order. Scan is excluded (it is the sum of the wait
+// components plus Process).
+func (b Breakdown) Components() []BreakdownComponent {
+	return []BreakdownComponent{
+		{"queue", b.Queue},
+		{"compile", b.Compile},
+		{"throttle", b.Throttle},
+		{"pool-wait", b.PoolWait},
+		{"read", b.Read},
+		{"delivery", b.Delivery},
+		{"fold", b.Fold},
+		{"process", b.Process},
+		{"gap", b.Gap},
+	}
+}
+
+// BreakdownComponent is one named slice of a breakdown.
+type BreakdownComponent struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Aggregate sums the breakdown of every tree in the assembly.
+func (a *Assembly) Aggregate() Breakdown {
+	var agg Breakdown
+	for _, t := range a.Trees {
+		agg.Add(t.Breakdown())
+	}
+	return agg
+}
+
+// RenderTree renders one span tree as indented text, collapsing runs of
+// closed same-kind siblings (a scan's dozens of read spans) into one line
+// with a count. Unclosed spans render with "(unclosed)" and adopted orphans
+// with "(adopted)".
+func RenderTree(t *SpanTree) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %d: total %v (%d spans)\n", t.Trace, round(t.Root.Dur()), t.Nodes)
+	var render func(n *SpanNode, depth int)
+	render = func(n *SpanNode, depth int) {
+		indent := strings.Repeat("  ", depth+1)
+		label := n.Kind.String()
+		fmt.Fprintf(&sb, "%s%s %v", indent, label, round(n.Dur()))
+		if n.Kind == SpanScan || n.Kind == SpanRequest {
+			if n.Scan != NoID {
+				fmt.Fprintf(&sb, " [scan %d", n.Scan)
+				if n.Table != NoID {
+					fmt.Fprintf(&sb, " table %d", n.Table)
+				}
+				sb.WriteString("]")
+			}
+		}
+		if !n.Closed {
+			sb.WriteString(" (unclosed)")
+		}
+		if n.Adopted {
+			sb.WriteString(" (adopted)")
+		}
+		sb.WriteString("\n")
+		i := 0
+		for i < len(n.Children) {
+			c := n.Children[i]
+			// Collapse a maximal run of closed, childless, same-kind
+			// siblings into one aggregated line.
+			j := i
+			var sum time.Duration
+			for j < len(n.Children) {
+				s := n.Children[j]
+				if s.Kind != c.Kind || !s.Closed || len(s.Children) > 0 || s.Adopted {
+					break
+				}
+				sum += s.Dur()
+				j++
+			}
+			if j-i > 1 {
+				fmt.Fprintf(&sb, "%s  %s x%d total %v\n", indent, c.Kind, j-i, round(sum))
+				i = j
+				continue
+			}
+			render(c, depth+1)
+			i++
+		}
+	}
+	render(t.Root, 0)
+	return sb.String()
+}
+
+// RenderBreakdown renders an aggregate breakdown as a fixed-width table of
+// component totals and shares of Total.
+func RenderBreakdown(b Breakdown, queries int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "breakdown over %d quer%s, total %v:\n",
+		queries, plural(queries, "y", "ies"), round(b.Total))
+	for _, c := range b.Components() {
+		pct := 0.0
+		if b.Total > 0 {
+			pct = 100 * float64(c.Dur) / float64(b.Total)
+		}
+		fmt.Fprintf(&sb, "  %-9s %12v  %5.1f%%\n", c.Name, round(c.Dur), pct)
+	}
+	return sb.String()
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(time.Microsecond)
+	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -1,9 +1,12 @@
 package trace
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"sync"
+	"time"
 )
 
 // Sink receives batches of drained events. Consume is always called from one
@@ -102,16 +105,24 @@ type jsonEvent struct {
 	Count int32  `json:"count,omitempty"`
 	Gap   int64  `json:"gap,omitempty"`
 	Wait  int64  `json:"wait,omitempty"`
+	// Span-layer identity; IDs start at 1, so zero simply omits the field.
+	Trace    int64  `json:"trace,omitempty"`
+	Span     int64  `json:"span,omitempty"`
+	Parent   int64  `json:"parent,omitempty"`
+	SpanKind string `json:"sk,omitempty"`
 }
 
 // encodeEvent converts one event to its JSONL wire shape.
 func encodeEvent(ev Event) jsonEvent {
 	je := jsonEvent{
-		T:     int64(ev.Time),
-		Kind:  ev.Kind.String(),
-		Count: ev.Count,
-		Gap:   ev.Gap,
-		Wait:  int64(ev.Wait),
+		T:      int64(ev.Time),
+		Kind:   ev.Kind.String(),
+		Count:  ev.Count,
+		Gap:    ev.Gap,
+		Wait:   int64(ev.Wait),
+		Trace:  ev.Trace,
+		Span:   ev.Span,
+		Parent: ev.Parent,
 	}
 	if ev.Scan != NoID {
 		je.Scan = &ev.Scan
@@ -128,7 +139,98 @@ func encodeEvent(ev Event) jsonEvent {
 	if ev.Prio >= 0 {
 		je.Prio = &ev.Prio
 	}
+	if ev.SpanKind != SpanNone {
+		je.SpanKind = ev.SpanKind.String()
+	}
 	return je
+}
+
+// kindNames and spanKindNames are the wire-name reverse maps, derived from
+// the String methods so encode and decode cannot drift.
+var kindNames = func() map[string]Kind {
+	m := make(map[string]Kind, int(numKinds))
+	for k := Kind(0); k < numKinds; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+var spanKindNames = func() map[string]SpanKind {
+	m := make(map[string]SpanKind, int(numSpanKinds))
+	for k := SpanNone + 1; k < numSpanKinds; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// decodeEvent converts one wire record back to the flat event, restoring the
+// NoID/-1 conventions the encoder elided. Unknown kind names report ok=false.
+func decodeEvent(je jsonEvent) (Event, bool) {
+	kind, ok := kindNames[je.Kind]
+	if !ok {
+		return Event{}, false
+	}
+	ev := Event{
+		Time:   time.Duration(je.T),
+		Kind:   kind,
+		Prio:   -1,
+		Count:  je.Count,
+		Scan:   NoID,
+		Peer:   NoID,
+		Table:  NoID,
+		Page:   NoID,
+		Gap:    je.Gap,
+		Wait:   time.Duration(je.Wait),
+		Trace:  je.Trace,
+		Span:   je.Span,
+		Parent: je.Parent,
+	}
+	if je.Scan != nil {
+		ev.Scan = *je.Scan
+	}
+	if je.Peer != nil {
+		ev.Peer = *je.Peer
+	}
+	if je.Table != nil {
+		ev.Table = *je.Table
+	}
+	if je.Page != nil {
+		ev.Page = *je.Page
+	}
+	if je.Prio != nil {
+		ev.Prio = *je.Prio
+	}
+	if je.SpanKind != "" {
+		ev.SpanKind = spanKindNames[je.SpanKind] // unknown name -> SpanNone
+	}
+	return ev, true
+}
+
+// DecodeJSONL reads a JSONL journal back into events. Lines that are not
+// valid event records — a flight-record header, embedded telemetry samples,
+// or records from a newer schema — are skipped and counted, so the same
+// decoder reads both plain -rt-trace journals and flight-recorder dumps.
+func DecodeJSONL(r io.Reader) (evs []Event, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if jerr := json.Unmarshal(line, &je); jerr != nil || je.Kind == "" {
+			skipped++
+			continue
+		}
+		ev, ok := decodeEvent(je)
+		if !ok {
+			skipped++
+			continue
+		}
+		evs = append(evs, ev)
+	}
+	return evs, skipped, sc.Err()
 }
 
 // EncodeJSONL writes events to w in the journal's JSONL wire format, one

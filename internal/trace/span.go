@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Causal spans: query-scoped latency attribution on top of the event ring.
+//
+// A span is a (start, end, kind) interval tied into a tree by a propagated
+// SpanContext: every request admitted by the server — and every bench or
+// realtime scan — carries a trace ID and parent span ID through compile, the
+// admission queue, the runner's page loop, buffer waits, push delivery, and
+// shared-aggregation folds. Spans reuse the existing lock-free ring as their
+// transport: opening emits one KindSpanOpen event, closing one KindSpanClose
+// event, and the close event is self-sufficient (it carries the span's full
+// duration in Wait), so the assembler reconstructs complete trees even when
+// open events were dropped by a full ring.
+//
+// Emission cost follows the ring's contract: with no sink attached every
+// span call is a nil-or-atomic check and returns a zero value, so the
+// instrumentation stays compiled into the hot paths. With a sink attached, a
+// span is two ring pushes; the runner only opens spans on slow paths (a
+// throttle, a pool wait, a physical read), never on the pool-hit fast path.
+
+// SpanKind classifies what a span measures — one kind per component of the
+// critical-path breakdown.
+type SpanKind uint8
+
+const (
+	// SpanNone marks a non-span event.
+	SpanNone SpanKind = iota
+	// SpanRequest covers one server request from decode to response write.
+	SpanRequest
+	// SpanCompile covers SQL parse and plan compilation.
+	SpanCompile
+	// SpanQueue covers the admission-queue wait.
+	SpanQueue
+	// SpanScan covers one runner scan from StartScan to EndScan.
+	SpanScan
+	// SpanThrottle covers one inserted group-throttle sleep.
+	SpanThrottle
+	// SpanPoolWait covers buffer-pool contention waits: busy retries,
+	// all-pinned backoff, and coalesced-flight waits.
+	SpanPoolWait
+	// SpanRead covers one physical page read, including retries.
+	SpanRead
+	// SpanDelivery covers a push subscriber blocking on its batch channel.
+	SpanDelivery
+	// SpanFold covers shared-aggregation fold work inside OnPage callbacks.
+	SpanFold
+
+	numSpanKinds
+)
+
+// String returns the span kind's short name, used in trees and JSONL output.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanNone:
+		return "none"
+	case SpanRequest:
+		return "request"
+	case SpanCompile:
+		return "compile"
+	case SpanQueue:
+		return "queue"
+	case SpanScan:
+		return "scan"
+	case SpanThrottle:
+		return "throttle"
+	case SpanPoolWait:
+		return "pool-wait"
+	case SpanRead:
+		return "read"
+	case SpanDelivery:
+		return "delivery"
+	case SpanFold:
+		return "fold"
+	default:
+		return fmt.Sprintf("SpanKind(%d)", int(k))
+	}
+}
+
+// SpanContext is the propagated causal identity of one span: which trace it
+// belongs to, its own span ID, and its parent's span ID (zero for a root).
+// The zero SpanContext is "no span"; IDs are process-wide and start at 1.
+type SpanContext struct {
+	Trace  int64
+	Span   int64
+	Parent int64
+}
+
+// Valid reports whether the context names a real span.
+func (c SpanContext) Valid() bool { return c.Trace != 0 && c.Span != 0 }
+
+// spanIDs allocates trace and span IDs. One process-wide counter keeps every
+// ID unique within a journal regardless of which tracer allocated it.
+var spanIDs atomic.Int64
+
+// Root allocates a new root span context (a fresh trace). On a nil or
+// disabled tracer it returns the zero context, so every downstream span call
+// short-circuits too.
+func (t *Tracer) Root() SpanContext {
+	if !t.Enabled() {
+		return SpanContext{}
+	}
+	id := spanIDs.Add(1)
+	return SpanContext{Trace: id, Span: id}
+}
+
+// Child allocates a span context under parent. Invalid parent (or a nil or
+// disabled tracer) propagates the zero context.
+func (t *Tracer) Child(parent SpanContext) SpanContext {
+	if !t.Enabled() || !parent.Valid() {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: parent.Trace, Span: spanIDs.Add(1), Parent: parent.Span}
+}
+
+// Span is an open span handle. The zero Span is inert: Close on it is a
+// no-op, so callers never guard span sites.
+type Span struct {
+	t     *Tracer
+	ctx   SpanContext
+	kind  SpanKind
+	scan  int64
+	table int64
+	start time.Duration
+}
+
+// spanEvent builds the flat event shared by open and close emission.
+func spanEvent(kind Kind, sc SpanContext, sk SpanKind, scan, table int64, at, dur time.Duration) Event {
+	return Event{
+		Time: at, Kind: kind, SpanKind: sk,
+		Trace: sc.Trace, Span: sc.Span, Parent: sc.Parent,
+		Scan: scan, Peer: NoID, Table: table, Page: NoID, Prio: -1,
+		Wait: dur,
+	}
+}
+
+// OpenSpan opens a span with the pre-allocated identity sc (from Root or
+// Child), stamping its start on the tracer's clock. An invalid sc — the
+// normal case when tracing is off — returns the inert zero Span without
+// touching the clock or the ring.
+func (t *Tracer) OpenSpan(sc SpanContext, kind SpanKind, scan, table int64) Span {
+	if !t.Enabled() || !sc.Valid() {
+		return Span{}
+	}
+	now := t.clock.Now()
+	t.EmitAt(spanEvent(KindSpanOpen, sc, kind, scan, table, now, 0))
+	return Span{t: t, ctx: sc, kind: kind, scan: scan, table: table, start: now}
+}
+
+// Context returns the span's identity, for parenting children under it.
+func (s Span) Context() SpanContext { return s.ctx }
+
+// Active reports whether the span will emit a close event.
+func (s Span) Active() bool { return s.t != nil }
+
+// Close ends the span, emitting the close event with the span's duration,
+// and returns that duration. Safe (and free) on the zero Span.
+func (s Span) Close() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	now := s.t.clock.Now()
+	dur := now - s.start
+	if dur < 0 {
+		dur = 0
+	}
+	s.t.EmitAt(spanEvent(KindSpanClose, s.ctx, s.kind, s.scan, s.table, now, dur))
+	return dur
+}
+
+// EmitSpan records an already-measured span in one shot: a child of parent
+// whose close lands now and whose open is back-dated by dur. The slow-path
+// instrumentation (throttle sleeps, pool waits, physical reads, delivery
+// stalls, fold totals) measures with its own monotonic deltas and reports
+// here, keeping one clock-read out of the measured section.
+func (t *Tracer) EmitSpan(parent SpanContext, kind SpanKind, scan, table int64, dur time.Duration) {
+	if !t.Enabled() || !parent.Valid() {
+		return
+	}
+	sc := SpanContext{Trace: parent.Trace, Span: spanIDs.Add(1), Parent: parent.Span}
+	if dur < 0 {
+		dur = 0
+	}
+	end := t.clock.Now()
+	t.EmitAt(spanEvent(KindSpanOpen, sc, kind, scan, table, end-dur, 0))
+	t.EmitAt(spanEvent(KindSpanClose, sc, kind, scan, table, end, dur))
+}

@@ -1,0 +1,298 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"scanshare/internal/vclock"
+)
+
+// spanHarness is a tracer on a manual clock with an unbounded recorder, the
+// deterministic rig the span tests share.
+func spanHarness(t *testing.T, ringSize int) (*Tracer, *Recorder, *vclock.Manual) {
+	t.Helper()
+	clk := vclock.NewManual(0)
+	tr := NewTracerSize(clk, ringSize)
+	rec := &Recorder{}
+	tr.Attach(rec)
+	t.Cleanup(func() { tr.Close() })
+	return tr, rec, clk
+}
+
+// TestSpanLifecycleAndAssembly builds one request tree span by span on a
+// manual clock and checks that assembly reproduces the exact shape and that
+// the breakdown attributes every nanosecond.
+func TestSpanLifecycleAndAssembly(t *testing.T) {
+	tr, rec, clk := spanHarness(t, 1024)
+
+	root := tr.Root()
+	if !root.Valid() || root.Trace != root.Span || root.Parent != 0 {
+		t.Fatalf("root context = %+v", root)
+	}
+	req := tr.OpenSpan(root, SpanRequest, NoID, NoID)
+	if !req.Active() {
+		t.Fatal("request span inactive with sink attached")
+	}
+
+	clk.Advance(2 * time.Millisecond) // compile
+	tr.EmitSpan(root, SpanCompile, NoID, NoID, 2*time.Millisecond)
+	clk.Advance(3 * time.Millisecond) // admission queue
+	tr.EmitSpan(root, SpanQueue, NoID, NoID, 3*time.Millisecond)
+
+	scanCtx := tr.Child(root)
+	scan := tr.OpenSpan(scanCtx, SpanScan, 7, 1)
+	clk.Advance(time.Millisecond)
+	tr.EmitSpan(scan.Context(), SpanThrottle, 7, 1, time.Millisecond)
+	clk.Advance(4 * time.Millisecond)
+	tr.EmitSpan(scan.Context(), SpanRead, 7, 1, 4*time.Millisecond)
+	clk.Advance(5 * time.Millisecond) // unattributed processing
+	if got := scan.Close(); got != 10*time.Millisecond {
+		t.Fatalf("scan duration = %v, want 10ms", got)
+	}
+	if got := req.Close(); got != 15*time.Millisecond {
+		t.Fatalf("request duration = %v, want 15ms", got)
+	}
+
+	tr.Flush()
+	asm := Assemble(rec.Events())
+	if len(asm.Trees) != 1 || asm.Unclosed != 0 || asm.Orphans != 0 || asm.ExtraRoots != 0 {
+		t.Fatalf("assembly = %+v", asm)
+	}
+	tree := asm.Trees[0]
+	if tree.Trace != root.Trace || tree.Nodes != 6 {
+		t.Fatalf("tree trace=%d nodes=%d, want trace %d with 6 nodes", tree.Trace, tree.Nodes, root.Trace)
+	}
+	if tree.Root.Kind != SpanRequest || len(tree.Root.Children) != 3 {
+		t.Fatalf("root kind=%v children=%d", tree.Root.Kind, len(tree.Root.Children))
+	}
+
+	b := tree.Breakdown()
+	want := Breakdown{
+		Total: 15 * time.Millisecond, Queue: 3 * time.Millisecond,
+		Compile: 2 * time.Millisecond, Scan: 10 * time.Millisecond,
+		Throttle: time.Millisecond, Read: 4 * time.Millisecond,
+		Process: 5 * time.Millisecond,
+	}
+	if b != want {
+		t.Errorf("breakdown = %+v, want %+v", b, want)
+	}
+	var sum time.Duration
+	for _, c := range b.Components() {
+		sum += c.Dur
+	}
+	if sum != b.Total {
+		t.Errorf("components sum %v != total %v", sum, b.Total)
+	}
+}
+
+// TestSpanAssembleFromCloseOnly drops every open event, the failure mode of
+// a full ring, and checks that close events alone rebuild the identical
+// tree: closed, orphan-free, same breakdown.
+func TestSpanAssembleFromCloseOnly(t *testing.T) {
+	tr, rec, clk := spanHarness(t, 1024)
+	root := tr.Root()
+	req := tr.OpenSpan(root, SpanRequest, NoID, NoID)
+	clk.Advance(2 * time.Millisecond)
+	tr.EmitSpan(root, SpanQueue, NoID, NoID, 2*time.Millisecond)
+	scan := tr.OpenSpan(tr.Child(root), SpanScan, 1, 1)
+	clk.Advance(6 * time.Millisecond)
+	scan.Close()
+	req.Close()
+	tr.Flush()
+
+	var closesOnly []Event
+	for _, ev := range rec.Events() {
+		if ev.Kind == KindSpanClose {
+			closesOnly = append(closesOnly, ev)
+		}
+	}
+	full := Assemble(rec.Events())
+	partial := Assemble(closesOnly)
+	if partial.Unclosed != 0 || partial.Orphans != 0 || len(partial.Trees) != 1 {
+		t.Fatalf("close-only assembly = %+v", partial)
+	}
+	if got, want := partial.Trees[0].Breakdown(), full.Trees[0].Breakdown(); got != want {
+		t.Errorf("close-only breakdown = %+v, want %+v (same as full journal)", got, want)
+	}
+}
+
+// TestSpanAssembleOrphanAdoption feeds a span whose parent never reached the
+// journal and checks it is adopted under the trace's root instead of
+// vanishing.
+func TestSpanAssembleOrphanAdoption(t *testing.T) {
+	evs := []Event{
+		{Kind: KindSpanClose, SpanKind: SpanRequest, Trace: 100, Span: 100, Time: 10 * time.Millisecond, Wait: 10 * time.Millisecond},
+		// Parent span 999 has no event of its own.
+		{Kind: KindSpanClose, SpanKind: SpanRead, Trace: 100, Span: 101, Parent: 999, Time: 5 * time.Millisecond, Wait: time.Millisecond},
+	}
+	asm := Assemble(evs)
+	if len(asm.Trees) != 1 || asm.Orphans != 1 {
+		t.Fatalf("assembly = %+v", asm)
+	}
+	root := asm.Trees[0].Root
+	if len(root.Children) != 1 || !root.Children[0].Adopted || root.Children[0].Kind != SpanRead {
+		t.Fatalf("orphan not adopted under root: %+v", root.Children)
+	}
+	if b := asm.Trees[0].Breakdown(); b.Read != time.Millisecond {
+		t.Errorf("adopted orphan lost from breakdown: %+v", b)
+	}
+}
+
+// TestSpanAssembleUnclosed pins the other half of the drop-tolerance story:
+// an open with no close is surfaced in Unclosed and contributes zero to the
+// breakdown rather than a bogus duration.
+func TestSpanAssembleUnclosed(t *testing.T) {
+	evs := []Event{
+		{Kind: KindSpanClose, SpanKind: SpanRequest, Trace: 200, Span: 200, Time: 8 * time.Millisecond, Wait: 8 * time.Millisecond},
+		{Kind: KindSpanOpen, SpanKind: SpanScan, Trace: 200, Span: 201, Parent: 200, Time: time.Millisecond},
+	}
+	asm := Assemble(evs)
+	if asm.Unclosed != 1 || len(asm.Trees) != 1 {
+		t.Fatalf("assembly = %+v", asm)
+	}
+	if b := asm.Trees[0].Breakdown(); b.Scan != 0 || b.Total != 8*time.Millisecond {
+		t.Errorf("unclosed span leaked into breakdown: %+v", b)
+	}
+	if out := RenderTree(asm.Trees[0]); !bytes.Contains([]byte(out), []byte("(unclosed)")) {
+		t.Errorf("render missing unclosed marker:\n%s", out)
+	}
+}
+
+// TestSpanDisabledTracerInert checks the no-tracing fast path end to end:
+// nil and sink-less tracers produce invalid contexts, inert spans, and no
+// events, so instrumented code needs no guards.
+func TestSpanDisabledTracerInert(t *testing.T) {
+	var nilTracer *Tracer
+	disabled := NewTracer(nil)
+	for name, tr := range map[string]*Tracer{"nil": nilTracer, "disabled": disabled} {
+		root := tr.Root()
+		if root.Valid() {
+			t.Errorf("%s tracer allocated root %+v", name, root)
+		}
+		if child := tr.Child(SpanContext{Trace: 1, Span: 1}); child.Valid() {
+			t.Errorf("%s tracer allocated child %+v", name, child)
+		}
+		sp := tr.OpenSpan(SpanContext{Trace: 1, Span: 1}, SpanScan, 0, 0)
+		if sp.Active() || sp.Close() != 0 {
+			t.Errorf("%s tracer opened a live span", name)
+		}
+		tr.EmitSpan(SpanContext{Trace: 1, Span: 1}, SpanRead, 0, 0, time.Millisecond)
+	}
+	if disabled.Flush() != 0 {
+		t.Error("disabled tracer journaled span events")
+	}
+	// An enabled tracer still refuses invalid contexts.
+	tr, rec, _ := spanHarness(t, 64)
+	if sp := tr.OpenSpan(SpanContext{}, SpanScan, 0, 0); sp.Active() {
+		t.Error("OpenSpan accepted the zero context")
+	}
+	tr.EmitSpan(SpanContext{}, SpanRead, 0, 0, time.Millisecond)
+	tr.Flush()
+	if n := rec.Len(); n != 0 {
+		t.Errorf("invalid contexts emitted %d events", n)
+	}
+}
+
+// TestSpanJSONLRoundTrip pushes span events through the JSONL journal format
+// and back, pinning that the causal identity survives serialization.
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	tr, rec, clk := spanHarness(t, 256)
+	root := tr.Root()
+	req := tr.OpenSpan(root, SpanRequest, NoID, NoID)
+	clk.Advance(3 * time.Millisecond)
+	tr.EmitSpan(root, SpanFold, 2, 5, time.Millisecond)
+	req.Close()
+	tr.Flush()
+
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	back, skipped, err := DecodeJSONL(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("decode: err=%v skipped=%d", err, skipped)
+	}
+	if len(back) != len(rec.Events()) {
+		t.Fatalf("decoded %d events, want %d", len(back), len(rec.Events()))
+	}
+	for i, ev := range rec.Events() {
+		if back[i] != ev {
+			t.Errorf("event %d = %+v, want %+v", i, back[i], ev)
+		}
+	}
+	asm := Assemble(back)
+	if len(asm.Trees) != 1 || asm.Trees[0].Breakdown().Fold != time.Millisecond {
+		t.Errorf("round-tripped assembly = %+v", asm)
+	}
+}
+
+// TestSpanConcurrentEmission runs many goroutines building disjoint trees
+// through one tracer and checks every tree assembles closed and orphan-free
+// — the ordering contract the lock-free ring must honor. Sized to fit the
+// ring, so nothing is dropped.
+func TestSpanConcurrentEmission(t *testing.T) {
+	const workers = 8
+	const spansPerWorker = 3 // request + scan + one read
+	tr, rec, _ := spanHarness(t, 1<<12)
+
+	var wg sync.WaitGroup
+	traces := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			root := tr.Root()
+			traces[w] = root.Trace
+			req := tr.OpenSpan(root, SpanRequest, NoID, NoID)
+			scan := tr.OpenSpan(tr.Child(root), SpanScan, int64(w), 1)
+			tr.EmitSpan(scan.Context(), SpanRead, int64(w), 1, time.Microsecond)
+			scan.Close()
+			req.Close()
+		}()
+	}
+	wg.Wait()
+	tr.Flush()
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("ring dropped %d events; test rig undersized", d)
+	}
+
+	asm := Assemble(rec.Events())
+	if len(asm.Trees) != workers || asm.Unclosed != 0 || asm.Orphans != 0 || asm.ExtraRoots != 0 {
+		t.Fatalf("assembly = %+v, want %d clean trees", asm, workers)
+	}
+	seen := make(map[int64]bool)
+	for _, tree := range asm.Trees {
+		seen[tree.Trace] = true
+		if tree.Nodes != spansPerWorker {
+			t.Errorf("trace %d has %d nodes, want %d", tree.Trace, tree.Nodes, spansPerWorker)
+		}
+	}
+	for _, id := range traces {
+		if !seen[id] {
+			t.Errorf("trace %d missing from assembly", id)
+		}
+	}
+}
+
+// TestSpanKindStrings pins the short names the trees, JSONL journal, and
+// breakdown tables all share.
+func TestSpanKindStrings(t *testing.T) {
+	want := map[SpanKind]string{
+		SpanNone: "none", SpanRequest: "request", SpanCompile: "compile",
+		SpanQueue: "queue", SpanScan: "scan", SpanThrottle: "throttle",
+		SpanPoolWait: "pool-wait", SpanRead: "read", SpanDelivery: "delivery",
+		SpanFold: "fold",
+	}
+	for k := SpanNone; k < numSpanKinds; k++ {
+		if k.String() != want[k] {
+			t.Errorf("SpanKind(%d).String() = %q, want %q", k, k.String(), want[k])
+		}
+	}
+	if got := numSpanKinds.String(); got != fmt.Sprintf("SpanKind(%d)", int(numSpanKinds)) {
+		t.Errorf("out-of-range kind = %q", got)
+	}
+}

@@ -97,6 +97,13 @@ const (
 	// subscriber channel before delivering the batch starting at Page.
 	// This is flow control standing in for the paper's throttle waits.
 	KindBackpressureStall
+	// KindSpanOpen: a causal span opened. Trace/Span/Parent carry the span
+	// identity, SpanKind what it measures, Time its start.
+	KindSpanOpen
+	// KindSpanClose: a causal span closed. Time is the end; Wait carries the
+	// span's full duration, so a close event alone reconstructs the span
+	// even when its open event was dropped by a full ring.
+	KindSpanClose
 
 	numKinds
 )
@@ -138,6 +145,10 @@ func (k Kind) String() string {
 		return "batch-push"
 	case KindBackpressureStall:
 		return "backpressure-stall"
+	case KindSpanOpen:
+		return "span-open"
+	case KindSpanClose:
+		return "span-close"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -165,8 +176,15 @@ type Event struct {
 	Table, Page int64
 	// Gap is a page distance (group extent, throttle gap).
 	Gap int64
-	// Wait is an inserted throttle wait.
+	// Wait is an inserted throttle wait; for KindSpanClose it carries the
+	// span's duration.
 	Wait time.Duration
+	// Trace, Span, and Parent are the span-layer causal identity
+	// (KindSpanOpen/KindSpanClose). Span IDs start at 1, so zero means
+	// "not a span event" and pre-span emitters need no changes.
+	Trace, Span, Parent int64
+	// SpanKind classifies what a span measures (span events only).
+	SpanKind SpanKind
 }
 
 // String renders the event as one timeline line (without the timestamp; the
@@ -215,6 +233,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("scan %d accepted pushed pages [%d,%d)", e.Scan, e.Page, e.Page+e.Gap)
 	case KindBackpressureStall:
 		return fmt.Sprintf("push reader stalled %v on scan %d (batch at page %d)", e.Wait, e.Scan, e.Page)
+	case KindSpanOpen:
+		return fmt.Sprintf("span %s opened (trace %d span %d parent %d, scan %d)",
+			e.SpanKind, e.Trace, e.Span, e.Parent, e.Scan)
+	case KindSpanClose:
+		return fmt.Sprintf("span %s closed after %v (trace %d span %d parent %d, scan %d)",
+			e.SpanKind, e.Wait, e.Trace, e.Span, e.Parent, e.Scan)
 	default:
 		return fmt.Sprintf("scan %d: %s", e.Scan, e.Kind)
 	}

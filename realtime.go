@@ -41,6 +41,11 @@ type RealtimeScan struct {
 	// immutable buffer frame reference: consumers must not mutate it but
 	// may retain it. Degraded pages are skipped.
 	OnPage func(pageNo int, data []byte)
+	// Span, when valid, parents the scan's span tree under an existing
+	// trace — the server sets it to attribute a scan to its request. When
+	// zero and a tracer is active, RunRealtime allocates a fresh root so
+	// every traced scan still produces a complete tree.
+	Span trace.SpanContext
 }
 
 // FaultKind classifies an injected read failure. The kinds mirror
@@ -240,6 +245,30 @@ func (r *RealtimeReport) BenchResult(params telemetry.BenchParams) telemetry.Ben
 		out.OptimisticRetries += p.OptimisticRetries
 		out.OptimisticFallbacks += p.OptimisticFallbacks
 	}
+	var pool, read, delivery time.Duration
+	for i := range r.Results {
+		pool += r.Results[i].PoolWait
+		read += r.Results[i].ReadWait
+		delivery += r.Results[i].DeliveryWait
+	}
+	bd := map[string]float64{}
+	for _, c := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"throttle", r.Counters.ThrottleWait},
+		{"pool-wait", pool},
+		{"read", read},
+		{"delivery", delivery},
+	} {
+		if c.d > 0 {
+			bd[c.name] = c.d.Seconds()
+		}
+	}
+	if len(bd) > 0 {
+		out.BreakdownSeconds = bd
+	}
+	out.TraceDropped = r.Counters.TraceDropped
 	return out
 }
 
@@ -343,10 +372,17 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 	}
 	poolsBefore := e.poolStatsSnapshot()
 
-	if opts.Tracer != nil {
+	// Resolve the run's tracer: an explicit opts.Tracer is attached for the
+	// duration of the call; otherwise a tracer already attached to the
+	// engine (the serve path) is used as-is. tr may be nil — every span
+	// method is nil-safe.
+	tr := opts.Tracer
+	if tr != nil {
 		prev := e.tracer
-		e.AttachTracer(opts.Tracer)
+		e.AttachTracer(tr)
 		defer e.AttachTracer(prev)
+	} else {
+		tr = e.tracer
 	}
 
 	// Group the scans by buffer pool; each pool gets its own runner, all
@@ -364,6 +400,12 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 			b = &poolBatch{rt: rt}
 			batches[rt.name] = b
 		}
+		span := sc.Span
+		if !span.Valid() {
+			// Root allocation is a no-op (zero context) when no tracer is
+			// active, so untraced runs stay span-free.
+			span = tr.Root()
+		}
 		first := sc.Table.tbl.FirstPage()
 		b.specs = append(b.specs, realtime.ScanSpec{
 			Table:             sc.Table.coreTableID(),
@@ -377,6 +419,7 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 			StopAfterPages:    sc.StopAfterPages,
 			PageDelay:         sc.PageDelay,
 			OnPage:            sc.OnPage,
+			Span:              span,
 		})
 		b.indices = append(b.indices, i)
 	}
@@ -406,7 +449,7 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 			ContinueOnPageFailure:  opts.ContinueOnPageFailure,
 			CoalesceReads:          !opts.DisableReadCoalescing,
 			DisablePoolFeed:        opts.DisablePredictiveFeed,
-			Tracer:                 opts.Tracer,
+			Tracer:                 tr,
 			PushDelivery:           opts.PushDelivery,
 			PushBatchPages:         opts.PushBatchPages,
 			SubscriberQueueBatches: opts.SubscriberQueueBatches,
@@ -435,6 +478,9 @@ func (e *Engine) RunRealtime(ctx context.Context, opts RealtimeOptions, scans []
 	}
 
 	report.Wall = time.Since(start)
+	if tr != nil {
+		col.SetTraceDropped(int64(tr.Dropped()))
+	}
 	report.Counters = col.Snapshot()
 	if faultStore != nil {
 		c := faultStore.Counters()

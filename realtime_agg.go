@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"scanshare/internal/exec"
 	"scanshare/internal/metrics"
+	"scanshare/internal/trace"
 )
 
 // RealtimeAggSpec is one aggregate column of a realtime GROUP BY consumer:
@@ -78,9 +80,19 @@ func (e *Engine) RunRealtimeAggregates(ctx context.Context, opts RealtimeOptions
 		opts.Collector = new(metrics.Collector)
 	}
 
+	// Resolve the tracer the run will use (RunRealtime applies the same
+	// rule) so fold work can be attributed to each scan's span. Roots are
+	// allocated here, before the OnPage chain is built, because the fold
+	// wrapper needs the scan's span identity.
+	tr := opts.Tracer
+	if tr == nil {
+		tr = e.tracer
+	}
+
 	consumers := make([]*exec.GroupByConsumer, len(queries))
 	states := make(map[string]*exec.SharedAggState)
 	scans := make([]RealtimeScan, len(queries))
+	foldWait := make([]time.Duration, len(queries))
 	for i := range queries {
 		q := &queries[i]
 		if q.Scan.Table == nil {
@@ -131,13 +143,29 @@ func (e *Engine) RunRealtimeAggregates(ctx context.Context, opts RealtimeOptions
 		consumers[i] = c
 
 		scan := q.Scan
+		if !scan.Span.Valid() {
+			scan.Span = tr.Root()
+		}
+		fold := c.OnPage
+		if scan.Span.Valid() {
+			// Tracing is on: time each fold. One scan's OnPage calls are
+			// sequential (scan goroutine in pull mode, consumer goroutine
+			// in push mode), so a plain per-query accumulator suffices;
+			// the run's WaitGroup orders the final read after all writes.
+			i, inner := i, fold
+			fold = func(pageNo int, data []byte) {
+				t0 := time.Now()
+				inner(pageNo, data)
+				foldWait[i] += time.Since(t0)
+			}
+		}
 		if user := scan.OnPage; user != nil {
 			scan.OnPage = func(pageNo int, data []byte) {
 				user(pageNo, data)
-				c.OnPage(pageNo, data)
+				fold(pageNo, data)
 			}
 		} else {
-			scan.OnPage = c.OnPage
+			scan.OnPage = fold
 		}
 		scans[i] = scan
 	}
@@ -145,6 +173,16 @@ func (e *Engine) RunRealtimeAggregates(ctx context.Context, opts RealtimeOptions
 	report, err := e.RunRealtime(ctx, opts, scans)
 	if err != nil {
 		return nil, err
+	}
+	// Report each query's total fold time as one span under its scan. The
+	// tracer outlives RunRealtime's attach/detach, so emitting after the
+	// run is fine; the assembler sums by kind and does not require children
+	// to nest temporally inside their parent.
+	for i, d := range foldWait {
+		if d > 0 {
+			tr.EmitSpan(scans[i].Span, trace.SpanFold, int64(i),
+				int64(scans[i].Table.coreTableID()), d)
+		}
 	}
 
 	out := &RealtimeAggReport{RealtimeReport: report, Rows: make([][]Tuple, len(queries))}
